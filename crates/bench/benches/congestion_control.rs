@@ -1,0 +1,37 @@
+//! Criterion bench for E6: the hot-spot workload with and without congestion control.
+use alvisp2p_dht::congestion::{run_hotspot, CongestionConfig, HotspotScenario};
+use alvisp2p_netsim::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion_control");
+    group.sample_size(10);
+    let base = HotspotScenario {
+        clients: 16,
+        servers: 4,
+        offered_load: 4_000.0,
+        duration: SimDuration::from_secs(1),
+        ..Default::default()
+    };
+    group.bench_function("hotspot_with_cc", |b| {
+        b.iter(|| {
+            black_box(run_hotspot(
+                &HotspotScenario { congestion: CongestionConfig::default(), ..base.clone() },
+                1,
+            ))
+        })
+    });
+    group.bench_function("hotspot_without_cc", |b| {
+        b.iter(|| {
+            black_box(run_hotspot(
+                &HotspotScenario { congestion: CongestionConfig::disabled(), ..base.clone() },
+                1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

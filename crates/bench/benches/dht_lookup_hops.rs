@@ -1,0 +1,34 @@
+//! Criterion bench for E5: DHT lookups with hop-space vs identifier-space routing.
+use alvisp2p_dht::{Dht, DhtConfig, IdDistribution, RingId, RoutingStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_lookup_hops");
+    group.sample_size(30);
+    for (label, strategy, dist) in [
+        ("hopspace_uniform", RoutingStrategy::HopSpace, IdDistribution::Uniform),
+        ("hopspace_skewed", RoutingStrategy::HopSpace, IdDistribution::Skewed(64.0)),
+        ("finger_uniform", RoutingStrategy::Finger, IdDistribution::Uniform),
+        ("finger_skewed", RoutingStrategy::Finger, IdDistribution::Skewed(64.0)),
+    ] {
+        let config = DhtConfig {
+            strategy,
+            id_distribution: dist,
+            ..Default::default()
+        };
+        let dht: Dht<Vec<u8>> = Dht::with_peers(config, 7, 1024);
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::new("lookup", label), &dht, |b, dht| {
+            b.iter(|| {
+                i += 1;
+                let key = RingId::hash_u64(i);
+                black_box(dht.probe_hops((i % 1024) as usize, key).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

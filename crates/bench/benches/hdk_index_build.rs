@@ -1,0 +1,33 @@
+//! Criterion bench for E3: HDK distributed index construction.
+use alvisp2p_bench::workloads;
+use alvisp2p_core::hdk::HdkConfig;
+use alvisp2p_core::network::IndexingStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdk_index_build");
+    group.sample_size(10);
+    for docs in [100usize, 300] {
+        let corpus = workloads::corpus(docs, 2);
+        group.bench_with_input(BenchmarkId::new("build", docs), &corpus, |b, corpus| {
+            b.iter(|| {
+                let net = workloads::indexed_network(
+                    black_box(corpus),
+                    IndexingStrategy::Hdk(HdkConfig {
+                        df_max: 30,
+                        truncation_k: 30,
+                        ..Default::default()
+                    }),
+                    8,
+                    2,
+                );
+                black_box(net.global_index().activated_keys())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for E1: query-lattice exploration (Figure 1 scenario).
+use alvisp2p_bench::exp_lattice::{run, LatticeParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice_exploration");
+    group.sample_size(20);
+    group.bench_function("figure1_query_abc", |b| {
+        b.iter(|| run(black_box(&LatticeParams::default())))
+    });
+    group.bench_function("figure1_no_pruning", |b| {
+        b.iter(|| {
+            run(black_box(&LatticeParams {
+                prune_below_truncated: false,
+                ..Default::default()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

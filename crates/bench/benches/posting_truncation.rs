@@ -1,0 +1,43 @@
+//! Criterion bench for E8: truncated posting-list maintenance and merging.
+use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_textindex::DocId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn refs(n: u32, seed: u64) -> Vec<ScoredRef> {
+    (0..n)
+        .map(|i| ScoredRef {
+            doc: DocId::new((i % 64) as u32, i),
+            score: ((i as u64 * 2654435761 + seed) % 10_000) as f64 / 100.0,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posting_truncation");
+    for k in [50usize, 500] {
+        let input = refs(10_000, 1);
+        group.bench_with_input(BenchmarkId::new("insert_10k_into_top", k), &input, |b, input| {
+            b.iter(|| {
+                let mut list = TruncatedPostingList::new(k);
+                for r in input {
+                    list.insert(*r);
+                }
+                black_box(list.len())
+            })
+        });
+    }
+    let a = TruncatedPostingList::from_refs(refs(2_000, 1), 200);
+    let b_list = TruncatedPostingList::from_refs(refs(2_000, 99), 200);
+    group.bench_function("merge_two_truncated_lists", |b| {
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(black_box(&b_list));
+            black_box(m.full_df())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

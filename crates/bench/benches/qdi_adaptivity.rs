@@ -1,0 +1,37 @@
+//! Criterion bench for E7: a QDI query stream including on-demand activations.
+use alvisp2p_bench::workloads;
+use alvisp2p_core::network::IndexingStrategy;
+use alvisp2p_core::qdi::QdiConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = workloads::corpus(300, 5);
+    let log = workloads::query_log(&corpus, 64, false, 5);
+    let queries: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
+
+    let mut group = c.benchmark_group("qdi_adaptivity");
+    group.sample_size(10);
+    group.bench_function("stream_of_64_queries", |b| {
+        b.iter(|| {
+            let mut net = workloads::indexed_network(
+                &corpus,
+                IndexingStrategy::Qdi(QdiConfig {
+                    activation_threshold: 2,
+                    truncation_k: 20,
+                    ..Default::default()
+                }),
+                8,
+                5,
+            );
+            for (i, q) in queries.iter().enumerate() {
+                black_box(net.query(i % 8, q, 10).unwrap());
+            }
+            black_box(net.qdi_report().activations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E2: per-query retrieval bandwidth, single-term vs HDK vs QDI.
+use alvisp2p_bench::workloads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = workloads::corpus(400, 1);
+    let log = workloads::query_log(&corpus, 64, false, 1);
+    let queries: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
+
+    let mut group = c.benchmark_group("query_bandwidth");
+    group.sample_size(10);
+    for (label, strategy) in workloads::all_strategies() {
+        let mut net = workloads::indexed_network(&corpus, strategy, 16, 1);
+        let mut i = 0usize;
+        group.bench_function(format!("query/{label}"), |b| {
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(net.query(i % 16, q, 20).unwrap().bytes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

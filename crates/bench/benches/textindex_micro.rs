@@ -1,0 +1,40 @@
+//! Microbenchmarks of the local search-engine substrate: analysis, indexing, BM25.
+use alvisp2p_textindex::{Analyzer, Bm25Searcher, CorpusConfig, CorpusGenerator, DocId, InvertedIndex};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus = CorpusGenerator::new(CorpusConfig { num_docs: 500, ..CorpusConfig::tiny() }, 1).generate();
+    let analyzer = Analyzer::default();
+    let text: String = corpus.docs[0].body.clone();
+
+    let mut group = c.benchmark_group("textindex_micro");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("analyze_document", |b| {
+        b.iter(|| black_box(analyzer.analyze(black_box(&text))))
+    });
+    group.bench_function("index_500_documents", |b| {
+        b.iter(|| {
+            let mut idx = InvertedIndex::default();
+            for (i, d) in corpus.docs.iter().enumerate() {
+                idx.index_text(DocId::new(0, i as u32), &d.body);
+            }
+            black_box(idx.vocabulary_size())
+        })
+    });
+    let mut idx = InvertedIndex::default();
+    for (i, d) in corpus.docs.iter().enumerate() {
+        idx.index_text(DocId::new(0, i as u32), &d.body);
+    }
+    let query = analyzer.analyze_query(&format!(
+        "{} {}",
+        corpus.vocabulary[20], corpus.vocabulary[40]
+    ));
+    group.bench_function("bm25_top10_search", |b| {
+        b.iter(|| black_box(Bm25Searcher::new(&idx).search(black_box(&query), 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

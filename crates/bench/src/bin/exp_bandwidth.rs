@@ -1,0 +1,13 @@
+//! E2 — retrieval bandwidth: single-term baseline vs HDK vs QDI. See `EXPERIMENTS.md`.
+use alvisp2p_bench::{exp_bandwidth, quick_mode, table};
+
+fn main() {
+    let params = if quick_mode() {
+        exp_bandwidth::BandwidthParams::quick()
+    } else {
+        exp_bandwidth::BandwidthParams::default()
+    };
+    let rows = exp_bandwidth::run(&params);
+    exp_bandwidth::print(&params, &rows);
+    table::maybe_print_json(&rows);
+}

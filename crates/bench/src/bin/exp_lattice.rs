@@ -1,0 +1,16 @@
+//! E1 — Figure 1: query-lattice processing. See `EXPERIMENTS.md`.
+use alvisp2p_bench::{exp_lattice, table};
+
+fn main() {
+    let params = exp_lattice::LatticeParams::default();
+    let rows = exp_lattice::run(&params);
+    exp_lattice::print(&rows);
+    // Also show the ablation without pruning below truncated keys.
+    let rows_no_prune = exp_lattice::run(&exp_lattice::LatticeParams {
+        prune_below_truncated: false,
+        ..exp_lattice::LatticeParams::default()
+    });
+    println!("(ablation: same query without pruning below truncated keys)");
+    exp_lattice::print(&rows_no_prune);
+    table::maybe_print_json(&rows);
+}

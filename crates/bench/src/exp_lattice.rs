@@ -1,0 +1,163 @@
+//! **E1 — Figure 1: query-lattice processing.**
+//!
+//! Reproduces the paper's Figure 1 exactly: the query `{a, b, c}` is processed against
+//! a global index in which the key `bc` is indexed with a *truncated* posting list and
+//! the single terms are indexed too. The experiment prints, for every node of the
+//! query lattice, whether it was probed, found (truncated or complete), missing or
+//! skipped — the expected output is the probed/skipped pattern of the figure
+//! (`abc, ab, ac, bc, a` probed; `b, c` skipped; result = union of `bc` and `a`).
+
+use alvisp2p_core::global_index::GlobalIndex;
+use alvisp2p_core::key::TermKey;
+use alvisp2p_core::lattice::{explore_lattice, LatticeConfig, NodeOutcome};
+use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_dht::DhtConfig;
+use alvisp2p_textindex::DocId;
+use serde::Serialize;
+
+use crate::table::Table;
+
+/// One row of the E1 output: a lattice node and what happened to it.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatticeRow {
+    /// The lattice node (canonical key form).
+    pub key: String,
+    /// Outcome label: "found (truncated)", "found (complete)", "missing", "skipped".
+    pub outcome: String,
+    /// Whether this key's posting list contributes to the final result union.
+    pub in_result: bool,
+}
+
+/// Parameters of the Figure 1 scenario.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatticeParams {
+    /// Number of peers in the overlay.
+    pub peers: usize,
+    /// How many documents match the key `bc` (more than `capacity`, so it truncates).
+    pub bc_matches: u32,
+    /// Posting-list capacity (the truncation bound).
+    pub capacity: usize,
+    /// Whether the lattice below truncated keys is pruned (the Figure 1 approximation).
+    pub prune_below_truncated: bool,
+}
+
+impl Default for LatticeParams {
+    fn default() -> Self {
+        LatticeParams {
+            peers: 16,
+            bc_matches: 12,
+            capacity: 5,
+            prune_below_truncated: true,
+        }
+    }
+}
+
+/// Builds the Figure 1 index and runs the query `{a, b, c}` through the lattice.
+pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
+    let mut index = GlobalIndex::new(DhtConfig::default(), 1, params.peers);
+
+    let list = |n: u32, offset: u32| {
+        TruncatedPostingList::from_refs(
+            (0..n).map(|i| ScoredRef {
+                doc: DocId::new(0, offset + i),
+                score: f64::from(n - i),
+            }),
+            params.capacity,
+        )
+    };
+    // bc: more matches than the capacity → truncated.
+    index
+        .publish_postings(0, &TermKey::new(["b", "c"]), &list(params.bc_matches, 100), params.capacity)
+        .unwrap();
+    // The single-term index always exists.
+    index
+        .publish_postings(0, &TermKey::single("a"), &list(3, 0), params.capacity)
+        .unwrap();
+    index
+        .publish_postings(0, &TermKey::single("b"), &list(4, 200), params.capacity)
+        .unwrap();
+    index
+        .publish_postings(0, &TermKey::single("c"), &list(4, 300), params.capacity)
+        .unwrap();
+
+    let config = LatticeConfig {
+        prune_below_truncated: params.prune_below_truncated,
+        ..Default::default()
+    };
+    let query = TermKey::new(["a", "b", "c"]);
+    let result = explore_lattice(&query, &config, |k| index.probe(1, k, 1, params.capacity))
+        .expect("exploration succeeds");
+
+    let retrieved: Vec<String> = result.retrieved.iter().map(|(k, _)| k.canonical()).collect();
+    result
+        .trace
+        .nodes
+        .iter()
+        .map(|(key, outcome)| LatticeRow {
+            key: key.canonical(),
+            outcome: match outcome {
+                NodeOutcome::Found { truncated: true } => "found (truncated)".to_string(),
+                NodeOutcome::Found { truncated: false } => "found (complete)".to_string(),
+                NodeOutcome::Missing => "missing".to_string(),
+                NodeOutcome::Skipped => "skipped".to_string(),
+                NodeOutcome::TooLong => "not probed (too long)".to_string(),
+            },
+            in_result: retrieved.contains(&key.canonical()),
+        })
+        .collect()
+}
+
+/// Prints the E1 table.
+pub fn print(rows: &[LatticeRow]) {
+    let mut t = Table::new(
+        "E1 / Figure 1: processing of the query {a,b,c} with key bc indexed (truncated)",
+        &["lattice node", "outcome", "in result union"],
+    );
+    for r in rows {
+        t.row(&[r.key.clone(), r.outcome.clone(), if r.in_result { "yes" } else { "" }.to_string()]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure_1_pattern() {
+        let rows = run(&LatticeParams::default());
+        assert_eq!(rows.len(), 7);
+        let outcome_of = |key: &str| {
+            rows.iter()
+                .find(|r| r.key == key)
+                .map(|r| r.outcome.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(outcome_of("a+b+c"), "missing");
+        assert_eq!(outcome_of("a+b"), "missing");
+        assert_eq!(outcome_of("a+c"), "missing");
+        assert_eq!(outcome_of("b+c"), "found (truncated)");
+        assert_eq!(outcome_of("a"), "found (complete)");
+        assert_eq!(outcome_of("b"), "skipped");
+        assert_eq!(outcome_of("c"), "skipped");
+        // The result union comes from bc and a, exactly as in the paper.
+        let in_result: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.in_result)
+            .map(|r| r.key.as_str())
+            .collect();
+        assert_eq!(in_result, vec!["b+c", "a"]);
+    }
+
+    #[test]
+    fn without_pruning_the_singles_are_probed() {
+        let rows = run(&LatticeParams {
+            prune_below_truncated: false,
+            ..Default::default()
+        });
+        let skipped = rows.iter().filter(|r| r.outcome == "skipped").count();
+        assert_eq!(skipped, 0);
+        let found = rows.iter().filter(|r| r.outcome.starts_with("found")).count();
+        assert_eq!(found, 4); // bc, a, b, c
+    }
+}

@@ -1,0 +1,217 @@
+//! **E4 — Retrieval quality vs the centralized reference.**
+//!
+//! The paper claims (§1, §6) that retrieval quality "remains comparable to
+//! state-of-the-art centralized search engines" despite truncated posting lists and
+//! pruned lattice exploration. This experiment runs the same query workload against a
+//! centralized BM25 engine (the reference), the single-term full-list baseline and the
+//! two AlvisP2P strategies, and reports precision@10, recall@10 and overlap@20 with
+//! the reference ranking, sweeping the truncation bound.
+
+use alvisp2p_core::hdk::HdkConfig;
+use alvisp2p_core::network::IndexingStrategy;
+use alvisp2p_core::qdi::QdiConfig;
+use alvisp2p_core::stats::QualityAccumulator;
+use serde::Serialize;
+
+use crate::table::{fmt_f, Table};
+use crate::workloads::{self, DEFAULT_SEED};
+
+/// One row of the E4 output.
+#[derive(Clone, Debug, Serialize)]
+pub struct QualityRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Posting-list truncation bound.
+    pub truncation_k: usize,
+    /// Mean precision@10 (reference top-10 treated as relevant).
+    pub precision_at_10: f64,
+    /// Mean recall@10.
+    pub recall_at_10: f64,
+    /// Mean overlap@20 with the reference ranking.
+    pub overlap_at_20: f64,
+    /// Number of evaluated queries.
+    pub queries: usize,
+}
+
+/// Parameters of the quality experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct QualityParams {
+    /// Number of documents in the collection.
+    pub docs: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Number of evaluated queries.
+    pub queries: usize,
+    /// Truncation bounds to sweep for HDK.
+    pub truncation_sweep: Vec<usize>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for QualityParams {
+    fn default() -> Self {
+        QualityParams {
+            docs: 2_000,
+            peers: 32,
+            queries: 200,
+            truncation_sweep: vec![10, 25, 50, 100, 200],
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl QualityParams {
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        QualityParams {
+            docs: 250,
+            peers: 8,
+            queries: 40,
+            truncation_sweep: vec![10, 50],
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Evaluates one strategy on the workload and returns its quality row.
+pub fn evaluate(
+    corpus: &alvisp2p_textindex::SyntheticCorpus,
+    queries: &[String],
+    strategy: IndexingStrategy,
+    label: &str,
+    truncation_k: usize,
+    peers: usize,
+    seed: u64,
+) -> QualityRow {
+    let mut net = workloads::indexed_network(corpus, strategy.clone(), peers, seed);
+    // QDI warms up on the same stream before evaluation (its whole point is adapting
+    // to the query distribution).
+    if matches!(strategy, IndexingStrategy::Qdi(_)) {
+        for (i, q) in queries.iter().enumerate() {
+            let _ = net.query(i % peers, q, 20);
+        }
+    }
+    let mut acc10 = QualityAccumulator::new();
+    let mut acc20 = QualityAccumulator::new();
+    for (i, q) in queries.iter().enumerate() {
+        let outcome = net.query(i % peers, q, 20).expect("query succeeds");
+        let reference = net.reference_search(q, 20);
+        acc10.add(&outcome.results, &reference, 10);
+        acc20.add(&outcome.results, &reference, 20);
+    }
+    let s10 = acc10.summary();
+    let s20 = acc20.summary();
+    QualityRow {
+        strategy: label.to_string(),
+        truncation_k,
+        precision_at_10: s10.mean_precision,
+        recall_at_10: s10.mean_recall,
+        overlap_at_20: s20.mean_overlap,
+        queries: s10.queries,
+    }
+}
+
+/// Runs the full E4 sweep.
+pub fn run(params: &QualityParams) -> Vec<QualityRow> {
+    let corpus = workloads::corpus(params.docs, params.seed);
+    let log = workloads::query_log(&corpus, params.queries, false, params.seed);
+    let queries: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
+
+    let mut rows = Vec::new();
+    // The untruncated single-term baseline (quality upper bound among P2P systems).
+    rows.push(evaluate(
+        &corpus,
+        &queries,
+        IndexingStrategy::SingleTermFull,
+        "single-term (full lists)",
+        usize::MAX / 4,
+        params.peers,
+        params.seed,
+    ));
+    // HDK across the truncation sweep.
+    for &k in &params.truncation_sweep {
+        let config = HdkConfig {
+            truncation_k: k,
+            df_max: k,
+            ..workloads::default_hdk()
+        };
+        rows.push(evaluate(
+            &corpus,
+            &queries,
+            IndexingStrategy::Hdk(config),
+            "hdk",
+            k,
+            params.peers,
+            params.seed,
+        ));
+    }
+    // QDI at the default truncation bound.
+    let qdi = QdiConfig {
+        truncation_k: *params.truncation_sweep.last().unwrap_or(&100),
+        ..workloads::default_qdi()
+    };
+    let qdi_k = qdi.truncation_k;
+    rows.push(evaluate(
+        &corpus,
+        &queries,
+        IndexingStrategy::Qdi(qdi),
+        "qdi (warmed)",
+        qdi_k,
+        params.peers,
+        params.seed,
+    ));
+    rows
+}
+
+/// Prints the E4 table.
+pub fn print(rows: &[QualityRow]) {
+    let mut t = Table::new(
+        "E4: retrieval quality vs centralized BM25 reference",
+        &["strategy", "truncation k", "P@10", "recall@10", "overlap@20", "queries"],
+    );
+    for r in rows {
+        t.row(&[
+            r.strategy.clone(),
+            if r.truncation_k > 1_000_000 { "unbounded".to_string() } else { r.truncation_k.to_string() },
+            fmt_f(r.precision_at_10, 3),
+            fmt_f(r.recall_at_10, 3),
+            fmt_f(r.overlap_at_20, 3),
+            r.queries.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_reference_and_hdk_improves_with_larger_k() {
+        let params = QualityParams {
+            docs: 200,
+            peers: 8,
+            queries: 25,
+            truncation_sweep: vec![5, 60],
+            seed: 9,
+        };
+        let rows = run(&params);
+        let baseline = rows.iter().find(|r| r.strategy.starts_with("single-term")).unwrap();
+        // Untruncated single-term retrieval reproduces the reference ranking almost
+        // exactly (same scoring model, complete lists).
+        assert!(baseline.precision_at_10 > 0.95, "baseline P@10 {}", baseline.precision_at_10);
+        let hdk_small = rows.iter().find(|r| r.strategy == "hdk" && r.truncation_k == 5).unwrap();
+        let hdk_large = rows.iter().find(|r| r.strategy == "hdk" && r.truncation_k == 60).unwrap();
+        assert!(
+            hdk_large.precision_at_10 >= hdk_small.precision_at_10,
+            "P@10 should not degrade with larger truncation ({} vs {})",
+            hdk_large.precision_at_10,
+            hdk_small.precision_at_10
+        );
+        // With a generous truncation bound the quality is close to the reference.
+        assert!(hdk_large.precision_at_10 > 0.8, "hdk P@10 {}", hdk_large.precision_at_10);
+        // QDI row exists and evaluated all queries.
+        let qdi = rows.iter().find(|r| r.strategy.starts_with("qdi")).unwrap();
+        assert_eq!(qdi.queries, 25);
+    }
+}

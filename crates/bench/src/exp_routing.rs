@@ -1,0 +1,200 @@
+//! **E5 — O(log n) routing under arbitrary identifier skew.**
+//!
+//! The paper's layer-2 claim (§3): peers build routing tables of size O(log n), a
+//! lookup takes an expected O(log n) hops, and — thanks to the "hop space"
+//! construction — this holds for *arbitrary skews* in the peer identifier
+//! distribution. The experiment sweeps the network size and the skew of the peer
+//! placement, and compares the hop-space routing tables against identifier-space
+//! (Chord-style, equal table size) tables. Expected shape: hop-space hop counts grow
+//! with log₂(n) and are unaffected by skew; the identifier-space baseline degrades as
+//! the skew grows.
+
+use alvisp2p_core::stats::{mean, percentile};
+use alvisp2p_dht::{Dht, DhtConfig, RingId, RoutingStrategy};
+use alvisp2p_netsim::{PowerLaw, SimRng};
+use serde::Serialize;
+
+use crate::table::{fmt_f, Table};
+use crate::workloads::DEFAULT_SEED;
+
+/// One row of the E5 output.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoutingRow {
+    /// Number of peers.
+    pub peers: usize,
+    /// Skew parameter of the peer placement (1 = uniform).
+    pub skew: f64,
+    /// Routing strategy label.
+    pub strategy: String,
+    /// Mean lookup hops.
+    pub mean_hops: f64,
+    /// 99th-percentile lookup hops.
+    pub p99_hops: f64,
+    /// Maximum observed hops.
+    pub max_hops: usize,
+    /// Mean routing-table size (distinct entries per peer).
+    pub table_size: f64,
+    /// log2 of the network size, for reference.
+    pub log2_n: f64,
+}
+
+/// Parameters of the routing experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoutingParams {
+    /// Network sizes to sweep.
+    pub peer_sweep: Vec<usize>,
+    /// Skew parameters to sweep (1 = uniform placement; larger = peers concentrated
+    /// in a small region of the identifier space, as happens with load-adaptive
+    /// peer placement under skewed key distributions).
+    pub skew_sweep: Vec<f64>,
+    /// Lookups per configuration.
+    pub lookups: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RoutingParams {
+    fn default() -> Self {
+        RoutingParams {
+            peer_sweep: vec![16, 64, 256, 1_024, 4_096],
+            skew_sweep: vec![1.0, 16.0, 64.0, 256.0],
+            lookups: 2_000,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl RoutingParams {
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        RoutingParams {
+            peer_sweep: vec![16, 128],
+            skew_sweep: vec![1.0, 64.0],
+            lookups: 300,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Measures one `(peers, skew, strategy)` configuration.
+///
+/// Peers are placed at the sampled quantiles of a bounded power law (skew = 1 is
+/// uniform); lookup keys are drawn from the *same* distribution, modelling the
+/// load-balanced-placement scenario in which peers position themselves where the keys
+/// are dense.
+pub fn measure(peers: usize, skew: f64, strategy: RoutingStrategy, lookups: usize, seed: u64) -> RoutingRow {
+    let mut rng = SimRng::new(seed).derive(peers as u64 ^ (skew.to_bits()));
+    let placement = PowerLaw::new(skew.max(1.0));
+    let config = DhtConfig {
+        strategy,
+        ..Default::default()
+    };
+    let mut dht: Dht<Vec<u8>> = Dht::new(config, seed);
+    let mut added = 0usize;
+    while added < peers {
+        let id = RingId::from_fraction(placement.sample(&mut rng));
+        if dht.add_peer_with_id(id).is_some() {
+            added += 1;
+        }
+    }
+    dht.rebuild_routing_tables();
+
+    let mut hops: Vec<f64> = Vec::with_capacity(lookups);
+    let mut max_hops = 0usize;
+    for i in 0..lookups {
+        let key = RingId::from_fraction(placement.sample(&mut rng));
+        let from = (i * 2654435761) % peers;
+        let h = dht.probe_hops(from, key).expect("lookup succeeds");
+        max_hops = max_hops.max(h);
+        hops.push(h as f64);
+    }
+    let table_sizes: Vec<f64> = (0..peers).map(|i| dht.peer(i).table.size() as f64).collect();
+    RoutingRow {
+        peers,
+        skew,
+        strategy: strategy.label().to_string(),
+        mean_hops: mean(&hops),
+        p99_hops: percentile(&hops, 99.0),
+        max_hops,
+        table_size: mean(&table_sizes),
+        log2_n: (peers as f64).log2(),
+    }
+}
+
+/// Runs the full E5 sweep.
+pub fn run(params: &RoutingParams) -> Vec<RoutingRow> {
+    let mut rows = Vec::new();
+    for &peers in &params.peer_sweep {
+        for &skew in &params.skew_sweep {
+            for strategy in [RoutingStrategy::HopSpace, RoutingStrategy::Finger] {
+                rows.push(measure(peers, skew, strategy, params.lookups, params.seed));
+            }
+        }
+    }
+    rows
+}
+
+/// Prints the E5 table.
+pub fn print(rows: &[RoutingRow]) {
+    let mut t = Table::new(
+        "E5: lookup hops vs network size and identifier skew",
+        &["peers", "log2(n)", "skew", "strategy", "mean hops", "p99 hops", "max", "table size"],
+    );
+    for r in rows {
+        t.row(&[
+            r.peers.to_string(),
+            fmt_f(r.log2_n, 1),
+            fmt_f(r.skew, 0),
+            r.strategy.clone(),
+            fmt_f(r.mean_hops, 2),
+            fmt_f(r.p99_hops, 1),
+            r.max_hops.to_string(),
+            fmt_f(r.table_size, 1),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_space_hops_are_logarithmic_and_skew_invariant() {
+        let uniform = measure(256, 1.0, RoutingStrategy::HopSpace, 400, 1);
+        let skewed = measure(256, 64.0, RoutingStrategy::HopSpace, 400, 1);
+        assert!(uniform.mean_hops <= uniform.log2_n, "{uniform:?}");
+        assert!(uniform.max_hops <= 10);
+        // Hop-space routing is essentially unaffected by skew.
+        assert!(
+            (uniform.mean_hops - skewed.mean_hops).abs() < 0.5,
+            "uniform {} vs skewed {}",
+            uniform.mean_hops,
+            skewed.mean_hops
+        );
+        // Routing tables stay logarithmic.
+        assert!(uniform.table_size <= uniform.log2_n + 5.0);
+    }
+
+    #[test]
+    fn identifier_space_baseline_degrades_under_strong_skew() {
+        let hop_space = measure(512, 128.0, RoutingStrategy::HopSpace, 500, 2);
+        let finger = measure(512, 128.0, RoutingStrategy::Finger, 500, 2);
+        assert!(
+            finger.mean_hops > hop_space.mean_hops,
+            "finger {} should exceed hop-space {} under skew",
+            finger.mean_hops,
+            hop_space.mean_hops
+        );
+        assert!(finger.max_hops >= hop_space.max_hops);
+    }
+
+    #[test]
+    fn hops_grow_logarithmically_with_network_size() {
+        let small = measure(64, 1.0, RoutingStrategy::HopSpace, 300, 3);
+        let large = measure(1024, 1.0, RoutingStrategy::HopSpace, 300, 3);
+        // 16x more peers → hops grow by roughly log2(16)/2 = 2, certainly not 16x.
+        assert!(large.mean_hops > small.mean_hops);
+        assert!(large.mean_hops < small.mean_hops + 4.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! **E3 — Index size and storage scalability of HDK.**
+//!
+//! The paper claims (§1) that "the number of indexing term combinations remains
+//! scalable and the transmitted posting lists never exceed a constant size". This
+//! experiment builds the HDK index for growing collections and reports the number of
+//! keys per level, the total stored postings, the storage bytes and the per-document
+//! storage cost; a second sweep varies `df_max`, and an ablation switches the
+//! proximity-window filter off to show how it contains the combinatorial explosion of
+//! candidate keys.
+
+use alvisp2p_core::hdk::HdkConfig;
+use alvisp2p_core::network::IndexingStrategy;
+use alvisp2p_core::stats::imbalance;
+use serde::Serialize;
+
+use crate::table::{fmt_bytes, fmt_f, Table};
+use crate::workloads::{self, DEFAULT_SEED};
+
+/// One row of the E3 output.
+#[derive(Clone, Debug, Serialize)]
+pub struct StorageRow {
+    /// Number of documents.
+    pub docs: usize,
+    /// `df_max` used.
+    pub df_max: usize,
+    /// Whether the proximity filter was active.
+    pub proximity_filter: bool,
+    /// Activated keys per level (level 1, 2, 3).
+    pub keys_per_level: Vec<usize>,
+    /// Total activated keys.
+    pub total_keys: usize,
+    /// Total stored posting references.
+    pub total_postings: usize,
+    /// Total storage bytes of the global index.
+    pub storage_bytes: usize,
+    /// Storage bytes divided by the number of documents.
+    pub bytes_per_doc: f64,
+    /// Keys divided by the number of documents.
+    pub keys_per_doc: f64,
+    /// Load imbalance of per-peer key counts (max / mean).
+    pub load_imbalance: f64,
+    /// Indexing traffic in bytes.
+    pub indexing_bytes: u64,
+}
+
+/// Parameters of the storage experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct StorageParams {
+    /// Collection sizes to sweep.
+    pub doc_sweep: Vec<usize>,
+    /// `df_max` values to sweep at the largest collection size.
+    pub df_max_sweep: Vec<usize>,
+    /// Number of peers.
+    pub peers: usize,
+    /// Whether to include the proximity-filter ablation.
+    pub ablation: bool,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for StorageParams {
+    fn default() -> Self {
+        StorageParams {
+            doc_sweep: vec![500, 1_000, 2_000, 4_000, 8_000],
+            df_max_sweep: vec![25, 50, 100, 200, 400],
+            peers: 64,
+            ablation: true,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl StorageParams {
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        StorageParams {
+            doc_sweep: vec![150, 300],
+            df_max_sweep: vec![20, 50],
+            peers: 16,
+            ablation: true,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Builds one HDK index and summarises its size.
+pub fn build_one(docs: usize, peers: usize, config: HdkConfig, seed: u64) -> StorageRow {
+    let corpus = workloads::corpus(docs, seed);
+    let df_max = config.df_max;
+    let proximity_filter = config.use_proximity_filter;
+    let net = workloads::indexed_network(
+        &corpus,
+        IndexingStrategy::Hdk(config),
+        peers,
+        seed,
+    );
+    let report = net.last_build_report().cloned().unwrap_or_default();
+    let levels = net.hdk_level_reports();
+    let max_level = levels.iter().map(|l| l.level).max().unwrap_or(1);
+    let mut keys_per_level = vec![0usize; max_level];
+    for e in net.global_index().entries() {
+        if e.activated && e.key.len() <= max_level {
+            keys_per_level[e.key.len() - 1] += 1;
+        }
+    }
+    let load: Vec<f64> = net
+        .index_load_distribution()
+        .iter()
+        .map(|(k, _)| *k as f64)
+        .collect();
+    StorageRow {
+        docs,
+        df_max,
+        proximity_filter,
+        total_keys: net.global_index().activated_keys(),
+        total_postings: net.global_index().total_postings(),
+        storage_bytes: net.global_index().total_storage_bytes(),
+        bytes_per_doc: net.global_index().total_storage_bytes() as f64 / docs as f64,
+        keys_per_doc: net.global_index().activated_keys() as f64 / docs as f64,
+        load_imbalance: imbalance(&load),
+        indexing_bytes: report.indexing_bytes,
+        keys_per_level,
+    }
+}
+
+/// Runs the full E3 sweep.
+pub fn run(params: &StorageParams) -> Vec<StorageRow> {
+    let mut rows = Vec::new();
+    let base = workloads::default_hdk();
+    for &docs in &params.doc_sweep {
+        rows.push(build_one(docs, params.peers, base.clone(), params.seed));
+    }
+    let largest = params.doc_sweep.last().copied().unwrap_or(1_000);
+    for &df_max in &params.df_max_sweep {
+        if df_max != base.df_max {
+            rows.push(build_one(
+                largest,
+                params.peers,
+                HdkConfig { df_max, truncation_k: df_max, ..base.clone() },
+                params.seed,
+            ));
+        }
+    }
+    if params.ablation {
+        // Proximity-filter ablation at a moderate collection size (the unfiltered
+        // candidate set grows quickly, which is exactly the point).
+        let docs = params.doc_sweep[params.doc_sweep.len() / 2];
+        rows.push(build_one(
+            docs,
+            params.peers,
+            HdkConfig { use_proximity_filter: false, ..base.clone() },
+            params.seed,
+        ));
+    }
+    rows
+}
+
+/// Prints the E3 tables.
+pub fn print(params: &StorageParams, rows: &[StorageRow]) {
+    let base_df = workloads::default_hdk().df_max;
+    let mut t = Table::new(
+        "E3a: HDK index size vs collection size",
+        &["docs", "keys L1", "keys L2", "keys L3", "total keys", "postings", "storage", "keys/doc", "imbalance"],
+    );
+    for r in rows.iter().filter(|r| r.df_max == base_df && r.proximity_filter) {
+        let l = |i: usize| r.keys_per_level.get(i).copied().unwrap_or(0).to_string();
+        t.row(&[
+            r.docs.to_string(),
+            l(0),
+            l(1),
+            l(2),
+            r.total_keys.to_string(),
+            r.total_postings.to_string(),
+            fmt_bytes(r.storage_bytes as u64),
+            fmt_f(r.keys_per_doc, 2),
+            fmt_f(r.load_imbalance, 2),
+        ]);
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "E3b: HDK index size vs df_max (largest collection)",
+        &["df_max", "total keys", "postings", "storage", "indexing bytes"],
+    );
+    let largest = params.doc_sweep.last().copied().unwrap_or(0);
+    for r in rows.iter().filter(|r| r.docs == largest && r.proximity_filter) {
+        t2.row(&[
+            r.df_max.to_string(),
+            r.total_keys.to_string(),
+            r.total_postings.to_string(),
+            fmt_bytes(r.storage_bytes as u64),
+            fmt_bytes(r.indexing_bytes),
+        ]);
+    }
+    t2.print();
+
+    if params.ablation {
+        let mut t3 = Table::new(
+            "E3c: proximity-window filter ablation",
+            &["docs", "proximity filter", "total keys", "postings", "storage"],
+        );
+        for r in rows.iter().filter(|r| !r.proximity_filter || r.docs == params.doc_sweep[params.doc_sweep.len() / 2]) {
+            if r.df_max != base_df {
+                continue;
+            }
+            t3.row(&[
+                r.docs.to_string(),
+                if r.proximity_filter { "on" } else { "off" }.to_string(),
+                r.total_keys.to_string(),
+                r.total_postings.to_string(),
+                fmt_bytes(r.storage_bytes as u64),
+            ]);
+        }
+        t3.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_grows_with_the_collection_and_stays_distributed() {
+        let small = build_one(120, 8, HdkConfig { df_max: 20, truncation_k: 20, ..Default::default() }, 5);
+        let large = build_one(360, 8, HdkConfig { df_max: 20, truncation_k: 20, ..Default::default() }, 5);
+        assert!(large.total_keys > small.total_keys);
+        assert!(large.total_postings > small.total_postings);
+        assert!(large.storage_bytes > small.storage_bytes);
+        // Level-1 (single-term) keys exist and grow with the vocabulary.
+        assert!(small.keys_per_level[0] > 0);
+        assert!(large.keys_per_level[0] > small.keys_per_level[0]);
+        // The per-key storage stays bounded by the truncation: postings per key never
+        // exceed the configured bound on average.
+        assert!(large.total_postings as f64 / large.total_keys as f64 <= 20.0 + 1e-9);
+        // The index is spread over the peers rather than concentrated on one.
+        assert!(small.load_imbalance < 8.0);
+        assert!(large.load_imbalance < 8.0);
+    }
+
+    #[test]
+    fn smaller_df_max_creates_more_multi_term_keys() {
+        let strict = build_one(240, 8, HdkConfig { df_max: 5, truncation_k: 5, ..Default::default() }, 6);
+        let loose = build_one(240, 8, HdkConfig { df_max: 60, truncation_k: 60, ..Default::default() }, 6);
+        let multi = |r: &StorageRow| r.keys_per_level.iter().skip(1).sum::<usize>();
+        assert!(
+            multi(&strict) > multi(&loose),
+            "strict {} vs loose {}",
+            multi(&strict),
+            multi(&loose)
+        );
+    }
+
+    #[test]
+    fn proximity_filter_contains_the_candidate_explosion() {
+        let with = build_one(240, 8, HdkConfig { df_max: 10, truncation_k: 10, ..Default::default() }, 7);
+        let without = build_one(
+            240,
+            8,
+            HdkConfig { df_max: 10, truncation_k: 10, use_proximity_filter: false, ..Default::default() },
+            7,
+        );
+        assert!(
+            without.total_keys > with.total_keys,
+            "without filter {} vs with {}",
+            without.total_keys,
+            with.total_keys
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! **E8 — Posting-list truncation bounds the transferred volume.**
+//!
+//! §1 of the paper: "the transmitted posting lists never exceed a constant size", and
+//! the retrieval quality loss caused by the truncation is marginal. The experiment
+//! sweeps the truncation bound `k`, builds the HDK index at each setting and measures
+//! (a) the maximum and mean posting-list payload observed on the wire during
+//! retrieval and (b) the retrieval quality against the centralized reference — plus
+//! the lattice-pruning ablation (pruning below truncated keys on/off), which trades a
+//! few probes for a marginal quality change.
+
+use alvisp2p_core::hdk::HdkConfig;
+use alvisp2p_core::lattice::LatticeConfig;
+use alvisp2p_core::network::{AlvisNetwork, IndexingStrategy, NetworkConfig};
+use alvisp2p_core::stats::{mean, QualityAccumulator};
+use alvisp2p_dht::DhtConfig;
+use serde::Serialize;
+
+use crate::table::{fmt_bytes, fmt_f, Table};
+use crate::workloads::{self, DEFAULT_SEED};
+
+/// One row of the E8 output.
+#[derive(Clone, Debug, Serialize)]
+pub struct TruncationRow {
+    /// Truncation bound (maximum references per posting list).
+    pub truncation_k: usize,
+    /// Whether the lattice is pruned below truncated keys.
+    pub prune_below_truncated: bool,
+    /// Maximum posting-list payload (bytes) observed in any retrieved list.
+    pub max_list_bytes: usize,
+    /// Mean retrieval bytes per query.
+    pub mean_query_bytes: f64,
+    /// Mean probes per query.
+    pub mean_probes: f64,
+    /// Mean precision@10 against the centralized reference.
+    pub precision_at_10: f64,
+    /// Mean overlap@10 with the reference ranking.
+    pub overlap_at_10: f64,
+}
+
+/// Parameters of the truncation experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct TruncationParams {
+    /// Number of documents.
+    pub docs: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Number of evaluated queries.
+    pub queries: usize,
+    /// Truncation bounds to sweep.
+    pub k_sweep: Vec<usize>,
+    /// Whether to include the lattice-pruning ablation (run at the middle k).
+    pub pruning_ablation: bool,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TruncationParams {
+    fn default() -> Self {
+        TruncationParams {
+            docs: 2_000,
+            peers: 32,
+            queries: 150,
+            k_sweep: vec![10, 25, 50, 100, 200, 500],
+            pruning_ablation: true,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl TruncationParams {
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        TruncationParams {
+            docs: 250,
+            peers: 8,
+            queries: 30,
+            k_sweep: vec![10, 50],
+            pruning_ablation: true,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Measures one `(truncation k, pruning)` configuration.
+pub fn measure(
+    corpus: &alvisp2p_textindex::SyntheticCorpus,
+    queries: &[String],
+    truncation_k: usize,
+    prune: bool,
+    peers: usize,
+    seed: u64,
+) -> TruncationRow {
+    let hdk = HdkConfig {
+        truncation_k,
+        df_max: truncation_k,
+        ..workloads::default_hdk()
+    };
+    let mut net = AlvisNetwork::new(NetworkConfig {
+        peers,
+        dht: DhtConfig::default(),
+        strategy: IndexingStrategy::Hdk(hdk),
+        lattice: LatticeConfig {
+            prune_below_truncated: prune,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    });
+    net.distribute_corpus(corpus);
+    net.build_index();
+
+    // The largest possible on-the-wire posting list is bounded by the capacity.
+    let max_list_bytes = net
+        .global_index()
+        .entries()
+        .filter(|e| e.activated)
+        .map(|e| e.postings.refs().len() * 12 + 16)
+        .max()
+        .unwrap_or(0);
+
+    let mut bytes = Vec::new();
+    let mut probes = Vec::new();
+    let mut acc = QualityAccumulator::new();
+    for (i, q) in queries.iter().enumerate() {
+        let outcome = net.query(i % peers, q, 10).expect("query succeeds");
+        bytes.push(outcome.bytes as f64);
+        probes.push(outcome.trace.probes as f64);
+        let reference = net.reference_search(q, 10);
+        acc.add(&outcome.results, &reference, 10);
+    }
+    let summary = acc.summary();
+    TruncationRow {
+        truncation_k,
+        prune_below_truncated: prune,
+        max_list_bytes,
+        mean_query_bytes: mean(&bytes),
+        mean_probes: mean(&probes),
+        precision_at_10: summary.mean_precision,
+        overlap_at_10: summary.mean_overlap,
+    }
+}
+
+/// Runs the full E8 sweep.
+pub fn run(params: &TruncationParams) -> Vec<TruncationRow> {
+    let corpus = workloads::corpus(params.docs, params.seed);
+    let log = workloads::query_log(&corpus, params.queries, false, params.seed);
+    let queries: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
+
+    let mut rows = Vec::new();
+    for &k in &params.k_sweep {
+        rows.push(measure(&corpus, &queries, k, true, params.peers, params.seed));
+    }
+    if params.pruning_ablation {
+        let mid_k = params.k_sweep[params.k_sweep.len() / 2];
+        rows.push(measure(&corpus, &queries, mid_k, false, params.peers, params.seed));
+    }
+    rows
+}
+
+/// Prints the E8 table.
+pub fn print(rows: &[TruncationRow]) {
+    let mut t = Table::new(
+        "E8: effect of the posting-list truncation bound (HDK)",
+        &["k", "lattice pruning", "max list bytes", "bytes/query", "probes/query", "P@10", "overlap@10"],
+    );
+    for r in rows {
+        t.row(&[
+            r.truncation_k.to_string(),
+            if r.prune_below_truncated { "on" } else { "off" }.to_string(),
+            fmt_bytes(r.max_list_bytes as u64),
+            fmt_bytes(r.mean_query_bytes as u64),
+            fmt_f(r.mean_probes, 1),
+            fmt_f(r.precision_at_10, 3),
+            fmt_f(r.overlap_at_10, 3),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transferred_lists_are_bounded_by_k_and_quality_improves_with_k() {
+        let params = TruncationParams {
+            docs: 200,
+            peers: 8,
+            queries: 20,
+            k_sweep: vec![5, 50],
+            pruning_ablation: false,
+            seed: 4,
+        };
+        let rows = run(&params);
+        let small = rows.iter().find(|r| r.truncation_k == 5).unwrap();
+        let large = rows.iter().find(|r| r.truncation_k == 50).unwrap();
+        // The on-the-wire list size is bounded by the truncation bound.
+        assert!(small.max_list_bytes <= 5 * 12 + 16);
+        assert!(large.max_list_bytes <= 50 * 12 + 16);
+        // Larger truncation bound → at least as good quality and more bytes.
+        assert!(large.overlap_at_10 >= small.overlap_at_10);
+        assert!(large.mean_query_bytes >= small.mean_query_bytes);
+    }
+
+    #[test]
+    fn disabling_lattice_pruning_probes_more() {
+        let corpus = workloads::corpus(200, 8);
+        let log = workloads::query_log(&corpus, 20, false, 8);
+        let queries: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
+        let pruned = measure(&corpus, &queries, 10, true, 8, 8);
+        let unpruned = measure(&corpus, &queries, 10, false, 8, 8);
+        assert!(
+            unpruned.mean_probes >= pruned.mean_probes,
+            "unpruned {} vs pruned {}",
+            unpruned.mean_probes,
+            pruned.mean_probes
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # alvisp2p-bench
+//!
+//! The experiment harness of the AlvisP2P reproduction. Every behavioural figure and
+//! quantitative claim of the paper maps to one experiment module (see `DESIGN.md` §4
+//! and `EXPERIMENTS.md` at the workspace root):
+//!
+//! | experiment | paper source | module | binary |
+//! |---|---|---|---|
+//! | E1 | Figure 1 (query-lattice processing) | [`exp_lattice`] | `exp_lattice` |
+//! | E2 | single-term retrieval traffic is unscalable; HDK/QDI bounded | [`exp_bandwidth`] | `exp_bandwidth` |
+//! | E3 | number of keys / storage remains scalable | [`exp_storage`] | `exp_storage` |
+//! | E4 | retrieval quality comparable to a centralized engine | [`exp_quality`] | `exp_quality` |
+//! | E5 | O(log n) routing under arbitrary identifier skew | [`exp_routing`] | `exp_routing` |
+//! | E6 | congestion control prevents congestion collapse | [`exp_congestion`] | `exp_congestion` |
+//! | E7 | QDI adapts the index to query popularity | [`exp_qdi`] | `exp_qdi_adaptivity` |
+//! | E8 | posting-list truncation bounds traffic with marginal quality loss | [`exp_truncation`] | `exp_truncation` |
+//!
+//! Each module exposes a `run(...)` function returning typed rows (so integration
+//! tests and Criterion benches reuse the same code) and a `print(...)` helper that
+//! renders the table the corresponding binary prints. All experiments are seeded and
+//! deterministic.
+//!
+//! Binaries honour the `ALVIS_QUICK=1` environment variable, which shrinks the sweeps
+//! to a fast smoke-test configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_bandwidth;
+pub mod exp_congestion;
+pub mod exp_lattice;
+pub mod exp_qdi;
+pub mod exp_quality;
+pub mod exp_routing;
+pub mod exp_storage;
+pub mod exp_truncation;
+pub mod table;
+pub mod workloads;
+
+/// Whether the quick (smoke-test) configuration was requested via `ALVIS_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("ALVIS_QUICK").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+}

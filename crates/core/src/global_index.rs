@@ -1,0 +1,531 @@
+//! The global distributed index.
+//!
+//! The global index maps [`TermKey`]s to [`TruncatedPostingList`]s and is physically
+//! scattered over all peers: the peer responsible (in DHT terms) for a key's ring
+//! identifier stores its posting list, merges the contributions published by the
+//! document-owning peers, and — for Query-Driven Indexing — maintains the usage
+//! statistics of the key (how often it was requested) that drive on-demand indexing
+//! and eviction.
+//!
+//! [`GlobalIndex`] wraps the [`Dht`] with typed, traffic-accounted operations; every
+//! byte that would cross the network in the deployed system is charged to the
+//! appropriate [`TrafficCategory`].
+
+use crate::key::TermKey;
+use crate::posting::TruncatedPostingList;
+use alvisp2p_dht::{Dht, DhtConfig, DhtError, RingId};
+use alvisp2p_netsim::{TrafficCategory, TrafficStats, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// Usage statistics of a key, maintained by its responsible peer.
+///
+/// These statistics implement the "decentralized monitoring of query statistics" of
+/// the Query-Driven approach: every probe for the key — whether or not the key is
+/// indexed — is observed by exactly the peer that would store it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyUsageStats {
+    /// Number of times the key was requested by some querying peer.
+    pub probes: u64,
+    /// Number of requests answered from an activated (indexed) posting list.
+    pub hits: u64,
+    /// Global query sequence number of the most recent probe (used for eviction).
+    pub last_probe: u64,
+}
+
+/// The entry stored in the DHT for one key.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KeyIndexEntry {
+    /// The key itself (kept alongside the hashed identifier for introspection).
+    pub key: TermKey,
+    /// The (truncated) posting list, meaningful only when `activated` is true.
+    pub postings: TruncatedPostingList,
+    /// Whether the key is actually indexed. Query-Driven Indexing creates entries with
+    /// `activated == false` purely to accumulate usage statistics.
+    pub activated: bool,
+    /// Usage statistics maintained by the responsible peer.
+    pub usage: KeyUsageStats,
+}
+
+impl KeyIndexEntry {
+    /// Creates a statistics-only (not yet activated) entry.
+    pub fn stats_only(key: TermKey, capacity: usize) -> Self {
+        KeyIndexEntry {
+            key,
+            postings: TruncatedPostingList::new(capacity),
+            activated: false,
+            usage: KeyUsageStats::default(),
+        }
+    }
+
+    /// Creates an activated entry with the given posting list.
+    pub fn activated(key: TermKey, postings: TruncatedPostingList) -> Self {
+        KeyIndexEntry {
+            key,
+            postings,
+            activated: true,
+            usage: KeyUsageStats::default(),
+        }
+    }
+}
+
+impl WireSize for KeyIndexEntry {
+    fn wire_size(&self) -> usize {
+        self.key.wire_size() + self.postings.wire_size() + 1 + 24
+    }
+}
+
+/// The result of probing the global index for a key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeResult {
+    /// The key that was probed.
+    pub key: TermKey,
+    /// The posting list, if the key is indexed.
+    pub postings: Option<TruncatedPostingList>,
+    /// Overlay hops the probe took.
+    pub hops: usize,
+    /// Index of the responsible peer that served the probe.
+    pub responsible: usize,
+}
+
+impl ProbeResult {
+    /// Whether the key was found in the global index.
+    pub fn found(&self) -> bool {
+        self.postings.is_some()
+    }
+}
+
+/// A typed, traffic-accounted view of the distributed index.
+pub struct GlobalIndex {
+    dht: Dht<KeyIndexEntry>,
+    /// Size in bytes of a probe request (key + originator address).
+    probe_request_bytes: usize,
+}
+
+impl GlobalIndex {
+    /// Creates a global index over a freshly built overlay of `n_peers` peers.
+    pub fn new(dht_config: DhtConfig, seed: u64, n_peers: usize) -> Self {
+        GlobalIndex {
+            dht: Dht::with_peers(dht_config, seed, n_peers),
+            probe_request_bytes: 48,
+        }
+    }
+
+    /// Wraps an existing overlay.
+    pub fn from_dht(dht: Dht<KeyIndexEntry>) -> Self {
+        GlobalIndex {
+            dht,
+            probe_request_bytes: 48,
+        }
+    }
+
+    /// The underlying overlay (read-only).
+    pub fn dht(&self) -> &Dht<KeyIndexEntry> {
+        &self.dht
+    }
+
+    /// The underlying overlay (mutable; used by churn experiments).
+    pub fn dht_mut(&mut self) -> &mut Dht<KeyIndexEntry> {
+        &mut self.dht
+    }
+
+    /// Number of live peers in the overlay.
+    pub fn peer_count(&self) -> usize {
+        self.dht.live_peers()
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &TrafficStats {
+        self.dht.stats()
+    }
+
+    /// Snapshot of the traffic statistics (for per-phase differencing).
+    pub fn stats_snapshot(&self) -> TrafficStats {
+        self.dht.stats_snapshot()
+    }
+
+    /// Resets the traffic statistics.
+    pub fn reset_stats(&mut self) {
+        self.dht.reset_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // Publication (indexing phase)
+    // ------------------------------------------------------------------
+
+    /// Publishes a delta posting list for `key` from peer `from`. The responsible peer
+    /// merges the delta into its stored entry (activating it). The delta's bytes plus
+    /// the routing messages are charged to [`TrafficCategory::Indexing`].
+    pub fn publish_postings(
+        &mut self,
+        from: usize,
+        key: &TermKey,
+        delta: &TruncatedPostingList,
+        capacity: usize,
+    ) -> Result<usize, DhtError> {
+        let ring_key = key.ring_id();
+        let request_bytes = key.wire_size() + delta.wire_size();
+        let key_clone = key.clone();
+        let delta_clone = delta.clone();
+        let info = self.dht.update(
+            from,
+            ring_key,
+            request_bytes,
+            TrafficCategory::Indexing,
+            move |slot| {
+                let entry = slot.get_or_insert_with(|| KeyIndexEntry::stats_only(key_clone, capacity));
+                entry.postings.merge(&delta_clone);
+                entry.activated = true;
+            },
+        )?;
+        Ok(info.hops)
+    }
+
+    /// Stores a complete, already-merged posting list for `key` (used by the
+    /// Query-Driven on-demand indexing step once the responsible peer has acquired the
+    /// list). Charged to [`TrafficCategory::Indexing`].
+    pub fn store_acquired(
+        &mut self,
+        responsible: usize,
+        key: &TermKey,
+        postings: TruncatedPostingList,
+    ) {
+        // The acquired list is stored locally at the responsible peer; only the
+        // acquisition itself (modelled by the caller) crosses the network.
+        let ring_key = key.ring_id();
+        let entry = KeyIndexEntry {
+            key: key.clone(),
+            usage: self
+                .dht
+                .peer(responsible)
+                .store
+                .get(&ring_key)
+                .map(|e| e.usage)
+                .unwrap_or_default(),
+            postings,
+            activated: true,
+        };
+        self.dht.peer_mut(responsible).store.insert(ring_key, entry);
+    }
+
+    // ------------------------------------------------------------------
+    // Probing (retrieval phase)
+    // ------------------------------------------------------------------
+
+    /// Probes the global index for `key` on behalf of peer `from`.
+    ///
+    /// The probe is routed over the overlay (hops charged to
+    /// [`TrafficCategory::Retrieval`]); the responsible peer updates the key's usage
+    /// statistics (creating a statistics-only entry if the key is unknown, exactly as
+    /// QDI prescribes) and returns the posting list if the key is activated. The
+    /// response bytes are charged to [`TrafficCategory::Retrieval`].
+    pub fn probe(
+        &mut self,
+        from: usize,
+        key: &TermKey,
+        query_seq: u64,
+        stats_capacity: usize,
+    ) -> Result<ProbeResult, DhtError> {
+        let ring_key = key.ring_id();
+        let key_clone = key.clone();
+        let mut fetched: Option<TruncatedPostingList> = None;
+        let fetched_ref = &mut fetched;
+        let info = self.dht.update(
+            from,
+            ring_key,
+            self.probe_request_bytes + key.wire_size(),
+            TrafficCategory::Retrieval,
+            move |slot| {
+                let entry = slot
+                    .get_or_insert_with(|| KeyIndexEntry::stats_only(key_clone, stats_capacity));
+                entry.usage.probes += 1;
+                entry.usage.last_probe = query_seq;
+                if entry.activated {
+                    entry.usage.hits += 1;
+                    *fetched_ref = Some(entry.postings.clone());
+                }
+            },
+        )?;
+        // Response: the posting list travels directly back to the requester
+        // (or a one-byte miss notice).
+        let response_bytes = fetched.as_ref().map(|p| p.wire_size()).unwrap_or(1);
+        self.charge(TrafficCategory::Retrieval, response_bytes);
+        Ok(ProbeResult {
+            key: key.clone(),
+            postings: fetched,
+            hops: info.hops,
+            responsible: info.responsible,
+        })
+    }
+
+    /// Reads a key's entry without routing or traffic (ground truth for tests and
+    /// experiment verification).
+    pub fn peek(&self, key: &TermKey) -> Option<&KeyIndexEntry> {
+        self.dht.peek(key.ring_id())
+    }
+
+    /// Reads a key's usage statistics without traffic.
+    pub fn usage(&self, key: &TermKey) -> Option<KeyUsageStats> {
+        self.peek(key).map(|e| e.usage)
+    }
+
+    /// Evicts a key from the index at its responsible peer (a local decision of that
+    /// peer, so no network traffic is charged). Returns `true` if something was removed.
+    pub fn evict(&mut self, key: &TermKey) -> bool {
+        let ring_key = key.ring_id();
+        let Ok(responsible) = self.dht.responsible_for(ring_key) else {
+            return false;
+        };
+        self.dht.peer_mut(responsible).store.remove(&ring_key).is_some()
+    }
+
+    /// Deactivates a key but keeps its usage statistics (QDI's "remove obsolete key"
+    /// operation: the statistics keep accumulating so the key can be re-activated).
+    pub fn deactivate(&mut self, key: &TermKey) -> bool {
+        let ring_key = key.ring_id();
+        let Ok(responsible) = self.dht.responsible_for(ring_key) else {
+            return false;
+        };
+        let peer = self.dht.peer_mut(responsible);
+        match peer.store.get_mut(&ring_key) {
+            Some(entry) if entry.activated => {
+                entry.activated = false;
+                entry.postings = TruncatedPostingList::new(entry.postings.capacity());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Total number of **activated** keys in the global index.
+    pub fn activated_keys(&self) -> usize {
+        self.entries().filter(|e| e.activated).count()
+    }
+
+    /// Total number of entries (activated + statistics-only).
+    pub fn total_entries(&self) -> usize {
+        self.entries().count()
+    }
+
+    /// Total number of stored posting references across all activated keys.
+    pub fn total_postings(&self) -> usize {
+        self.entries()
+            .filter(|e| e.activated)
+            .map(|e| e.postings.len())
+            .sum()
+    }
+
+    /// Approximate storage bytes of the whole global index.
+    pub fn total_storage_bytes(&self) -> usize {
+        self.dht.total_storage_bytes()
+    }
+
+    /// Per-peer `(activated keys, storage bytes)` — the load-balancing view.
+    pub fn per_peer_load(&self) -> Vec<(usize, usize)> {
+        self.dht
+            .live_peer_indices()
+            .into_iter()
+            .map(|i| {
+                let peer = self.dht.peer(i);
+                let keys = peer.store.iter().filter(|(_, e)| e.activated).count();
+                (keys, peer.store.storage_bytes())
+            })
+            .collect()
+    }
+
+    /// Iterates over all index entries (activated and statistics-only).
+    pub fn entries(&self) -> impl Iterator<Item = &KeyIndexEntry> {
+        self.dht
+            .live_peer_indices()
+            .into_iter()
+            .flat_map(move |i| self.dht.peer(i).store.iter().map(|(_, e)| e))
+    }
+
+    /// All activated keys, sorted by canonical form (used by reports and tests).
+    pub fn activated_key_list(&self) -> Vec<TermKey> {
+        let mut keys: Vec<TermKey> = self
+            .entries()
+            .filter(|e| e.activated)
+            .map(|e| e.key.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Charges `bytes` of traffic in `category` without routing (used for responses
+    /// and for modelled exchanges whose routing is already accounted).
+    pub fn charge(&mut self, category: TrafficCategory, bytes: usize) {
+        self.dht.charge_external(category, bytes);
+    }
+
+    /// Hashes a key to its ring identifier (helper for tests).
+    pub fn ring_id_of(key: &TermKey) -> RingId {
+        key.ring_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posting::ScoredRef;
+    use alvisp2p_textindex::DocId;
+
+    fn refs(n: u32) -> TruncatedPostingList {
+        TruncatedPostingList::from_refs(
+            (0..n).map(|i| ScoredRef {
+                doc: DocId::new(0, i),
+                score: f64::from(n - i),
+            }),
+            usize::MAX / 2,
+        )
+    }
+
+    fn index(peers: usize) -> GlobalIndex {
+        GlobalIndex::new(DhtConfig::default(), 5, peers)
+    }
+
+    #[test]
+    fn publish_then_probe_round_trips() {
+        let mut gi = index(16);
+        let key = TermKey::new(["peer", "retriev"]);
+        gi.publish_postings(0, &key, &refs(5), 100).unwrap();
+        let probe = gi.probe(3, &key, 1, 100).unwrap();
+        assert!(probe.found());
+        assert_eq!(probe.postings.unwrap().len(), 5);
+        assert_eq!(gi.activated_keys(), 1);
+        // Usage statistics were recorded at the responsible peer.
+        let usage = gi.usage(&key).unwrap();
+        assert_eq!(usage.probes, 1);
+        assert_eq!(usage.hits, 1);
+        assert_eq!(usage.last_probe, 1);
+    }
+
+    #[test]
+    fn probing_unknown_key_records_statistics_only() {
+        let mut gi = index(8);
+        let key = TermKey::new(["never", "indexed"]);
+        let probe = gi.probe(2, &key, 7, 50).unwrap();
+        assert!(!probe.found());
+        assert_eq!(gi.activated_keys(), 0);
+        assert_eq!(gi.total_entries(), 1);
+        let usage = gi.usage(&key).unwrap();
+        assert_eq!(usage.probes, 1);
+        assert_eq!(usage.hits, 0);
+        assert_eq!(usage.last_probe, 7);
+        // Probing again accumulates.
+        gi.probe(3, &key, 9, 50).unwrap();
+        assert_eq!(gi.usage(&key).unwrap().probes, 2);
+    }
+
+    #[test]
+    fn contributions_from_many_peers_merge() {
+        let mut gi = index(16);
+        let key = TermKey::single("databas");
+        for p in 0..4u32 {
+            let delta = TruncatedPostingList::from_refs(
+                (0..3).map(|i| ScoredRef {
+                    doc: DocId::new(p, i),
+                    score: f64::from(p * 10 + i),
+                }),
+                100,
+            );
+            gi.publish_postings(p as usize, &key, &delta, 100).unwrap();
+        }
+        let entry = gi.peek(&key).unwrap();
+        assert_eq!(entry.postings.len(), 12);
+        assert_eq!(entry.postings.full_df(), 12);
+        assert!(entry.activated);
+        assert_eq!(gi.total_postings(), 12);
+    }
+
+    #[test]
+    fn truncation_capacity_is_enforced_at_the_responsible_peer() {
+        let mut gi = index(8);
+        let key = TermKey::single("frequent");
+        for p in 0..10u32 {
+            let delta = TruncatedPostingList::from_refs(
+                (0..10).map(|i| ScoredRef {
+                    doc: DocId::new(p, i),
+                    score: f64::from(p * 100 + i),
+                }),
+                10,
+            );
+            gi.publish_postings(0, &key, &delta, 20).unwrap();
+        }
+        let entry = gi.peek(&key).unwrap();
+        assert_eq!(entry.postings.len(), 20);
+        assert_eq!(entry.postings.full_df(), 100);
+        assert!(entry.postings.is_truncated());
+    }
+
+    #[test]
+    fn traffic_is_charged_to_the_right_categories() {
+        let mut gi = index(32);
+        let key = TermKey::new(["scalabl", "network"]);
+        gi.publish_postings(1, &key, &refs(50), 100).unwrap();
+        let after_publish = gi.stats_snapshot();
+        assert!(after_publish.category(TrafficCategory::Indexing).bytes > 0);
+        assert_eq!(after_publish.category(TrafficCategory::Retrieval).bytes, 0);
+        gi.probe(9, &key, 1, 100).unwrap();
+        let delta = gi.stats_snapshot().since(&after_publish);
+        assert!(delta.category(TrafficCategory::Retrieval).bytes > 50 * 12);
+        assert_eq!(delta.category(TrafficCategory::Indexing).bytes, 0);
+    }
+
+    #[test]
+    fn deactivate_keeps_statistics_but_drops_postings() {
+        let mut gi = index(8);
+        let key = TermKey::new(["old", "popular"]);
+        gi.publish_postings(0, &key, &refs(5), 100).unwrap();
+        gi.probe(1, &key, 1, 100).unwrap();
+        assert!(gi.deactivate(&key));
+        assert!(!gi.deactivate(&key), "already deactivated");
+        assert_eq!(gi.activated_keys(), 0);
+        let probe = gi.probe(2, &key, 2, 100).unwrap();
+        assert!(!probe.found());
+        assert_eq!(gi.usage(&key).unwrap().probes, 2);
+    }
+
+    #[test]
+    fn evict_removes_the_entry_entirely() {
+        let mut gi = index(8);
+        let key = TermKey::single("gone");
+        gi.publish_postings(0, &key, &refs(2), 10).unwrap();
+        assert!(gi.evict(&key));
+        assert!(!gi.evict(&key));
+        assert_eq!(gi.total_entries(), 0);
+        assert!(gi.peek(&key).is_none());
+    }
+
+    #[test]
+    fn store_acquired_places_list_at_responsible_peer() {
+        let mut gi = index(16);
+        let key = TermKey::new(["on", "demand"]);
+        // Build up some probe statistics first.
+        gi.probe(0, &key, 1, 50).unwrap();
+        gi.probe(1, &key, 2, 50).unwrap();
+        let responsible = gi.dht().responsible_for(key.ring_id()).unwrap();
+        gi.store_acquired(responsible, &key, refs(7));
+        let entry = gi.peek(&key).unwrap();
+        assert!(entry.activated);
+        assert_eq!(entry.postings.len(), 7);
+        // The usage statistics survived the activation.
+        assert_eq!(entry.usage.probes, 2);
+    }
+
+    #[test]
+    fn per_peer_load_reports_activated_keys() {
+        let mut gi = index(8);
+        for i in 0..20 {
+            let key = TermKey::single(format!("term{i}"));
+            gi.publish_postings(0, &key, &refs(3), 10).unwrap();
+        }
+        let load = gi.per_peer_load();
+        assert_eq!(load.iter().map(|(k, _)| k).sum::<usize>(), 20);
+        assert!(load.iter().map(|(_, b)| b).sum::<usize>() > 0);
+        assert_eq!(gi.activated_key_list().len(), 20);
+    }
+}

@@ -1,0 +1,279 @@
+//! Indexing keys: term combinations.
+//!
+//! The central idea of AlvisP2P is to index not only single terms but *carefully
+//! chosen term combinations* ("keys"). A [`TermKey`] is a canonicalised (sorted,
+//! deduplicated) set of one or more analyzed terms. Keys are hashed onto the DHT ring
+//! to find the peer responsible for their posting list, and they are organised in a
+//! subset lattice: the query `{a, b, c}` dominates the keys `{a,b}`, `{a,c}`, `{b,c}`,
+//! `{a}`, `{b}` and `{c}` (see Figure 1 of the paper).
+
+use alvisp2p_dht::RingId;
+use alvisp2p_netsim::WireSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A canonical term combination used as an index key.
+///
+/// Invariants: terms are sorted lexicographically, deduplicated and non-empty.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermKey {
+    terms: Vec<String>,
+}
+
+impl TermKey {
+    /// Creates a key from the given terms (they are sorted and deduplicated).
+    ///
+    /// # Panics
+    /// Panics if no terms remain after deduplication.
+    pub fn new(terms: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let mut terms: Vec<String> = terms.into_iter().map(Into::into).collect();
+        terms.sort_unstable();
+        terms.dedup();
+        assert!(!terms.is_empty(), "a TermKey needs at least one term");
+        TermKey { terms }
+    }
+
+    /// Creates a single-term key.
+    pub fn single(term: impl Into<String>) -> Self {
+        TermKey {
+            terms: vec![term.into()],
+        }
+    }
+
+    /// The terms of the key (sorted).
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Number of terms in the key (its "level" in the lattice).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the key has exactly one term.
+    pub fn is_single(&self) -> bool {
+        self.terms.len() == 1
+    }
+
+    /// Never true (keys are non-empty by construction); provided for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The canonical string form used for hashing and display, e.g. `"databas+peer"`.
+    pub fn canonical(&self) -> String {
+        self.terms.join("+")
+    }
+
+    /// The DHT ring identifier of this key.
+    pub fn ring_id(&self) -> RingId {
+        RingId::hash_str(&self.canonical())
+    }
+
+    /// Whether `self` is a (non-strict) subset of `other`.
+    pub fn is_subset_of(&self, other: &TermKey) -> bool {
+        self.terms.iter().all(|t| other.terms.binary_search(t).is_ok())
+    }
+
+    /// Whether `self` is a strict superset of `other` (i.e. `self` *dominates* `other`
+    /// in the query lattice).
+    pub fn dominates(&self, other: &TermKey) -> bool {
+        self.len() > other.len() && other.is_subset_of(self)
+    }
+
+    /// Whether the key contains a term.
+    pub fn contains(&self, term: &str) -> bool {
+        self.terms.binary_search_by(|t| t.as_str().cmp(term)).is_ok()
+    }
+
+    /// Returns the key extended with one more term, or `None` if the term is already
+    /// part of the key. This is the HDK "expansion" operation.
+    pub fn expand(&self, term: &str) -> Option<TermKey> {
+        if self.contains(term) {
+            return None;
+        }
+        let mut terms = self.terms.clone();
+        terms.push(term.to_string());
+        terms.sort_unstable();
+        Some(TermKey { terms })
+    }
+
+    /// All sub-keys obtained by removing exactly one term (empty when the key is a
+    /// single term).
+    pub fn parents(&self) -> Vec<TermKey> {
+        if self.terms.len() <= 1 {
+            return Vec::new();
+        }
+        (0..self.terms.len())
+            .map(|skip| {
+                let terms: Vec<String> = self
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, t)| t.clone())
+                    .collect();
+                TermKey { terms }
+            })
+            .collect()
+    }
+
+    /// All non-empty subsets of the key of exactly `size` terms.
+    pub fn subsets_of_size(&self, size: usize) -> Vec<TermKey> {
+        if size == 0 || size > self.terms.len() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let n = self.terms.len();
+        // Enumerate bit masks with `size` bits set; n is small (queries have ≤ ~6 terms).
+        for mask in 1u32..(1u32 << n) {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let terms: Vec<String> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.terms[i].clone())
+                .collect();
+            out.push(TermKey { terms });
+        }
+        out.sort();
+        out
+    }
+
+    /// All non-empty subsets of the key, largest first (the order in which the query
+    /// lattice is explored).
+    pub fn all_subsets_desc(&self) -> Vec<TermKey> {
+        let mut out = Vec::new();
+        for size in (1..=self.terms.len()).rev() {
+            out.extend(self.subsets_of_size(size));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TermKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TermKey({})", self.canonical())
+    }
+}
+
+impl fmt::Display for TermKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl WireSize for TermKey {
+    fn wire_size(&self) -> usize {
+        4 + self.terms.iter().map(|t| 4 + t.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let k = TermKey::new(["peer", "databas", "peer"]);
+        assert_eq!(k.terms(), &["databas".to_string(), "peer".to_string()]);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.canonical(), "databas+peer");
+        assert!(!k.is_single());
+        assert!(TermKey::single("x").is_single());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_key_panics() {
+        let _ = TermKey::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        let a = TermKey::new(["b", "a", "c"]);
+        let b = TermKey::new(["c", "b", "a"]);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.ring_id(), b.ring_id());
+    }
+
+    #[test]
+    fn ring_ids_differ_between_keys() {
+        assert_ne!(
+            TermKey::new(["a", "b"]).ring_id(),
+            TermKey::new(["a", "c"]).ring_id()
+        );
+        assert_ne!(TermKey::single("ab").ring_id(), TermKey::new(["a", "b"]).ring_id());
+    }
+
+    #[test]
+    fn subset_and_dominance() {
+        let abc = TermKey::new(["a", "b", "c"]);
+        let bc = TermKey::new(["b", "c"]);
+        let b = TermKey::single("b");
+        let d = TermKey::single("d");
+        assert!(bc.is_subset_of(&abc));
+        assert!(b.is_subset_of(&bc));
+        assert!(!abc.is_subset_of(&bc));
+        assert!(!d.is_subset_of(&abc));
+        assert!(abc.dominates(&bc));
+        assert!(abc.dominates(&b));
+        assert!(!abc.dominates(&abc));
+        assert!(!bc.dominates(&abc));
+        assert!(bc.contains("b"));
+        assert!(!bc.contains("a"));
+    }
+
+    #[test]
+    fn expansion_adds_one_term() {
+        let k = TermKey::single("peer");
+        let e = k.expand("retriev").unwrap();
+        assert_eq!(e.terms(), &["peer".to_string(), "retriev".to_string()]);
+        assert!(k.expand("peer").is_none());
+        assert!(e.dominates(&k));
+    }
+
+    #[test]
+    fn parents_remove_one_term_each() {
+        let abc = TermKey::new(["a", "b", "c"]);
+        let parents = abc.parents();
+        assert_eq!(parents.len(), 3);
+        assert!(parents.contains(&TermKey::new(["a", "b"])));
+        assert!(parents.contains(&TermKey::new(["a", "c"])));
+        assert!(parents.contains(&TermKey::new(["b", "c"])));
+        assert!(TermKey::single("x").parents().is_empty());
+    }
+
+    #[test]
+    fn subsets_enumeration_matches_figure_1() {
+        // The query {a,b,c} of Figure 1: lattice = abc, ab, ac, bc, a, b, c.
+        let abc = TermKey::new(["a", "b", "c"]);
+        let all = abc.all_subsets_desc();
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[0], abc);
+        let pairs = abc.subsets_of_size(2);
+        assert_eq!(pairs.len(), 3);
+        let singles = abc.subsets_of_size(1);
+        assert_eq!(singles.len(), 3);
+        assert!(abc.subsets_of_size(0).is_empty());
+        assert!(abc.subsets_of_size(4).is_empty());
+        // Descending order by size.
+        for w in all.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn wire_size_counts_terms() {
+        let k = TermKey::new(["ab", "cde"]);
+        assert_eq!(k.wire_size(), 4 + (4 + 2) + (4 + 3));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let k = TermKey::new(["b", "a"]);
+        assert_eq!(format!("{k}"), "a+b");
+        assert_eq!(format!("{k:?}"), "TermKey(a+b)");
+    }
+}

@@ -1,0 +1,71 @@
+//! # alvisp2p-core
+//!
+//! The core of the AlvisP2P reproduction: the paper's primary contribution — scalable
+//! full-text retrieval in a structured P2P network through **carefully chosen indexing
+//! term combinations** with **truncated posting lists** — implemented as layers 3 and 4
+//! of the architecture on top of the `alvisp2p-dht` overlay and the
+//! `alvisp2p-textindex` local search engine.
+//!
+//! * [`key`] — term-combination keys and their subset lattice;
+//! * [`posting`] — truncated posting lists (bounded top-k document references);
+//! * [`global_index`] — the distributed key → posting-list index with per-key usage
+//!   statistics, scattered over the overlay;
+//! * [`hdk`] — Highly Discriminative Keys: document-frequency-driven key expansion;
+//! * [`qdi`] — Query-Driven Indexing: popularity-driven on-demand key activation and
+//!   eviction;
+//! * [`lattice`] — the query-lattice retrieval algorithm of Figure 1;
+//! * [`ranking`] — the distributed BM25 ranking layer (global statistics, result
+//!   merging);
+//! * [`peer`] — an AlvisP2P participant: shared documents, local engine, access
+//!   control, digests;
+//! * [`network`] — the full system: build a network, distribute a corpus, build the
+//!   index with any strategy, run queries with full traffic accounting;
+//! * [`baseline`] — the centralized reference engine;
+//! * [`stats`] — retrieval-quality metrics used by the experiments.
+//!
+//! ```
+//! use alvisp2p_core::network::{AlvisNetwork, IndexingStrategy, NetworkConfig};
+//! use alvisp2p_core::hdk::HdkConfig;
+//! use alvisp2p_textindex::demo_corpus;
+//!
+//! // A 4-peer network indexing the demo corpus with Highly Discriminative Keys.
+//! let mut net = AlvisNetwork::new(NetworkConfig {
+//!     peers: 4,
+//!     strategy: IndexingStrategy::Hdk(HdkConfig { df_max: 2, ..Default::default() }),
+//!     ..Default::default()
+//! });
+//! net.distribute_documents(demo_corpus());
+//! net.build_index();
+//! let outcome = net.query(0, "peer retrieval", 10).unwrap();
+//! assert!(!outcome.results.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod global_index;
+pub mod hdk;
+pub mod key;
+pub mod lattice;
+pub mod network;
+pub mod peer;
+pub mod posting;
+pub mod qdi;
+pub mod ranking;
+pub mod stats;
+
+pub use baseline::CentralizedEngine;
+pub use global_index::{GlobalIndex, KeyIndexEntry, KeyUsageStats, ProbeResult};
+pub use hdk::{HdkConfig, HdkLevelReport};
+pub use key::TermKey;
+pub use lattice::{explore_lattice, LatticeConfig, LatticeResult, LatticeTrace, NodeOutcome};
+pub use network::{
+    AlvisNetwork, IndexBuildReport, IndexingStrategy, NetworkConfig, NetworkError, QueryOutcome,
+    RefinedResult,
+};
+pub use peer::{AlvisPeer, FetchOutcome};
+pub use posting::{ScoredRef, TruncatedPostingList};
+pub use qdi::{ActivationDecision, QdiConfig, QdiReport};
+pub use ranking::{merge_retrieved, score_local_postings, GlobalRankingStats};
+pub use stats::{overlap_at_k, precision_at_k, recall_at_k, QualityAccumulator, QualitySummary};

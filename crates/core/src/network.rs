@@ -1,0 +1,969 @@
+//! The AlvisP2P network: peers + overlay + distributed index, driven as one system.
+//!
+//! [`AlvisNetwork`] composes every layer of the architecture (Figure 2 of the paper):
+//! the simulated transport and DHT overlay (L1–L2, crates `alvisp2p-netsim` /
+//! `alvisp2p-dht`), the distributed indexing and retrieval components (L3, modules
+//! [`crate::hdk`], [`crate::qdi`], [`crate::lattice`], [`crate::global_index`]), the
+//! distributed ranking component (L4, [`crate::ranking`]) and the per-peer local
+//! search engines (L5, [`crate::peer`], crate `alvisp2p-textindex`).
+//!
+//! It is the entry point used by the examples, the integration tests and the
+//! experiment harness: build a network, distribute a corpus, build the distributed
+//! index with one of the three strategies, and run queries while every byte that would
+//! cross the wire is accounted.
+
+use crate::baseline::CentralizedEngine;
+use crate::global_index::{GlobalIndex, ProbeResult};
+use crate::hdk::{self, HdkConfig, HdkLevelReport};
+use crate::key::TermKey;
+use crate::lattice::{explore_lattice, LatticeConfig, LatticeResult, LatticeTrace};
+use crate::peer::{AlvisPeer, FetchOutcome};
+use crate::posting::TruncatedPostingList;
+use crate::qdi::{activation_decision, is_obsolete, QdiConfig, QdiReport};
+use crate::ranking::{score_local_postings, GlobalRankingStats};
+use alvisp2p_dht::{DhtConfig, DhtError};
+use alvisp2p_netsim::{TrafficCategory, TrafficStats, WireSize};
+use alvisp2p_textindex::bm25::{Bm25Params, ScoredDoc};
+use alvisp2p_textindex::{Analyzer, Credentials, SyntheticCorpus};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which distributed indexing strategy the network runs.
+#[derive(Clone, Debug)]
+pub enum IndexingStrategy {
+    /// The single-term baseline of Zhang & Suel (reference [11] of the paper): every
+    /// term's **complete** posting list is stored in the DHT and shipped to the
+    /// querying peer. Does not scale in bandwidth — that is the point of comparing
+    /// against it.
+    SingleTermFull,
+    /// Highly Discriminative Keys: document-frequency-driven key expansion with
+    /// truncated posting lists.
+    Hdk(HdkConfig),
+    /// Query-Driven Indexing: single-term truncated index plus on-demand activation of
+    /// popular term combinations.
+    Qdi(QdiConfig),
+}
+
+impl IndexingStrategy {
+    /// A short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexingStrategy::SingleTermFull => "single-term",
+            IndexingStrategy::Hdk(_) => "hdk",
+            IndexingStrategy::Qdi(_) => "qdi",
+        }
+    }
+
+    /// The posting-list truncation bound used when storing entries in the global
+    /// index (effectively unbounded for the single-term baseline).
+    pub fn truncation_k(&self) -> usize {
+        match self {
+            IndexingStrategy::SingleTermFull => usize::MAX / 4,
+            IndexingStrategy::Hdk(c) => c.truncation_k,
+            IndexingStrategy::Qdi(c) => c.truncation_k,
+        }
+    }
+}
+
+/// Configuration of a whole AlvisP2P network.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Number of peers.
+    pub peers: usize,
+    /// Overlay configuration (routing strategy, identifier distribution, …).
+    pub dht: DhtConfig,
+    /// Distributed indexing strategy.
+    pub strategy: IndexingStrategy,
+    /// BM25 parameters used by every ranking component.
+    pub bm25: Bm25Params,
+    /// Query-lattice exploration parameters.
+    pub lattice: LatticeConfig,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            peers: 32,
+            dht: DhtConfig::default(),
+            strategy: IndexingStrategy::Hdk(HdkConfig::default()),
+            bm25: Bm25Params::default(),
+            lattice: LatticeConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Summary of a distributed index construction run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IndexBuildReport {
+    /// Strategy label ("single-term", "hdk", "qdi").
+    pub strategy: String,
+    /// Number of activated keys in the global index.
+    pub activated_keys: usize,
+    /// Total posting references stored.
+    pub total_postings: usize,
+    /// Approximate storage bytes of the global index.
+    pub storage_bytes: usize,
+    /// Bytes spent on indexing traffic.
+    pub indexing_bytes: u64,
+    /// Bytes spent publishing/fetching ranking statistics.
+    pub ranking_bytes: u64,
+    /// Per-level HDK construction summary (empty for the other strategies).
+    pub levels: Vec<HdkLevelReport>,
+}
+
+/// The outcome of one query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// Final ranked results (top-k).
+    pub results: Vec<ScoredDoc>,
+    /// The lattice-exploration trace (what was probed, found, skipped).
+    pub trace: LatticeTrace,
+    /// Retrieval bytes this query consumed (requests, routing, posting-list
+    /// responses).
+    pub bytes: u64,
+    /// Retrieval messages this query consumed.
+    pub messages: u64,
+    /// Total overlay hops across all probes.
+    pub hops: usize,
+}
+
+/// A result enriched by the owning peer's local engine (the two-step refinement).
+#[derive(Clone, Debug)]
+pub struct RefinedResult {
+    /// The document.
+    pub doc: alvisp2p_textindex::DocId,
+    /// The distributed (first-step) score.
+    pub global_score: f64,
+    /// The owning peer's local score, when its local engine also matched the query.
+    pub local_score: Option<f64>,
+    /// Result title (if the owner still hosts the document).
+    pub title: String,
+    /// URL at the hosting peer.
+    pub url: String,
+    /// Snippet produced by the hosting peer.
+    pub snippet: String,
+}
+
+/// Errors surfaced by network-level operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The underlying overlay failed (bad origin, lookup failure, empty network).
+    Dht(DhtError),
+    /// The originating peer index is out of range.
+    NoSuchPeer(usize),
+}
+
+impl From<DhtError> for NetworkError {
+    fn from(e: DhtError) -> Self {
+        NetworkError::Dht(e)
+    }
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::Dht(e) => write!(f, "overlay error: {e}"),
+            NetworkError::NoSuchPeer(i) => write!(f, "no such peer: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A complete AlvisP2P network under simulation.
+pub struct AlvisNetwork {
+    config: NetworkConfig,
+    peers: Vec<AlvisPeer>,
+    global: GlobalIndex,
+    ranking: GlobalRankingStats,
+    centralized: CentralizedEngine,
+    analyzer: Analyzer,
+    query_seq: u64,
+    qdi_report: QdiReport,
+    hdk_levels: Vec<HdkLevelReport>,
+    index_built: bool,
+    last_build: Option<IndexBuildReport>,
+}
+
+impl AlvisNetwork {
+    /// Builds a network of `config.peers` peers with an already-stabilised overlay.
+    pub fn new(config: NetworkConfig) -> Self {
+        let global = GlobalIndex::new(config.dht.clone(), config.seed, config.peers);
+        let peers = (0..config.peers).map(|i| AlvisPeer::new(i as u32)).collect();
+        let centralized = CentralizedEngine::new(config.bm25);
+        AlvisNetwork {
+            peers,
+            global,
+            ranking: GlobalRankingStats::new(),
+            centralized,
+            analyzer: Analyzer::default(),
+            query_seq: 0,
+            qdi_report: QdiReport::default(),
+            hdk_levels: Vec::new(),
+            index_built: false,
+            last_build: None,
+            config,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Immutable access to a peer.
+    pub fn peer(&self, index: usize) -> &AlvisPeer {
+        &self.peers[index]
+    }
+
+    /// Mutable access to a peer (e.g. to publish more documents).
+    pub fn peer_mut(&mut self, index: usize) -> &mut AlvisPeer {
+        &mut self.peers[index]
+    }
+
+    /// The global distributed index.
+    pub fn global_index(&self) -> &GlobalIndex {
+        &self.global
+    }
+
+    /// Mutable access to the global distributed index (used by churn experiments and
+    /// examples to drive overlay-level events such as joins, departures and failures).
+    pub fn global_index_mut(&mut self) -> &mut GlobalIndex {
+        &mut self.global
+    }
+
+    /// The aggregated global ranking statistics.
+    pub fn ranking_stats(&self) -> &GlobalRankingStats {
+        &self.ranking
+    }
+
+    /// The centralized reference engine over the same collection.
+    pub fn centralized(&self) -> &CentralizedEngine {
+        &self.centralized
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn traffic(&self) -> &TrafficStats {
+        self.global.stats()
+    }
+
+    /// Snapshot of the traffic statistics.
+    pub fn traffic_snapshot(&self) -> TrafficStats {
+        self.global.stats_snapshot()
+    }
+
+    /// Resets the traffic statistics (e.g. to isolate the retrieval phase).
+    pub fn reset_traffic(&mut self) {
+        self.global.reset_stats();
+    }
+
+    /// The QDI behaviour counters accumulated so far.
+    pub fn qdi_report(&self) -> QdiReport {
+        self.qdi_report
+    }
+
+    /// The global query sequence number (number of queries processed).
+    pub fn queries_processed(&self) -> u64 {
+        self.query_seq
+    }
+
+    // ------------------------------------------------------------------
+    // Corpus distribution
+    // ------------------------------------------------------------------
+
+    /// Distributes `(title, body)` documents round-robin over the peers and indexes
+    /// them locally (layer 5). The centralized reference engine indexes the same
+    /// documents.
+    pub fn distribute_documents(
+        &mut self,
+        docs: impl IntoIterator<Item = (String, String)>,
+    ) -> usize {
+        let mut count = 0usize;
+        let n = self.peers.len();
+        for (i, (title, body)) in docs.into_iter().enumerate() {
+            let peer_index = i % n;
+            let text = format!("{title} {body}");
+            let id = self.peers[peer_index].publish(title, body);
+            self.centralized.index_text(id, &text);
+            count += 1;
+        }
+        count
+    }
+
+    /// Distributes a synthetic corpus round-robin over the peers.
+    pub fn distribute_corpus(&mut self, corpus: &SyntheticCorpus) -> usize {
+        self.distribute_documents(
+            corpus
+                .docs
+                .iter()
+                .map(|d| (d.title.clone(), d.body.clone())),
+        )
+    }
+
+    /// Total number of documents published across all peers.
+    pub fn total_documents(&self) -> usize {
+        self.peers.iter().map(|p| p.indexed_documents()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed index construction
+    // ------------------------------------------------------------------
+
+    /// Publishes every peer's collection statistics to the ranking layer (L4) and
+    /// aggregates them into the global statistics used for scoring.
+    fn publish_ranking_stats(&mut self) {
+        self.ranking = GlobalRankingStats::new();
+        for peer in &self.peers {
+            let fragment = peer.collection_stats();
+            let bytes = GlobalRankingStats::fragment_wire_size(&fragment);
+            self.global.charge(TrafficCategory::Ranking, bytes);
+            self.ranking.merge_fragment(&fragment);
+        }
+        // Every peer fetches the aggregated summary (doc count + average length).
+        for _ in &self.peers {
+            self.global.charge(TrafficCategory::Ranking, 24);
+        }
+    }
+
+    /// Builds the distributed index according to the configured strategy and returns a
+    /// construction report.
+    pub fn build_index(&mut self) -> IndexBuildReport {
+        let before = self.traffic_snapshot();
+        self.publish_ranking_stats();
+        let strategy = self.config.strategy.clone();
+        match &strategy {
+            IndexingStrategy::SingleTermFull => self.build_single_term(usize::MAX / 4),
+            IndexingStrategy::Qdi(config) => self.build_single_term(config.truncation_k),
+            IndexingStrategy::Hdk(config) => self.build_hdk(config),
+        }
+        self.index_built = true;
+
+        let after = self.traffic_snapshot();
+        let delta = after.since(&before);
+        let report = IndexBuildReport {
+            strategy: strategy.label().to_string(),
+            activated_keys: self.global.activated_keys(),
+            total_postings: self.global.total_postings(),
+            storage_bytes: self.global.total_storage_bytes(),
+            indexing_bytes: delta.category(TrafficCategory::Indexing).bytes,
+            ranking_bytes: delta.category(TrafficCategory::Ranking).bytes,
+            levels: self.hdk_levels.clone(),
+        };
+        self.last_build = Some(report.clone());
+        report
+    }
+
+    /// Whether [`AlvisNetwork::build_index`] has run.
+    pub fn index_built(&self) -> bool {
+        self.index_built
+    }
+
+    /// The report of the most recent [`AlvisNetwork::build_index`] run, if any.
+    pub fn last_build_report(&self) -> Option<&IndexBuildReport> {
+        self.last_build.as_ref()
+    }
+
+    /// Level 1 of every strategy: each peer publishes a posting-list contribution for
+    /// every term of its local vocabulary, truncated to `capacity`.
+    fn build_single_term(&mut self, capacity: usize) {
+        let params = self.config.bm25;
+        let mut candidates = 0usize;
+        for peer_index in 0..self.peers.len() {
+            let vocabulary: Vec<String> = self.peers[peer_index]
+                .index()
+                .vocabulary()
+                .map(str::to_string)
+                .collect();
+            for term in vocabulary {
+                let key = TermKey::single(&term);
+                let list = score_local_postings(
+                    self.peers[peer_index].index(),
+                    &key,
+                    &self.ranking,
+                    params,
+                    capacity,
+                );
+                if list.is_empty() {
+                    continue;
+                }
+                candidates += 1;
+                // A peer publishes from its own overlay node.
+                let _ = self.global.publish_postings(peer_index, &key, &list, capacity);
+            }
+        }
+        let (discriminative, frequent) = self.count_level_keys(1, capacity);
+        self.hdk_levels = vec![HdkLevelReport {
+            level: 1,
+            candidates,
+            discriminative,
+            frequent,
+        }];
+    }
+
+    /// Full HDK construction: single-term level plus expansion levels.
+    fn build_hdk(&mut self, config: &HdkConfig) {
+        self.build_single_term(config.truncation_k);
+        let params = self.config.bm25;
+
+        // Globally frequent single terms (observed by the responsible peers).
+        let frequent_terms: BTreeSet<String> = self
+            .global
+            .entries()
+            .filter(|e| e.activated && e.key.is_single() && e.postings.full_df() > config.df_max as u64)
+            .map(|e| e.key.terms()[0].clone())
+            .collect();
+        // Every peer learns which of its local terms are frequent (a small notification
+        // from each responsible peer, piggybacked on the publication acknowledgement).
+        for peer in &self.peers {
+            let local_frequent = peer
+                .index()
+                .vocabulary()
+                .filter(|t| frequent_terms.contains(*t))
+                .count();
+            self.global
+                .charge(TrafficCategory::Indexing, 9 * local_frequent + 16);
+        }
+
+        let mut frequent_parents: BTreeSet<TermKey> = hdk::single_term_keys(&frequent_terms);
+
+        for level in 2..=config.max_key_len {
+            if frequent_parents.is_empty() {
+                break;
+            }
+            let mut level_candidates: BTreeSet<TermKey> = BTreeSet::new();
+            for peer_index in 0..self.peers.len() {
+                // Candidates this peer generates from its local documents.
+                let docs = self.peers[peer_index].index().documents();
+                let mut peer_candidates: BTreeSet<TermKey> = BTreeSet::new();
+                for doc in docs {
+                    let doc_terms = self.peers[peer_index].index().doc_term_positions(doc);
+                    for cand in hdk::generate_doc_candidates(
+                        &doc_terms,
+                        &frequent_parents,
+                        &frequent_terms,
+                        level,
+                        config,
+                    ) {
+                        peer_candidates.insert(cand);
+                    }
+                }
+                // Publish this peer's contribution for each of its candidates.
+                for key in &peer_candidates {
+                    let list = score_local_postings(
+                        self.peers[peer_index].index(),
+                        key,
+                        &self.ranking,
+                        params,
+                        config.truncation_k,
+                    );
+                    if list.is_empty() {
+                        continue;
+                    }
+                    let _ = self.global.publish_postings(
+                        peer_index,
+                        key,
+                        &list,
+                        config.truncation_k,
+                    );
+                    level_candidates.insert(key.clone());
+                }
+            }
+
+            let (discriminative, frequent) = self.count_level_keys(level, config.truncation_k);
+            self.hdk_levels.push(HdkLevelReport {
+                level,
+                candidates: level_candidates.len(),
+                discriminative,
+                frequent,
+            });
+
+            // The frequent keys of this level seed the next level's expansions.
+            frequent_parents = self
+                .global
+                .entries()
+                .filter(|e| {
+                    e.activated
+                        && e.key.len() == level
+                        && e.postings.full_df() > config.df_max as u64
+                })
+                .map(|e| e.key.clone())
+                .collect();
+        }
+    }
+
+    fn count_level_keys(&self, level: usize, _capacity: usize) -> (usize, usize) {
+        let df_max = match &self.config.strategy {
+            IndexingStrategy::Hdk(c) => c.df_max as u64,
+            IndexingStrategy::Qdi(c) => c.truncation_k as u64,
+            IndexingStrategy::SingleTermFull => u64::MAX,
+        };
+        let mut discriminative = 0usize;
+        let mut frequent = 0usize;
+        for e in self.global.entries() {
+            if e.activated && e.key.len() == level {
+                if e.postings.full_df() > df_max {
+                    frequent += 1;
+                } else {
+                    discriminative += 1;
+                }
+            }
+        }
+        (discriminative, frequent)
+    }
+
+    // ------------------------------------------------------------------
+    // Retrieval
+    // ------------------------------------------------------------------
+
+    /// Runs a query from peer `origin` and returns the top-`k` results together with
+    /// the exploration trace and the traffic the query consumed.
+    pub fn query(&mut self, origin: usize, text: &str, k: usize) -> Result<QueryOutcome, NetworkError> {
+        if origin >= self.peers.len() {
+            return Err(NetworkError::NoSuchPeer(origin));
+        }
+        let terms = self.analyzer.analyze_query(text);
+        if terms.is_empty() {
+            return Ok(QueryOutcome::default());
+        }
+        self.query_seq += 1;
+        self.qdi_report.queries += 1;
+        let seq = self.query_seq;
+        let before = self.traffic_snapshot();
+
+        let query_key = TermKey::new(terms);
+        let capacity = self.config.strategy.truncation_k();
+        let lattice_config = match &self.config.strategy {
+            IndexingStrategy::SingleTermFull => LatticeConfig {
+                // The baseline has no multi-term keys: only the single terms are
+                // fetched, each with its complete posting list.
+                prune_below_truncated: false,
+                max_probe_len: 1,
+                max_probes: self.config.lattice.max_probes,
+            },
+            _ => self.config.lattice.clone(),
+        };
+
+        let lattice_result = self.run_lattice(origin, &query_key, &lattice_config, seq, capacity)?;
+
+        // Query-Driven Indexing: popular missing combinations are activated on demand.
+        if let IndexingStrategy::Qdi(qdi_config) = self.config.strategy.clone() {
+            self.qdi_activation_pass(&query_key, &lattice_result, &qdi_config);
+            self.qdi_eviction_pass(seq, &qdi_config);
+        }
+
+        let results = crate::ranking::merge_retrieved(&lattice_result.retrieved, k);
+        let multi_hits = lattice_result
+            .retrieved
+            .iter()
+            .filter(|(key, _)| key.len() > 1)
+            .count() as u64;
+        self.qdi_report.multi_term_hits += multi_hits;
+
+        let delta = self.traffic_snapshot().since(&before);
+        let retrieval = delta.category(TrafficCategory::Retrieval);
+        Ok(QueryOutcome {
+            results,
+            hops: lattice_result.trace.hops,
+            trace: lattice_result.trace,
+            bytes: retrieval.bytes,
+            messages: retrieval.messages,
+        })
+    }
+
+    fn run_lattice(
+        &mut self,
+        origin: usize,
+        query_key: &TermKey,
+        lattice_config: &LatticeConfig,
+        seq: u64,
+        capacity: usize,
+    ) -> Result<LatticeResult, NetworkError> {
+        // For the single-term baseline, the full query key itself must not be probed
+        // (only singles exist); max_probe_len=1 already ensures only singles and the
+        // query itself are candidates, so explicitly skip the multi-term query key by
+        // probing it only when it is a single term.
+        let single_term_only = lattice_config.max_probe_len == 1;
+        let global = &mut self.global;
+        let result = explore_lattice(query_key, lattice_config, |key| {
+            if single_term_only && key.len() > 1 {
+                return Ok::<ProbeResult, DhtError>(ProbeResult {
+                    key: key.clone(),
+                    postings: None,
+                    hops: 0,
+                    responsible: 0,
+                });
+            }
+            global.probe(origin, key, seq, capacity)
+        })?;
+        Ok(result)
+    }
+
+    /// Checks every probed-but-missing multi-term key for QDI activation.
+    fn qdi_activation_pass(
+        &mut self,
+        _query_key: &TermKey,
+        lattice_result: &LatticeResult,
+        config: &QdiConfig,
+    ) {
+        let missing_keys: Vec<TermKey> = lattice_result
+            .trace
+            .nodes
+            .iter()
+            .filter(|(k, o)| {
+                matches!(o, crate::lattice::NodeOutcome::Missing) && k.len() >= 2
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in missing_keys {
+            let Some(usage) = self.global.usage(&key) else { continue };
+            // Redundancy: are complete results for this key already available from a
+            // retrieved subset key?
+            let redundant = lattice_result
+                .retrieved
+                .iter()
+                .any(|(k2, list)| k2.is_subset_of(&key) && !list.is_truncated());
+            let decision = activation_decision(
+                &usage,
+                false,
+                key.len(),
+                Some(!redundant),
+                config,
+            );
+            if !decision.should_activate() {
+                continue;
+            }
+            self.activate_key(&key, config);
+        }
+    }
+
+    /// The on-demand indexing step: the responsible peer acquires a bounded top-k
+    /// posting list for the key from the peers holding matching documents.
+    fn activate_key(&mut self, key: &TermKey, config: &QdiConfig) {
+        let params = self.config.bm25;
+        let mut merged = TruncatedPostingList::new(config.truncation_k);
+        let mut acquisition_bytes = 0usize;
+        for peer in &self.peers {
+            let list = score_local_postings(
+                peer.index(),
+                key,
+                &self.ranking,
+                params,
+                config.truncation_k,
+            );
+            if list.is_empty() {
+                continue;
+            }
+            // Request to the contributing peer + its response carrying the local top-k.
+            acquisition_bytes += 48 + key.wire_size() + list.wire_size();
+            merged.merge(&list);
+        }
+        self.global
+            .charge(TrafficCategory::Indexing, acquisition_bytes);
+        if let Ok(responsible) = self.global.dht().responsible_for(key.ring_id()) {
+            self.global.store_acquired(responsible, key, merged);
+            self.qdi_report.activations += 1;
+            self.qdi_report.acquisition_bytes += acquisition_bytes as u64;
+        }
+    }
+
+    /// Periodically deactivates keys that have not been queried within the
+    /// obsolescence window.
+    fn qdi_eviction_pass(&mut self, seq: u64, config: &QdiConfig) {
+        if config.eviction_period == 0 || seq % config.eviction_period != 0 {
+            return;
+        }
+        let obsolete: Vec<TermKey> = self
+            .global
+            .entries()
+            .filter(|e| e.activated && e.key.len() >= 2 && is_obsolete(&e.usage, seq, config))
+            .map(|e| e.key.clone())
+            .collect();
+        for key in obsolete {
+            if self.global.deactivate(&key) {
+                self.qdi_report.evictions += 1;
+            }
+        }
+    }
+
+    /// Runs the query against the centralized reference engine (quality baseline).
+    pub fn reference_search(&self, text: &str, k: usize) -> Vec<ScoredDoc> {
+        self.centralized.search(text, k)
+    }
+
+    // ------------------------------------------------------------------
+    // Two-step refinement and document access
+    // ------------------------------------------------------------------
+
+    /// Second retrieval step: forwards the query to the local engines of the peers
+    /// hosting the first-step results and enriches each result with the owner's local
+    /// score, title, URL and snippet.
+    pub fn refine(&mut self, query: &str, results: &[ScoredDoc], k: usize) -> Vec<RefinedResult> {
+        let mut owners: BTreeSet<u32> = results.iter().take(k).map(|r| r.doc.peer).collect();
+        owners.retain(|p| (*p as usize) < self.peers.len());
+        // Forward the query to each owner and receive its local ranking.
+        for owner in &owners {
+            let request = 32 + query.len();
+            self.global.charge(TrafficCategory::Retrieval, request);
+            let response = 64 * results.iter().take(k).filter(|r| r.doc.peer == *owner).count();
+            self.global.charge(TrafficCategory::Retrieval, response);
+        }
+        results
+            .iter()
+            .take(k)
+            .map(|r| {
+                let owner = r.doc.peer as usize;
+                let (local_score, title, url, snippet) = if owner < self.peers.len() {
+                    let peer = &self.peers[owner];
+                    let local = peer
+                        .local_search(query, k.max(20))
+                        .into_iter()
+                        .find(|s| s.doc == r.doc)
+                        .map(|s| s.score);
+                    let (title, url) = peer
+                        .documents()
+                        .get(r.doc)
+                        .map(|d| (d.title.clone(), d.url.clone()))
+                        .unwrap_or_else(|| (String::new(), String::new()));
+                    (local, title, url, peer.snippet(r.doc))
+                } else {
+                    (None, String::new(), String::new(), String::new())
+                };
+                RefinedResult {
+                    doc: r.doc,
+                    global_score: r.score,
+                    local_score,
+                    title,
+                    url,
+                    snippet,
+                }
+            })
+            .collect()
+    }
+
+    /// Fetches a result document from its hosting peer, enforcing access rights. The
+    /// request and response are charged to [`TrafficCategory::Retrieval`].
+    pub fn fetch_document(
+        &mut self,
+        doc: alvisp2p_textindex::DocId,
+        credentials: &Credentials,
+    ) -> FetchOutcome {
+        let owner = doc.peer as usize;
+        if owner >= self.peers.len() {
+            return FetchOutcome::NotFound;
+        }
+        self.global.charge(TrafficCategory::Retrieval, 48);
+        let outcome = self.peers[owner].fetch(doc, credentials);
+        let response_bytes = match &outcome {
+            FetchOutcome::Full(d) => d.body.len() + d.title.len() + 32,
+            FetchOutcome::Metadata { snippet, title, url } => snippet.len() + title.len() + url.len(),
+            _ => 8,
+        };
+        self.global.charge(TrafficCategory::Retrieval, response_bytes);
+        outcome
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Per-peer `(activated keys, storage bytes)` of the global index.
+    pub fn index_load_distribution(&self) -> Vec<(usize, usize)> {
+        self.global.per_peer_load()
+    }
+
+    /// The HDK per-level construction reports (empty for other strategies).
+    pub fn hdk_level_reports(&self) -> &[HdkLevelReport] {
+        &self.hdk_levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alvisp2p_textindex::demo_corpus;
+
+    fn demo_network(strategy: IndexingStrategy, peers: usize) -> AlvisNetwork {
+        let config = NetworkConfig {
+            peers,
+            strategy,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut net = AlvisNetwork::new(config);
+        net.distribute_documents(demo_corpus());
+        net
+    }
+
+    #[test]
+    fn distribute_spreads_documents_round_robin() {
+        let net = {
+            let mut n = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 4);
+            assert_eq!(n.total_documents(), 12);
+            n.build_index();
+            n
+        };
+        for i in 0..4 {
+            assert_eq!(net.peer(i).indexed_documents(), 3);
+        }
+        assert_eq!(net.centralized().doc_count(), 12);
+        assert!(net.index_built());
+    }
+
+    #[test]
+    fn hdk_query_finds_relevant_documents() {
+        let mut net = demo_network(
+            IndexingStrategy::Hdk(HdkConfig {
+                df_max: 2,
+                truncation_k: 5,
+                ..Default::default()
+            }),
+            4,
+        );
+        let report = net.build_index();
+        assert!(report.activated_keys > 10);
+        assert!(report.indexing_bytes > 0);
+        assert!(report.ranking_bytes > 0);
+        assert_eq!(report.strategy, "hdk");
+        assert!(!report.levels.is_empty());
+
+        let outcome = net.query(0, "posting list truncated", 10).unwrap();
+        assert!(!outcome.results.is_empty());
+        assert!(outcome.bytes > 0);
+        assert!(outcome.trace.probes > 0);
+        // The top result should also be in the centralized reference's top results.
+        let reference = net.reference_search("posting list truncated", 10);
+        let ref_docs: Vec<_> = reference.iter().map(|r| r.doc).collect();
+        assert!(ref_docs.contains(&outcome.results[0].doc));
+    }
+
+    #[test]
+    fn single_term_baseline_reaches_reference_quality_with_more_bytes() {
+        let mut baseline = demo_network(IndexingStrategy::SingleTermFull, 4);
+        baseline.build_index();
+        let mut hdk = demo_network(
+            IndexingStrategy::Hdk(HdkConfig {
+                df_max: 2,
+                truncation_k: 3,
+                ..Default::default()
+            }),
+            4,
+        );
+        hdk.build_index();
+
+        let query = "peer retrieval index";
+        let b = baseline.query(1, query, 10).unwrap();
+        let h = hdk.query(1, query, 10).unwrap();
+        let reference = baseline.reference_search(query, 10);
+        assert!(!b.results.is_empty());
+        // The untruncated baseline reproduces the reference ranking's document set.
+        let ref_set: std::collections::HashSet<_> = reference.iter().map(|r| r.doc).collect();
+        let base_set: std::collections::HashSet<_> = b.results.iter().map(|r| r.doc).collect();
+        assert_eq!(ref_set, base_set);
+        // Both answered the query; the HDK network used bounded posting lists.
+        assert!(h.bytes > 0 && b.bytes > 0);
+    }
+
+    #[test]
+    fn qdi_activates_popular_keys_and_improves_hits() {
+        // A very small truncation bound forces even the tiny demo corpus to produce
+        // truncated single-term lists, so multi-term keys are non-redundant and can be
+        // activated on demand.
+        let mut net = demo_network(
+            IndexingStrategy::Qdi(QdiConfig {
+                activation_threshold: 2,
+                truncation_k: 2,
+                ..Default::default()
+            }),
+            4,
+        );
+        net.build_index();
+        let query = "query driven indexing";
+        // Initially the multi-term key is not indexed.
+        let first = net.query(0, query, 10).unwrap();
+        assert!(!first.results.is_empty());
+        assert_eq!(net.qdi_report().activations, 0);
+        // After enough repetitions the popular combination gets activated.
+        let _ = net.query(1, query, 10).unwrap();
+        let _ = net.query(2, query, 10).unwrap();
+        assert!(net.qdi_report().activations >= 1, "{:?}", net.qdi_report());
+        // Subsequent queries hit the activated multi-term key.
+        let later = net.query(3, query, 10).unwrap();
+        let multi_found = later
+            .trace
+            .found_keys()
+            .iter()
+            .any(|k| k.len() > 1);
+        assert!(multi_found, "trace: {:?}", later.trace.nodes);
+        assert!(net.qdi_report().multi_term_hits >= 1);
+    }
+
+    #[test]
+    fn empty_query_and_bad_origin_are_handled() {
+        let mut net = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 2);
+        net.build_index();
+        let empty = net.query(0, "the of and", 10).unwrap();
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.bytes, 0);
+        assert!(matches!(
+            net.query(99, "peer", 10),
+            Err(NetworkError::NoSuchPeer(99))
+        ));
+    }
+
+    #[test]
+    fn refinement_enriches_results_with_owner_metadata() {
+        let mut net = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 3);
+        net.build_index();
+        let outcome = net.query(0, "congestion control overlay", 5).unwrap();
+        assert!(!outcome.results.is_empty());
+        let refined = net.refine("congestion control overlay", &outcome.results, 5);
+        assert_eq!(refined.len(), outcome.results.len().min(5));
+        let top = &refined[0];
+        assert!(!top.title.is_empty());
+        assert!(top.url.starts_with("http://peer"));
+        assert!(!top.snippet.is_empty());
+        assert!(top.local_score.is_some());
+        assert!(top.global_score > 0.0);
+    }
+
+    #[test]
+    fn fetch_document_respects_access_rights_through_the_network() {
+        let mut net = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 2);
+        net.build_index();
+        let outcome = net.query(0, "access rights shared documents", 5).unwrap();
+        assert!(!outcome.results.is_empty());
+        let doc = outcome.results[0].doc;
+        match net.fetch_document(doc, &Credentials::anonymous()) {
+            FetchOutcome::Full(d) => assert!(!d.body.is_empty()),
+            other => panic!("expected full document, got {other:?}"),
+        }
+        assert!(matches!(
+            net.fetch_document(alvisp2p_textindex::DocId::new(99, 0), &Credentials::anonymous()),
+            FetchOutcome::NotFound
+        ));
+    }
+
+    #[test]
+    fn index_load_is_distributed_over_peers() {
+        let mut net = demo_network(
+            IndexingStrategy::Hdk(HdkConfig {
+                df_max: 2,
+                ..Default::default()
+            }),
+            6,
+        );
+        net.build_index();
+        let load = net.index_load_distribution();
+        assert_eq!(load.len(), 6);
+        let peers_with_keys = load.iter().filter(|(k, _)| *k > 0).count();
+        assert!(peers_with_keys >= 3, "load: {load:?}");
+    }
+}

@@ -1,0 +1,333 @@
+//! The distributed ranking layer (L4).
+//!
+//! AlvisP2P ranks with BM25, but the statistics the formula needs — global document
+//! frequencies, the global number of documents, the global average document length —
+//! describe the *whole* distributed collection, not any single peer's slice. Those
+//! statistics are themselves stored in the P2P network: every peer publishes its local
+//! collection statistics, the aggregate is available under well-known keys, and
+//! publishers fetch it before scoring the posting-list entries they contribute.
+//!
+//! At query time the querying peer merges the retrieved (truncated) posting lists into
+//! a single ranking. Because each entry's score was computed against the same global
+//! statistics, merging reduces to summing the contributions of the query-term subsets
+//! actually covered by each retrieved key — documents covered by an exact term cover
+//! receive exactly their centralized BM25 score, which is why retrieval quality stays
+//! comparable to a centralized engine (experiment E4 quantifies the residual loss due
+//! to truncation).
+
+use crate::key::TermKey;
+use crate::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_textindex::bm25::{bm25_term_score, top_k, Bm25Params, ScoredDoc};
+use alvisp2p_textindex::{CollectionStats, DocId, InvertedIndex};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Globally aggregated collection statistics used by the ranking layer.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GlobalRankingStats {
+    stats: CollectionStats,
+}
+
+impl GlobalRankingStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        GlobalRankingStats::default()
+    }
+
+    /// Aggregates the statistics published by all peers.
+    pub fn aggregate<'a>(fragments: impl IntoIterator<Item = &'a CollectionStats>) -> Self {
+        let mut stats = CollectionStats::default();
+        for f in fragments {
+            stats.merge(f);
+        }
+        GlobalRankingStats { stats }
+    }
+
+    /// Merges one more peer's statistics fragment.
+    pub fn merge_fragment(&mut self, fragment: &CollectionStats) {
+        self.stats.merge(fragment);
+    }
+
+    /// Global number of documents.
+    pub fn doc_count(&self) -> u64 {
+        self.stats.doc_count
+    }
+
+    /// Global average document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        self.stats.avg_doc_len()
+    }
+
+    /// Global document frequency of a term.
+    pub fn df(&self, term: &str) -> u64 {
+        self.stats.df(term)
+    }
+
+    /// Size of the aggregated vocabulary.
+    pub fn vocabulary_size(&self) -> usize {
+        self.stats.vocabulary_size()
+    }
+
+    /// Approximate wire size of one peer's statistics fragment (what publishing it to
+    /// the ranking layer costs). Proportional to the peer's vocabulary.
+    pub fn fragment_wire_size(fragment: &CollectionStats) -> usize {
+        16 + fragment
+            .doc_frequencies
+            .iter()
+            .map(|(t, _)| t.len() + 8 + 4)
+            .sum::<usize>()
+    }
+}
+
+/// Scores the documents of a peer's local index for `key` against the global
+/// statistics, producing the posting-list contribution that peer publishes for the key.
+///
+/// Only documents containing **all** terms of the key contribute (for a single-term
+/// key this is simply the term's local posting list). Each contribution's score is the
+/// sum of the BM25 term scores of the key's terms — i.e. exactly the part of the
+/// centralized BM25 score attributable to those query terms.
+pub fn score_local_postings(
+    index: &InvertedIndex,
+    key: &TermKey,
+    global: &GlobalRankingStats,
+    params: Bm25Params,
+    capacity: usize,
+) -> TruncatedPostingList {
+    let matching = index.intersect(key.terms());
+    let mut list = TruncatedPostingList::new(capacity);
+    for doc in matching {
+        let doc_len = index.doc_len(doc).unwrap_or(0);
+        let mut score = 0.0;
+        for term in key.terms() {
+            let tf = index
+                .postings(term)
+                .and_then(|l| l.get(doc))
+                .map(|p| p.tf)
+                .unwrap_or(0);
+            score += bm25_term_score(
+                tf,
+                doc_len,
+                global.avg_doc_len(),
+                global.df(term),
+                global.doc_count(),
+                params,
+            );
+        }
+        list.insert(ScoredRef { doc, score });
+    }
+    list
+}
+
+/// Merges the posting lists retrieved by the lattice exploration into a final ranking.
+///
+/// Retrieved keys are processed largest-first; for every document, each query term is
+/// counted at most once: if two retrieved keys overlap (e.g. `a+b` and `a+c`), the
+/// overlapping term's contribution is only added once (approximated by scaling the
+/// key's aggregate score by the fraction of its terms that are still uncovered for
+/// that document).
+pub fn merge_retrieved(
+    retrieved: &[(TermKey, TruncatedPostingList)],
+    k: usize,
+) -> Vec<ScoredDoc> {
+    let mut ordered: Vec<&(TermKey, TruncatedPostingList)> = retrieved.iter().collect();
+    ordered.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+
+    let mut scores: HashMap<DocId, f64> = HashMap::new();
+    let mut covered: HashMap<DocId, BTreeSet<&str>> = HashMap::new();
+
+    for (key, list) in ordered {
+        for r in list.refs() {
+            let cov = covered.entry(r.doc).or_default();
+            let new_terms: Vec<&str> = key
+                .terms()
+                .iter()
+                .map(String::as_str)
+                .filter(|t| !cov.contains(*t))
+                .collect();
+            if new_terms.is_empty() {
+                continue;
+            }
+            let fraction = new_terms.len() as f64 / key.len() as f64;
+            *scores.entry(r.doc).or_insert(0.0) += r.score * fraction;
+            for t in new_terms {
+                cov.insert(t);
+            }
+        }
+    }
+
+    top_k(
+        scores
+            .into_iter()
+            .map(|(doc, score)| ScoredDoc { doc, score })
+            .collect(),
+        k,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn global_from(indexes: &[&InvertedIndex]) -> GlobalRankingStats {
+        let frags: Vec<CollectionStats> = indexes.iter().map(|i| i.collection_stats()).collect();
+        GlobalRankingStats::aggregate(frags.iter())
+    }
+
+    fn local_index(peer: u32, docs: &[&str]) -> InvertedIndex {
+        let mut idx = InvertedIndex::default();
+        for (i, d) in docs.iter().enumerate() {
+            idx.index_text(DocId::new(peer, i as u32), d);
+        }
+        idx
+    }
+
+    #[test]
+    fn aggregation_matches_a_single_global_index() {
+        let a = local_index(0, &["peer to peer retrieval", "distributed hash tables"]);
+        let b = local_index(1, &["peer networks", "text retrieval quality"]);
+        let global = global_from(&[&a, &b]);
+        assert_eq!(global.doc_count(), 4);
+        assert_eq!(global.df("peer"), 2);
+        assert_eq!(global.df("retriev"), 2);
+        assert_eq!(global.df("network"), 1);
+        assert!(global.avg_doc_len() > 0.0);
+        assert!(global.vocabulary_size() >= 8);
+        // Incremental merge gives the same result as one-shot aggregation.
+        let mut incremental = GlobalRankingStats::new();
+        incremental.merge_fragment(&a.collection_stats());
+        incremental.merge_fragment(&b.collection_stats());
+        assert_eq!(incremental.doc_count(), global.doc_count());
+        assert_eq!(incremental.df("peer"), global.df("peer"));
+    }
+
+    #[test]
+    fn fragment_wire_size_grows_with_vocabulary() {
+        let small = local_index(0, &["one short document"]).collection_stats();
+        let large = local_index(0, &[
+            "a much longer document with many different interesting terms appearing here",
+            "another document with yet more vocabulary diversity and novel words",
+        ])
+        .collection_stats();
+        assert!(
+            GlobalRankingStats::fragment_wire_size(&large)
+                > GlobalRankingStats::fragment_wire_size(&small)
+        );
+    }
+
+    #[test]
+    fn score_local_postings_single_term_matches_bm25() {
+        let idx = local_index(0, &[
+            "peer retrieval peer systems",
+            "web search engines",
+            "peer protocols",
+        ]);
+        let global = global_from(&[&idx]);
+        let key = TermKey::single("peer");
+        let list = score_local_postings(&idx, &key, &global, Bm25Params::default(), 100);
+        assert_eq!(list.len(), 2);
+        assert!(!list.is_truncated());
+        // Doc 0 has tf=2 and should outscore doc 2 (tf=1) despite being longer.
+        assert_eq!(list.refs()[0].doc, DocId::new(0, 0));
+        assert!(list.refs()[0].score > list.refs()[1].score);
+    }
+
+    #[test]
+    fn score_local_postings_multi_term_requires_all_terms() {
+        let idx = local_index(0, &[
+            "peer retrieval systems",
+            "peer networks without the other keyword",
+            "retrieval only here",
+        ]);
+        let global = global_from(&[&idx]);
+        let key = TermKey::new(["peer", "retriev"]);
+        let list = score_local_postings(&idx, &key, &global, Bm25Params::default(), 100);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.refs()[0].doc, DocId::new(0, 0));
+        // The pair score equals the sum of the two single-term scores for that doc.
+        let single_p = score_local_postings(&idx, &TermKey::single("peer"), &global, Bm25Params::default(), 100);
+        let single_r = score_local_postings(&idx, &TermKey::single("retriev"), &global, Bm25Params::default(), 100);
+        let sp = single_p.refs().iter().find(|r| r.doc == DocId::new(0, 0)).unwrap().score;
+        let sr = single_r.refs().iter().find(|r| r.doc == DocId::new(0, 0)).unwrap().score;
+        assert!((list.refs()[0].score - (sp + sr)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_caps_published_contributions() {
+        let docs: Vec<String> = (0..50).map(|i| format!("peer document number {i}")).collect();
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let idx = local_index(0, &doc_refs);
+        let global = global_from(&[&idx]);
+        let list = score_local_postings(
+            &idx,
+            &TermKey::single("peer"),
+            &global,
+            Bm25Params::default(),
+            10,
+        );
+        assert_eq!(list.len(), 10);
+        assert!(list.is_truncated());
+        assert_eq!(list.full_df(), 50);
+    }
+
+    #[test]
+    fn merge_retrieved_reconstructs_exact_scores_for_disjoint_covers() {
+        // Query {a, b, c} answered from keys {b, c} and {a}: a document present in
+        // both lists must score the sum of both contributions.
+        let doc = DocId::new(0, 7);
+        let bc = TruncatedPostingList::from_refs(
+            [ScoredRef { doc, score: 2.0 }],
+            10,
+        );
+        let a = TruncatedPostingList::from_refs(
+            [ScoredRef { doc, score: 1.5 }, ScoredRef { doc: DocId::new(0, 9), score: 0.5 }],
+            10,
+        );
+        let merged = merge_retrieved(
+            &[(TermKey::new(["b", "c"]), bc), (TermKey::single("a"), a)],
+            10,
+        );
+        assert_eq!(merged[0].doc, doc);
+        assert!((merged[0].score - 3.5).abs() < 1e-9);
+        assert_eq!(merged.len(), 2);
+        assert!((merged[1].score - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_retrieved_does_not_double_count_overlapping_keys() {
+        // Keys {a,b} and {b} overlap on term b: the single-term list must not add b's
+        // contribution again for a document already covered by {a,b}.
+        let doc = DocId::new(0, 1);
+        let ab = TruncatedPostingList::from_refs([ScoredRef { doc, score: 4.0 }], 10);
+        let b = TruncatedPostingList::from_refs([ScoredRef { doc, score: 1.0 }], 10);
+        let merged = merge_retrieved(
+            &[(TermKey::new(["a", "b"]), ab), (TermKey::single("b"), b)],
+            10,
+        );
+        assert_eq!(merged.len(), 1);
+        assert!((merged[0].score - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_retrieved_orders_by_score_and_truncates() {
+        let lists: Vec<(TermKey, TruncatedPostingList)> = (0..5)
+            .map(|i| {
+                (
+                    TermKey::single(format!("t{i}")),
+                    TruncatedPostingList::from_refs(
+                        [ScoredRef { doc: DocId::new(0, i), score: f64::from(i) }],
+                        10,
+                    ),
+                )
+            })
+            .collect();
+        let merged = merge_retrieved(&lists, 3);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].doc, DocId::new(0, 4));
+        assert!(merged.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn merge_retrieved_empty_input() {
+        assert!(merge_retrieved(&[], 10).is_empty());
+    }
+}

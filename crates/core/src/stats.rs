@@ -1,0 +1,220 @@
+//! Experiment metrics.
+//!
+//! Retrieval-quality measures (precision, recall, overlap against the centralized
+//! reference) and small numeric helpers (means, percentiles, load-imbalance ratios)
+//! used by the integration tests and the benchmark harness.
+
+use alvisp2p_textindex::bm25::ScoredDoc;
+use alvisp2p_textindex::DocId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Precision@k of `results` against a set of relevant documents: the fraction of the
+/// top-k results that are relevant. Returns 0 when `results` is empty.
+pub fn precision_at_k(results: &[ScoredDoc], relevant: &HashSet<DocId>, k: usize) -> f64 {
+    let top: Vec<&ScoredDoc> = results.iter().take(k).collect();
+    if top.is_empty() {
+        return 0.0;
+    }
+    let hits = top.iter().filter(|r| relevant.contains(&r.doc)).count();
+    hits as f64 / top.len() as f64
+}
+
+/// Recall@k of `results` against a set of relevant documents: the fraction of relevant
+/// documents present in the top-k. Returns 1 when there are no relevant documents.
+pub fn recall_at_k(results: &[ScoredDoc], relevant: &HashSet<DocId>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let top: HashSet<DocId> = results.iter().take(k).map(|r| r.doc).collect();
+    let hits = relevant.iter().filter(|d| top.contains(d)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Overlap@k between a system's results and a reference ranking: the fraction of the
+/// reference's top-k that also appears in the system's top-k. This is the measure the
+/// companion papers use to compare the P2P rankings against the centralized engine.
+pub fn overlap_at_k(results: &[ScoredDoc], reference: &[ScoredDoc], k: usize) -> f64 {
+    let ref_top: HashSet<DocId> = reference.iter().take(k).map(|r| r.doc).collect();
+    if ref_top.is_empty() {
+        return 1.0;
+    }
+    let sys_top: HashSet<DocId> = results.iter().take(k).map(|r| r.doc).collect();
+    let hits = ref_top.iter().filter(|d| sys_top.contains(d)).count();
+    hits as f64 / ref_top.len() as f64
+}
+
+/// The set of documents the reference ranking considers relevant (its top-k) — the
+/// usual proxy for relevance judgements when no human assessments exist.
+pub fn reference_relevant(reference: &[ScoredDoc], k: usize) -> HashSet<DocId> {
+    reference.iter().take(k).map(|r| r.doc).collect()
+}
+
+/// Aggregated quality over a query set.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct QualitySummary {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Mean precision@k (reference top-k treated as relevant).
+    pub mean_precision: f64,
+    /// Mean recall@k.
+    pub mean_recall: f64,
+    /// Mean overlap@k with the reference ranking.
+    pub mean_overlap: f64,
+}
+
+/// Accumulates per-query quality measurements into a [`QualitySummary`].
+#[derive(Clone, Debug, Default)]
+pub struct QualityAccumulator {
+    precision: Vec<f64>,
+    recall: Vec<f64>,
+    overlap: Vec<f64>,
+}
+
+impl QualityAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        QualityAccumulator::default()
+    }
+
+    /// Adds one query's results, judged against the reference ranking at cutoff `k`.
+    pub fn add(&mut self, results: &[ScoredDoc], reference: &[ScoredDoc], k: usize) {
+        let relevant = reference_relevant(reference, k);
+        self.precision.push(precision_at_k(results, &relevant, k));
+        self.recall.push(recall_at_k(results, &relevant, k));
+        self.overlap.push(overlap_at_k(results, reference, k));
+    }
+
+    /// Number of queries accumulated so far.
+    pub fn len(&self) -> usize {
+        self.precision.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.precision.is_empty()
+    }
+
+    /// The aggregated summary.
+    pub fn summary(&self) -> QualitySummary {
+        QualitySummary {
+            queries: self.precision.len(),
+            mean_precision: mean(&self.precision),
+            mean_recall: mean(&self.recall),
+            mean_overlap: mean(&self.overlap),
+        }
+    }
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The p-th percentile (0–100) of a slice, using nearest-rank on a sorted copy.
+/// Returns 0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Load imbalance of a distribution: `max / mean` (1.0 = perfectly balanced).
+/// Returns 0 for an empty slice and `inf`-free results for all-zero loads.
+pub fn imbalance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    if m == 0.0 {
+        return 1.0;
+    }
+    values.iter().copied().fold(0.0f64, f64::max) / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(ids: &[u32]) -> Vec<ScoredDoc> {
+        ids.iter()
+            .enumerate()
+            .map(|(i, id)| ScoredDoc {
+                doc: DocId::new(0, *id),
+                score: 100.0 - i as f64,
+            })
+            .collect()
+    }
+
+    fn relevant(ids: &[u32]) -> HashSet<DocId> {
+        ids.iter().map(|i| DocId::new(0, *i)).collect()
+    }
+
+    #[test]
+    fn precision_counts_relevant_fraction() {
+        let results = docs(&[1, 2, 3, 4]);
+        let rel = relevant(&[1, 3, 9]);
+        assert!((precision_at_k(&results, &rel, 4) - 0.5).abs() < 1e-9);
+        assert!((precision_at_k(&results, &rel, 2) - 0.5).abs() < 1e-9);
+        assert_eq!(precision_at_k(&[], &rel, 10), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_found_fraction() {
+        let results = docs(&[1, 2, 3]);
+        let rel = relevant(&[1, 3, 9, 10]);
+        assert!((recall_at_k(&results, &rel, 10) - 0.5).abs() < 1e-9);
+        assert_eq!(recall_at_k(&results, &HashSet::new(), 10), 1.0);
+        assert_eq!(recall_at_k(&[], &rel, 10), 0.0);
+    }
+
+    #[test]
+    fn overlap_compares_against_reference_ranking() {
+        let reference = docs(&[1, 2, 3, 4, 5]);
+        let identical = docs(&[1, 2, 3, 4, 5]);
+        let reordered = docs(&[5, 4, 3, 2, 1]);
+        let half = docs(&[1, 2, 9, 10, 11]);
+        assert_eq!(overlap_at_k(&identical, &reference, 5), 1.0);
+        assert_eq!(overlap_at_k(&reordered, &reference, 5), 1.0);
+        assert!((overlap_at_k(&half, &reference, 5) - 0.4).abs() < 1e-9);
+        assert_eq!(overlap_at_k(&[], &reference, 5), 0.0);
+        assert_eq!(overlap_at_k(&half, &[], 5), 1.0);
+    }
+
+    #[test]
+    fn accumulator_aggregates_means() {
+        let reference = docs(&[1, 2, 3, 4]);
+        let mut acc = QualityAccumulator::new();
+        assert!(acc.is_empty());
+        acc.add(&docs(&[1, 2, 3, 4]), &reference, 4); // perfect
+        acc.add(&docs(&[9, 8, 7, 6]), &reference, 4); // disjoint
+        let s = acc.summary();
+        assert_eq!(s.queries, 2);
+        assert!((s.mean_precision - 0.5).abs() < 1e-9);
+        assert!((s.mean_overlap - 0.5).abs() < 1e-9);
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        let values = [5.0, 1.0, 9.0, 3.0, 7.0];
+        assert_eq!(percentile(&values, 0.0), 1.0);
+        assert_eq!(percentile(&values, 50.0), 5.0);
+        assert_eq!(percentile(&values, 100.0), 9.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!((imbalance(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[0.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Peer churn: joins, graceful departures and abrupt failures.
+//!
+//! In AlvisP2P a peer joining the network takes over responsibility for part of its
+//! successor's key range, and a peer leaving gracefully hands its keys to its
+//! successor. Both transfers cross the network and are charged to
+//! [`TrafficCategory::Overlay`]. Abrupt failures lose the failed peer's index slice
+//! (the layer above re-publishes from the peers' local indexes, exactly as the paper's
+//! design prescribes: documents always stay at their owner, the global index is a
+//! cache that can be rebuilt).
+
+use crate::id::RingId;
+use crate::network::{Dht, DhtError};
+use crate::node::Peer;
+use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
+use alvisp2p_netsim::{TrafficCategory, WireSize};
+
+impl<V: Clone + WireSize> Dht<V> {
+    /// A new peer with identifier `id` joins the overlay.
+    ///
+    /// The keys in `(predecessor(id), id]` are transferred from the peer that was
+    /// previously responsible for them; the transfer is charged to
+    /// [`TrafficCategory::Overlay`]. Routing tables of all peers are refreshed
+    /// (the converged effect of stabilisation).
+    ///
+    /// Returns the index of the new peer, or `None` if the identifier is taken.
+    pub fn join(&mut self, id: RingId) -> Option<usize> {
+        // Who is responsible for this range today (before the join)?
+        let old_responsible = self.responsible_for(id).ok();
+        let new_index = self.add_peer_with_id(id)?;
+
+        if let Some(old_idx) = old_responsible {
+            // The new peer takes over (pred(new), new] from its successor.
+            let pred = self
+                .ring()
+                .predecessor_of_peer(id)
+                .map(|(p, _)| p)
+                .unwrap_or(id);
+            let moved = {
+                let old_peer = self.peer_mut(old_idx);
+                old_peer.store.split_off_interval(pred, id)
+            };
+            let mut transferred_bytes = 0usize;
+            for (k, v) in moved {
+                transferred_bytes += 8 + v.wire_size();
+                self.peer_mut(new_index).store.insert(k, v);
+            }
+            if transferred_bytes > 0 {
+                self.record_overlay(transferred_bytes + ENVELOPE_OVERHEAD);
+            }
+        }
+        // Join handshake + stabilisation messages: one routed join request plus a
+        // constant number of neighbour updates.
+        self.record_overlay(64 + ENVELOPE_OVERHEAD);
+        self.rebuild_routing_tables();
+        Some(new_index)
+    }
+
+    /// Peer `index` leaves gracefully, handing all its keys to its successor.
+    pub fn leave(&mut self, index: usize) -> Result<(), DhtError> {
+        if index >= self.peer_slots() || !self.peer(index).alive {
+            return Err(DhtError::BadOrigin);
+        }
+        let id = self.peer(index).id;
+        let successor = self
+            .ring()
+            .successor_of_peer(id)
+            .map(|(_, idx)| idx)
+            .filter(|idx| *idx != index);
+
+        let handed_over = self.peer_mut(index).store.drain_all();
+        let mut transferred_bytes = 0usize;
+        if let Some(succ) = successor {
+            for (k, v) in handed_over {
+                transferred_bytes += 8 + v.wire_size();
+                self.peer_mut(succ).store.insert(k, v);
+            }
+        }
+        if transferred_bytes > 0 {
+            self.record_overlay(transferred_bytes + ENVELOPE_OVERHEAD);
+        }
+        self.record_overlay(48 + ENVELOPE_OVERHEAD);
+        self.mark_departed(index, id);
+        Ok(())
+    }
+
+    /// Peer `index` fails abruptly: its slice of the distributed index is lost.
+    pub fn fail(&mut self, index: usize) -> Result<usize, DhtError> {
+        if index >= self.peer_slots() || !self.peer(index).alive {
+            return Err(DhtError::BadOrigin);
+        }
+        let id = self.peer(index).id;
+        let lost = self.peer_mut(index).store.drain_all().len();
+        self.mark_departed(index, id);
+        Ok(lost)
+    }
+
+    fn mark_departed(&mut self, index: usize, id: RingId) {
+        self.peer_mut(index).alive = false;
+        self.remove_from_ring(id);
+        self.rebuild_routing_tables();
+    }
+}
+
+// Small private helpers exposed through an extension trait pattern would be overkill;
+// instead the ring/stats mutators below stay `pub(crate)` on `Dht` via this impl.
+impl<V: Clone + WireSize> Dht<V> {
+    pub(crate) fn record_overlay(&mut self, bytes: usize) {
+        self.stats_record(TrafficCategory::Overlay, bytes);
+    }
+}
+
+/// A helper describing a peer's view for debugging and test diagnostics.
+#[derive(Clone, Debug)]
+pub struct PeerSummary {
+    /// Ring identifier.
+    pub id: RingId,
+    /// Whether the peer is live.
+    pub alive: bool,
+    /// Number of keys it stores.
+    pub keys: usize,
+}
+
+/// Produces a summary of every peer slot (live and departed).
+pub fn summarize<V>(peers: &[Peer<V>]) -> Vec<PeerSummary> {
+    peers
+        .iter()
+        .map(|p| PeerSummary {
+            id: p.id,
+            alive: p.alive,
+            keys: p.store.len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DhtConfig;
+
+    fn dht(n: usize) -> Dht<Vec<u32>> {
+        Dht::with_peers(DhtConfig::default(), 11, n)
+    }
+
+    fn fill(d: &mut Dht<Vec<u32>>, n_keys: usize) -> Vec<RingId> {
+        let mut keys = Vec::new();
+        for i in 0..n_keys {
+            let key = RingId::hash_str(&format!("key-{i}"));
+            d.put(i % d.live_peers(), key, vec![i as u32], TrafficCategory::Indexing)
+                .unwrap();
+            keys.push(key);
+        }
+        keys
+    }
+
+    #[test]
+    fn join_takes_over_the_right_key_range() {
+        let mut d = dht(16);
+        let keys = fill(&mut d, 100);
+        let total_before = d.total_keys();
+        let new_idx = d.join(RingId(u64::MAX / 3)).expect("fresh id");
+        assert_eq!(d.live_peers(), 17);
+        // No keys were lost and every key is still reachable at its responsible peer.
+        assert_eq!(d.total_keys(), total_before);
+        for k in &keys {
+            assert!(d.peek(*k).is_some(), "key {k:?} lost after join");
+        }
+        // The new peer is responsible for exactly the keys it stores.
+        for (k, _) in d.peer(new_idx).store.iter() {
+            assert_eq!(d.responsible_for(*k).unwrap(), new_idx);
+        }
+        assert!(d.stats().category(TrafficCategory::Overlay).messages > 0);
+    }
+
+    #[test]
+    fn graceful_leave_hands_keys_to_successor() {
+        let mut d = dht(16);
+        let keys = fill(&mut d, 100);
+        let victim = 7;
+        let had = d.peer(victim).store.len();
+        d.leave(victim).unwrap();
+        assert_eq!(d.live_peers(), 15);
+        assert!(!d.peer(victim).alive);
+        // All keys still present and reachable.
+        assert_eq!(d.total_keys(), 100);
+        for k in &keys {
+            let resp = d.responsible_for(*k).unwrap();
+            assert!(d.peer(resp).store.contains(k), "key {k:?} not at responsible peer");
+        }
+        let _ = had;
+        // Leaving twice is an error.
+        assert_eq!(d.leave(victim), Err(DhtError::BadOrigin));
+    }
+
+    #[test]
+    fn abrupt_failure_loses_only_that_peers_keys() {
+        let mut d = dht(16);
+        fill(&mut d, 200);
+        let victim = 3;
+        let had = d.peer(victim).store.len();
+        let lost = d.fail(victim).unwrap();
+        assert_eq!(lost, had);
+        assert_eq!(d.total_keys(), 200 - had);
+        // Lookups still work for the remaining keys.
+        let mut reachable = 0;
+        for i in 0..200 {
+            let key = RingId::hash_str(&format!("key-{i}"));
+            if d.peek(key).is_some() {
+                let (_, v) = d.get(0, key, TrafficCategory::Retrieval).unwrap();
+                assert!(v.is_some());
+                reachable += 1;
+            }
+        }
+        assert_eq!(reachable, 200 - had);
+    }
+
+    #[test]
+    fn join_with_taken_id_is_rejected() {
+        let mut d = dht(4);
+        let existing = d.peer(0).id;
+        assert!(d.join(existing).is_none());
+        assert_eq!(d.live_peers(), 4);
+    }
+
+    #[test]
+    fn operations_survive_a_churn_sequence() {
+        let mut d = dht(24);
+        fill(&mut d, 150);
+        // A burst of churn: 4 joins, 3 graceful leaves, 2 failures.
+        for j in 0..4u64 {
+            d.join(RingId::hash_u64(0xBEEF + j));
+        }
+        for v in [2usize, 9, 17] {
+            let _ = d.leave(v);
+        }
+        for v in [4usize, 11] {
+            let _ = d.fail(v);
+        }
+        // The overlay still routes and serves requests from any live peer.
+        let origins = d.live_peer_indices();
+        assert!(d.live_peers() >= 23);
+        for (i, origin) in origins.iter().take(10).enumerate() {
+            let key = RingId::hash_str(&format!("post-churn-{i}"));
+            d.put(*origin, key, vec![1, 2], TrafficCategory::Indexing).unwrap();
+            let (_, v) = d.get(origins[0], key, TrafficCategory::Retrieval).unwrap();
+            assert_eq!(v, Some(vec![1, 2]));
+        }
+    }
+
+    #[test]
+    fn summarize_reports_all_slots() {
+        let mut d = dht(6);
+        fill(&mut d, 30);
+        d.fail(1).unwrap();
+        // Access peers through the public accessors to build the summary.
+        let peers: Vec<_> = (0..d.peer_slots()).map(|i| d.peer(i).clone()).collect();
+        let summary = summarize(&peers);
+        assert_eq!(summary.len(), 6);
+        assert_eq!(summary.iter().filter(|s| !s.alive).count(), 1);
+        assert_eq!(summary.iter().map(|s| s.keys).sum::<usize>(), d.total_keys());
+    }
+}

@@ -1,0 +1,49 @@
+//! # alvisp2p-dht
+//!
+//! The structured P2P overlay (**layer 2**) of the AlvisP2P reproduction:
+//!
+//! * a 64-bit identifier **ring** with successor-based key responsibility ([`ring`]);
+//! * **skew-tolerant hop-space routing tables** (Klemm et al., P2P 2007) and a
+//!   Chord-style finger-table baseline ([`routing`]);
+//! * greedy O(log n) **lookup** ([`lookup`]);
+//! * routed, traffic-accounted **storage operations** over the overlay ([`network`]);
+//! * peer **churn**: joins, graceful departures, abrupt failures ([`churn`]);
+//! * the **congestion controller** that protects hot-spot peers from collapse
+//!   ([`congestion`], Klemm et al., NCA 2006).
+//!
+//! The distributed IR layers (crate `alvisp2p-core`) sit directly on [`Dht`].
+//!
+//! ```
+//! use alvisp2p_dht::{Dht, DhtConfig, RingId};
+//! use alvisp2p_netsim::TrafficCategory;
+//!
+//! // A 64-peer overlay storing posting-list-like values.
+//! let mut dht: Dht<Vec<u64>> = Dht::with_peers(DhtConfig::default(), 7, 64);
+//! let key = RingId::hash_str("peer-to-peer retrieval");
+//! dht.put(0, key, vec![1, 2, 3], TrafficCategory::Indexing).unwrap();
+//! let (info, value) = dht.get(42, key, TrafficCategory::Retrieval).unwrap();
+//! assert_eq!(value, Some(vec![1, 2, 3]));
+//! assert!(info.hops <= 10); // O(log n) routing
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod congestion;
+pub mod id;
+pub mod lookup;
+pub mod network;
+pub mod node;
+pub mod ring;
+pub mod routing;
+pub mod storage;
+
+pub use congestion::{AimdController, CongestionConfig, CongestionOutcome, HotspotScenario};
+pub use id::RingId;
+pub use lookup::{lookup, LookupResult};
+pub use network::{Dht, DhtConfig, DhtError, IdDistribution, RouteInfo};
+pub use node::Peer;
+pub use ring::Ring;
+pub use routing::{build_routing_table, RoutingEntry, RoutingStrategy, RoutingTable};
+pub use storage::LocalStore;

@@ -1,0 +1,209 @@
+//! Greedy key lookup over the overlay.
+//!
+//! Starting from an originating peer, the lookup repeatedly forwards towards the key:
+//! at each hop the current peer picks, among its routing entries and successors, the
+//! live peer that makes the most clockwise progress **without overshooting the key**.
+//! When no such entry exists the key lies between the current peer and its first live
+//! successor, which is then the responsible peer. With hop-space routing tables every
+//! hop halves the remaining peer population, giving the O(log n) hop count the paper
+//! claims for arbitrary identifier skew.
+
+use crate::id::RingId;
+use crate::node::Peer;
+use crate::ring::Ring;
+
+/// The outcome of a successful lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Index of the peer responsible for the key.
+    pub responsible: usize,
+    /// The peers traversed, starting with the originator and ending with the
+    /// responsible peer.
+    pub path: Vec<usize>,
+}
+
+impl LookupResult {
+    /// Number of overlay hops (messages forwarded); 0 when the originator itself is
+    /// responsible.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Performs a greedy lookup of `key` starting at peer `from`.
+///
+/// Returns `None` if the lookup cannot complete within `max_hops` hops (e.g. because
+/// routing state is stale after churn) or if the originating peer is not alive.
+pub fn lookup<V>(
+    peers: &[Peer<V>],
+    ring: &Ring,
+    from: usize,
+    key: RingId,
+    max_hops: usize,
+) -> Option<LookupResult> {
+    if from >= peers.len() || !peers[from].alive || ring.is_empty() {
+        return None;
+    }
+    let mut current = from;
+    let mut path = vec![current];
+
+    for _ in 0..=max_hops {
+        let cur = &peers[current];
+        if ring.is_responsible(cur.id, key) {
+            return Some(LookupResult {
+                responsible: current,
+                path,
+            });
+        }
+        let dist_to_key = cur.id.distance_to(key);
+
+        // Closest preceding live candidate: maximal progress without overshooting.
+        let mut best: Option<(u64, usize)> = None;
+        for entry in cur.table.candidates() {
+            if entry.peer_index >= peers.len() || !peers[entry.peer_index].alive {
+                continue;
+            }
+            let progress = cur.id.distance_to(entry.id);
+            if progress == 0 || progress > dist_to_key {
+                continue;
+            }
+            if best.map_or(true, |(bp, _)| progress > bp) {
+                best = Some((progress, entry.peer_index));
+            }
+        }
+
+        let next = match best {
+            Some((_, idx)) => idx,
+            None => {
+                // The key lies between us and our first live successor.
+                cur.table
+                    .successors
+                    .iter()
+                    .find(|e| e.peer_index < peers.len() && peers[e.peer_index].alive)
+                    .map(|e| e.peer_index)?
+            }
+        };
+
+        if next == current {
+            return None;
+        }
+        current = next;
+        path.push(current);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{build_routing_table, RoutingStrategy};
+
+    fn build_network(n: usize, strategy: RoutingStrategy) -> (Vec<Peer<u32>>, Ring) {
+        let ids: Vec<RingId> = (0..n)
+            .map(|i| RingId(((i as u128 * u64::MAX as u128) / n as u128) as u64))
+            .collect();
+        let ring = Ring::from_members(ids.iter().enumerate().map(|(i, id)| (*id, i)));
+        let mut peers: Vec<Peer<u32>> = ids.iter().map(|id| Peer::new(*id)).collect();
+        for p in peers.iter_mut() {
+            p.table = build_routing_table(p.id, &ring, strategy);
+        }
+        (peers, ring)
+    }
+
+    #[test]
+    fn lookup_reaches_the_responsible_peer() {
+        let (peers, ring) = build_network(64, RoutingStrategy::HopSpace);
+        for key in [0u64, 12345, u64::MAX / 3, u64::MAX - 1] {
+            let key = RingId(key);
+            let res = lookup(&peers, &ring, 0, key, 64).expect("lookup completes");
+            let expected = ring.successor_of_key(key).unwrap().1;
+            assert_eq!(res.responsible, expected);
+            assert_eq!(*res.path.first().unwrap(), 0);
+            assert_eq!(*res.path.last().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn lookup_from_responsible_peer_takes_zero_hops() {
+        let (peers, ring) = build_network(16, RoutingStrategy::HopSpace);
+        let key = peers[5].id; // peer 5 is its own successor for its exact id
+        let res = lookup(&peers, &ring, 5, key, 16).unwrap();
+        assert_eq!(res.hops(), 0);
+        assert_eq!(res.responsible, 5);
+    }
+
+    #[test]
+    fn hop_count_is_logarithmic_with_hopspace() {
+        let (peers, ring) = build_network(256, RoutingStrategy::HopSpace);
+        let log2n = 8.0;
+        let mut max_hops = 0usize;
+        for k in 0..200u64 {
+            let key = RingId(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let res = lookup(&peers, &ring, (k % 256) as usize, key, 512).unwrap();
+            max_hops = max_hops.max(res.hops());
+        }
+        assert!(
+            (max_hops as f64) <= log2n + 2.0,
+            "max hops {max_hops} exceeds log2(n)+2"
+        );
+    }
+
+    #[test]
+    fn finger_lookup_also_terminates() {
+        let (peers, ring) = build_network(128, RoutingStrategy::Finger);
+        for k in 0..100u64 {
+            let key = RingId(k.wrapping_mul(0x1234_5678_9ABC_DEF1));
+            let res = lookup(&peers, &ring, (k % 128) as usize, key, 256).unwrap();
+            assert_eq!(res.responsible, ring.successor_of_key(key).unwrap().1);
+        }
+    }
+
+    #[test]
+    fn lookup_skips_dead_candidates() {
+        let (mut peers, mut ring) = build_network(32, RoutingStrategy::HopSpace);
+        // Kill a peer that is *not* responsible for the key and not the originator.
+        let key = RingId(u64::MAX / 2 + 12345);
+        let responsible = ring.successor_of_key(key).unwrap().1;
+        let victim = (0..32)
+            .find(|i| *i != responsible && *i != 0)
+            .unwrap();
+        peers[victim].alive = false;
+        ring.remove(peers[victim].id);
+        // Rebuild tables to reflect the smaller ring (stabilisation).
+        for i in 0..peers.len() {
+            if peers[i].alive {
+                peers[i].table =
+                    build_routing_table(peers[i].id, &ring, RoutingStrategy::HopSpace);
+            }
+        }
+        let res = lookup(&peers, &ring, 0, key, 64).unwrap();
+        assert!(res.path.iter().all(|p| peers[*p].alive));
+        assert_eq!(res.responsible, ring.successor_of_key(key).unwrap().1);
+    }
+
+    #[test]
+    fn lookup_from_dead_or_invalid_peer_fails() {
+        let (mut peers, ring) = build_network(8, RoutingStrategy::HopSpace);
+        peers[3].alive = false;
+        assert!(lookup(&peers, &ring, 3, RingId(1), 16).is_none());
+        assert!(lookup(&peers, &ring, 99, RingId(1), 16).is_none());
+    }
+
+    #[test]
+    fn lookup_fails_when_hop_budget_exhausted() {
+        let (peers, ring) = build_network(64, RoutingStrategy::HopSpace);
+        // A budget of zero hops only succeeds if the originator is responsible.
+        let key = RingId(u64::MAX / 2 + 999);
+        let responsible = ring.successor_of_key(key).unwrap().1;
+        let origin = (responsible + 10) % 64;
+        assert!(lookup(&peers, &ring, origin, key, 0).is_none());
+    }
+
+    #[test]
+    fn single_peer_network_resolves_everything_locally() {
+        let (peers, ring) = build_network(1, RoutingStrategy::HopSpace);
+        let res = lookup(&peers, &ring, 0, RingId(0xDEADBEEF), 4).unwrap();
+        assert_eq!(res.responsible, 0);
+        assert_eq!(res.hops(), 0);
+    }
+}

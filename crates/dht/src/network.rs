@@ -1,0 +1,568 @@
+//! The simulated DHT: peer population, routed storage operations, traffic accounting.
+//!
+//! [`Dht`] is the synchronous facade the information-retrieval layers (L3/L4) are
+//! built on. Every operation that would cross the network in the deployed system
+//! (lookups, posting-list transfers, statistics queries) is routed hop-by-hop over the
+//! peers' routing tables and accounted into a [`TrafficStats`] so the experiment
+//! harness can report exactly how many messages and bytes each mechanism costs.
+
+use crate::id::RingId;
+use crate::lookup::{lookup, LookupResult};
+use crate::node::Peer;
+use crate::ring::Ring;
+use crate::routing::{build_routing_table, RoutingStrategy};
+use alvisp2p_netsim::{PowerLaw, SimRng, TrafficCategory, TrafficStats, WireSize};
+use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
+
+/// How peer identifiers are assigned when populating a network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IdDistribution {
+    /// Identifiers drawn uniformly at random (hashed addresses).
+    Uniform,
+    /// Identifiers concentrated near one region of the ring; `alpha >= 1` controls the
+    /// skew (1 = uniform, larger = more skewed). Models load-imbalanced / partitioned
+    /// identifier assignment the hop-space routing is designed to tolerate.
+    Skewed(f64),
+    /// Identifiers evenly spaced around the ring (idealised balanced placement).
+    Evenly,
+}
+
+/// Configuration of the simulated DHT.
+#[derive(Clone, Debug)]
+pub struct DhtConfig {
+    /// Routing-table construction strategy.
+    pub strategy: RoutingStrategy,
+    /// Maximum hops a lookup may take before being declared failed.
+    pub max_hops: usize,
+    /// Size in bytes of a lookup/forward request message (key + originator address).
+    pub lookup_request_bytes: usize,
+    /// How peer identifiers are assigned.
+    pub id_distribution: IdDistribution,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig {
+            strategy: RoutingStrategy::HopSpace,
+            max_hops: 128,
+            lookup_request_bytes: 48,
+            id_distribution: IdDistribution::Uniform,
+        }
+    }
+}
+
+/// Result of a routed operation: which peer is responsible and how many overlay hops
+/// the request took.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Index of the responsible peer.
+    pub responsible: usize,
+    /// Number of overlay hops taken by the request.
+    pub hops: usize,
+}
+
+/// Error type for DHT operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DhtError {
+    /// The originating peer does not exist or has left the overlay.
+    BadOrigin,
+    /// The lookup did not complete within the hop budget (stale routing state).
+    LookupFailed,
+    /// The overlay has no live peers.
+    EmptyNetwork,
+}
+
+impl std::fmt::Display for DhtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DhtError::BadOrigin => write!(f, "originating peer is not part of the overlay"),
+            DhtError::LookupFailed => write!(f, "lookup exceeded the hop budget"),
+            DhtError::EmptyNetwork => write!(f, "the overlay has no live peers"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+/// A simulated structured P2P overlay storing values of type `V`.
+pub struct Dht<V> {
+    peers: Vec<Peer<V>>,
+    ring: Ring,
+    config: DhtConfig,
+    stats: TrafficStats,
+    rng: SimRng,
+}
+
+impl<V: Clone + WireSize> Dht<V> {
+    /// Creates an empty overlay.
+    pub fn new(config: DhtConfig, seed: u64) -> Self {
+        Dht {
+            peers: Vec::new(),
+            ring: Ring::new(),
+            config,
+            stats: TrafficStats::new(),
+            rng: SimRng::new(seed).derive(0xD47),
+        }
+    }
+
+    /// Creates an overlay populated with `n` peers whose identifiers follow the
+    /// configured [`IdDistribution`], with routing tables already built.
+    pub fn with_peers(config: DhtConfig, seed: u64, n: usize) -> Self {
+        let mut dht = Self::new(config, seed);
+        dht.populate(n);
+        dht.rebuild_routing_tables();
+        dht
+    }
+
+    /// Adds `n` peers according to the configured identifier distribution
+    /// (routing tables must be rebuilt afterwards).
+    pub fn populate(&mut self, n: usize) {
+        for _ in 0..n {
+            let id = self.draw_id(self.peers.len(), n);
+            self.add_peer_with_id(id);
+        }
+    }
+
+    fn draw_id(&mut self, index: usize, total: usize) -> RingId {
+        match self.config.id_distribution {
+            IdDistribution::Uniform => RingId(self.rng.gen_u64()),
+            IdDistribution::Skewed(alpha) => {
+                let p = PowerLaw::new(alpha.max(1.0));
+                RingId::from_fraction(p.sample(&mut self.rng))
+            }
+            IdDistribution::Evenly => {
+                let total = total.max(1);
+                RingId(((index as u128 * u64::MAX as u128) / total as u128) as u64)
+            }
+        }
+    }
+
+    /// Adds a peer with an explicit identifier; returns its index, or `None` if the
+    /// identifier is already taken.
+    pub fn add_peer_with_id(&mut self, id: RingId) -> Option<usize> {
+        if self.ring.rank_of(id).is_some() {
+            return None;
+        }
+        let index = self.peers.len();
+        self.peers.push(Peer::new(id));
+        self.ring.insert(id, index);
+        Some(index)
+    }
+
+    /// Rebuilds every live peer's routing table from the current membership
+    /// (the converged state of the stabilisation protocol).
+    pub fn rebuild_routing_tables(&mut self) {
+        for i in 0..self.peers.len() {
+            if self.peers[i].alive {
+                self.peers[i].table =
+                    build_routing_table(self.peers[i].id, &self.ring, self.config.strategy);
+            }
+        }
+    }
+
+    /// Number of live peers.
+    pub fn live_peers(&self) -> usize {
+        self.peers.iter().filter(|p| p.alive).count()
+    }
+
+    /// Total number of peer slots ever allocated (including departed peers).
+    pub fn peer_slots(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Indices of all live peers.
+    pub fn live_peer_indices(&self) -> Vec<usize> {
+        (0..self.peers.len()).filter(|i| self.peers[*i].alive).collect()
+    }
+
+    /// Immutable access to a peer.
+    pub fn peer(&self, index: usize) -> &Peer<V> {
+        &self.peers[index]
+    }
+
+    /// Mutable access to a peer (used by the IR layer to manage co-located state).
+    pub fn peer_mut(&mut self, index: usize) -> &mut Peer<V> {
+        &mut self.peers[index]
+    }
+
+    /// The current ring membership view.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The configuration this overlay was built with.
+    pub fn config(&self) -> &DhtConfig {
+        &self.config
+    }
+
+    /// Traffic statistics accumulated by routed operations.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets the traffic statistics (e.g. between the indexing and retrieval phases
+    /// of an experiment).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Takes a snapshot of the statistics for later differencing.
+    pub fn stats_snapshot(&self) -> TrafficStats {
+        self.stats.clone()
+    }
+
+    /// A deterministic RNG derived from the overlay's seed.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Routes a request for `key` from peer `from`, charging one lookup-request
+    /// message per hop to `category`.
+    pub fn route(
+        &mut self,
+        from: usize,
+        key: RingId,
+        category: TrafficCategory,
+    ) -> Result<RouteInfo, DhtError> {
+        let result = self.raw_lookup(from, key)?;
+        let hops = result.hops();
+        for window in result.path.windows(2) {
+            self.peers[window[0]].forwarded_lookups += 1;
+            let _ = window;
+        }
+        let msg = self.config.lookup_request_bytes + ENVELOPE_OVERHEAD;
+        for _ in 0..hops {
+            self.stats.record(category, msg);
+        }
+        Ok(RouteInfo {
+            responsible: result.responsible,
+            hops,
+        })
+    }
+
+    /// Like [`Dht::route`] but without recording any traffic — used by experiments
+    /// that only measure hop counts (E5).
+    pub fn probe_hops(&self, from: usize, key: RingId) -> Result<usize, DhtError> {
+        self.raw_lookup(from, key).map(|r| r.hops())
+    }
+
+    /// The peer currently responsible for `key` (no routing, no traffic) — the ground
+    /// truth used in tests and for co-located state management.
+    pub fn responsible_for(&self, key: RingId) -> Result<usize, DhtError> {
+        self.ring
+            .successor_of_key(key)
+            .map(|(_, idx)| idx)
+            .ok_or(DhtError::EmptyNetwork)
+    }
+
+    fn raw_lookup(&self, from: usize, key: RingId) -> Result<LookupResult, DhtError> {
+        if self.ring.is_empty() {
+            return Err(DhtError::EmptyNetwork);
+        }
+        if from >= self.peers.len() || !self.peers[from].alive {
+            return Err(DhtError::BadOrigin);
+        }
+        lookup(&self.peers, &self.ring, from, key, self.config.max_hops)
+            .ok_or(DhtError::LookupFailed)
+    }
+
+    // ------------------------------------------------------------------
+    // Routed storage operations
+    // ------------------------------------------------------------------
+
+    /// Stores `value` under `key`, replacing any previous value. The transferred
+    /// payload (the value itself) plus the routing messages are charged to `category`.
+    pub fn put(
+        &mut self,
+        from: usize,
+        key: RingId,
+        value: V,
+        category: TrafficCategory,
+    ) -> Result<RouteInfo, DhtError> {
+        let info = self.route(from, key, category)?;
+        let payload = value.wire_size() + ENVELOPE_OVERHEAD;
+        self.stats.record(category, payload);
+        let peer = &mut self.peers[info.responsible];
+        peer.served_requests += 1;
+        peer.store.insert(key, value);
+        Ok(info)
+    }
+
+    /// Fetches the value stored under `key`. The request is routed (charged per hop);
+    /// the response carries the value (or a small not-found notice) directly back to
+    /// the requester and is charged to `category` as well.
+    pub fn get(
+        &mut self,
+        from: usize,
+        key: RingId,
+        category: TrafficCategory,
+    ) -> Result<(RouteInfo, Option<V>), DhtError> {
+        let info = self.route(from, key, category)?;
+        let peer = &mut self.peers[info.responsible];
+        peer.served_requests += 1;
+        let value = peer.store.get(&key).cloned();
+        let response_bytes = value
+            .as_ref()
+            .map(|v| v.wire_size())
+            .unwrap_or(1)
+            + ENVELOPE_OVERHEAD;
+        self.stats.record(category, response_bytes);
+        Ok((info, value))
+    }
+
+    /// Applies an arbitrary modification to the entry stored under `key` at the
+    /// responsible peer. `request_bytes` is the size of the update payload the
+    /// requester ships (e.g. a delta posting list); it is charged to `category` on top
+    /// of the routing messages.
+    pub fn update(
+        &mut self,
+        from: usize,
+        key: RingId,
+        request_bytes: usize,
+        category: TrafficCategory,
+        f: impl FnOnce(&mut Option<V>),
+    ) -> Result<RouteInfo, DhtError> {
+        let info = self.route(from, key, category)?;
+        self.stats.record(category, request_bytes + ENVELOPE_OVERHEAD);
+        let peer = &mut self.peers[info.responsible];
+        peer.served_requests += 1;
+        peer.store.upsert_with(key, f);
+        Ok(info)
+    }
+
+    /// Removes the value stored under `key`. Routing messages and a small removal
+    /// request are charged to `category`.
+    pub fn remove(
+        &mut self,
+        from: usize,
+        key: RingId,
+        category: TrafficCategory,
+    ) -> Result<(RouteInfo, Option<V>), DhtError> {
+        let info = self.route(from, key, category)?;
+        self.stats.record(category, 16 + ENVELOPE_OVERHEAD);
+        let peer = &mut self.peers[info.responsible];
+        peer.served_requests += 1;
+        Ok((info.clone(), peer.store.remove(&key)))
+    }
+
+    /// Reads a value without routing or traffic accounting (ground-truth inspection
+    /// for tests and experiment verification).
+    pub fn peek(&self, key: RingId) -> Option<&V> {
+        let idx = self.responsible_for(key).ok()?;
+        self.peers[idx].store.get(&key)
+    }
+
+    /// Records one externally-modelled message of `bytes` bytes in `category`.
+    ///
+    /// Higher layers use this for exchanges whose routing is already accounted (e.g.
+    /// a posting-list response that travels directly back to the requester) or that
+    /// are modelled analytically (e.g. the on-demand acquisition of a posting list).
+    pub fn charge_external(&mut self, category: TrafficCategory, bytes: usize) {
+        self.stats
+            .record(category, bytes + ENVELOPE_OVERHEAD);
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal helpers (used by the churn module)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn stats_record(&mut self, category: TrafficCategory, bytes: usize) {
+        self.stats.record(category, bytes);
+    }
+
+    pub(crate) fn remove_from_ring(&mut self, id: RingId) {
+        self.ring.remove(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Per-live-peer storage load: `(keys stored, approximate bytes)`.
+    pub fn storage_distribution(&self) -> Vec<(usize, usize)> {
+        self.peers
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| (p.store.len(), p.store.storage_bytes()))
+            .collect()
+    }
+
+    /// Total number of keys stored across all live peers.
+    pub fn total_keys(&self) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| p.store.len())
+            .sum()
+    }
+
+    /// Total approximate storage bytes across all live peers.
+    pub fn total_storage_bytes(&self) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| p.store.storage_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dht(n: usize) -> Dht<Vec<u32>> {
+        Dht::with_peers(DhtConfig::default(), 42, n)
+    }
+
+    #[test]
+    fn with_peers_builds_live_network() {
+        let d = dht(32);
+        assert_eq!(d.live_peers(), 32);
+        assert_eq!(d.ring().len(), 32);
+        assert!(d.peer(0).table.size() > 0);
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut d = dht(16);
+        let key = RingId::hash_str("database retrieval");
+        d.put(0, key, vec![1, 2, 3], TrafficCategory::Indexing).unwrap();
+        let (_, value) = d.get(5, key, TrafficCategory::Retrieval).unwrap();
+        assert_eq!(value, Some(vec![1, 2, 3]));
+        // The value lives at the responsible peer.
+        assert_eq!(d.peek(key), Some(&vec![1, 2, 3]));
+        let responsible = d.responsible_for(key).unwrap();
+        assert!(d.peer(responsible).store.contains(&key));
+    }
+
+    #[test]
+    fn get_missing_returns_none_but_charges_traffic() {
+        let mut d = dht(8);
+        let before = d.stats().bytes_sent();
+        let (_, v) = d
+            .get(0, RingId::hash_str("nothing here"), TrafficCategory::Retrieval)
+            .unwrap();
+        assert!(v.is_none());
+        assert!(d.stats().bytes_sent() > before);
+    }
+
+    #[test]
+    fn update_creates_and_modifies() {
+        let mut d = dht(8);
+        let key = RingId::hash_str("peer to peer");
+        d.update(1, key, 12, TrafficCategory::Indexing, |slot| {
+            slot.get_or_insert_with(Vec::new).push(7);
+        })
+        .unwrap();
+        d.update(2, key, 12, TrafficCategory::Indexing, |slot| {
+            slot.get_or_insert_with(Vec::new).push(9);
+        })
+        .unwrap();
+        assert_eq!(d.peek(key), Some(&vec![7, 9]));
+        // Deleting through update.
+        d.update(3, key, 4, TrafficCategory::Indexing, |slot| *slot = None)
+            .unwrap();
+        assert!(d.peek(key).is_none());
+    }
+
+    #[test]
+    fn remove_returns_previous_value() {
+        let mut d = dht(8);
+        let key = RingId::hash_str("x");
+        d.put(0, key, vec![5], TrafficCategory::Indexing).unwrap();
+        let (_, removed) = d.remove(4, key, TrafficCategory::Indexing).unwrap();
+        assert_eq!(removed, Some(vec![5]));
+        assert_eq!(d.total_keys(), 0);
+    }
+
+    #[test]
+    fn traffic_is_attributed_to_categories() {
+        let mut d = dht(32);
+        let key = RingId::hash_str("category test");
+        d.put(0, key, vec![0; 100], TrafficCategory::Indexing).unwrap();
+        d.get(1, key, TrafficCategory::Retrieval).unwrap();
+        assert!(d.stats().category(TrafficCategory::Indexing).bytes > 0);
+        assert!(d.stats().category(TrafficCategory::Retrieval).bytes >= 100);
+        assert_eq!(d.stats().category(TrafficCategory::Overlay).messages, 0);
+    }
+
+    #[test]
+    fn probe_hops_does_not_generate_traffic() {
+        let d = dht(64);
+        let hops = d.probe_hops(0, RingId::hash_str("probe")).unwrap();
+        assert!(hops <= 10);
+        assert_eq!(d.stats().messages_sent(), 0);
+    }
+
+    #[test]
+    fn route_hops_are_logarithmic() {
+        let mut d = dht(256);
+        let mut max_hops = 0;
+        for i in 0..100 {
+            let key = RingId::hash_str(&format!("key{i}"));
+            let info = d.route(i % 256, key, TrafficCategory::Routing).unwrap();
+            max_hops = max_hops.max(info.hops);
+        }
+        assert!(max_hops <= 10, "max hops {max_hops}");
+    }
+
+    #[test]
+    fn errors_for_bad_origin_and_empty_network() {
+        let mut empty: Dht<Vec<u32>> = Dht::new(DhtConfig::default(), 1);
+        assert_eq!(
+            empty.route(0, RingId(1), TrafficCategory::Routing),
+            Err(DhtError::EmptyNetwork)
+        );
+        let mut d = dht(4);
+        assert_eq!(
+            d.route(99, RingId(1), TrafficCategory::Routing),
+            Err(DhtError::BadOrigin)
+        );
+    }
+
+    #[test]
+    fn skewed_and_even_distributions_build_valid_networks() {
+        let skewed_cfg = DhtConfig {
+            id_distribution: IdDistribution::Skewed(8.0),
+            ..DhtConfig::default()
+        };
+        let mut d: Dht<Vec<u32>> = Dht::with_peers(skewed_cfg, 7, 64);
+        let key = RingId::hash_str("skewed");
+        d.put(0, key, vec![1], TrafficCategory::Indexing).unwrap();
+        assert_eq!(d.peek(key), Some(&vec![1]));
+
+        let even_cfg = DhtConfig {
+            id_distribution: IdDistribution::Evenly,
+            ..DhtConfig::default()
+        };
+        let d2: Dht<Vec<u32>> = Dht::with_peers(even_cfg, 7, 64);
+        assert_eq!(d2.live_peers(), 64);
+    }
+
+    #[test]
+    fn storage_distribution_sums_match_totals() {
+        let mut d = dht(16);
+        for i in 0..200 {
+            let key = RingId::hash_str(&format!("term{i}"));
+            d.put(i % 16, key, vec![i as u32; 3], TrafficCategory::Indexing)
+                .unwrap();
+        }
+        let dist = d.storage_distribution();
+        let keys: usize = dist.iter().map(|(k, _)| k).sum();
+        let bytes: usize = dist.iter().map(|(_, b)| b).sum();
+        assert_eq!(keys, d.total_keys());
+        assert_eq!(bytes, d.total_storage_bytes());
+        assert_eq!(keys, 200);
+    }
+
+    #[test]
+    fn duplicate_peer_id_rejected() {
+        let mut d: Dht<Vec<u32>> = Dht::new(DhtConfig::default(), 3);
+        assert!(d.add_peer_with_id(RingId(10)).is_some());
+        assert!(d.add_peer_with_id(RingId(10)).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! Ring membership: the sorted view of all live peers.
+//!
+//! The [`Ring`] maps ring identifiers to peer indices and answers the structural
+//! questions the overlay needs: *who is responsible for this key*, *who succeeds /
+//! precedes this peer*, *what is a peer's rank*. In the real system this knowledge is
+//! distributed and maintained by stabilisation; the simulator keeps it in one place
+//! but all routing decisions still only use the O(log n) entries a peer would know.
+
+use crate::id::RingId;
+
+/// A sorted view of live peer identifiers.
+///
+/// `Ring` stores `(identifier, peer_index)` pairs sorted by identifier. The
+/// `peer_index` values refer to the owning [`crate::Dht`]'s peer vector.
+#[derive(Clone, Debug, Default)]
+pub struct Ring {
+    /// Sorted by `RingId`.
+    members: Vec<(RingId, usize)>,
+}
+
+impl Ring {
+    /// Creates an empty ring.
+    pub fn new() -> Self {
+        Ring { members: Vec::new() }
+    }
+
+    /// Builds a ring from an iterator of `(identifier, peer_index)` pairs.
+    pub fn from_members(members: impl IntoIterator<Item = (RingId, usize)>) -> Self {
+        let mut members: Vec<(RingId, usize)> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup_by_key(|(id, _)| *id);
+        Ring { members }
+    }
+
+    /// Number of live peers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The sorted member list.
+    pub fn members(&self) -> &[(RingId, usize)] {
+        &self.members
+    }
+
+    /// Inserts a peer. Returns `false` if the identifier was already present.
+    pub fn insert(&mut self, id: RingId, peer_index: usize) -> bool {
+        match self.members.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.members.insert(pos, (id, peer_index));
+                true
+            }
+        }
+    }
+
+    /// Removes the peer with the given identifier. Returns `true` if it was present.
+    pub fn remove(&mut self, id: RingId) -> bool {
+        match self.members.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(pos) => {
+                self.members.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The rank (0-based position in identifier order) of the peer with identifier
+    /// `id`, or `None` if not a member.
+    pub fn rank_of(&self, id: RingId) -> Option<usize> {
+        self.members.binary_search_by_key(&id, |(i, _)| *i).ok()
+    }
+
+    /// The member at the given rank (wrapping around the ring).
+    pub fn at_rank(&self, rank: usize) -> (RingId, usize) {
+        assert!(!self.members.is_empty(), "ring is empty");
+        self.members[rank % self.members.len()]
+    }
+
+    /// The peer responsible for `key`: the first peer whose identifier is `>= key`
+    /// (wrapping to the smallest identifier).
+    pub fn successor_of_key(&self, key: RingId) -> Option<(RingId, usize)> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let pos = match self.members.binary_search_by_key(&key, |(i, _)| *i) {
+            Ok(pos) => pos,
+            Err(pos) => pos % self.members.len(),
+        };
+        Some(self.members[pos % self.members.len()])
+    }
+
+    /// The peer immediately following the peer with identifier `id` on the ring.
+    pub fn successor_of_peer(&self, id: RingId) -> Option<(RingId, usize)> {
+        let rank = self.rank_of(id)?;
+        Some(self.at_rank(rank + 1))
+    }
+
+    /// The peer immediately preceding the peer with identifier `id` on the ring.
+    pub fn predecessor_of_peer(&self, id: RingId) -> Option<(RingId, usize)> {
+        let rank = self.rank_of(id)?;
+        Some(self.at_rank(rank + self.members.len() - 1))
+    }
+
+    /// Whether the peer with identifier `peer` is responsible for `key`, i.e. `key`
+    /// lies in `(predecessor(peer), peer]`.
+    pub fn is_responsible(&self, peer: RingId, key: RingId) -> bool {
+        match self.predecessor_of_peer(peer) {
+            Some((pred, _)) => {
+                if self.members.len() == 1 {
+                    true
+                } else {
+                    key.in_interval_open_closed(pred, peer)
+                }
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(ids: &[u64]) -> Ring {
+        Ring::from_members(ids.iter().enumerate().map(|(i, id)| (RingId(*id), i)))
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let r = Ring::from_members(vec![(RingId(30), 0), (RingId(10), 1), (RingId(30), 2)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.members()[0].0, RingId(10));
+        assert_eq!(r.members()[1].0, RingId(30));
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let mut r = Ring::new();
+        assert!(r.is_empty());
+        assert!(r.insert(RingId(5), 0));
+        assert!(!r.insert(RingId(5), 1));
+        assert!(r.insert(RingId(1), 1));
+        assert_eq!(r.len(), 2);
+        assert!(r.remove(RingId(5)));
+        assert!(!r.remove(RingId(5)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn successor_of_key_wraps() {
+        let r = ring_of(&[100, 200, 300]);
+        assert_eq!(r.successor_of_key(RingId(150)).unwrap().0, RingId(200));
+        assert_eq!(r.successor_of_key(RingId(200)).unwrap().0, RingId(200));
+        assert_eq!(r.successor_of_key(RingId(301)).unwrap().0, RingId(100));
+        assert_eq!(r.successor_of_key(RingId(50)).unwrap().0, RingId(100));
+        assert!(Ring::new().successor_of_key(RingId(1)).is_none());
+    }
+
+    #[test]
+    fn peer_successor_and_predecessor() {
+        let r = ring_of(&[100, 200, 300]);
+        assert_eq!(r.successor_of_peer(RingId(100)).unwrap().0, RingId(200));
+        assert_eq!(r.successor_of_peer(RingId(300)).unwrap().0, RingId(100));
+        assert_eq!(r.predecessor_of_peer(RingId(100)).unwrap().0, RingId(300));
+        assert_eq!(r.predecessor_of_peer(RingId(200)).unwrap().0, RingId(100));
+        assert!(r.successor_of_peer(RingId(999)).is_none());
+    }
+
+    #[test]
+    fn responsibility_covers_ring_exactly_once() {
+        let r = ring_of(&[100, 200, 300]);
+        for key in [0u64, 50, 100, 150, 200, 250, 300, 350, u64::MAX] {
+            let key = RingId(key);
+            let responsible: Vec<RingId> = r
+                .members()
+                .iter()
+                .map(|(id, _)| *id)
+                .filter(|peer| r.is_responsible(*peer, key))
+                .collect();
+            assert_eq!(responsible.len(), 1, "key {key:?} responsible: {responsible:?}");
+            // And it matches successor_of_key.
+            assert_eq!(responsible[0], r.successor_of_key(key).unwrap().0);
+        }
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let r = ring_of(&[42]);
+        assert!(r.is_responsible(RingId(42), RingId(0)));
+        assert!(r.is_responsible(RingId(42), RingId(u64::MAX)));
+        assert!(r.is_responsible(RingId(42), RingId(42)));
+    }
+
+    #[test]
+    fn rank_and_at_rank() {
+        let r = ring_of(&[100, 200, 300]);
+        assert_eq!(r.rank_of(RingId(200)), Some(1));
+        assert_eq!(r.rank_of(RingId(150)), None);
+        assert_eq!(r.at_rank(0).0, RingId(100));
+        assert_eq!(r.at_rank(4).0, RingId(200)); // wraps
+    }
+
+    #[test]
+    #[should_panic(expected = "ring is empty")]
+    fn at_rank_empty_panics() {
+        Ring::new().at_rank(0);
+    }
+}

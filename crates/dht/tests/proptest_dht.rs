@@ -1,0 +1,137 @@
+//! Property-based tests for the overlay: routing-table construction invariants,
+//! arbitrary churn sequences, key-range handoff and storage reachability.
+
+use alvisp2p_dht::{
+    build_routing_table, Dht, DhtConfig, IdDistribution, Ring, RingId, RoutingStrategy,
+};
+use alvisp2p_netsim::TrafficCategory;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn ring_from(ids: &[u64]) -> Ring {
+    Ring::from_members(ids.iter().enumerate().map(|(i, id)| (RingId(*id), i)))
+}
+
+proptest! {
+    #[test]
+    fn routing_tables_never_reference_self_and_stay_logarithmic(
+        ids in proptest::collection::hash_set(any::<u64>(), 2..300),
+        finger: bool,
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let ring = ring_from(&ids);
+        let strategy = if finger { RoutingStrategy::Finger } else { RoutingStrategy::HopSpace };
+        let n = ring.len();
+        let bound = (n as f64).log2().ceil() as usize + 1;
+        for rank in [0usize, n / 3, n - 1] {
+            let (own, own_idx) = ring.at_rank(rank);
+            let table = build_routing_table(own, &ring, strategy);
+            prop_assert!(table.candidates().all(|e| e.peer_index != own_idx));
+            prop_assert!(
+                table.entries.len() <= bound.max(1),
+                "{} entries for n={} ({:?})",
+                table.entries.len(),
+                n,
+                strategy
+            );
+            // Every referenced peer actually exists in the ring.
+            for e in table.candidates() {
+                prop_assert_eq!(ring.rank_of(e.id).map(|r| ring.at_rank(r).1), Some(e.peer_index));
+            }
+        }
+    }
+
+    #[test]
+    fn stored_values_remain_reachable_through_arbitrary_churn(
+        initial_peers in 8usize..24,
+        keys in proptest::collection::vec("[a-z]{3,10}", 1..25),
+        // churn script: (operation, argument); op 0 = join, 1 = leave, 2 = fail
+        churn in proptest::collection::vec((0u8..3, any::<u64>()), 0..12),
+        seed: u64,
+    ) {
+        let mut dht: Dht<Vec<u8>> = Dht::with_peers(
+            DhtConfig { id_distribution: IdDistribution::Uniform, ..Default::default() },
+            seed,
+            initial_peers,
+        );
+        // Store one value per key and remember it.
+        let mut expected: HashMap<RingId, Vec<u8>> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let ring_key = RingId::hash_str(key);
+            let value = vec![i as u8; (i % 7) + 1];
+            dht.put(i % initial_peers, ring_key, value.clone(), TrafficCategory::Indexing).unwrap();
+            expected.insert(ring_key, value);
+        }
+
+        // Apply the churn script. Graceful operations must never lose data; abrupt
+        // failures may lose exactly the keys stored at the failed peer.
+        for (op, arg) in churn {
+            match op {
+                0 => {
+                    let _ = dht.join(RingId::hash_u64(arg));
+                }
+                1 => {
+                    let live = dht.live_peer_indices();
+                    if live.len() > 2 {
+                        let victim = live[(arg as usize) % live.len()];
+                        dht.leave(victim).unwrap();
+                    }
+                }
+                _ => {
+                    let live = dht.live_peer_indices();
+                    if live.len() > 2 {
+                        let victim = live[(arg as usize) % live.len()];
+                        // Failures lose that peer's keys: drop them from expectations.
+                        let lost: Vec<RingId> = dht
+                            .peer(victim)
+                            .store
+                            .iter()
+                            .map(|(k, _)| *k)
+                            .collect();
+                        dht.fail(victim).unwrap();
+                        for k in lost {
+                            expected.remove(&k);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Every expected key is still stored at its (current) responsible peer and
+        // retrievable from an arbitrary live origin.
+        let origins = dht.live_peer_indices();
+        prop_assert!(!origins.is_empty());
+        for (ring_key, value) in &expected {
+            let responsible = dht.responsible_for(*ring_key).unwrap();
+            prop_assert!(dht.peer(responsible).store.contains(ring_key));
+            let (_, got) = dht
+                .get(origins[0], *ring_key, TrafficCategory::Retrieval)
+                .unwrap();
+            prop_assert_eq!(got.as_ref(), Some(value));
+        }
+        // No key is stored at a peer that is not responsible for it (no duplicates
+        // left behind by handoffs).
+        let mut stored_total = 0usize;
+        for idx in dht.live_peer_indices() {
+            for (k, _) in dht.peer(idx).store.iter() {
+                prop_assert_eq!(dht.responsible_for(*k).unwrap(), idx);
+                stored_total += 1;
+            }
+        }
+        prop_assert_eq!(stored_total, expected.len());
+    }
+
+    #[test]
+    fn lookups_are_logarithmic_for_every_origin(
+        n in 2usize..128,
+        seed: u64,
+        keys in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let dht: Dht<Vec<u8>> = Dht::with_peers(DhtConfig::default(), seed, n);
+        let bound = (n as f64).log2().ceil() as usize + 2;
+        for (i, key) in keys.iter().enumerate() {
+            let hops = dht.probe_hops(i % n, RingId(*key)).unwrap();
+            prop_assert!(hops <= bound, "hops {hops} > bound {bound} for n={n}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # alvisp2p-netsim
+//!
+//! Deterministic discrete-event network simulator used as the **transport layer (L1)**
+//! of the AlvisP2P reproduction.
+//!
+//! The original AlvisP2P prototype ran on TCP/UDP across a live Internet deployment.
+//! All quantities the paper reasons about — messages exchanged, bytes transferred,
+//! routing hops, behaviour under overload — are independent of wall-clock latencies,
+//! so this crate replaces the wire with a seeded, perfectly reproducible simulation:
+//!
+//! * [`time`] — simulated clock ([`SimTime`], [`SimDuration`]).
+//! * [`event`] — the discrete-event queue with deterministic tie-breaking.
+//! * [`wire`] — the [`WireSize`] trait used for byte accounting of every payload.
+//! * [`stats`] — [`TrafficStats`]: message/byte counters broken down by category.
+//! * [`link`] — latency and loss models for links between simulated nodes.
+//! * [`sim`] — the [`Simulator`] driving [`Node`] implementations.
+//! * [`rng`] — seeded random number generation shared by every crate in the workspace.
+//! * [`dist`] — discrete distributions (Zipf, power-law) used to generate skewed
+//!   workloads (term frequencies, query popularity, peer identifier skew).
+//!
+//! # Example
+//!
+//! ```
+//! use alvisp2p_netsim::{Simulator, SimConfig, Node, Context, NodeId, SimTime, SimDuration};
+//!
+//! /// A node that replies "pong" to every "ping".
+//! struct Pong;
+//! impl Node for Pong {
+//!     type Msg = &'static str;
+//!     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+//!         if msg == "ping" {
+//!             ctx.send(from, "pong");
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(SimConfig::default(), 42);
+//! let a = sim.add_node(Pong);
+//! let b = sim.add_node(Pong);
+//! sim.post(a, b, "ping", SimTime::ZERO);
+//! sim.run_until(SimTime::from_millis(100));
+//! assert_eq!(sim.stats().messages_sent(), 2); // ping + pong
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod event;
+pub mod link;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod wire;
+
+pub use dist::{PowerLaw, Zipf};
+pub use event::{Event, EventQueue};
+pub use link::{LatencyModel, LossModel};
+pub use rng::SimRng;
+pub use sim::{Context, Node, NodeId, SimConfig, Simulator};
+pub use stats::{TrafficCategory, TrafficStats};
+pub use time::{SimDuration, SimTime};
+pub use wire::WireSize;

@@ -1,0 +1,245 @@
+//! Seeded random number generation.
+//!
+//! Every stochastic component of the reproduction (corpus generation, query logs,
+//! peer identifier assignment, link jitter, loss injection) draws from a
+//! [`SimRng`], a thin wrapper around the ChaCha8 stream cipher RNG. Given the same
+//! seed the whole simulation is bit-for-bit reproducible, which is what allows the
+//! experiment harness to regenerate the paper's figures deterministically.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic, seedable random number generator.
+///
+/// `SimRng` also provides convenience helpers used throughout the workspace
+/// (sub-generator derivation, shuffling, weighted choice).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a new generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent sub-generator identified by `stream`.
+    ///
+    /// Deriving (rather than sharing) generators lets independent components
+    /// (e.g. corpus generation and link jitter) consume randomness without
+    /// perturbing each other's sequences, keeping experiments comparable when
+    /// one component changes.
+    pub fn derive(&self, stream: u64) -> SimRng {
+        // Mix the seed and stream with splitmix64-style finalization.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Samples a value uniformly from `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Samples a uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Samples a uniform `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.is_empty() {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Chooses a uniformly random element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+
+    /// Chooses an index according to the (non-negative) weights.
+    ///
+    /// Returns `None` if the weights are empty or all zero.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.gen_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                if target < w {
+                    return Some(i);
+                }
+                target -= w;
+            }
+        }
+        // Floating point slack: fall back to the last positive weight.
+        weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir style). If `k >= n`,
+    /// returns all indices `0..n` in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut all: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut all);
+        all.truncate(k.min(n));
+        all
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_sequence() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.gen_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.gen_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_independent() {
+        let base = SimRng::new(99);
+        let mut d1 = base.derive(1);
+        let mut d1_again = base.derive(1);
+        let mut d2 = base.derive(2);
+        let s1: Vec<u64> = (0..4).map(|_| d1.gen_u64()).collect();
+        let s1b: Vec<u64> = (0..4).map(|_| d1_again.gen_u64()).collect();
+        let s2: Vec<u64> = (0..4).map(|_| d2.gen_u64()).collect();
+        assert_eq!(s1, s1b);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = SimRng::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let set: HashSet<u32> = v.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn choose_weighted_respects_zero_weights() {
+        let mut rng = SimRng::new(5);
+        let weights = [0.0, 0.0, 1.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(rng.choose_weighted(&weights), Some(2));
+        }
+        assert_eq!(rng.choose_weighted(&[]), None);
+        assert_eq!(rng.choose_weighted(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn choose_weighted_rough_proportions() {
+        let mut rng = SimRng::new(11);
+        let weights = [1.0, 3.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[rng.choose_weighted(&weights).unwrap()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!(ratio > 2.5 && ratio < 3.5, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SimRng::new(13);
+        let s = rng.sample_indices(100, 10);
+        assert_eq!(s.len(), 10);
+        let set: HashSet<usize> = s.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+        // Asking for more than available returns everything.
+        let all = rng.sample_indices(5, 50);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SimRng::new(17);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // Out-of-range probabilities are clamped instead of panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SimRng::new(19);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert!(rng.choose(&[42]).is_some());
+    }
+}

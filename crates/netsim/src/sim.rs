@@ -1,0 +1,521 @@
+//! The discrete-event simulator.
+//!
+//! A [`Simulator`] hosts a set of [`Node`] implementations identified by [`NodeId`].
+//! Nodes exchange typed messages; the simulator applies the configured latency and
+//! loss models, accounts bytes into [`TrafficStats`], models bounded per-node inbound
+//! queues with a finite processing rate (needed to reproduce congestion collapse), and
+//! delivers messages and timers in deterministic order.
+
+use crate::event::EventQueue;
+use crate::link::{LatencyModel, LossModel};
+use crate::rng::SimRng;
+use crate::stats::{TrafficCategory, TrafficStats};
+use crate::time::{SimDuration, SimTime};
+use crate::wire::{WireSize, ENVELOPE_OVERHEAD};
+use std::collections::VecDeque;
+
+/// Identifier of a node inside a [`Simulator`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Behaviour of a simulated node.
+pub trait Node {
+    /// The message type exchanged between nodes of this simulation.
+    type Msg: WireSize;
+
+    /// Called when a message from `from` is processed by this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer previously scheduled via [`Context::schedule`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: u64) {
+        let _ = (ctx, timer);
+    }
+}
+
+/// Configuration of the simulated network.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// One-way latency model applied to every message.
+    pub latency: LatencyModel,
+    /// Independent per-message loss model.
+    pub loss: LossModel,
+    /// Maximum number of messages waiting in a node's inbound queue.
+    /// Messages arriving at a full queue are dropped (congestion loss).
+    pub inbox_capacity: usize,
+    /// Time a node needs to process one message. Together with `inbox_capacity`
+    /// this bounds per-node throughput.
+    pub service_time: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: LatencyModel::local_area(),
+            loss: LossModel::lossless(),
+            inbox_capacity: 4096,
+            service_time: SimDuration::from_micros(10),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A wide-area configuration approximating the paper's Internet deployment.
+    pub fn wide_area() -> Self {
+        SimConfig {
+            latency: LatencyModel::wide_area(),
+            loss: LossModel::with_rate(0.001),
+            inbox_capacity: 1024,
+            service_time: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// What the simulator does when an event fires.
+enum Fire<M> {
+    /// A message arrives at `to`'s inbound queue.
+    Arrive {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+    },
+    /// `node` picks the next message from its inbound queue.
+    Process { node: NodeId },
+    /// A timer fires at `node`.
+    Timer { node: NodeId, timer: u64 },
+}
+
+/// An outgoing action buffered during a node callback.
+enum Action<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+        category: TrafficCategory,
+    },
+    Schedule {
+        delay: SimDuration,
+        timer: u64,
+    },
+}
+
+/// The interface a node uses to interact with the network during a callback.
+pub struct Context<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    rng: &'a mut SimRng,
+    actions: Vec<Action<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The identifier of the node the callback runs on.
+    pub fn self_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// A deterministic RNG that nodes may use for randomized protocols.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`, attributed to [`TrafficCategory::Other`].
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.send_categorized(to, msg, TrafficCategory::Other);
+    }
+
+    /// Sends `msg` to `to`, attributing the traffic to `category`.
+    pub fn send_categorized(&mut self, to: NodeId, msg: M, category: TrafficCategory) {
+        self.actions.push(Action::Send { to, msg, category });
+    }
+
+    /// Schedules `timer` to fire on this node after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, timer: u64) {
+        self.actions.push(Action::Schedule { delay, timer });
+    }
+}
+
+/// Per-node runtime state maintained by the simulator.
+struct NodeState<M> {
+    inbox: VecDeque<(NodeId, M, usize)>,
+    /// Whether a `Process` event is currently scheduled for this node.
+    processing: bool,
+}
+
+impl<M> Default for NodeState<M> {
+    fn default() -> Self {
+        NodeState {
+            inbox: VecDeque::new(),
+            processing: false,
+        }
+    }
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator<N: Node> {
+    nodes: Vec<N>,
+    states: Vec<NodeState<N::Msg>>,
+    queue: EventQueue<Fire<N::Msg>>,
+    config: SimConfig,
+    stats: TrafficStats,
+    rng: SimRng,
+    now: SimTime,
+    delivered: u64,
+    processed: u64,
+}
+
+impl<N: Node> Simulator<N> {
+    /// Creates a simulator with the given configuration and RNG seed.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            states: Vec::new(),
+            queue: EventQueue::new(),
+            config,
+            stats: TrafficStats::new(),
+            rng: SimRng::new(seed),
+            now: SimTime::ZERO,
+            delivered: 0,
+            processed: 0,
+        }
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        self.nodes.push(node);
+        self.states.push(NodeState::default());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node's behaviour object.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node's behaviour object (for external inspection or setup).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic statistics accumulated so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Number of messages handed to `on_message` so far.
+    pub fn processed_messages(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of messages delivered into inbound queues so far (excludes losses and
+    /// congestion drops).
+    pub fn delivered_messages(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Injects a message from `from` to `to` at absolute time `at` (external stimulus,
+    /// e.g. a user submitting a query). Accounted as [`TrafficCategory::Other`].
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: N::Msg, at: SimTime) {
+        self.post_categorized(from, to, msg, at, TrafficCategory::Other);
+    }
+
+    /// Injects a message with an explicit traffic category.
+    pub fn post_categorized(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: N::Msg,
+        at: SimTime,
+        category: TrafficCategory,
+    ) {
+        let bytes = msg.wire_size() + ENVELOPE_OVERHEAD;
+        self.stats.record(category, bytes);
+        if self.config.loss.drops(&mut self.rng) {
+            self.stats.record_drop(bytes);
+            return;
+        }
+        let delay = self.config.latency.sample(&mut self.rng);
+        let arrive = at.max(self.now) + delay;
+        self.queue.push(arrive, Fire::Arrive { from, to, msg, bytes });
+    }
+
+    /// Schedules a timer on `node` at absolute time `at`.
+    pub fn post_timer(&mut self, node: NodeId, timer: u64, at: SimTime) {
+        self.queue.push(at.max(self.now), Fire::Timer { node, timer });
+    }
+
+    /// Runs the simulation until the event queue drains or `max_events` events have
+    /// been processed. Returns the number of events processed.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            if !self.step() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs the simulation until simulated time `until` (inclusive of events at that
+    /// instant) or until the queue drains. Returns the number of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+            n += 1;
+        }
+        self.now = self.now.max(until);
+        n
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(event.at);
+        match event.payload {
+            Fire::Arrive { from, to, msg, bytes } => self.handle_arrival(from, to, msg, bytes),
+            Fire::Process { node } => self.handle_process(node),
+            Fire::Timer { node, timer } => self.dispatch_timer(node, timer),
+        }
+        true
+    }
+
+    fn handle_arrival(&mut self, from: NodeId, to: NodeId, msg: N::Msg, bytes: usize) {
+        if to.0 >= self.nodes.len() {
+            // Destination disappeared (e.g. churn); drop silently but account it.
+            self.stats.record_drop(bytes);
+            return;
+        }
+        let state = &mut self.states[to.0];
+        if state.inbox.len() >= self.config.inbox_capacity {
+            // Congestion drop: the receiving peer's queue is full.
+            self.stats.record_drop(bytes);
+            return;
+        }
+        self.delivered += 1;
+        state.inbox.push_back((from, msg, bytes));
+        if !state.processing {
+            state.processing = true;
+            self.queue
+                .push(self.now + self.config.service_time, Fire::Process { node: to });
+        }
+    }
+
+    fn handle_process(&mut self, node: NodeId) {
+        if node.0 >= self.nodes.len() {
+            return;
+        }
+        let item = self.states[node.0].inbox.pop_front();
+        match item {
+            Some((from, msg, _bytes)) => {
+                self.processed += 1;
+                self.dispatch_message(node, from, msg);
+                // Schedule the next processing slot if more work is queued.
+                let state = &mut self.states[node.0];
+                if state.inbox.is_empty() {
+                    state.processing = false;
+                } else {
+                    self.queue
+                        .push(self.now + self.config.service_time, Fire::Process { node });
+                }
+            }
+            None => {
+                self.states[node.0].processing = false;
+            }
+        }
+    }
+
+    fn dispatch_message(&mut self, node: NodeId, from: NodeId, msg: N::Msg) {
+        let mut ctx = Context {
+            node,
+            now: self.now,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        self.nodes[node.0].on_message(&mut ctx, from, msg);
+        let actions = ctx.actions;
+        self.apply_actions(node, actions);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, timer: u64) {
+        if node.0 >= self.nodes.len() {
+            return;
+        }
+        let mut ctx = Context {
+            node,
+            now: self.now,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        self.nodes[node.0].on_timer(&mut ctx, timer);
+        let actions = ctx.actions;
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<N::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg, category } => {
+                    self.post_categorized(node, to, msg, self.now, category);
+                }
+                Action::Schedule { delay, timer } => {
+                    self.queue.push(self.now + delay, Fire::Timer { node, timer });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every received number back, decremented, until it reaches zero.
+    struct Countdown {
+        received: Vec<u64>,
+    }
+
+    impl Node for Countdown {
+        type Msg = u64;
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            self.received.push(msg);
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, timer: u64) {
+            self.received.push(1000 + timer);
+        }
+    }
+
+    fn sim() -> Simulator<Countdown> {
+        Simulator::new(SimConfig::default(), 7)
+    }
+
+    #[test]
+    fn ping_pong_countdown() {
+        let mut s = sim();
+        let a = s.add_node(Countdown { received: vec![] });
+        let b = s.add_node(Countdown { received: vec![] });
+        s.post(a, b, 5, SimTime::ZERO);
+        s.run_to_completion(1_000);
+        // b receives 5,3,1 ; a receives 4,2,0
+        assert_eq!(s.node(b).received, vec![5, 3, 1]);
+        assert_eq!(s.node(a).received, vec![4, 2, 0]);
+        assert_eq!(s.stats().messages_sent(), 6);
+        assert_eq!(s.processed_messages(), 6);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut s = sim();
+        let a = s.add_node(Countdown { received: vec![] });
+        s.post_timer(a, 3, SimTime::from_millis(30));
+        s.post_timer(a, 1, SimTime::from_millis(10));
+        s.post_timer(a, 2, SimTime::from_millis(20));
+        s.run_until(SimTime::from_millis(25));
+        assert_eq!(s.node(a).received, vec![1001, 1002]);
+        s.run_to_completion(10);
+        assert_eq!(s.node(a).received, vec![1001, 1002, 1003]);
+        assert_eq!(s.now() >= SimTime::from_millis(30), true);
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let config = SimConfig {
+            loss: LossModel::with_rate(1.0),
+            ..SimConfig::default()
+        };
+        let mut s: Simulator<Countdown> = Simulator::new(config, 1);
+        let a = s.add_node(Countdown { received: vec![] });
+        let b = s.add_node(Countdown { received: vec![] });
+        s.post(a, b, 9, SimTime::ZERO);
+        s.run_to_completion(100);
+        assert!(s.node(b).received.is_empty());
+        assert_eq!(s.stats().dropped_messages(), 1);
+    }
+
+    #[test]
+    fn full_inbox_causes_congestion_drops() {
+        let config = SimConfig {
+            inbox_capacity: 2,
+            service_time: SimDuration::from_millis(100),
+            latency: LatencyModel::Constant(SimDuration::from_micros(1)),
+            ..SimConfig::default()
+        };
+        let mut s: Simulator<Countdown> = Simulator::new(config, 2);
+        let a = s.add_node(Countdown { received: vec![] });
+        let b = s.add_node(Countdown { received: vec![] });
+        // Burst of 10 messages arrives long before b can process any.
+        for _ in 0..10 {
+            s.post(a, b, 0, SimTime::ZERO);
+        }
+        s.run_to_completion(1_000);
+        // Only the messages that fit the queue get processed; the rest are dropped.
+        assert!(s.stats().dropped_messages() >= 7, "drops: {}", s.stats().dropped_messages());
+        assert!(s.node(b).received.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| {
+            let mut s: Simulator<Countdown> =
+                Simulator::new(SimConfig::wide_area(), seed);
+            let a = s.add_node(Countdown { received: vec![] });
+            let b = s.add_node(Countdown { received: vec![] });
+            s.post(a, b, 20, SimTime::ZERO);
+            s.run_to_completion(10_000);
+            (s.stats().bytes_sent(), s.now())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn categorized_traffic_is_attributed() {
+        let mut s = sim();
+        let a = s.add_node(Countdown { received: vec![] });
+        let b = s.add_node(Countdown { received: vec![] });
+        s.post_categorized(a, b, 0, SimTime::ZERO, TrafficCategory::Retrieval);
+        s.run_to_completion(10);
+        assert_eq!(s.stats().category(TrafficCategory::Retrieval).messages, 1);
+        assert_eq!(s.stats().category(TrafficCategory::Other).messages, 0);
+    }
+
+    #[test]
+    fn bytes_include_envelope_overhead() {
+        let mut s = sim();
+        let a = s.add_node(Countdown { received: vec![] });
+        let b = s.add_node(Countdown { received: vec![] });
+        s.post(a, b, 0u64, SimTime::ZERO);
+        s.run_to_completion(10);
+        // u64 payload (8 bytes) + envelope overhead.
+        assert_eq!(s.stats().bytes_sent(), (8 + ENVELOPE_OVERHEAD) as u64);
+    }
+}

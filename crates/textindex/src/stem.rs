@@ -1,0 +1,413 @@
+//! Porter stemmer.
+//!
+//! A faithful implementation of M.F. Porter's 1980 suffix-stripping algorithm, the
+//! stemmer used by Terrier (and therefore by the AlvisP2P local indexer) for English
+//! text. Stemming conflates morphological variants ("retrieval", "retrieve",
+//! "retrieving") onto one index term, which both improves recall and reduces the
+//! vocabulary the HDK key generator has to consider.
+//!
+//! Words containing non-ASCII-alphabetic characters are returned unchanged.
+
+/// Stems a single lowercase word with the Porter algorithm.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len(),
+    };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    String::from_utf8_lossy(&s.b[..s.k]).into_owned()
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+    /// Length of the current stem prefix of `b` under consideration.
+    k: usize,
+}
+
+impl Stemmer {
+    /// Is b[i] a consonant?
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The "measure" m of the stem b[..j]: the number of VC sequences.
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        loop {
+            if i >= j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i >= j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i >= j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Does the stem b[..j] contain a vowel?
+    fn vowel_in_stem(&self, j: usize) -> bool {
+        (0..j).any(|i| !self.cons(i))
+    }
+
+    /// Does b[..k] end with a double consonant?
+    fn double_cons(&self, j: usize) -> bool {
+        if j < 2 {
+            return false;
+        }
+        self.b[j - 1] == self.b[j - 2] && self.cons(j - 1)
+    }
+
+    /// Is b[i-2..=i] consonant-vowel-consonant, where the final consonant is not
+    /// w, x or y? Used to detect short stems like "hop" (for "hopping" -> "hop").
+    fn cvc(&self, i: usize) -> bool {
+        if i < 3 {
+            return false;
+        }
+        let last = i - 1;
+        if !self.cons(last) || self.cons(last - 1) || !self.cons(last - 2) {
+            return false;
+        }
+        !matches!(self.b[last], b'w' | b'x' | b'y')
+    }
+
+    /// Does the current word b[..k] end with the suffix `s`? If so, remember j.
+    fn ends(&self, s: &str) -> Option<usize> {
+        let s = s.as_bytes();
+        if s.len() > self.k {
+            return None;
+        }
+        let j = self.k - s.len();
+        if &self.b[j..self.k] == s {
+            Some(j)
+        } else {
+            None
+        }
+    }
+
+    /// Replaces the suffix starting at `j` with `s` and updates k.
+    fn set_to(&mut self, j: usize, s: &str) {
+        self.b.truncate(j);
+        self.b.extend_from_slice(s.as_bytes());
+        self.k = self.b.len();
+    }
+
+    /// Replaces the suffix with `s` when the measure of the stem is > 0.
+    fn replace_if_m_gt_0(&mut self, suffix: &str, replacement: &str) -> bool {
+        if let Some(j) = self.ends(suffix) {
+            if self.measure(j) > 0 {
+                self.set_to(j, replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step1ab(&mut self) {
+        // Step 1a: plurals.
+        if self.b[self.k - 1] == b's' {
+            if let Some(j) = self.ends("sses") {
+                self.set_to(j, "ss");
+            } else if let Some(j) = self.ends("ies") {
+                self.set_to(j, "i");
+            } else if self.k >= 2 && self.b[self.k - 2] != b's' {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            }
+        }
+        // Step 1b: -eed, -ed, -ing.
+        if let Some(j) = self.ends("eed") {
+            if self.measure(j) > 0 {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            }
+        } else {
+            let matched = if let Some(j) = self.ends("ed") {
+                if self.vowel_in_stem(j) {
+                    self.set_to(j, "");
+                    true
+                } else {
+                    false
+                }
+            } else if let Some(j) = self.ends("ing") {
+                if self.vowel_in_stem(j) {
+                    self.set_to(j, "");
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if matched {
+                if self.ends("at").is_some() || self.ends("bl").is_some() || self.ends("iz").is_some() {
+                    let k = self.k;
+                    self.set_to(k, "e");
+                } else if self.double_cons(self.k) {
+                    let last = self.b[self.k - 1];
+                    if !matches!(last, b'l' | b's' | b'z') {
+                        self.k -= 1;
+                        self.b.truncate(self.k);
+                    }
+                } else if self.measure(self.k) == 1 && self.cvc(self.k) {
+                    let k = self.k;
+                    self.set_to(k, "e");
+                }
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if let Some(j) = self.ends("y") {
+            if self.vowel_in_stem(j) {
+                self.b[self.k - 1] = b'i';
+            }
+        }
+    }
+
+    fn step2(&mut self) {
+        if self.k < 3 {
+            return;
+        }
+        let pairs: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, replacement) in pairs {
+            if self.replace_if_m_gt_0(suffix, replacement) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        let pairs: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, replacement) in pairs {
+            if self.replace_if_m_gt_0(suffix, replacement) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        let suffixes: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for suffix in suffixes {
+            if let Some(j) = self.ends(suffix) {
+                if *suffix == "ion" && !(j > 0 && matches!(self.b[j - 1], b's' | b't')) {
+                    // -ion only strips after s or t; keep scanning other suffixes
+                    // (per the original algorithm this position fails and we stop).
+                    return;
+                }
+                if self.measure(j) > 1 {
+                    self.set_to(j, "");
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5(&mut self) {
+        // Step 5a.
+        if self.b[self.k - 1] == b'e' {
+            let j = self.k - 1;
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !self.cvc(j)) {
+                self.k = j;
+                self.b.truncate(self.k);
+            }
+        }
+        // Step 5b.
+        if self.k > 1 && self.b[self.k - 1] == b'l' && self.double_cons(self.k) && self.measure(self.k) > 1 {
+            self.k -= 1;
+            self.b.truncate(self.k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn retrieval_variants_conflate() {
+        assert_eq!(stem("retrieval"), stem("retrieval"));
+        assert_eq!(stem("retrieving"), "retriev");
+        assert_eq!(stem("retrieved"), "retriev");
+        assert_eq!(stem("retrieves"), "retriev");
+        assert_eq!(stem("indexing"), "index");
+        assert_eq!(stem("indexes"), "index");
+        assert_eq!(stem("indexed"), "index");
+        assert_eq!(stem("queries"), "queri");
+        assert_eq!(stem("querying"), "queri");
+    }
+
+    #[test]
+    fn short_words_are_untouched() {
+        for w in ["a", "ab", "is", "p2p", "of"] {
+            assert_eq!(stem(w), w);
+        }
+    }
+
+    #[test]
+    fn non_ascii_words_are_untouched() {
+        assert_eq!(stem("zürich"), "zürich");
+        assert_eq!(stem("café"), "café");
+        assert_eq!(stem("bm25"), "bm25");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_vocabulary() {
+        let words = [
+            "distribution", "scalable", "networks", "peers", "searching", "documents",
+            "combinations", "popularity", "statistics", "ranking", "bandwidth",
+        ];
+        for w in words {
+            let once = stem(w);
+            let twice = stem(&once);
+            assert_eq!(once, twice, "stemming {w} is not idempotent");
+        }
+    }
+}

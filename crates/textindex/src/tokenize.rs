@@ -1,0 +1,106 @@
+//! Tokenization.
+//!
+//! The tokenizer splits raw text into lowercase word tokens. It is deliberately
+//! simple and deterministic — alphanumeric runs are tokens, everything else is a
+//! separator — which is the behaviour the AlvisP2P prototype inherited from its
+//! Terrier-based local indexer for plain text documents.
+
+/// A token extracted from a text, together with its word position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The (lowercased) token text.
+    pub text: String,
+    /// Zero-based word position in the source text.
+    pub position: u32,
+}
+
+/// Splits `text` into lowercase alphanumeric tokens with positions.
+///
+/// Tokens longer than [`MAX_TOKEN_LEN`] characters are truncated (protecting the index
+/// against pathological inputs such as base64 blobs), and purely numeric tokens longer
+/// than 16 digits are dropped.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut position = 0u32;
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        let lowered: String = raw.chars().take(MAX_TOKEN_LEN).flat_map(char::to_lowercase).collect();
+        if lowered.is_empty() {
+            continue;
+        }
+        if lowered.len() > 16 && lowered.chars().all(|c| c.is_ascii_digit()) {
+            // Skip long digit strings but still consume a position so phrase distances
+            // stay meaningful.
+            position += 1;
+            continue;
+        }
+        tokens.push(Token {
+            text: lowered,
+            position,
+        });
+        position += 1;
+    }
+    tokens
+}
+
+/// Maximum number of characters kept per token.
+pub const MAX_TOKEN_LEN: usize = 64;
+
+/// Convenience helper returning only the token strings.
+pub fn tokenize_terms(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric_and_lowercases() {
+        let toks = tokenize_terms("Hello, World! P2P-networks are FUN.");
+        assert_eq!(toks, vec!["hello", "world", "p2p", "networks", "are", "fun"]);
+    }
+
+    #[test]
+    fn positions_are_sequential() {
+        let toks = tokenize("alpha beta  gamma");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 1);
+        assert_eq!(toks[2].position, 2);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... !!! ---").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn unicode_text_is_handled() {
+        let toks = tokenize_terms("Écoles Fédérales de Zürich");
+        assert_eq!(toks, vec!["écoles", "fédérales", "de", "zürich"]);
+    }
+
+    #[test]
+    fn digits_are_tokens_but_long_numbers_are_dropped() {
+        let toks = tokenize_terms("vldb 2008 id 12345678901234567890 end");
+        assert_eq!(toks, vec!["vldb", "2008", "id", "end"]);
+    }
+
+    #[test]
+    fn very_long_tokens_are_truncated() {
+        let long = "a".repeat(500);
+        let toks = tokenize(&long);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text.len(), MAX_TOKEN_LEN);
+    }
+
+    #[test]
+    fn mixed_alphanumerics_stay_joined() {
+        assert_eq!(tokenize_terms("bm25 top10 x86"), vec!["bm25", "top10", "x86"]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Overlay robustness: peer churn and congestion control.
+//!
+//! Two demonstrations of the layer-2 mechanisms the IR layers depend on:
+//!
+//! 1. **Churn** — peers join, leave gracefully and fail abruptly while the network
+//!    keeps answering queries; graceful departures hand their index slice to their
+//!    successor, abrupt failures lose only the failed peer's slice (documents always
+//!    stay with their owners and can be re-published).
+//! 2. **Congestion control** — a hot-spot workload (every client hammers the few peers
+//!    responsible for a popular key) is run with and without the AIMD congestion
+//!    controller; without it the overlay collapses under overload, with it goodput
+//!    stays near server capacity.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example churn_and_congestion
+//! ```
+
+use alvisp2p::prelude::*;
+use alvisp2p::dht::congestion::{run_hotspot, CongestionConfig, HotspotScenario};
+use alvisp2p::netsim::SimDuration;
+
+fn churn_demo() {
+    println!("=== churn demo ===");
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(), 3).generate();
+    let mut net = AlvisNetwork::new(NetworkConfig {
+        peers: 24,
+        strategy: IndexingStrategy::Hdk(HdkConfig {
+            df_max: 10,
+            truncation_k: 20,
+            ..Default::default()
+        }),
+        seed: 5,
+        ..Default::default()
+    });
+    net.distribute_corpus(&corpus);
+    net.build_index();
+    let keys_before = net.global_index().activated_keys();
+    println!("peers: {}, activated keys: {keys_before}", net.peer_count());
+
+    // Query with two mid-frequency vocabulary terms (head terms can be stopword-like).
+    let query = format!("{} {}", corpus.vocabulary[60], corpus.vocabulary[61]);
+    let before = net.query(0, &query, 10).unwrap();
+    println!("query {query:?} before churn: {} results", before.results.len());
+
+    // Graceful departures: their index slices move to the successors.
+    {
+        let dht = net.global_index_mut().dht_mut();
+        dht.leave(3).unwrap();
+        dht.leave(11).unwrap();
+        // New peers join and take over part of the key space.
+        dht.join(RingId::hash_u64(0xABCD));
+        dht.join(RingId::hash_u64(0xBEEF));
+        // One abrupt failure: that peer's slice of the global index is lost.
+        let lost = dht.fail(17).unwrap();
+        println!("abrupt failure of peer 17 lost {lost} keys of the global index");
+    }
+
+    let keys_after = net.global_index().activated_keys();
+    let after = net.query(0, &query, 10).unwrap();
+    println!(
+        "after churn: activated keys {keys_after} (graceful churn preserves them), \
+         query returns {} results",
+        after.results.len()
+    );
+    println!("overlay traffic:\n{}", net.traffic().report());
+}
+
+fn congestion_demo() {
+    println!("\n=== congestion-control demo ===");
+    println!(
+        "{:>14} {:>16} {:>16} {:>12} {:>12}",
+        "offered req/s", "goodput (cc on)", "goodput (cc off)", "drops on", "drops off"
+    );
+    for offered in [500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0] {
+        let base = HotspotScenario {
+            clients: 32,
+            servers: 4,
+            offered_load: offered,
+            duration: SimDuration::from_secs(3),
+            hotspot_skew: 1.2,
+            ..Default::default()
+        };
+        let with_cc = run_hotspot(
+            &HotspotScenario { congestion: CongestionConfig::default(), ..base.clone() },
+            42,
+        );
+        let without_cc = run_hotspot(
+            &HotspotScenario { congestion: CongestionConfig::disabled(), ..base },
+            42,
+        );
+        println!(
+            "{:>14.0} {:>16.0} {:>16.0} {:>12} {:>12}",
+            offered, with_cc.goodput, without_cc.goodput, with_cc.drops, without_cc.drops
+        );
+    }
+    println!("(goodput = completed requests per second of offered load window)");
+}
+
+fn main() {
+    churn_demo();
+    congestion_demo();
+}

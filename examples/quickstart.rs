@@ -1,0 +1,100 @@
+//! Quickstart: build a small AlvisP2P network, publish documents, search.
+//!
+//! This mirrors the demonstration scenario of the paper: a handful of peers join the
+//! network, each publishes some local documents, the distributed HDK index is built,
+//! and any peer can then run multi-keyword queries against the *global* collection.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use alvisp2p::prelude::*;
+use alvisp2p_netsim::TrafficCategory;
+
+fn main() {
+    // 1. Build an 8-peer network using the HDK indexing strategy.
+    //    df_max is tiny because the demo corpus is tiny; real deployments use a few
+    //    hundred (see EXPERIMENTS.md).
+    let mut net = AlvisNetwork::new(NetworkConfig {
+        peers: 8,
+        strategy: IndexingStrategy::Hdk(HdkConfig {
+            df_max: 2,
+            truncation_k: 5,
+            ..Default::default()
+        }),
+        seed: 42,
+        ..Default::default()
+    });
+
+    // 2. Each peer publishes its local documents (the demo corpus is spread
+    //    round-robin, as if every participant dropped files into its shared folder).
+    let published = net.distribute_documents(demo_corpus());
+    println!("published {published} documents across {} peers", net.peer_count());
+
+    // 3. Build the distributed index: single-term level plus HDK expansions.
+    let report = net.build_index();
+    println!(
+        "built '{}' index: {} keys, {} postings, {} bytes of indexing traffic",
+        report.strategy, report.activated_keys, report.total_postings, report.indexing_bytes
+    );
+    for level in &report.levels {
+        println!(
+            "  level {}: {} candidate keys ({} discriminative, {} frequent)",
+            level.level, level.candidates, level.discriminative, level.frequent
+        );
+    }
+
+    // 4. Any peer can now query the global collection with multiple keywords.
+    for query in [
+        "peer to peer retrieval",
+        "congestion control overlay",
+        "query driven indexing popularity",
+    ] {
+        let outcome = net.query(0, query, 5).expect("query succeeds");
+        println!("\nquery: {query:?}");
+        println!(
+            "  probes: {}  hops: {}  retrieval bytes: {}",
+            outcome.trace.probes, outcome.hops, outcome.bytes
+        );
+        let refined = net.refine(query, &outcome.results, 5);
+        for (rank, r) in refined.iter().enumerate() {
+            println!(
+                "  {}. [{:.3}] {}  ({})",
+                rank + 1,
+                r.global_score,
+                r.title,
+                r.url
+            );
+            println!("       {}", r.snippet);
+        }
+        // Compare against what a centralized engine would return for the same query.
+        let reference = net.reference_search(query, 5);
+        let overlap = alvisp2p::core::stats::overlap_at_k(&outcome.results, &reference, 5);
+        println!("  overlap@5 with centralized reference: {overlap:.2}");
+    }
+
+    // 5. Fetch the top document of the last query from its hosting peer.
+    let outcome = net.query(3, "access rights shared documents", 3).unwrap();
+    if let Some(top) = outcome.results.first() {
+        match net.fetch_document(top.doc, &Credentials::anonymous()) {
+            alvisp2p::core::FetchOutcome::Full(doc) => {
+                println!(
+                    "\nfetched {} ({} bytes) from peer {}",
+                    doc.title,
+                    doc.body.len(),
+                    doc.id.peer
+                )
+            }
+            other => println!("\nfetch outcome: {other:?}"),
+        }
+    }
+
+    // 6. The traffic report shows where the bytes went.
+    println!("\ntraffic report:\n{}", net.traffic().report());
+    println!(
+        "retrieval traffic so far: {} bytes in {} messages",
+        net.traffic().category(TrafficCategory::Retrieval).bytes,
+        net.traffic().category(TrafficCategory::Retrieval).messages
+    );
+}

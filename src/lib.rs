@@ -1,0 +1,58 @@
+//! # AlvisP2P (reproduction)
+//!
+//! A from-scratch Rust reproduction of **"AlvisP2P: Scalable Peer-to-Peer Text
+//! Retrieval in a Structured P2P Network"** (Luu et al., VLDB 2008).
+//!
+//! This crate is a thin facade over the workspace:
+//!
+//! * [`netsim`] (`alvisp2p-netsim`) — deterministic discrete-event transport simulator
+//!   (layer 1);
+//! * [`dht`] (`alvisp2p-dht`) — structured overlay with skew-tolerant hop-space
+//!   routing, storage and congestion control (layer 2);
+//! * [`textindex`] (`alvisp2p-textindex`) — the local search-engine substrate:
+//!   analysis pipeline, positional inverted index, BM25, corpora, query logs
+//!   (layer 5);
+//! * [`core`] (`alvisp2p-core`) — the paper's contribution: HDK and Query-Driven
+//!   distributed indexing, query-lattice retrieval and distributed ranking
+//!   (layers 3–4).
+//!
+//! The [`prelude`] re-exports the handful of types most applications need.
+//!
+//! ```
+//! use alvisp2p::prelude::*;
+//!
+//! let mut net = AlvisNetwork::new(NetworkConfig {
+//!     peers: 4,
+//!     strategy: IndexingStrategy::Hdk(HdkConfig { df_max: 2, ..Default::default() }),
+//!     ..Default::default()
+//! });
+//! net.distribute_documents(demo_corpus());
+//! net.build_index();
+//! let hits = net.query(0, "peer to peer retrieval", 5).unwrap();
+//! assert!(!hits.results.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use alvisp2p_core as core;
+pub use alvisp2p_dht as dht;
+pub use alvisp2p_netsim as netsim;
+pub use alvisp2p_textindex as textindex;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use alvisp2p_core::hdk::HdkConfig;
+    pub use alvisp2p_core::lattice::LatticeConfig;
+    pub use alvisp2p_core::network::{
+        AlvisNetwork, IndexBuildReport, IndexingStrategy, NetworkConfig, QueryOutcome,
+    };
+    pub use alvisp2p_core::qdi::QdiConfig;
+    pub use alvisp2p_core::{CentralizedEngine, TermKey, TruncatedPostingList};
+    pub use alvisp2p_dht::{Dht, DhtConfig, IdDistribution, RingId, RoutingStrategy};
+    pub use alvisp2p_netsim::{SimRng, TrafficCategory};
+    pub use alvisp2p_textindex::{
+        demo_corpus, Analyzer, CorpusConfig, CorpusGenerator, Credentials, DocId,
+        QueryLogConfig, QueryLogGenerator,
+    };
+}

@@ -1,0 +1,158 @@
+//! Integration tests for overlay-level behaviour underneath the IR layers:
+//! churn resilience of the distributed index and congestion control under hot-spot
+//! retrieval load.
+
+use alvisp2p::dht::congestion::{run_hotspot, CongestionConfig, HotspotScenario};
+use alvisp2p::netsim::SimDuration;
+use alvisp2p::prelude::*;
+
+fn indexed_network(peers: usize, seed: u64) -> (AlvisNetwork, Vec<String>) {
+    let corpus = CorpusGenerator::new(
+        CorpusConfig {
+            num_docs: 200,
+            vocab_size: 600,
+            num_topics: 6,
+            topic_vocab: 40,
+            doc_len_mean: 50,
+            doc_len_spread: 25,
+            ..Default::default()
+        },
+        seed,
+    )
+    .generate();
+    let log = QueryLogGenerator::new(
+        QueryLogConfig {
+            num_queries: 30,
+            distinct_queries: 20,
+            ..Default::default()
+        },
+        seed,
+    )
+    .generate(&corpus);
+    let mut net = AlvisNetwork::new(NetworkConfig {
+        peers,
+        strategy: IndexingStrategy::Hdk(HdkConfig {
+            df_max: 30,
+            truncation_k: 30,
+            ..Default::default()
+        }),
+        seed,
+        ..Default::default()
+    });
+    net.distribute_corpus(&corpus);
+    net.build_index();
+    let queries = log.queries.iter().map(|q| q.text.clone()).collect();
+    (net, queries)
+}
+
+#[test]
+fn graceful_churn_preserves_the_whole_global_index() {
+    let (mut net, queries) = indexed_network(20, 7);
+    let keys_before = net.global_index().activated_keys();
+    let postings_before = net.global_index().total_postings();
+
+    {
+        let dht = net.global_index_mut().dht_mut();
+        // Two graceful departures and two joins.
+        dht.leave(2).unwrap();
+        dht.leave(9).unwrap();
+        assert!(dht.join(RingId::hash_u64(0x1111)).is_some());
+        assert!(dht.join(RingId::hash_u64(0x2222)).is_some());
+    }
+
+    assert_eq!(net.global_index().activated_keys(), keys_before);
+    assert_eq!(net.global_index().total_postings(), postings_before);
+
+    // Queries from surviving peers keep working (origins 2 and 9 are gone).
+    let mut answered = 0;
+    for (i, q) in queries.iter().take(10).enumerate() {
+        let origin = [0usize, 1, 3, 4, 5][i % 5];
+        let outcome = net.query(origin, q, 10).unwrap();
+        if !outcome.results.is_empty() {
+            answered += 1;
+        }
+    }
+    assert!(answered >= 5, "only {answered}/10 queries returned results after churn");
+}
+
+#[test]
+fn abrupt_failure_loses_only_the_failed_peers_slice() {
+    let (mut net, queries) = indexed_network(20, 17);
+    let keys_before = net.global_index().activated_keys();
+
+    let lost = {
+        let dht = net.global_index_mut().dht_mut();
+        dht.fail(5).unwrap()
+    };
+    let keys_after = net.global_index().activated_keys();
+    assert_eq!(keys_before - keys_after, lost);
+    assert!(
+        (lost as f64) < keys_before as f64 * 0.25,
+        "a single failure lost {lost} of {keys_before} keys"
+    );
+
+    // The network still answers queries from live peers.
+    let mut answered = 0;
+    for (i, q) in queries.iter().take(10).enumerate() {
+        let origin = [0usize, 1, 2, 3, 4][i % 5];
+        if !net.query(origin, q, 10).unwrap().results.is_empty() {
+            answered += 1;
+        }
+    }
+    assert!(answered >= 4, "only {answered}/10 queries answered after a failure");
+}
+
+#[test]
+fn querying_from_a_departed_peer_is_rejected_cleanly() {
+    let (mut net, queries) = indexed_network(12, 27);
+    net.global_index_mut().dht_mut().leave(3).unwrap();
+    let err = net.query(3, &queries[0], 10);
+    assert!(err.is_err(), "a departed peer must not be able to originate lookups");
+}
+
+#[test]
+fn congestion_control_keeps_goodput_under_hotspot_overload() {
+    // Server capacity: 4 servers × (1 / 2ms) = 2000 req/s. Offer 3x that.
+    let base = HotspotScenario {
+        clients: 24,
+        servers: 4,
+        offered_load: 6_000.0,
+        duration: SimDuration::from_secs(3),
+        hotspot_skew: 1.2,
+        ..Default::default()
+    };
+    let with_cc = run_hotspot(
+        &HotspotScenario { congestion: CongestionConfig::default(), ..base.clone() },
+        3,
+    );
+    let without_cc = run_hotspot(
+        &HotspotScenario { congestion: CongestionConfig::disabled(), ..base },
+        3,
+    );
+    assert!(with_cc.generated > 0 && without_cc.generated > 0);
+    assert!(
+        with_cc.completion_rate > without_cc.completion_rate + 0.1,
+        "with cc {:.3} vs without {:.3}",
+        with_cc.completion_rate,
+        without_cc.completion_rate
+    );
+    assert!(without_cc.drops > with_cc.drops);
+}
+
+#[test]
+fn light_load_is_served_fully_with_and_without_congestion_control() {
+    let base = HotspotScenario {
+        clients: 8,
+        servers: 4,
+        offered_load: 200.0,
+        duration: SimDuration::from_secs(2),
+        ..Default::default()
+    };
+    for congestion in [CongestionConfig::default(), CongestionConfig::disabled()] {
+        let out = run_hotspot(&HotspotScenario { congestion, ..base.clone() }, 9);
+        assert!(
+            out.completion_rate > 0.95,
+            "light load should complete, got {out:?}"
+        );
+    }
+}

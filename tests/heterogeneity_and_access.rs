@@ -1,0 +1,141 @@
+//! Integration tests for the heterogeneity and document-access features of §4 of the
+//! paper: document digests from external engines, per-document access rights, and the
+//! two-step refinement against the owners' local engines.
+
+use alvisp2p::core::FetchOutcome;
+use alvisp2p::prelude::*;
+use alvisp2p::textindex::{AccessRights, DocId as TDocId, Document};
+
+fn base_network(peers: usize) -> AlvisNetwork {
+    let mut net = AlvisNetwork::new(NetworkConfig {
+        peers,
+        strategy: IndexingStrategy::Hdk(HdkConfig {
+            df_max: 3,
+            truncation_k: 10,
+            ..Default::default()
+        }),
+        seed: 3,
+        ..Default::default()
+    });
+    net.distribute_documents(demo_corpus());
+    net
+}
+
+#[test]
+fn imported_digest_collections_are_globally_searchable() {
+    let mut net = base_network(5);
+
+    // An external engine (a digital library) with its own collection.
+    let mut library = alvisp2p::core::AlvisPeer::new(500);
+    library.publish(
+        "Herbarium specimens catalogue",
+        "digitised herbarium specimens with botanical annotations and collection dates",
+    );
+    library.publish(
+        "Expedition field notebooks",
+        "scanned field notebooks from nineteenth century botanical expeditions",
+    );
+    let digest = library.export_digest();
+    let json = digest.to_json().unwrap();
+    let digest_back = alvisp2p::textindex::DocumentDigest::from_json(&json).unwrap();
+    assert_eq!(digest, digest_back);
+
+    // Peer 2 imports the digest, then the distributed index is (re)built.
+    let imported = net.peer_mut(2).import_digest(&digest_back);
+    assert_eq!(imported.len(), 2);
+    net.build_index();
+
+    // Any other peer now finds the library's documents.
+    let outcome = net.query(4, "herbarium specimens botanical", 10).unwrap();
+    assert!(!outcome.results.is_empty());
+    assert!(
+        outcome.results.iter().any(|r| r.doc.peer == 2),
+        "library documents should surface via the importing peer"
+    );
+}
+
+#[test]
+fn access_rights_are_enforced_when_fetching_results() {
+    let mut net = base_network(4);
+    // Peer 1 publishes a restricted and a private document.
+    let restricted = net.peer_mut(1).publish_document(
+        Document::new(TDocId::new(1, 500), "Quarterly earnings draft", "confidential quarterly earnings projections draft")
+            .with_access(AccessRights::Restricted {
+                username: "cfo".into(),
+                password: "numbers".into(),
+            }),
+    );
+    let private = net.peer_mut(1).publish_document(
+        Document::new(TDocId::new(1, 501), "Internal memo", "internal memo about unannounced partnerships")
+            .with_access(AccessRights::Private),
+    );
+    net.build_index();
+
+    // Both documents are searchable.
+    let outcome = net.query(3, "confidential quarterly earnings", 10).unwrap();
+    assert!(outcome.results.iter().any(|r| r.doc == restricted));
+
+    // Fetching enforces the rights at the owning peer.
+    assert!(matches!(
+        net.fetch_document(restricted, &Credentials::anonymous()),
+        FetchOutcome::Denied
+    ));
+    assert!(matches!(
+        net.fetch_document(restricted, &Credentials::basic("cfo", "wrong")),
+        FetchOutcome::Denied
+    ));
+    assert!(matches!(
+        net.fetch_document(restricted, &Credentials::basic("cfo", "numbers")),
+        FetchOutcome::Full(_)
+    ));
+    assert!(matches!(
+        net.fetch_document(private, &Credentials::basic("cfo", "numbers")),
+        FetchOutcome::Metadata { .. }
+    ));
+}
+
+#[test]
+fn two_step_refinement_reports_owner_scores_and_snippets() {
+    let mut net = base_network(4);
+    net.build_index();
+    let query = "truncated posting lists bandwidth";
+    let outcome = net.query(0, query, 5).unwrap();
+    assert!(!outcome.results.is_empty());
+    let refined = net.refine(query, &outcome.results, 5);
+    assert_eq!(refined.len(), outcome.results.len().min(5));
+    for r in &refined {
+        assert!(r.global_score > 0.0);
+        assert!(!r.url.is_empty());
+        assert!(!r.snippet.is_empty());
+    }
+    // At least the top result's owner also matches the query locally.
+    assert!(refined[0].local_score.is_some());
+    // Refinement generated retrieval traffic (query forwarding).
+    assert!(net.traffic().category(TrafficCategory::Retrieval).messages > 0);
+}
+
+#[test]
+fn unpublishing_documents_removes_them_from_local_search() {
+    let mut net = base_network(3);
+    let extra = net.peer_mut(0).publish("Ephemeral note", "very temporary searchable content");
+    assert!(!net.peer(0).local_search("ephemeral temporary", 5).is_empty());
+    assert!(net.peer_mut(0).unpublish(extra));
+    assert!(net.peer(0).local_search("ephemeral temporary", 5).is_empty());
+}
+
+#[test]
+fn peers_with_different_analyzers_can_coexist() {
+    // The heterogeneity story: a peer may run its own analysis pipeline locally; the
+    // digest it exports is built with that pipeline.
+    let plain = alvisp2p::textindex::Analyzer::plain();
+    let mut peer = alvisp2p::core::AlvisPeer::with_analyzer(7, plain);
+    peer.publish("Stop words preserved", "the and of are kept by this engine");
+    let digest = peer.export_digest();
+    assert!(digest.documents[0].terms.iter().any(|t| t.term == "the"));
+
+    // A default peer would have removed them.
+    let mut standard = alvisp2p::core::AlvisPeer::new(8);
+    standard.publish("Stop words removed", "the and of are dropped by this engine");
+    let digest2 = standard.export_digest();
+    assert!(digest2.documents[0].terms.iter().all(|t| t.term != "the"));
+}

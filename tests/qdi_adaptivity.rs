@@ -1,0 +1,162 @@
+//! Integration tests for Query-Driven Indexing: popularity-driven activation,
+//! bandwidth reduction after warm-up, and eviction under popularity drift.
+
+use alvisp2p::prelude::*;
+
+fn workload(seed: u64, queries: usize, drift: bool) -> (alvisp2p::textindex::SyntheticCorpus, Vec<String>) {
+    let corpus = CorpusGenerator::new(
+        CorpusConfig {
+            num_docs: 250,
+            vocab_size: 700,
+            num_topics: 8,
+            topic_vocab: 40,
+            doc_len_mean: 60,
+            doc_len_spread: 30,
+            ..Default::default()
+        },
+        seed,
+    )
+    .generate();
+    let log = QueryLogGenerator::new(
+        QueryLogConfig {
+            num_queries: queries,
+            distinct_queries: 20,
+            popularity_drift: drift,
+            ..Default::default()
+        },
+        seed,
+    )
+    .generate(&corpus);
+    let texts = log.queries.iter().map(|q| q.text.clone()).collect();
+    (corpus, texts)
+}
+
+fn qdi_network(corpus: &alvisp2p::textindex::SyntheticCorpus, config: QdiConfig) -> AlvisNetwork {
+    let mut net = AlvisNetwork::new(NetworkConfig {
+        peers: 8,
+        strategy: IndexingStrategy::Qdi(config),
+        seed: 5,
+        ..Default::default()
+    });
+    net.distribute_corpus(corpus);
+    net.build_index();
+    net
+}
+
+#[test]
+fn repeated_popular_queries_trigger_on_demand_activation() {
+    let (corpus, queries) = workload(71, 120, false);
+    let mut net = qdi_network(
+        &corpus,
+        QdiConfig {
+            activation_threshold: 3,
+            truncation_k: 15,
+            ..Default::default()
+        },
+    );
+    assert_eq!(net.qdi_report().activations, 0);
+    for (i, q) in queries.iter().enumerate() {
+        net.query(i % 8, q, 10).unwrap();
+    }
+    let report = net.qdi_report();
+    assert!(report.activations > 0, "no key was activated: {report:?}");
+    assert!(report.acquisition_bytes > 0);
+    // The activated keys are multi-term combinations.
+    let multi = net
+        .global_index()
+        .activated_key_list()
+        .iter()
+        .filter(|k| k.len() > 1)
+        .count();
+    assert!(multi > 0);
+    assert!(report.multi_term_hits > 0, "activated keys were never hit: {report:?}");
+}
+
+#[test]
+fn warmed_qdi_uses_fewer_probes_for_popular_queries() {
+    let (corpus, queries) = workload(81, 100, false);
+    let mut net = qdi_network(
+        &corpus,
+        QdiConfig {
+            activation_threshold: 2,
+            truncation_k: 15,
+            ..Default::default()
+        },
+    );
+    // The most popular query is the most frequent text in the log.
+    let mut counts = std::collections::HashMap::new();
+    for q in &queries {
+        *counts.entry(q.clone()).or_insert(0usize) += 1;
+    }
+    let popular = counts
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .map(|(q, _)| q.clone())
+        .unwrap();
+
+    let cold = net.query(0, &popular, 10).unwrap();
+    // Warm up on the whole stream.
+    for (i, q) in queries.iter().enumerate() {
+        net.query(i % 8, q, 10).unwrap();
+    }
+    let warm = net.query(1, &popular, 10).unwrap();
+    // After warm-up the popular combination is indexed: the query needs at most as
+    // many probes (typically fewer, because the full-query key now prunes the
+    // lattice) and still returns results.
+    assert!(warm.trace.probes <= cold.trace.probes);
+    assert!(!warm.results.is_empty());
+    let multi_found = warm.trace.found_keys().iter().any(|k| k.len() > 1);
+    assert!(multi_found, "popular multi-term key still not indexed after warm-up");
+}
+
+#[test]
+fn popularity_drift_causes_evictions_and_new_activations() {
+    let (corpus, queries) = workload(91, 300, true);
+    let mut net = qdi_network(
+        &corpus,
+        QdiConfig {
+            activation_threshold: 2,
+            truncation_k: 15,
+            obsolescence_window: 60,
+            eviction_period: 20,
+            ..Default::default()
+        },
+    );
+    let mut activations_at_half = 0;
+    for (i, q) in queries.iter().enumerate() {
+        net.query(i % 8, q, 10).unwrap();
+        if i == queries.len() / 2 {
+            activations_at_half = net.qdi_report().activations;
+        }
+    }
+    let report = net.qdi_report();
+    assert!(activations_at_half > 0, "nothing activated before the drift");
+    assert!(
+        report.activations > activations_at_half,
+        "no new activations after the drift: {report:?}"
+    );
+    assert!(report.evictions > 0, "no obsolete key was evicted: {report:?}");
+}
+
+#[test]
+fn hdk_network_never_activates_keys_at_query_time() {
+    let (corpus, queries) = workload(99, 60, false);
+    let mut net = AlvisNetwork::new(NetworkConfig {
+        peers: 8,
+        strategy: IndexingStrategy::Hdk(HdkConfig {
+            df_max: 30,
+            truncation_k: 30,
+            ..Default::default()
+        }),
+        seed: 5,
+        ..Default::default()
+    });
+    net.distribute_corpus(&corpus);
+    net.build_index();
+    let keys_before = net.global_index().activated_keys();
+    for (i, q) in queries.iter().enumerate() {
+        net.query(i % 8, q, 10).unwrap();
+    }
+    assert_eq!(net.qdi_report().activations, 0);
+    assert_eq!(net.global_index().activated_keys(), keys_before);
+}
