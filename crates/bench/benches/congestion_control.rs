@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("hotspot_with_cc", |b| {
         b.iter(|| {
             black_box(run_hotspot(
-                &HotspotScenario { congestion: CongestionConfig::default(), ..base.clone() },
+                &HotspotScenario {
+                    congestion: CongestionConfig::default(),
+                    ..base.clone()
+                },
                 1,
             ))
         })
@@ -25,7 +28,10 @@ fn bench(c: &mut Criterion) {
     group.bench_function("hotspot_without_cc", |b| {
         b.iter(|| {
             black_box(run_hotspot(
-                &HotspotScenario { congestion: CongestionConfig::disabled(), ..base.clone() },
+                &HotspotScenario {
+                    congestion: CongestionConfig::disabled(),
+                    ..base.clone()
+                },
                 1,
             ))
         })

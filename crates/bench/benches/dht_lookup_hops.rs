@@ -7,10 +7,26 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("dht_lookup_hops");
     group.sample_size(30);
     for (label, strategy, dist) in [
-        ("hopspace_uniform", RoutingStrategy::HopSpace, IdDistribution::Uniform),
-        ("hopspace_skewed", RoutingStrategy::HopSpace, IdDistribution::Skewed(64.0)),
-        ("finger_uniform", RoutingStrategy::Finger, IdDistribution::Uniform),
-        ("finger_skewed", RoutingStrategy::Finger, IdDistribution::Skewed(64.0)),
+        (
+            "hopspace_uniform",
+            RoutingStrategy::HopSpace,
+            IdDistribution::Uniform,
+        ),
+        (
+            "hopspace_skewed",
+            RoutingStrategy::HopSpace,
+            IdDistribution::Skewed(64.0),
+        ),
+        (
+            "finger_uniform",
+            RoutingStrategy::Finger,
+            IdDistribution::Uniform,
+        ),
+        (
+            "finger_skewed",
+            RoutingStrategy::Finger,
+            IdDistribution::Skewed(64.0),
+        ),
     ] {
         let config = DhtConfig {
             strategy,

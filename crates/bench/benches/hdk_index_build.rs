@@ -1,9 +1,10 @@
 //! Criterion bench for E3: HDK distributed index construction.
 use alvisp2p_bench::workloads;
 use alvisp2p_core::hdk::HdkConfig;
-use alvisp2p_core::network::IndexingStrategy;
+use alvisp2p_core::strategy::Hdk;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("hdk_index_build");
@@ -14,11 +15,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let net = workloads::indexed_network(
                     black_box(corpus),
-                    IndexingStrategy::Hdk(HdkConfig {
+                    Arc::new(Hdk::new(HdkConfig {
                         df_max: 30,
                         truncation_k: 30,
                         ..Default::default()
-                    }),
+                    })),
                     8,
                     2,
                 );

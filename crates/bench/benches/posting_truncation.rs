@@ -7,7 +7,7 @@ use std::hint::black_box;
 fn refs(n: u32, seed: u64) -> Vec<ScoredRef> {
     (0..n)
         .map(|i| ScoredRef {
-            doc: DocId::new((i % 64) as u32, i),
+            doc: DocId::new(i % 64, i),
             score: ((i as u64 * 2654435761 + seed) % 10_000) as f64 / 100.0,
         })
         .collect()
@@ -17,15 +17,19 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("posting_truncation");
     for k in [50usize, 500] {
         let input = refs(10_000, 1);
-        group.bench_with_input(BenchmarkId::new("insert_10k_into_top", k), &input, |b, input| {
-            b.iter(|| {
-                let mut list = TruncatedPostingList::new(k);
-                for r in input {
-                    list.insert(*r);
-                }
-                black_box(list.len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insert_10k_into_top", k),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut list = TruncatedPostingList::new(k);
+                    for r in input {
+                        list.insert(*r);
+                    }
+                    black_box(list.len())
+                })
+            },
+        );
     }
     let a = TruncatedPostingList::from_refs(refs(2_000, 1), 200);
     let b_list = TruncatedPostingList::from_refs(refs(2_000, 99), 200);

@@ -1,9 +1,11 @@
 //! Criterion bench for E7: a QDI query stream including on-demand activations.
 use alvisp2p_bench::workloads;
-use alvisp2p_core::network::IndexingStrategy;
 use alvisp2p_core::qdi::QdiConfig;
+use alvisp2p_core::request::QueryRequest;
+use alvisp2p_core::strategy::Qdi;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let corpus = workloads::corpus(300, 5);
@@ -16,16 +18,19 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut net = workloads::indexed_network(
                 &corpus,
-                IndexingStrategy::Qdi(QdiConfig {
+                Arc::new(Qdi::new(QdiConfig {
                     activation_threshold: 2,
                     truncation_k: 20,
                     ..Default::default()
-                }),
+                })),
                 8,
                 5,
             );
             for (i, q) in queries.iter().enumerate() {
-                black_box(net.query(i % 8, q, 10).unwrap());
+                black_box(
+                    net.execute(&QueryRequest::new(q.clone()).from_peer(i % 8))
+                        .unwrap(),
+                );
             }
             black_box(net.qdi_report().activations)
         })

@@ -1,5 +1,6 @@
 //! Criterion bench for E2: per-query retrieval bandwidth, single-term vs HDK vs QDI.
 use alvisp2p_bench::workloads;
+use alvisp2p_core::request::QueryRequest;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -17,7 +18,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let q = &queries[i % queries.len()];
                 i += 1;
-                black_box(net.query(i % 16, q, 20).unwrap().bytes)
+                black_box(
+                    net.execute(&QueryRequest::new(q.clone()).from_peer(i % 16).top_k(20))
+                        .unwrap()
+                        .bytes,
+                )
             })
         });
     }

@@ -1,20 +1,18 @@
 //! Criterion bench for E4: end-to-end query evaluation (HDK) vs centralized reference.
 use alvisp2p_bench::workloads;
-use alvisp2p_core::network::IndexingStrategy;
+use alvisp2p_core::request::QueryRequest;
 use alvisp2p_core::stats::overlap_at_k;
+use alvisp2p_core::strategy::Hdk;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let corpus = workloads::corpus(300, 3);
     let log = workloads::query_log(&corpus, 32, false, 3);
     let queries: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
-    let mut net = workloads::indexed_network(
-        &corpus,
-        IndexingStrategy::Hdk(workloads::default_hdk()),
-        16,
-        3,
-    );
+    let mut net =
+        workloads::indexed_network(&corpus, Arc::new(Hdk::new(workloads::default_hdk())), 16, 3);
 
     let mut group = c.benchmark_group("retrieval_quality");
     group.sample_size(10);
@@ -23,7 +21,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let q = &queries[i % queries.len()];
             i += 1;
-            let outcome = net.query(i % 16, q, 10).unwrap();
+            let outcome = net
+                .execute(&QueryRequest::new(q.clone()).from_peer(i % 16))
+                .unwrap();
             let reference = net.reference_search(q, 10);
             black_box(overlap_at_k(&outcome.results, &reference, 10))
         })

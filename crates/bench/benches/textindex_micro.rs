@@ -1,10 +1,19 @@
 //! Microbenchmarks of the local search-engine substrate: analysis, indexing, BM25.
-use alvisp2p_textindex::{Analyzer, Bm25Searcher, CorpusConfig, CorpusGenerator, DocId, InvertedIndex};
+use alvisp2p_textindex::{
+    Analyzer, Bm25Searcher, CorpusConfig, CorpusGenerator, DocId, InvertedIndex,
+};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let corpus = CorpusGenerator::new(CorpusConfig { num_docs: 500, ..CorpusConfig::tiny() }, 1).generate();
+    let corpus = CorpusGenerator::new(
+        CorpusConfig {
+            num_docs: 500,
+            ..CorpusConfig::tiny()
+        },
+        1,
+    )
+    .generate();
     let analyzer = Analyzer::default();
     let text: String = corpus.docs[0].body.clone();
 

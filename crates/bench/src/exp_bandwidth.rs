@@ -12,7 +12,8 @@
 //! single-term baseline's bytes/query grow roughly linearly with the collection, while
 //! HDK and QDI stay roughly flat.
 
-use alvisp2p_core::network::{AlvisNetwork, IndexingStrategy};
+use alvisp2p_core::network::AlvisNetwork;
+use alvisp2p_core::request::QueryRequest;
 use alvisp2p_core::stats::{mean, percentile};
 use serde::Serialize;
 
@@ -90,7 +91,8 @@ pub fn measure(
     let mut messages = Vec::with_capacity(queries.len());
     let mut probes = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
-        let outcome = net.query(i % peers, q, 20).expect("query succeeds");
+        let request = QueryRequest::new(q.clone()).from_peer(i % peers).top_k(20);
+        let outcome = net.execute(&request).expect("query succeeds");
         bytes.push(outcome.bytes as f64);
         messages.push(outcome.messages as f64);
         probes.push(outcome.trace.probes as f64);
@@ -106,13 +108,7 @@ pub fn measure(
     }
 }
 
-fn run_config(
-    docs: usize,
-    peers: usize,
-    queries: usize,
-    seed: u64,
-    rows: &mut Vec<BandwidthRow>,
-) {
+fn run_config(docs: usize, peers: usize, queries: usize, seed: u64, rows: &mut Vec<BandwidthRow>) {
     let corpus = workloads::corpus(docs, seed);
     let log = workloads::query_log(&corpus, queries * 2, false, seed);
     let texts: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
@@ -123,9 +119,9 @@ fn run_config(
         // QDI adapts to the query stream: warm it up on the first half of the log so
         // the measured half reflects its steady state (HDK and the baseline are
         // unaffected by the warm-up apart from statistics accumulation).
-        if matches!(strategy, IndexingStrategy::Qdi(_)) {
+        if strategy.is_adaptive() {
             for (i, q) in warmup.iter().enumerate() {
-                let _ = net.query(i % peers, q, 20);
+                let _ = net.execute(&QueryRequest::new(q.clone()).from_peer(i % peers).top_k(20));
             }
         }
         net.reset_traffic();
@@ -157,7 +153,14 @@ pub fn print(params: &BandwidthParams, rows: &[BandwidthRow]) {
             "E2a: retrieval traffic per query vs collection size ({} peers)",
             params.peers
         ),
-        &["docs", "strategy", "bytes/query", "p95 bytes", "msgs/query", "probes/query"],
+        &[
+            "docs",
+            "strategy",
+            "bytes/query",
+            "p95 bytes",
+            "msgs/query",
+            "probes/query",
+        ],
     );
     for r in rows.iter().filter(|r| r.peers == params.peers) {
         t.row(&[
@@ -191,6 +194,8 @@ pub fn print(params: &BandwidthParams, rows: &[BandwidthRow]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alvisp2p_core::strategy::{Hdk, SingleTermFull, Strategy};
+    use std::sync::Arc;
 
     #[test]
     fn baseline_ships_more_bytes_than_hdk_and_grows_with_the_collection() {
@@ -203,7 +208,7 @@ mod tests {
             truncation_k: 20,
             ..Default::default()
         };
-        let measure_mean = |docs: usize, strategy: IndexingStrategy| {
+        let measure_mean = |docs: usize, strategy: Arc<dyn Strategy>| {
             let corpus = workloads::corpus(docs, 3);
             let queries: Vec<String> = (5..20)
                 .map(|i| format!("{} {}", corpus.vocabulary[i], corpus.vocabulary[i + 1]))
@@ -213,10 +218,10 @@ mod tests {
             let row = measure(&mut net, &queries, "x", docs, 8);
             row.mean_bytes
         };
-        let base_small = measure_mean(150, IndexingStrategy::SingleTermFull);
-        let base_large = measure_mean(450, IndexingStrategy::SingleTermFull);
-        let hdk_small = measure_mean(150, IndexingStrategy::Hdk(hdk_config.clone()));
-        let hdk_large = measure_mean(450, IndexingStrategy::Hdk(hdk_config));
+        let base_small = measure_mean(150, Arc::new(SingleTermFull));
+        let base_large = measure_mean(450, Arc::new(SingleTermFull));
+        let hdk_small = measure_mean(150, Arc::new(Hdk::new(hdk_config.clone())));
+        let hdk_large = measure_mean(450, Arc::new(Hdk::new(hdk_config)));
 
         // The untruncated single-term baseline transfers more than HDK, and its
         // per-query traffic grows faster with the collection size.

@@ -67,7 +67,12 @@ pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
     };
     // bc: more matches than the capacity → truncated.
     index
-        .publish_postings(0, &TermKey::new(["b", "c"]), &list(params.bc_matches, 100), params.capacity)
+        .publish_postings(
+            0,
+            &TermKey::new(["b", "c"]),
+            &list(params.bc_matches, 100),
+            params.capacity,
+        )
         .unwrap();
     // The single-term index always exists.
     index
@@ -88,7 +93,11 @@ pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
     let result = explore_lattice(&query, &config, |k| index.probe(1, k, 1, params.capacity))
         .expect("exploration succeeds");
 
-    let retrieved: Vec<String> = result.retrieved.iter().map(|(k, _)| k.canonical()).collect();
+    let retrieved: Vec<String> = result
+        .retrieved
+        .iter()
+        .map(|(k, _)| k.canonical())
+        .collect();
     result
         .trace
         .nodes
@@ -114,7 +123,11 @@ pub fn print(rows: &[LatticeRow]) {
         &["lattice node", "outcome", "in result union"],
     );
     for r in rows {
-        t.row(&[r.key.clone(), r.outcome.clone(), if r.in_result { "yes" } else { "" }.to_string()]);
+        t.row(&[
+            r.key.clone(),
+            r.outcome.clone(),
+            if r.in_result { "yes" } else { "" }.to_string(),
+        ]);
     }
     t.print();
 }
@@ -157,7 +170,10 @@ mod tests {
         });
         let skipped = rows.iter().filter(|r| r.outcome == "skipped").count();
         assert_eq!(skipped, 0);
-        let found = rows.iter().filter(|r| r.outcome.starts_with("found")).count();
+        let found = rows
+            .iter()
+            .filter(|r| r.outcome.starts_with("found"))
+            .count();
         assert_eq!(found, 4); // bc, a, b, c
     }
 }

@@ -13,10 +13,12 @@
 //! after the drift the index turns over (evictions rise, new activations appear) and
 //! quality recovers.
 
-use alvisp2p_core::network::IndexingStrategy;
 use alvisp2p_core::qdi::QdiConfig;
+use alvisp2p_core::request::QueryRequest;
 use alvisp2p_core::stats::{mean, overlap_at_k};
+use alvisp2p_core::strategy::Qdi;
 use serde::Serialize;
+use std::sync::Arc;
 
 use crate::table::{fmt_bytes, fmt_f, Table};
 use crate::workloads::{self, DEFAULT_SEED};
@@ -98,7 +100,7 @@ pub fn run(params: &QdiParams) -> Vec<QdiRow> {
     let log = workloads::query_log(&corpus, params.queries, params.drift, params.seed);
     let mut net = workloads::indexed_network(
         &corpus,
-        IndexingStrategy::Qdi(params.qdi.clone()),
+        Arc::new(Qdi::new(params.qdi.clone())),
         params.peers,
         params.seed,
     );
@@ -109,7 +111,7 @@ pub fn run(params: &QdiParams) -> Vec<QdiRow> {
     let drift_point = params.queries / 2;
     for (i, q) in log.queries.iter().enumerate() {
         let outcome = net
-            .query(i % params.peers, &q.text, 10)
+            .execute(&QueryRequest::new(q.text.clone()).from_peer(i % params.peers))
             .expect("query succeeds");
         let reference = net.reference_search(&q.text, 10);
         window_overlap.push(overlap_at_k(&outcome.results, &reference, 10));
@@ -142,7 +144,15 @@ pub fn run(params: &QdiParams) -> Vec<QdiRow> {
 pub fn print(rows: &[QdiRow]) {
     let mut t = Table::new(
         "E7: QDI adaptivity over the query stream (popularity drift at the midpoint)",
-        &["queries", "overlap@10", "bytes/query", "active multi keys", "activations", "evictions", "phase"],
+        &[
+            "queries",
+            "overlap@10",
+            "bytes/query",
+            "active multi keys",
+            "activations",
+            "evictions",
+            "phase",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -152,7 +162,12 @@ pub fn print(rows: &[QdiRow]) {
             r.active_multi_keys.to_string(),
             r.activations.to_string(),
             r.evictions.to_string(),
-            if r.after_drift { "after drift" } else { "before drift" }.to_string(),
+            if r.after_drift {
+                "after drift"
+            } else {
+                "before drift"
+            }
+            .to_string(),
         ]);
     }
     t.print();
@@ -181,10 +196,7 @@ mod tests {
         assert_eq!(rows.len(), 4);
         let first = rows.first().unwrap();
         let last = rows.last().unwrap();
-        assert!(
-            last.activations > 0,
-            "no activations happened: {last:?}"
-        );
+        assert!(last.activations > 0, "no activations happened: {last:?}");
         assert!(last.active_multi_keys >= first.active_multi_keys);
         // Quality does not degrade as the index adapts.
         assert!(last.overlap_at_10 >= first.overlap_at_10 - 0.05);

@@ -8,10 +8,12 @@
 //! the reference ranking, sweeping the truncation bound.
 
 use alvisp2p_core::hdk::HdkConfig;
-use alvisp2p_core::network::IndexingStrategy;
 use alvisp2p_core::qdi::QdiConfig;
+use alvisp2p_core::request::QueryRequest;
 use alvisp2p_core::stats::QualityAccumulator;
+use alvisp2p_core::strategy::{Hdk, Qdi, SingleTermFull, Strategy};
 use serde::Serialize;
+use std::sync::Arc;
 
 use crate::table::{fmt_f, Table};
 use crate::workloads::{self, DEFAULT_SEED};
@@ -77,7 +79,7 @@ impl QualityParams {
 pub fn evaluate(
     corpus: &alvisp2p_textindex::SyntheticCorpus,
     queries: &[String],
-    strategy: IndexingStrategy,
+    strategy: Arc<dyn Strategy>,
     label: &str,
     truncation_k: usize,
     peers: usize,
@@ -86,15 +88,17 @@ pub fn evaluate(
     let mut net = workloads::indexed_network(corpus, strategy.clone(), peers, seed);
     // QDI warms up on the same stream before evaluation (its whole point is adapting
     // to the query distribution).
-    if matches!(strategy, IndexingStrategy::Qdi(_)) {
+    if strategy.is_adaptive() {
         for (i, q) in queries.iter().enumerate() {
-            let _ = net.query(i % peers, q, 20);
+            let _ = net.execute(&QueryRequest::new(q.clone()).from_peer(i % peers).top_k(20));
         }
     }
     let mut acc10 = QualityAccumulator::new();
     let mut acc20 = QualityAccumulator::new();
     for (i, q) in queries.iter().enumerate() {
-        let outcome = net.query(i % peers, q, 20).expect("query succeeds");
+        let outcome = net
+            .execute(&QueryRequest::new(q.clone()).from_peer(i % peers).top_k(20))
+            .expect("query succeeds");
         let reference = net.reference_search(q, 20);
         acc10.add(&outcome.results, &reference, 10);
         acc20.add(&outcome.results, &reference, 20);
@@ -122,7 +126,7 @@ pub fn run(params: &QualityParams) -> Vec<QualityRow> {
     rows.push(evaluate(
         &corpus,
         &queries,
-        IndexingStrategy::SingleTermFull,
+        Arc::new(SingleTermFull),
         "single-term (full lists)",
         usize::MAX / 4,
         params.peers,
@@ -138,7 +142,7 @@ pub fn run(params: &QualityParams) -> Vec<QualityRow> {
         rows.push(evaluate(
             &corpus,
             &queries,
-            IndexingStrategy::Hdk(config),
+            Arc::new(Hdk::new(config)),
             "hdk",
             k,
             params.peers,
@@ -154,7 +158,7 @@ pub fn run(params: &QualityParams) -> Vec<QualityRow> {
     rows.push(evaluate(
         &corpus,
         &queries,
-        IndexingStrategy::Qdi(qdi),
+        Arc::new(Qdi::new(qdi)),
         "qdi (warmed)",
         qdi_k,
         params.peers,
@@ -167,12 +171,23 @@ pub fn run(params: &QualityParams) -> Vec<QualityRow> {
 pub fn print(rows: &[QualityRow]) {
     let mut t = Table::new(
         "E4: retrieval quality vs centralized BM25 reference",
-        &["strategy", "truncation k", "P@10", "recall@10", "overlap@20", "queries"],
+        &[
+            "strategy",
+            "truncation k",
+            "P@10",
+            "recall@10",
+            "overlap@20",
+            "queries",
+        ],
     );
     for r in rows {
         t.row(&[
             r.strategy.clone(),
-            if r.truncation_k > 1_000_000 { "unbounded".to_string() } else { r.truncation_k.to_string() },
+            if r.truncation_k > 1_000_000 {
+                "unbounded".to_string()
+            } else {
+                r.truncation_k.to_string()
+            },
             fmt_f(r.precision_at_10, 3),
             fmt_f(r.recall_at_10, 3),
             fmt_f(r.overlap_at_20, 3),
@@ -196,12 +211,25 @@ mod tests {
             seed: 9,
         };
         let rows = run(&params);
-        let baseline = rows.iter().find(|r| r.strategy.starts_with("single-term")).unwrap();
+        let baseline = rows
+            .iter()
+            .find(|r| r.strategy.starts_with("single-term"))
+            .unwrap();
         // Untruncated single-term retrieval reproduces the reference ranking almost
         // exactly (same scoring model, complete lists).
-        assert!(baseline.precision_at_10 > 0.95, "baseline P@10 {}", baseline.precision_at_10);
-        let hdk_small = rows.iter().find(|r| r.strategy == "hdk" && r.truncation_k == 5).unwrap();
-        let hdk_large = rows.iter().find(|r| r.strategy == "hdk" && r.truncation_k == 60).unwrap();
+        assert!(
+            baseline.precision_at_10 > 0.95,
+            "baseline P@10 {}",
+            baseline.precision_at_10
+        );
+        let hdk_small = rows
+            .iter()
+            .find(|r| r.strategy == "hdk" && r.truncation_k == 5)
+            .unwrap();
+        let hdk_large = rows
+            .iter()
+            .find(|r| r.strategy == "hdk" && r.truncation_k == 60)
+            .unwrap();
         assert!(
             hdk_large.precision_at_10 >= hdk_small.precision_at_10,
             "P@10 should not degrade with larger truncation ({} vs {})",
@@ -209,7 +237,11 @@ mod tests {
             hdk_small.precision_at_10
         );
         // With a generous truncation bound the quality is close to the reference.
-        assert!(hdk_large.precision_at_10 > 0.8, "hdk P@10 {}", hdk_large.precision_at_10);
+        assert!(
+            hdk_large.precision_at_10 > 0.8,
+            "hdk P@10 {}",
+            hdk_large.precision_at_10
+        );
         // QDI row exists and evaluated all queries.
         let qdi = rows.iter().find(|r| r.strategy.starts_with("qdi")).unwrap();
         assert_eq!(qdi.queries, 25);

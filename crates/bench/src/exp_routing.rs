@@ -82,7 +82,13 @@ impl RoutingParams {
 /// uniform); lookup keys are drawn from the *same* distribution, modelling the
 /// load-balanced-placement scenario in which peers position themselves where the keys
 /// are dense.
-pub fn measure(peers: usize, skew: f64, strategy: RoutingStrategy, lookups: usize, seed: u64) -> RoutingRow {
+pub fn measure(
+    peers: usize,
+    skew: f64,
+    strategy: RoutingStrategy,
+    lookups: usize,
+    seed: u64,
+) -> RoutingRow {
     let mut rng = SimRng::new(seed).derive(peers as u64 ^ (skew.to_bits()));
     let placement = PowerLaw::new(skew.max(1.0));
     let config = DhtConfig {
@@ -108,7 +114,9 @@ pub fn measure(peers: usize, skew: f64, strategy: RoutingStrategy, lookups: usiz
         max_hops = max_hops.max(h);
         hops.push(h as f64);
     }
-    let table_sizes: Vec<f64> = (0..peers).map(|i| dht.peer(i).table.size() as f64).collect();
+    let table_sizes: Vec<f64> = (0..peers)
+        .map(|i| dht.peer(i).table.size() as f64)
+        .collect();
     RoutingRow {
         peers,
         skew,
@@ -138,7 +146,16 @@ pub fn run(params: &RoutingParams) -> Vec<RoutingRow> {
 pub fn print(rows: &[RoutingRow]) {
     let mut t = Table::new(
         "E5: lookup hops vs network size and identifier skew",
-        &["peers", "log2(n)", "skew", "strategy", "mean hops", "p99 hops", "max", "table size"],
+        &[
+            "peers",
+            "log2(n)",
+            "skew",
+            "strategy",
+            "mean hops",
+            "p99 hops",
+            "max",
+            "table size",
+        ],
     );
     for r in rows {
         t.row(&[

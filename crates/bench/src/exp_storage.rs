@@ -9,9 +9,10 @@
 //! candidate keys.
 
 use alvisp2p_core::hdk::HdkConfig;
-use alvisp2p_core::network::IndexingStrategy;
 use alvisp2p_core::stats::imbalance;
+use alvisp2p_core::strategy::Hdk;
 use serde::Serialize;
+use std::sync::Arc;
 
 use crate::table::{fmt_bytes, fmt_f, Table};
 use crate::workloads::{self, DEFAULT_SEED};
@@ -88,14 +89,9 @@ pub fn build_one(docs: usize, peers: usize, config: HdkConfig, seed: u64) -> Sto
     let corpus = workloads::corpus(docs, seed);
     let df_max = config.df_max;
     let proximity_filter = config.use_proximity_filter;
-    let net = workloads::indexed_network(
-        &corpus,
-        IndexingStrategy::Hdk(config),
-        peers,
-        seed,
-    );
+    let net = workloads::indexed_network(&corpus, Arc::new(Hdk::new(config)), peers, seed);
     let report = net.last_build_report().cloned().unwrap_or_default();
-    let levels = net.hdk_level_reports();
+    let levels = net.level_reports();
     let max_level = levels.iter().map(|l| l.level).max().unwrap_or(1);
     let mut keys_per_level = vec![0usize; max_level];
     for e in net.global_index().entries() {
@@ -136,7 +132,11 @@ pub fn run(params: &StorageParams) -> Vec<StorageRow> {
             rows.push(build_one(
                 largest,
                 params.peers,
-                HdkConfig { df_max, truncation_k: df_max, ..base.clone() },
+                HdkConfig {
+                    df_max,
+                    truncation_k: df_max,
+                    ..base.clone()
+                },
                 params.seed,
             ));
         }
@@ -148,7 +148,10 @@ pub fn run(params: &StorageParams) -> Vec<StorageRow> {
         rows.push(build_one(
             docs,
             params.peers,
-            HdkConfig { use_proximity_filter: false, ..base.clone() },
+            HdkConfig {
+                use_proximity_filter: false,
+                ..base.clone()
+            },
             params.seed,
         ));
     }
@@ -160,9 +163,22 @@ pub fn print(params: &StorageParams, rows: &[StorageRow]) {
     let base_df = workloads::default_hdk().df_max;
     let mut t = Table::new(
         "E3a: HDK index size vs collection size",
-        &["docs", "keys L1", "keys L2", "keys L3", "total keys", "postings", "storage", "keys/doc", "imbalance"],
+        &[
+            "docs",
+            "keys L1",
+            "keys L2",
+            "keys L3",
+            "total keys",
+            "postings",
+            "storage",
+            "keys/doc",
+            "imbalance",
+        ],
     );
-    for r in rows.iter().filter(|r| r.df_max == base_df && r.proximity_filter) {
+    for r in rows
+        .iter()
+        .filter(|r| r.df_max == base_df && r.proximity_filter)
+    {
         let l = |i: usize| r.keys_per_level.get(i).copied().unwrap_or(0).to_string();
         t.row(&[
             r.docs.to_string(),
@@ -180,10 +196,19 @@ pub fn print(params: &StorageParams, rows: &[StorageRow]) {
 
     let mut t2 = Table::new(
         "E3b: HDK index size vs df_max (largest collection)",
-        &["df_max", "total keys", "postings", "storage", "indexing bytes"],
+        &[
+            "df_max",
+            "total keys",
+            "postings",
+            "storage",
+            "indexing bytes",
+        ],
     );
     let largest = params.doc_sweep.last().copied().unwrap_or(0);
-    for r in rows.iter().filter(|r| r.docs == largest && r.proximity_filter) {
+    for r in rows
+        .iter()
+        .filter(|r| r.docs == largest && r.proximity_filter)
+    {
         t2.row(&[
             r.df_max.to_string(),
             r.total_keys.to_string(),
@@ -197,9 +222,17 @@ pub fn print(params: &StorageParams, rows: &[StorageRow]) {
     if params.ablation {
         let mut t3 = Table::new(
             "E3c: proximity-window filter ablation",
-            &["docs", "proximity filter", "total keys", "postings", "storage"],
+            &[
+                "docs",
+                "proximity filter",
+                "total keys",
+                "postings",
+                "storage",
+            ],
         );
-        for r in rows.iter().filter(|r| !r.proximity_filter || r.docs == params.doc_sweep[params.doc_sweep.len() / 2]) {
+        for r in rows.iter().filter(|r| {
+            !r.proximity_filter || r.docs == params.doc_sweep[params.doc_sweep.len() / 2]
+        }) {
             if r.df_max != base_df {
                 continue;
             }
@@ -221,8 +254,26 @@ mod tests {
 
     #[test]
     fn index_grows_with_the_collection_and_stays_distributed() {
-        let small = build_one(120, 8, HdkConfig { df_max: 20, truncation_k: 20, ..Default::default() }, 5);
-        let large = build_one(360, 8, HdkConfig { df_max: 20, truncation_k: 20, ..Default::default() }, 5);
+        let small = build_one(
+            120,
+            8,
+            HdkConfig {
+                df_max: 20,
+                truncation_k: 20,
+                ..Default::default()
+            },
+            5,
+        );
+        let large = build_one(
+            360,
+            8,
+            HdkConfig {
+                df_max: 20,
+                truncation_k: 20,
+                ..Default::default()
+            },
+            5,
+        );
         assert!(large.total_keys > small.total_keys);
         assert!(large.total_postings > small.total_postings);
         assert!(large.storage_bytes > small.storage_bytes);
@@ -239,8 +290,26 @@ mod tests {
 
     #[test]
     fn smaller_df_max_creates_more_multi_term_keys() {
-        let strict = build_one(240, 8, HdkConfig { df_max: 5, truncation_k: 5, ..Default::default() }, 6);
-        let loose = build_one(240, 8, HdkConfig { df_max: 60, truncation_k: 60, ..Default::default() }, 6);
+        let strict = build_one(
+            240,
+            8,
+            HdkConfig {
+                df_max: 5,
+                truncation_k: 5,
+                ..Default::default()
+            },
+            6,
+        );
+        let loose = build_one(
+            240,
+            8,
+            HdkConfig {
+                df_max: 60,
+                truncation_k: 60,
+                ..Default::default()
+            },
+            6,
+        );
         let multi = |r: &StorageRow| r.keys_per_level.iter().skip(1).sum::<usize>();
         assert!(
             multi(&strict) > multi(&loose),
@@ -252,11 +321,25 @@ mod tests {
 
     #[test]
     fn proximity_filter_contains_the_candidate_explosion() {
-        let with = build_one(240, 8, HdkConfig { df_max: 10, truncation_k: 10, ..Default::default() }, 7);
+        let with = build_one(
+            240,
+            8,
+            HdkConfig {
+                df_max: 10,
+                truncation_k: 10,
+                ..Default::default()
+            },
+            7,
+        );
         let without = build_one(
             240,
             8,
-            HdkConfig { df_max: 10, truncation_k: 10, use_proximity_filter: false, ..Default::default() },
+            HdkConfig {
+                df_max: 10,
+                truncation_k: 10,
+                use_proximity_filter: false,
+                ..Default::default()
+            },
             7,
         );
         assert!(

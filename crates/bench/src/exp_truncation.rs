@@ -10,8 +10,10 @@
 
 use alvisp2p_core::hdk::HdkConfig;
 use alvisp2p_core::lattice::LatticeConfig;
-use alvisp2p_core::network::{AlvisNetwork, IndexingStrategy, NetworkConfig};
+use alvisp2p_core::network::AlvisNetwork;
+use alvisp2p_core::request::QueryRequest;
 use alvisp2p_core::stats::{mean, QualityAccumulator};
+use alvisp2p_core::strategy::Hdk;
 use alvisp2p_dht::DhtConfig;
 use serde::Serialize;
 
@@ -95,19 +97,18 @@ pub fn measure(
         df_max: truncation_k,
         ..workloads::default_hdk()
     };
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers,
-        dht: DhtConfig::default(),
-        strategy: IndexingStrategy::Hdk(hdk),
-        lattice: LatticeConfig {
+    let mut net = AlvisNetwork::builder()
+        .peers(peers)
+        .dht(DhtConfig::default())
+        .strategy(Hdk::new(hdk))
+        .lattice(LatticeConfig {
             prune_below_truncated: prune,
             ..Default::default()
-        },
-        seed,
-        ..Default::default()
-    });
-    net.distribute_corpus(corpus);
-    net.build_index();
+        })
+        .seed(seed)
+        .corpus(corpus)
+        .build_indexed()
+        .expect("experiment network configuration is valid");
 
     // The largest possible on-the-wire posting list is bounded by the capacity.
     let max_list_bytes = net
@@ -122,7 +123,9 @@ pub fn measure(
     let mut probes = Vec::new();
     let mut acc = QualityAccumulator::new();
     for (i, q) in queries.iter().enumerate() {
-        let outcome = net.query(i % peers, q, 10).expect("query succeeds");
+        let outcome = net
+            .execute(&QueryRequest::new(q.clone()).from_peer(i % peers))
+            .expect("query succeeds");
         bytes.push(outcome.bytes as f64);
         probes.push(outcome.trace.probes as f64);
         let reference = net.reference_search(q, 10);
@@ -148,11 +151,25 @@ pub fn run(params: &TruncationParams) -> Vec<TruncationRow> {
 
     let mut rows = Vec::new();
     for &k in &params.k_sweep {
-        rows.push(measure(&corpus, &queries, k, true, params.peers, params.seed));
+        rows.push(measure(
+            &corpus,
+            &queries,
+            k,
+            true,
+            params.peers,
+            params.seed,
+        ));
     }
     if params.pruning_ablation {
         let mid_k = params.k_sweep[params.k_sweep.len() / 2];
-        rows.push(measure(&corpus, &queries, mid_k, false, params.peers, params.seed));
+        rows.push(measure(
+            &corpus,
+            &queries,
+            mid_k,
+            false,
+            params.peers,
+            params.seed,
+        ));
     }
     rows
 }
@@ -161,7 +178,15 @@ pub fn run(params: &TruncationParams) -> Vec<TruncationRow> {
 pub fn print(rows: &[TruncationRow]) {
     let mut t = Table::new(
         "E8: effect of the posting-list truncation bound (HDK)",
-        &["k", "lattice pruning", "max list bytes", "bytes/query", "probes/query", "P@10", "overlap@10"],
+        &[
+            "k",
+            "lattice pruning",
+            "max list bytes",
+            "bytes/query",
+            "probes/query",
+            "P@10",
+            "overlap@10",
+        ],
     );
     for r in rows {
         t.row(&[

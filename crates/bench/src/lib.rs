@@ -39,5 +39,7 @@ pub mod workloads;
 
 /// Whether the quick (smoke-test) configuration was requested via `ALVIS_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("ALVIS_QUICK").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    std::env::var("ALVIS_QUICK")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }

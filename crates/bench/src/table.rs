@@ -67,7 +67,13 @@ impl Table {
             let line: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:>width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect();
             out.push_str(&line.join("  "));
             out.push('\n');

@@ -5,12 +5,14 @@
 //! integration tests.
 
 use alvisp2p_core::hdk::HdkConfig;
-use alvisp2p_core::network::{AlvisNetwork, IndexingStrategy, NetworkConfig};
+use alvisp2p_core::network::AlvisNetwork;
 use alvisp2p_core::qdi::QdiConfig;
+use alvisp2p_core::strategy::{Hdk, Qdi, SingleTermFull, Strategy};
 use alvisp2p_dht::DhtConfig;
 use alvisp2p_textindex::{
     CorpusConfig, CorpusGenerator, QueryLog, QueryLogConfig, QueryLogGenerator, SyntheticCorpus,
 };
+use std::sync::Arc;
 
 /// The default master seed of the experiment harness.
 pub const DEFAULT_SEED: u64 = 20080824; // VLDB'08 started on 2008-08-24.
@@ -71,28 +73,26 @@ pub fn default_qdi() -> QdiConfig {
 /// corpus and builds the distributed index. Returns the ready-to-query network.
 pub fn indexed_network(
     corpus: &SyntheticCorpus,
-    strategy: IndexingStrategy,
+    strategy: Arc<dyn Strategy>,
     peers: usize,
     seed: u64,
 ) -> AlvisNetwork {
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers,
-        dht: DhtConfig::default(),
-        strategy,
-        seed,
-        ..Default::default()
-    });
-    net.distribute_corpus(corpus);
-    net.build_index();
-    net
+    AlvisNetwork::builder()
+        .peers(peers)
+        .dht(DhtConfig::default())
+        .strategy_arc(strategy)
+        .seed(seed)
+        .corpus(corpus)
+        .build_indexed()
+        .expect("experiment network configuration is valid")
 }
 
 /// The three strategies compared throughout the experiments, with shared parameters.
-pub fn all_strategies() -> Vec<(&'static str, IndexingStrategy)> {
+pub fn all_strategies() -> Vec<(&'static str, Arc<dyn Strategy>)> {
     vec![
-        ("single-term", IndexingStrategy::SingleTermFull),
-        ("hdk", IndexingStrategy::Hdk(default_hdk())),
-        ("qdi", IndexingStrategy::Qdi(default_qdi())),
+        ("single-term", Arc::new(SingleTermFull)),
+        ("hdk", Arc::new(Hdk::new(default_hdk()))),
+        ("qdi", Arc::new(Qdi::new(default_qdi()))),
     ]
 }
 
@@ -120,11 +120,13 @@ mod tests {
     #[test]
     fn indexed_network_is_ready_to_query() {
         let c = corpus(120, 3);
-        let mut net = indexed_network(&c, IndexingStrategy::Hdk(default_hdk()), 8, 3);
+        let mut net = indexed_network(&c, Arc::new(Hdk::new(default_hdk())), 8, 3);
         assert_eq!(net.total_documents(), 120);
         assert!(net.global_index().activated_keys() > 0);
         let q = format!("{} {}", c.vocabulary[30], c.vocabulary[31]);
-        let outcome = net.query(0, &q, 10).unwrap();
+        let outcome = net
+            .execute(&alvisp2p_core::request::QueryRequest::new(q))
+            .unwrap();
         assert!(outcome.trace.probes > 0);
     }
 

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the benches use — groups,
+//! `bench_function`, `bench_with_input`, throughput annotations and the
+//! `criterion_group!`/`criterion_main!` macros — on a simple wall-clock
+//! timer. There is no statistical analysis: each benchmark is warmed up
+//! once and then timed over a fixed-duration batch, reporting mean
+//! nanoseconds per iteration (plus MiB/s when a byte throughput is set).
+
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour of
+/// `std::hint::black_box`, which the benches use directly).
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&name.into(), None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (kept for API compatibility; the stand-in uses a
+    /// fixed time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Work-per-iteration declaration used for derived throughput output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up run, then measure batches until the budget is spent.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let nanos_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (1024.0 * 1024.0) / (nanos_per_iter / 1e9);
+            println!("{label}: {nanos_per_iter:.0} ns/iter ({mib_s:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(elems)) => {
+            let elems_s = elems as f64 / (nanos_per_iter / 1e9);
+            println!("{label}: {nanos_per_iter:.0} ns/iter ({elems_s:.0} elem/s)");
+        }
+        None => println!("{label}: {nanos_per_iter:.0} ns/iter"),
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark executable.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; a plain run takes
+            // no arguments. `--test` means "compile check only" — skip work.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

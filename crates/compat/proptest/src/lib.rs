@@ -1,0 +1,638 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships a
+//! small, self-contained property-testing harness covering the subset of the
+//! proptest API the test suite uses:
+//!
+//! * the [`proptest!`] macro with `name in strategy` and `name: Type`
+//!   parameters and an optional `#![proptest_config(...)]` header;
+//! * [`Strategy`] with `prop_map`, integer/float range strategies, tuple
+//!   strategies, `any::<T>()`, and regex-like `&str` string strategies;
+//! * `proptest::collection::{vec, btree_set, hash_set}`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! generated inputs left to the assertion message. Generation is fully
+//! deterministic per test name and case index, so failures reproduce.
+
+use std::collections::{BTreeSet, HashSet};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (splitmix64)
+// ---------------------------------------------------------------------------
+
+/// The deterministic RNG driving value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Widening-multiply bounded sampling (Lemire); bias is negligible for
+        // test-data purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// `&str` strategies are regex-like string generators (see [`string_from_regex`]).
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string_from_regex(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, occasionally beyond.
+        if rng.below(10) < 9 {
+            (0x20 + rng.below(0x5F) as u32 as u8) as char
+        } else {
+            char::from_u32(0xA1 + rng.below(0x500) as u32).unwrap_or('ß')
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Size specification accepted by the collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 100 * target + 1000 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = HashSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 100 * target + 1000 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-like string generation
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Node {
+    Literal(char),
+    AnyChar,
+    Class(Vec<char>),
+    Group(Vec<(Node, Repeat)>),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Repeat {
+    min: u32,
+    max: u32, // inclusive
+}
+
+/// Generates a string matching a small regex subset: literals, `.`, character
+/// classes `[a-z 0-9]`, groups `( ... )`, and `{n}` / `{n,m}` repetition.
+pub fn string_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let nodes = parse_seq(&mut chars, pattern);
+    let mut out = String::new();
+    emit(&nodes, rng, &mut out);
+    out
+}
+
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(Node, Repeat)> {
+    let mut nodes: Vec<(Node, Repeat)> = Vec::new();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' => break,
+            '[' => {
+                chars.next();
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                while let Some(&cc) = chars.peek() {
+                    chars.next();
+                    match cc {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let from = prev.take().unwrap();
+                            let to = chars.next().unwrap();
+                            for code in (from as u32)..=(to as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        other => {
+                            if let Some(p) = prev.replace(other) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                nodes.push((Node::Class(set), parse_repeat(chars)));
+            }
+            '(' => {
+                chars.next();
+                let inner = parse_seq(chars, pattern);
+                assert_eq!(chars.next(), Some(')'), "unbalanced group in {pattern:?}");
+                nodes.push((Node::Group(inner), parse_repeat(chars)));
+            }
+            '.' => {
+                chars.next();
+                nodes.push((Node::AnyChar, parse_repeat(chars)));
+            }
+            '\\' => {
+                chars.next();
+                let escaped = chars.next().expect("dangling escape");
+                nodes.push((Node::Literal(escaped), parse_repeat(chars)));
+            }
+            other => {
+                chars.next();
+                nodes.push((Node::Literal(other), parse_repeat(chars)));
+            }
+        }
+    }
+    nodes
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Repeat {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+                None => {
+                    let n: u32 = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            };
+            Repeat { min, max }
+        }
+        Some('*') => {
+            chars.next();
+            Repeat { min: 0, max: 8 }
+        }
+        Some('+') => {
+            chars.next();
+            Repeat { min: 1, max: 8 }
+        }
+        Some('?') => {
+            chars.next();
+            Repeat { min: 0, max: 1 }
+        }
+        _ => Repeat { min: 1, max: 1 },
+    }
+}
+
+fn emit(nodes: &[(Node, Repeat)], rng: &mut TestRng, out: &mut String) {
+    for (node, repeat) in nodes {
+        let count = repeat.min + rng.below(u64::from(repeat.max - repeat.min + 1)) as u32;
+        for _ in 0..count {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::AnyChar => out.push(char::arbitrary(rng)),
+                Node::Class(set) => {
+                    out.push(set[rng.below(set.len() as u64) as usize]);
+                }
+                Node::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and runner
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `body` for each case with a deterministic per-case RNG. Used by the
+/// [`proptest!`] macro; not part of the public proptest API.
+pub fn run_cases(cases: u32, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    for case in 0..cases {
+        let mut rng = TestRng::new(name_hash ^ (u64::from(case) << 32) ^ u64::from(case));
+        body(&mut rng);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal: expands each test fn inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(__config.cases, stringify!($name), |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: binds one `proptest!` parameter list entry after another.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::generate(&($strategy), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

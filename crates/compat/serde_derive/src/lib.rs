@@ -1,0 +1,375 @@
+//! Derive macros for the in-workspace `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the build is
+//! fully offline) and emits field-by-field `Serialize`/`Deserialize`
+//! implementations against the simplified `serde::Value` data model.
+//!
+//! Supported shapes: structs with named fields, tuple structs, unit structs,
+//! and enums whose variants are unit, tuple or struct-like. Generic types are
+//! not supported (nothing in the workspace derives on a generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    gen_serialize(&name, &shape).parse().unwrap()
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    gen_deserialize(&name, &shape).parse().unwrap()
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and the visibility qualifier.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => return Err(format!("unexpected token before item: {other}")),
+            None => return Err("unexpected end of input".into()),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("derive on generic type `{name}` is not supported"));
+        }
+    }
+    let shape = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Named(parse_named_fields(g.stream())?)
+            } else {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => return Err(format!("unexpected item body: {other:?}")),
+    };
+    Ok((name, shape))
+}
+
+/// Collects field names from the body of a braced struct (or struct variant).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+                None => return Ok(fields),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma outside of any `<...>` nesting.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if pending {
+                    fields += 1;
+                    pending = false;
+                }
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in enum: {other}")),
+                None => return Ok(variants),
+            }
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        let mut in_discriminant = false;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '=' => {
+                    in_discriminant = true;
+                    iter.next();
+                }
+                _ if in_discriminant => {
+                    iter.next();
+                }
+                other => return Err(format!("unexpected token after variant: {other}")),
+            }
+        }
+        variants.push((name, shape));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    s,
+                    "obj.push((String::from({f:?}), ::serde::Serialize::to_value(&self.{f})));"
+                );
+            }
+            s.push_str("::serde::Value::Obj(obj)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vname} => ::serde::Value::Str(String::from({vname:?})),"
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                inner,
+                                "obj.push((String::from({f:?}), ::serde::Serialize::to_value({f})));"
+                            );
+                        }
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vname} {{ {binds} }} => {{ {inner} \
+                             ::serde::Value::Obj(vec![(String::from({vname:?}), ::serde::Value::Obj(obj))]) }},"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                        };
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vname}({}) => ::serde::Value::Obj(vec![(String::from({vname:?}), {payload})]),",
+                            binds.join(", ")
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::tuple_elems(v, {n})?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut s =
+                String::from("let (vname, payload) = ::serde::variant(v)?;\nmatch vname {\n");
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => {
+                        let _ = writeln!(s, "{vname:?} => Ok({name}::{vname}),");
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(p, {f:?})?"))
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{vname:?} => {{ let p = payload.ok_or_else(|| ::serde::DeError::new(\
+                             format!(\"variant {{}} expects a payload\", vname)))?; \
+                             Ok({name}::{vname} {{ {} }}) }},",
+                            inits.join(", ")
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("Ok({name}::{vname}(::serde::Deserialize::from_value(p)?))")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "let items = ::serde::tuple_elems(p, {n})?; Ok({name}::{vname}({}))",
+                                items.join(", ")
+                            )
+                        };
+                        let _ = writeln!(
+                            s,
+                            "{vname:?} => {{ let p = payload.ok_or_else(|| ::serde::DeError::new(\
+                             format!(\"variant {{}} expects a payload\", vname)))?; {build} }},",
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                s,
+                "other => Err(::serde::DeError::new(format!(\"unknown variant {{other}} of {name}\"))),"
+            );
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,374 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Serializes the `serde` stand-in's [`Value`] tree to JSON text and parses it
+//! back. Covers the subset the workspace uses: `to_string`, `to_string_pretty`
+//! and `from_str` with full string escaping and exact integer round-trips.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Error raised by JSON serialization or parsing.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    print_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable, indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    print_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn print_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{}` on f64 is the shortest representation that round-trips.
+                let s = format!("{f}");
+                out.push_str(&s);
+                // Keep floats recognisable as floats.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => print_string(s, out),
+        Value::Arr(items) => print_seq(items.iter(), b"[]", out, indent, depth, |item, out, d| {
+            print_value(item, out, indent, d)
+        }),
+        Value::Obj(pairs) => print_seq(
+            pairs.iter(),
+            b"{}",
+            out,
+            indent,
+            depth,
+            |(k, val), out, d| {
+                print_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                print_value(val, out, indent, d)
+            },
+        ),
+    }
+}
+
+fn print_seq<I: ExactSizeIterator>(
+    items: I,
+    brackets: &[u8; 2],
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    mut print_item: impl FnMut(I::Item, &mut String, usize),
+) {
+    out.push(brackets[0] as char);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        print_item(item, out, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(brackets[1] as char);
+}
+
+fn print_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(Error(format!("bad array at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_value()?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(pairs));
+                        }
+                        _ => return Err(Error(format!("bad object at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("bad literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error(format!("bad number {text:?}: {e}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err(Error("unterminated string".into()));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            self.pos += 4;
+                            let hex = std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?;
+                            let mut code =
+                                u32::from_str_radix(hex, 16).map_err(|e| Error(e.to_string()))?;
+                            // Surrogate pair.
+                            if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos..self.pos + 2) == Some(b"\\u") {
+                                    self.pos += 2;
+                                    let lo_hex = self
+                                        .bytes
+                                        .get(self.pos..self.pos + 4)
+                                        .ok_or_else(|| Error("truncated surrogate".into()))?;
+                                    self.pos += 4;
+                                    let lo_hex = std::str::from_utf8(lo_hex)
+                                        .map_err(|e| Error(e.to_string()))?;
+                                    let lo = u32::from_str_radix(lo_hex, 16)
+                                        .map_err(|e| Error(e.to_string()))?;
+                                    code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                } else {
+                                    return Err(Error("lone surrogate".into()));
+                                }
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("bad code point {code:#x}")))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape \\{}", other as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // Copy a whole UTF-8 scalar.
+                    let len = utf8_len(b);
+                    let chunk = rest
+                        .get(..len)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| Error(e.to_string()))?);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}

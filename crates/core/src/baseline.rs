@@ -10,7 +10,7 @@
 //!   (reference [11] of the paper) — the approach AlvisP2P argues against: every term's
 //!   complete posting list is stored in the DHT and shipped to the querying peer, so
 //!   retrieval traffic grows with the collection. It is implemented as the
-//!   [`crate::network::IndexingStrategy::SingleTermFull`] strategy; this module holds
+//!   [`crate::strategy::SingleTermFull`] strategy; this module holds
 //!   the shared scoring helper both use.
 
 use alvisp2p_textindex::bm25::{Bm25Params, Bm25Searcher, ScoredDoc};

@@ -85,9 +85,24 @@ pub struct ProbeResult {
     pub hops: usize,
     /// Index of the responsible peer that served the probe.
     pub responsible: usize,
+    /// The probe was never sent: the caller pruned it (e.g. a strategy without
+    /// multi-term keys, or an exhausted byte/hop budget). Recorded as
+    /// [`crate::lattice::NodeOutcome::Skipped`] and excluded from probe counts.
+    pub skipped: bool,
 }
 
 impl ProbeResult {
+    /// A probe the caller declined to send for `key`.
+    pub fn skipped(key: TermKey) -> Self {
+        ProbeResult {
+            key,
+            postings: None,
+            hops: 0,
+            responsible: 0,
+            skipped: true,
+        }
+    }
+
     /// Whether the key was found in the global index.
     pub fn found(&self) -> bool {
         self.postings.is_some()
@@ -172,7 +187,8 @@ impl GlobalIndex {
             request_bytes,
             TrafficCategory::Indexing,
             move |slot| {
-                let entry = slot.get_or_insert_with(|| KeyIndexEntry::stats_only(key_clone, capacity));
+                let entry =
+                    slot.get_or_insert_with(|| KeyIndexEntry::stats_only(key_clone, capacity));
                 entry.postings.merge(&delta_clone);
                 entry.activated = true;
             },
@@ -254,6 +270,7 @@ impl GlobalIndex {
             postings: fetched,
             hops: info.hops,
             responsible: info.responsible,
+            skipped: false,
         })
     }
 
@@ -275,7 +292,11 @@ impl GlobalIndex {
         let Ok(responsible) = self.dht.responsible_for(ring_key) else {
             return false;
         };
-        self.dht.peer_mut(responsible).store.remove(&ring_key).is_some()
+        self.dht
+            .peer_mut(responsible)
+            .store
+            .remove(&ring_key)
+            .is_some()
     }
 
     /// Deactivates a key but keeps its usage statistics (QDI's "remove obsolete key"

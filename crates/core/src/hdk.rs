@@ -162,11 +162,11 @@ pub fn generate_doc_candidates(
             continue;
         }
         // The parent's terms must all occur in this document.
-        if !parent
-            .terms()
-            .iter()
-            .all(|t| doc_terms.binary_search_by(|(dt, _)| dt.as_str().cmp(t)).is_ok())
-        {
+        if !parent.terms().iter().all(|t| {
+            doc_terms
+                .binary_search_by(|(dt, _)| dt.as_str().cmp(t))
+                .is_ok()
+        }) {
             continue;
         }
         for term in &doc_frequent {
@@ -226,7 +226,11 @@ mod tests {
 
     #[test]
     fn cooccurrence_respects_window() {
-        let d = doc(&[("peer", &[0, 50]), ("retriev", &[3, 200]), ("network", &[100])]);
+        let d = doc(&[
+            ("peer", &[0, 50]),
+            ("retriev", &[3, 200]),
+            ("network", &[100]),
+        ]);
         let close = TermKey::new(["peer", "retriev"]);
         let far = TermKey::new(["retriev", "network"]);
         assert!(cooccurs_within_window(&d, &close, 5));
@@ -271,14 +275,21 @@ mod tests {
             &parents,
             &frequent_terms,
             2,
-            &HdkConfig { proximity_window: 10, ..Default::default() },
+            &HdkConfig {
+                proximity_window: 10,
+                ..Default::default()
+            },
         );
         let without_filter = generate_doc_candidates(
             &d,
             &parents,
             &frequent_terms,
             2,
-            &HdkConfig { proximity_window: 10, use_proximity_filter: false, ..Default::default() },
+            &HdkConfig {
+                proximity_window: 10,
+                use_proximity_filter: false,
+                ..Default::default()
+            },
         );
         assert!(with_filter.is_empty());
         assert_eq!(without_filter.len(), 3);
@@ -303,7 +314,10 @@ mod tests {
         let d = doc(&[("a", &[0]), ("b", &[1])]);
         let frequent_terms = set(&["a", "b"]);
         let parents = single_term_keys(&frequent_terms);
-        let config = HdkConfig { max_key_len: 2, ..Default::default() };
+        let config = HdkConfig {
+            max_key_len: 2,
+            ..Default::default()
+        };
         assert!(generate_doc_candidates(&d, &parents, &frequent_terms, 1, &config).is_empty());
         assert!(generate_doc_candidates(&d, &parents, &frequent_terms, 3, &config).is_empty());
         assert_eq!(

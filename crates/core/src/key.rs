@@ -72,7 +72,9 @@ impl TermKey {
 
     /// Whether `self` is a (non-strict) subset of `other`.
     pub fn is_subset_of(&self, other: &TermKey) -> bool {
-        self.terms.iter().all(|t| other.terms.binary_search(t).is_ok())
+        self.terms
+            .iter()
+            .all(|t| other.terms.binary_search(t).is_ok())
     }
 
     /// Whether `self` is a strict superset of `other` (i.e. `self` *dominates* `other`
@@ -83,7 +85,9 @@ impl TermKey {
 
     /// Whether the key contains a term.
     pub fn contains(&self, term: &str) -> bool {
-        self.terms.binary_search_by(|t| t.as_str().cmp(term)).is_ok()
+        self.terms
+            .binary_search_by(|t| t.as_str().cmp(term))
+            .is_ok()
     }
 
     /// Returns the key extended with one more term, or `None` if the term is already
@@ -204,7 +208,10 @@ mod tests {
             TermKey::new(["a", "b"]).ring_id(),
             TermKey::new(["a", "c"]).ring_id()
         );
-        assert_ne!(TermKey::single("ab").ring_id(), TermKey::new(["a", "b"]).ring_id());
+        assert_ne!(
+            TermKey::single("ab").ring_id(),
+            TermKey::new(["a", "b"]).ring_id()
+        );
     }
 
     #[test]

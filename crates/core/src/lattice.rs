@@ -140,6 +140,10 @@ pub fn explore_lattice<E>(
         }
 
         let probe_result = probe(&node)?;
+        if probe_result.skipped {
+            result.trace.nodes.push((node, NodeOutcome::Skipped));
+            continue;
+        }
         result.trace.probes += 1;
         result.trace.hops += probe_result.hops;
         match probe_result.postings {
@@ -203,6 +207,7 @@ mod tests {
                 postings: self.lists.get(key).cloned(),
                 hops: 2,
                 responsible: 0,
+                skipped: false,
             })
         }
     }
@@ -238,7 +243,11 @@ mod tests {
             .collect();
         assert_eq!(skipped, vec!["b", "c"]);
         // Retrieved: bc and a (the union the paper describes).
-        let found: Vec<String> = result.retrieved.iter().map(|(k, _)| k.canonical()).collect();
+        let found: Vec<String> = result
+            .retrieved
+            .iter()
+            .map(|(k, _)| k.canonical())
+            .collect();
         assert_eq!(found, vec!["b+c", "a"]);
         assert_eq!(result.trace.probes, 5);
         assert_eq!(result.trace.hops, 10);
@@ -251,7 +260,8 @@ mod tests {
     #[test]
     fn complete_result_for_the_full_query_prunes_everything_else() {
         let mut index = FakeIndex::new().with_key(abc(), 5, 100); // complete
-        let result = explore_lattice(&abc(), &LatticeConfig::default(), |k| index.probe(k)).unwrap();
+        let result =
+            explore_lattice(&abc(), &LatticeConfig::default(), |k| index.probe(k)).unwrap();
         assert_eq!(result.trace.probes, 1);
         assert_eq!(result.retrieved.len(), 1);
         // All six remaining nodes are skipped.
@@ -270,7 +280,11 @@ mod tests {
         };
         let result = explore_lattice(&abc(), &config, |k| index.probe(k)).unwrap();
         // b and c are now probed (and found).
-        let found: Vec<String> = result.retrieved.iter().map(|(k, _)| k.canonical()).collect();
+        let found: Vec<String> = result
+            .retrieved
+            .iter()
+            .map(|(k, _)| k.canonical())
+            .collect();
         assert_eq!(found, vec!["b+c", "b", "c"]);
         assert_eq!(result.trace.probes, 7);
         assert!(result.trace.skipped_keys().is_empty());
@@ -288,7 +302,8 @@ mod tests {
     #[test]
     fn nothing_indexed_probes_everything_and_finds_nothing() {
         let mut index = FakeIndex::new();
-        let result = explore_lattice(&abc(), &LatticeConfig::default(), |k| index.probe(k)).unwrap();
+        let result =
+            explore_lattice(&abc(), &LatticeConfig::default(), |k| index.probe(k)).unwrap();
         assert!(result.retrieved.is_empty());
         assert_eq!(result.trace.probes, 7);
         assert!(result

@@ -10,6 +10,8 @@
 //! * [`posting`] — truncated posting lists (bounded top-k document references);
 //! * [`global_index`] — the distributed key → posting-list index with per-key usage
 //!   statistics, scattered over the overlay;
+//! * [`strategy`] — the pluggable [`Strategy`] trait with the paper's three
+//!   policies ([`SingleTermFull`], [`Hdk`], [`Qdi`]) as built-in implementations;
 //! * [`hdk`] — Highly Discriminative Keys: document-frequency-driven key expansion;
 //! * [`qdi`] — Query-Driven Indexing: popularity-driven on-demand key activation and
 //!   eviction;
@@ -18,25 +20,29 @@
 //!   merging);
 //! * [`peer`] — an AlvisP2P participant: shared documents, local engine, access
 //!   control, digests;
-//! * [`network`] — the full system: build a network, distribute a corpus, build the
-//!   index with any strategy, run queries with full traffic accounting;
+//! * [`network`] — the full system: assemble a network with
+//!   [`AlvisNetworkBuilder`], distribute a corpus, build the index with any
+//!   strategy, and execute [`QueryRequest`]s with full traffic accounting;
+//! * [`request`] — the [`QueryRequest`]/[`QueryResponse`] pair;
+//! * [`error`] — the unified [`AlvisError`] hierarchy;
 //! * [`baseline`] — the centralized reference engine;
 //! * [`stats`] — retrieval-quality metrics used by the experiments.
 //!
 //! ```
-//! use alvisp2p_core::network::{AlvisNetwork, IndexingStrategy, NetworkConfig};
+//! use alvisp2p_core::network::AlvisNetwork;
+//! use alvisp2p_core::request::QueryRequest;
+//! use alvisp2p_core::strategy::Hdk;
 //! use alvisp2p_core::hdk::HdkConfig;
 //! use alvisp2p_textindex::demo_corpus;
 //!
 //! // A 4-peer network indexing the demo corpus with Highly Discriminative Keys.
-//! let mut net = AlvisNetwork::new(NetworkConfig {
-//!     peers: 4,
-//!     strategy: IndexingStrategy::Hdk(HdkConfig { df_max: 2, ..Default::default() }),
-//!     ..Default::default()
-//! });
-//! net.distribute_documents(demo_corpus());
-//! net.build_index();
-//! let outcome = net.query(0, "peer retrieval", 10).unwrap();
+//! let mut net = AlvisNetwork::builder()
+//!     .peers(4)
+//!     .strategy(Hdk::new(HdkConfig { df_max: 2, ..Default::default() }))
+//!     .documents(demo_corpus())
+//!     .build_indexed()
+//!     .unwrap();
+//! let outcome = net.execute(&QueryRequest::new("peer retrieval")).unwrap();
 //! assert!(!outcome.results.is_empty());
 //! ```
 
@@ -44,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod error;
 pub mod global_index;
 pub mod hdk;
 pub mod key;
@@ -53,19 +60,23 @@ pub mod peer;
 pub mod posting;
 pub mod qdi;
 pub mod ranking;
+pub mod request;
 pub mod stats;
+pub mod strategy;
 
 pub use baseline::CentralizedEngine;
+pub use error::AlvisError;
 pub use global_index::{GlobalIndex, KeyIndexEntry, KeyUsageStats, ProbeResult};
 pub use hdk::{HdkConfig, HdkLevelReport};
 pub use key::TermKey;
 pub use lattice::{explore_lattice, LatticeConfig, LatticeResult, LatticeTrace, NodeOutcome};
 pub use network::{
-    AlvisNetwork, IndexBuildReport, IndexingStrategy, NetworkConfig, NetworkError, QueryOutcome,
-    RefinedResult,
+    AlvisNetwork, AlvisNetworkBuilder, IndexBuildReport, NetworkConfig, RefinedResult,
 };
 pub use peer::{AlvisPeer, FetchOutcome};
 pub use posting::{ScoredRef, TruncatedPostingList};
 pub use qdi::{ActivationDecision, QdiConfig, QdiReport};
 pub use ranking::{merge_retrieved, score_local_postings, GlobalRankingStats};
+pub use request::{QueryRequest, QueryResponse};
 pub use stats::{overlap_at_k, precision_at_k, recall_at_k, QualityAccumulator, QualitySummary};
+pub use strategy::{Hdk, IndexerCtx, Qdi, QueryCtx, SingleTermFull, Strategy};

@@ -3,67 +3,38 @@
 //! [`AlvisNetwork`] composes every layer of the architecture (Figure 2 of the paper):
 //! the simulated transport and DHT overlay (L1–L2, crates `alvisp2p-netsim` /
 //! `alvisp2p-dht`), the distributed indexing and retrieval components (L3, modules
-//! [`crate::hdk`], [`crate::qdi`], [`crate::lattice`], [`crate::global_index`]), the
-//! distributed ranking component (L4, [`crate::ranking`]) and the per-peer local
-//! search engines (L5, [`crate::peer`], crate `alvisp2p-textindex`).
+//! [`crate::strategy`], [`crate::hdk`], [`crate::qdi`], [`crate::lattice`],
+//! [`crate::global_index`]), the distributed ranking component (L4,
+//! [`crate::ranking`]) and the per-peer local search engines (L5, [`crate::peer`],
+//! crate `alvisp2p-textindex`).
 //!
 //! It is the entry point used by the examples, the integration tests and the
-//! experiment harness: build a network, distribute a corpus, build the distributed
-//! index with one of the three strategies, and run queries while every byte that would
-//! cross the wire is accounted.
+//! experiment harness: assemble a network with [`AlvisNetworkBuilder`], distribute a
+//! corpus, build the distributed index with any [`Strategy`], and execute
+//! [`QueryRequest`]s while every byte that would cross the wire is accounted.
+//!
+//! The indexing policy itself is pluggable: the network never inspects which
+//! strategy it runs — construction, lattice bounds and post-query behaviour all go
+//! through the [`Strategy`] trait.
 
 use crate::baseline::CentralizedEngine;
+use crate::error::AlvisError;
 use crate::global_index::{GlobalIndex, ProbeResult};
-use crate::hdk::{self, HdkConfig, HdkLevelReport};
+use crate::hdk::HdkLevelReport;
 use crate::key::TermKey;
-use crate::lattice::{explore_lattice, LatticeConfig, LatticeResult, LatticeTrace};
+use crate::lattice::{explore_lattice, LatticeConfig, LatticeResult};
 use crate::peer::{AlvisPeer, FetchOutcome};
-use crate::posting::TruncatedPostingList;
-use crate::qdi::{activation_decision, is_obsolete, QdiConfig, QdiReport};
-use crate::ranking::{score_local_postings, GlobalRankingStats};
+use crate::qdi::QdiReport;
+use crate::ranking::GlobalRankingStats;
+use crate::request::{QueryRequest, QueryResponse};
+use crate::strategy::{Hdk, IndexerCtx, QueryCtx, Strategy};
 use alvisp2p_dht::{DhtConfig, DhtError};
-use alvisp2p_netsim::{TrafficCategory, TrafficStats, WireSize};
+use alvisp2p_netsim::{TrafficCategory, TrafficStats};
 use alvisp2p_textindex::bm25::{Bm25Params, ScoredDoc};
 use alvisp2p_textindex::{Analyzer, Credentials, SyntheticCorpus};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-
-/// Which distributed indexing strategy the network runs.
-#[derive(Clone, Debug)]
-pub enum IndexingStrategy {
-    /// The single-term baseline of Zhang & Suel (reference [11] of the paper): every
-    /// term's **complete** posting list is stored in the DHT and shipped to the
-    /// querying peer. Does not scale in bandwidth — that is the point of comparing
-    /// against it.
-    SingleTermFull,
-    /// Highly Discriminative Keys: document-frequency-driven key expansion with
-    /// truncated posting lists.
-    Hdk(HdkConfig),
-    /// Query-Driven Indexing: single-term truncated index plus on-demand activation of
-    /// popular term combinations.
-    Qdi(QdiConfig),
-}
-
-impl IndexingStrategy {
-    /// A short label used in experiment output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            IndexingStrategy::SingleTermFull => "single-term",
-            IndexingStrategy::Hdk(_) => "hdk",
-            IndexingStrategy::Qdi(_) => "qdi",
-        }
-    }
-
-    /// The posting-list truncation bound used when storing entries in the global
-    /// index (effectively unbounded for the single-term baseline).
-    pub fn truncation_k(&self) -> usize {
-        match self {
-            IndexingStrategy::SingleTermFull => usize::MAX / 4,
-            IndexingStrategy::Hdk(c) => c.truncation_k,
-            IndexingStrategy::Qdi(c) => c.truncation_k,
-        }
-    }
-}
+use std::sync::Arc;
 
 /// Configuration of a whole AlvisP2P network.
 #[derive(Clone, Debug)]
@@ -72,8 +43,8 @@ pub struct NetworkConfig {
     pub peers: usize,
     /// Overlay configuration (routing strategy, identifier distribution, …).
     pub dht: DhtConfig,
-    /// Distributed indexing strategy.
-    pub strategy: IndexingStrategy,
+    /// Distributed indexing strategy (any [`Strategy`] implementation).
+    pub strategy: Arc<dyn Strategy>,
     /// BM25 parameters used by every ranking component.
     pub bm25: Bm25Params,
     /// Query-lattice exploration parameters.
@@ -87,7 +58,7 @@ impl Default for NetworkConfig {
         NetworkConfig {
             peers: 32,
             dht: DhtConfig::default(),
-            strategy: IndexingStrategy::Hdk(HdkConfig::default()),
+            strategy: Arc::new(Hdk::default()),
             bm25: Bm25Params::default(),
             lattice: LatticeConfig::default(),
             seed: 42,
@@ -95,10 +66,131 @@ impl Default for NetworkConfig {
     }
 }
 
+/// Fluent assembly of an [`AlvisNetwork`].
+///
+/// ```
+/// use alvisp2p_core::network::AlvisNetwork;
+/// use alvisp2p_core::strategy::Hdk;
+/// use alvisp2p_core::hdk::HdkConfig;
+/// use alvisp2p_textindex::demo_corpus;
+///
+/// let mut net = AlvisNetwork::builder()
+///     .peers(4)
+///     .strategy(Hdk::new(HdkConfig { df_max: 2, ..Default::default() }))
+///     .seed(7)
+///     .documents(demo_corpus())
+///     .build()
+///     .unwrap();
+/// let report = net.build_index();
+/// assert!(report.activated_keys > 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AlvisNetworkBuilder {
+    config: NetworkConfig,
+    documents: Vec<(String, String)>,
+}
+
+impl AlvisNetworkBuilder {
+    /// A builder starting from the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of peers.
+    pub fn peers(mut self, peers: usize) -> Self {
+        self.config.peers = peers;
+        self
+    }
+
+    /// Sets the indexing strategy (any [`Strategy`] implementation, including
+    /// user-defined ones).
+    pub fn strategy(mut self, strategy: impl Strategy + 'static) -> Self {
+        self.config.strategy = Arc::new(strategy);
+        self
+    }
+
+    /// Sets an already-shared strategy.
+    pub fn strategy_arc(mut self, strategy: Arc<dyn Strategy>) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the overlay configuration.
+    pub fn dht(mut self, dht: DhtConfig) -> Self {
+        self.config.dht = dht;
+        self
+    }
+
+    /// Sets the BM25 ranking parameters.
+    pub fn bm25(mut self, bm25: Bm25Params) -> Self {
+        self.config.bm25 = bm25;
+        self
+    }
+
+    /// Sets the query-lattice exploration parameters.
+    pub fn lattice(mut self, lattice: LatticeConfig) -> Self {
+        self.config.lattice = lattice;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Queues `(title, body)` documents for round-robin distribution when the
+    /// network is built.
+    pub fn documents(mut self, docs: impl IntoIterator<Item = (String, String)>) -> Self {
+        self.documents.extend(docs);
+        self
+    }
+
+    /// Queues a synthetic corpus for distribution when the network is built.
+    pub fn corpus(mut self, corpus: &SyntheticCorpus) -> Self {
+        self.documents.extend(
+            corpus
+                .docs
+                .iter()
+                .map(|d| (d.title.clone(), d.body.clone())),
+        );
+        self
+    }
+
+    /// Builds the network and distributes any queued documents. The
+    /// distributed index is *not* built yet (call
+    /// [`AlvisNetwork::build_index`], or use [`AlvisNetworkBuilder::build_indexed`]).
+    pub fn build(self) -> Result<AlvisNetwork, AlvisError> {
+        if self.config.peers == 0 {
+            return Err(AlvisError::InvalidConfig(
+                "network needs at least one peer".into(),
+            ));
+        }
+        if self.config.strategy.truncation_k() == 0 {
+            return Err(AlvisError::InvalidConfig(
+                "strategy truncation bound must be positive".into(),
+            ));
+        }
+        let mut net = AlvisNetwork::new(self.config);
+        if !self.documents.is_empty() {
+            net.distribute_documents(self.documents);
+        }
+        Ok(net)
+    }
+
+    /// Builds the network, distributes any queued documents and builds the
+    /// distributed index in one step.
+    pub fn build_indexed(self) -> Result<AlvisNetwork, AlvisError> {
+        let mut net = self.build()?;
+        net.build_index();
+        Ok(net)
+    }
+}
+
 /// Summary of a distributed index construction run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct IndexBuildReport {
-    /// Strategy label ("single-term", "hdk", "qdi").
+    /// Strategy label ("single-term", "hdk", "qdi", or a custom label).
     pub strategy: String,
     /// Number of activated keys in the global index.
     pub activated_keys: usize,
@@ -110,24 +202,8 @@ pub struct IndexBuildReport {
     pub indexing_bytes: u64,
     /// Bytes spent publishing/fetching ranking statistics.
     pub ranking_bytes: u64,
-    /// Per-level HDK construction summary (empty for the other strategies).
+    /// Per-level construction summary (single-level for flat strategies).
     pub levels: Vec<HdkLevelReport>,
-}
-
-/// The outcome of one query.
-#[derive(Clone, Debug, Default)]
-pub struct QueryOutcome {
-    /// Final ranked results (top-k).
-    pub results: Vec<ScoredDoc>,
-    /// The lattice-exploration trace (what was probed, found, skipped).
-    pub trace: LatticeTrace,
-    /// Retrieval bytes this query consumed (requests, routing, posting-list
-    /// responses).
-    pub bytes: u64,
-    /// Retrieval messages this query consumed.
-    pub messages: u64,
-    /// Total overlay hops across all probes.
-    pub hops: usize,
 }
 
 /// A result enriched by the owning peer's local engine (the two-step refinement).
@@ -147,32 +223,6 @@ pub struct RefinedResult {
     pub snippet: String,
 }
 
-/// Errors surfaced by network-level operations.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum NetworkError {
-    /// The underlying overlay failed (bad origin, lookup failure, empty network).
-    Dht(DhtError),
-    /// The originating peer index is out of range.
-    NoSuchPeer(usize),
-}
-
-impl From<DhtError> for NetworkError {
-    fn from(e: DhtError) -> Self {
-        NetworkError::Dht(e)
-    }
-}
-
-impl std::fmt::Display for NetworkError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            NetworkError::Dht(e) => write!(f, "overlay error: {e}"),
-            NetworkError::NoSuchPeer(i) => write!(f, "no such peer: {i}"),
-        }
-    }
-}
-
-impl std::error::Error for NetworkError {}
-
 /// A complete AlvisP2P network under simulation.
 pub struct AlvisNetwork {
     config: NetworkConfig,
@@ -183,16 +233,42 @@ pub struct AlvisNetwork {
     analyzer: Analyzer,
     query_seq: u64,
     qdi_report: QdiReport,
-    hdk_levels: Vec<HdkLevelReport>,
+    level_reports: Vec<HdkLevelReport>,
     index_built: bool,
     last_build: Option<IndexBuildReport>,
 }
 
+impl std::fmt::Debug for AlvisNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlvisNetwork")
+            .field("peers", &self.peers.len())
+            .field("strategy", &self.config.strategy.label())
+            .field("documents", &self.total_documents())
+            .field("index_built", &self.index_built)
+            .field("queries_processed", &self.query_seq)
+            .finish_non_exhaustive()
+    }
+}
+
 impl AlvisNetwork {
     /// Builds a network of `config.peers` peers with an already-stabilised overlay.
+    ///
+    /// This is the low-level constructor; [`AlvisNetwork::builder`] reports the
+    /// same invariant violations as [`AlvisError::InvalidConfig`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.peers == 0` or the strategy's truncation bound is 0.
     pub fn new(config: NetworkConfig) -> Self {
+        assert!(config.peers > 0, "network needs at least one peer");
+        assert!(
+            config.strategy.truncation_k() > 0,
+            "strategy truncation bound must be positive"
+        );
         let global = GlobalIndex::new(config.dht.clone(), config.seed, config.peers);
-        let peers = (0..config.peers).map(|i| AlvisPeer::new(i as u32)).collect();
+        let peers = (0..config.peers)
+            .map(|i| AlvisPeer::new(i as u32))
+            .collect();
         let centralized = CentralizedEngine::new(config.bm25);
         AlvisNetwork {
             peers,
@@ -202,16 +278,26 @@ impl AlvisNetwork {
             analyzer: Analyzer::default(),
             query_seq: 0,
             qdi_report: QdiReport::default(),
-            hdk_levels: Vec::new(),
+            level_reports: Vec::new(),
             index_built: false,
             last_build: None,
             config,
         }
     }
 
+    /// Starts assembling a network.
+    pub fn builder() -> AlvisNetworkBuilder {
+        AlvisNetworkBuilder::new()
+    }
+
     /// The network configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
+    }
+
+    /// The indexing strategy the network runs.
+    pub fn strategy(&self) -> &Arc<dyn Strategy> {
+        &self.config.strategy
     }
 
     /// Number of peers.
@@ -333,17 +419,19 @@ impl AlvisNetwork {
         }
     }
 
-    /// Builds the distributed index according to the configured strategy and returns a
+    /// Builds the distributed index with the configured [`Strategy`] and returns a
     /// construction report.
     pub fn build_index(&mut self) -> IndexBuildReport {
         let before = self.traffic_snapshot();
         self.publish_ranking_stats();
-        let strategy = self.config.strategy.clone();
-        match &strategy {
-            IndexingStrategy::SingleTermFull => self.build_single_term(usize::MAX / 4),
-            IndexingStrategy::Qdi(config) => self.build_single_term(config.truncation_k),
-            IndexingStrategy::Hdk(config) => self.build_hdk(config),
-        }
+        let strategy = Arc::clone(&self.config.strategy);
+        let mut ctx = IndexerCtx::new(
+            &self.peers,
+            &mut self.global,
+            &self.ranking,
+            self.config.bm25,
+        );
+        self.level_reports = strategy.build_index(&mut ctx);
         self.index_built = true;
 
         let after = self.traffic_snapshot();
@@ -355,7 +443,7 @@ impl AlvisNetwork {
             storage_bytes: self.global.total_storage_bytes(),
             indexing_bytes: delta.category(TrafficCategory::Indexing).bytes,
             ranking_bytes: delta.category(TrafficCategory::Ranking).bytes,
-            levels: self.hdk_levels.clone(),
+            levels: self.level_reports.clone(),
         };
         self.last_build = Some(report.clone());
         report
@@ -371,195 +459,51 @@ impl AlvisNetwork {
         self.last_build.as_ref()
     }
 
-    /// Level 1 of every strategy: each peer publishes a posting-list contribution for
-    /// every term of its local vocabulary, truncated to `capacity`.
-    fn build_single_term(&mut self, capacity: usize) {
-        let params = self.config.bm25;
-        let mut candidates = 0usize;
-        for peer_index in 0..self.peers.len() {
-            let vocabulary: Vec<String> = self.peers[peer_index]
-                .index()
-                .vocabulary()
-                .map(str::to_string)
-                .collect();
-            for term in vocabulary {
-                let key = TermKey::single(&term);
-                let list = score_local_postings(
-                    self.peers[peer_index].index(),
-                    &key,
-                    &self.ranking,
-                    params,
-                    capacity,
-                );
-                if list.is_empty() {
-                    continue;
-                }
-                candidates += 1;
-                // A peer publishes from its own overlay node.
-                let _ = self.global.publish_postings(peer_index, &key, &list, capacity);
-            }
-        }
-        let (discriminative, frequent) = self.count_level_keys(1, capacity);
-        self.hdk_levels = vec![HdkLevelReport {
-            level: 1,
-            candidates,
-            discriminative,
-            frequent,
-        }];
-    }
-
-    /// Full HDK construction: single-term level plus expansion levels.
-    fn build_hdk(&mut self, config: &HdkConfig) {
-        self.build_single_term(config.truncation_k);
-        let params = self.config.bm25;
-
-        // Globally frequent single terms (observed by the responsible peers).
-        let frequent_terms: BTreeSet<String> = self
-            .global
-            .entries()
-            .filter(|e| e.activated && e.key.is_single() && e.postings.full_df() > config.df_max as u64)
-            .map(|e| e.key.terms()[0].clone())
-            .collect();
-        // Every peer learns which of its local terms are frequent (a small notification
-        // from each responsible peer, piggybacked on the publication acknowledgement).
-        for peer in &self.peers {
-            let local_frequent = peer
-                .index()
-                .vocabulary()
-                .filter(|t| frequent_terms.contains(*t))
-                .count();
-            self.global
-                .charge(TrafficCategory::Indexing, 9 * local_frequent + 16);
-        }
-
-        let mut frequent_parents: BTreeSet<TermKey> = hdk::single_term_keys(&frequent_terms);
-
-        for level in 2..=config.max_key_len {
-            if frequent_parents.is_empty() {
-                break;
-            }
-            let mut level_candidates: BTreeSet<TermKey> = BTreeSet::new();
-            for peer_index in 0..self.peers.len() {
-                // Candidates this peer generates from its local documents.
-                let docs = self.peers[peer_index].index().documents();
-                let mut peer_candidates: BTreeSet<TermKey> = BTreeSet::new();
-                for doc in docs {
-                    let doc_terms = self.peers[peer_index].index().doc_term_positions(doc);
-                    for cand in hdk::generate_doc_candidates(
-                        &doc_terms,
-                        &frequent_parents,
-                        &frequent_terms,
-                        level,
-                        config,
-                    ) {
-                        peer_candidates.insert(cand);
-                    }
-                }
-                // Publish this peer's contribution for each of its candidates.
-                for key in &peer_candidates {
-                    let list = score_local_postings(
-                        self.peers[peer_index].index(),
-                        key,
-                        &self.ranking,
-                        params,
-                        config.truncation_k,
-                    );
-                    if list.is_empty() {
-                        continue;
-                    }
-                    let _ = self.global.publish_postings(
-                        peer_index,
-                        key,
-                        &list,
-                        config.truncation_k,
-                    );
-                    level_candidates.insert(key.clone());
-                }
-            }
-
-            let (discriminative, frequent) = self.count_level_keys(level, config.truncation_k);
-            self.hdk_levels.push(HdkLevelReport {
-                level,
-                candidates: level_candidates.len(),
-                discriminative,
-                frequent,
-            });
-
-            // The frequent keys of this level seed the next level's expansions.
-            frequent_parents = self
-                .global
-                .entries()
-                .filter(|e| {
-                    e.activated
-                        && e.key.len() == level
-                        && e.postings.full_df() > config.df_max as u64
-                })
-                .map(|e| e.key.clone())
-                .collect();
-        }
-    }
-
-    fn count_level_keys(&self, level: usize, _capacity: usize) -> (usize, usize) {
-        let df_max = match &self.config.strategy {
-            IndexingStrategy::Hdk(c) => c.df_max as u64,
-            IndexingStrategy::Qdi(c) => c.truncation_k as u64,
-            IndexingStrategy::SingleTermFull => u64::MAX,
-        };
-        let mut discriminative = 0usize;
-        let mut frequent = 0usize;
-        for e in self.global.entries() {
-            if e.activated && e.key.len() == level {
-                if e.postings.full_df() > df_max {
-                    frequent += 1;
-                } else {
-                    discriminative += 1;
-                }
-            }
-        }
-        (discriminative, frequent)
-    }
-
     // ------------------------------------------------------------------
     // Retrieval
     // ------------------------------------------------------------------
 
-    /// Runs a query from peer `origin` and returns the top-`k` results together with
+    /// Executes one [`QueryRequest`] and returns the ranked results together with
     /// the exploration trace and the traffic the query consumed.
-    pub fn query(&mut self, origin: usize, text: &str, k: usize) -> Result<QueryOutcome, NetworkError> {
-        if origin >= self.peers.len() {
-            return Err(NetworkError::NoSuchPeer(origin));
+    pub fn execute(&mut self, request: &QueryRequest) -> Result<QueryResponse, AlvisError> {
+        if request.top_k == 0 {
+            return Err(AlvisError::InvalidRequest("top_k must be positive".into()));
         }
-        let terms = self.analyzer.analyze_query(text);
+        if request.origin >= self.peers.len() {
+            return Err(AlvisError::NoSuchPeer {
+                origin: request.origin,
+                peers: self.peers.len(),
+            });
+        }
+        let terms = self.analyzer.analyze_query(&request.text);
         if terms.is_empty() {
-            return Ok(QueryOutcome::default());
+            return Ok(QueryResponse::default());
         }
         self.query_seq += 1;
         self.qdi_report.queries += 1;
         let seq = self.query_seq;
         let before = self.traffic_snapshot();
 
+        let strategy = Arc::clone(&self.config.strategy);
         let query_key = TermKey::new(terms);
-        let capacity = self.config.strategy.truncation_k();
-        let lattice_config = match &self.config.strategy {
-            IndexingStrategy::SingleTermFull => LatticeConfig {
-                // The baseline has no multi-term keys: only the single terms are
-                // fetched, each with its complete posting list.
-                prune_below_truncated: false,
-                max_probe_len: 1,
-                max_probes: self.config.lattice.max_probes,
-            },
-            _ => self.config.lattice.clone(),
-        };
+        let capacity = strategy.truncation_k();
+        let lattice_config = strategy.lattice_config(&self.config.lattice);
 
-        let lattice_result = self.run_lattice(origin, &query_key, &lattice_config, seq, capacity)?;
+        let (lattice_result, budget_exhausted) =
+            self.run_lattice(request, &query_key, &lattice_config, seq, capacity, &before)?;
 
-        // Query-Driven Indexing: popular missing combinations are activated on demand.
-        if let IndexingStrategy::Qdi(qdi_config) = self.config.strategy.clone() {
-            self.qdi_activation_pass(&query_key, &lattice_result, &qdi_config);
-            self.qdi_eviction_pass(seq, &qdi_config);
-        }
+        // On-demand strategies (e.g. QDI) observe the finished query.
+        let mut ctx = QueryCtx::new(
+            &self.peers,
+            &mut self.global,
+            &self.ranking,
+            self.config.bm25,
+            seq,
+            &mut self.qdi_report,
+        );
+        strategy.post_query(&mut ctx, &query_key, &lattice_result);
 
-        let results = crate::ranking::merge_retrieved(&lattice_result.retrieved, k);
+        let results = crate::ranking::merge_retrieved(&lattice_result.retrieved, request.top_k);
         let multi_hits = lattice_result
             .retrieved
             .iter()
@@ -567,130 +511,78 @@ impl AlvisNetwork {
             .count() as u64;
         self.qdi_report.multi_term_hits += multi_hits;
 
+        // Snapshot the first-step retrieval spend before refinement so
+        // `QueryResponse::bytes` means the same thing with and without
+        // refinement; refinement traffic is still charged to the network's
+        // traffic statistics.
         let delta = self.traffic_snapshot().since(&before);
         let retrieval = delta.category(TrafficCategory::Retrieval);
-        Ok(QueryOutcome {
+
+        let refined = if request.refine {
+            self.refine(&request.text, &results, request.top_k)
+        } else {
+            Vec::new()
+        };
+
+        Ok(QueryResponse {
             results,
+            refined,
             hops: lattice_result.trace.hops,
             trace: lattice_result.trace,
             bytes: retrieval.bytes,
             messages: retrieval.messages,
+            budget_exhausted,
         })
     }
 
+    /// Executes a batch of requests in order, stopping at the first error.
+    pub fn query_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryResponse>, AlvisError> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    /// Explores the query lattice, enforcing the request's byte/hop budgets by
+    /// skipping further probes once a budget is exhausted. Returns the result and
+    /// whether a budget cut the exploration short.
     fn run_lattice(
         &mut self,
-        origin: usize,
+        request: &QueryRequest,
         query_key: &TermKey,
         lattice_config: &LatticeConfig,
         seq: u64,
         capacity: usize,
-    ) -> Result<LatticeResult, NetworkError> {
-        // For the single-term baseline, the full query key itself must not be probed
-        // (only singles exist); max_probe_len=1 already ensures only singles and the
-        // query itself are candidates, so explicitly skip the multi-term query key by
-        // probing it only when it is a single term.
+        traffic_before: &TrafficStats,
+    ) -> Result<(LatticeResult, bool), AlvisError> {
+        // When the strategy limits probes to single terms, the (multi-term) query
+        // key itself must not be probed either: only the singles exist in the
+        // index, each with its complete posting list.
         let single_term_only = lattice_config.max_probe_len == 1;
+        let origin = request.origin;
         let global = &mut self.global;
+        let base_retrieval_bytes = traffic_before.category(TrafficCategory::Retrieval).bytes;
+        let mut hops_spent = 0usize;
+        let mut exhausted = false;
         let result = explore_lattice(query_key, lattice_config, |key| {
             if single_term_only && key.len() > 1 {
-                return Ok::<ProbeResult, DhtError>(ProbeResult {
-                    key: key.clone(),
-                    postings: None,
-                    hops: 0,
-                    responsible: 0,
-                });
+                return Ok::<ProbeResult, DhtError>(ProbeResult::skipped(key.clone()));
             }
-            global.probe(origin, key, seq, capacity)
+            let byte_budget_left = request.byte_budget.is_none_or(|budget| {
+                let spent = global.stats().category(TrafficCategory::Retrieval).bytes
+                    - base_retrieval_bytes;
+                spent < budget
+            });
+            let hop_budget_left = request.hop_budget.is_none_or(|budget| hops_spent < budget);
+            if !byte_budget_left || !hop_budget_left {
+                exhausted = true;
+                return Ok(ProbeResult::skipped(key.clone()));
+            }
+            let probe = global.probe(origin, key, seq, capacity)?;
+            hops_spent += probe.hops;
+            Ok(probe)
         })?;
-        Ok(result)
-    }
-
-    /// Checks every probed-but-missing multi-term key for QDI activation.
-    fn qdi_activation_pass(
-        &mut self,
-        _query_key: &TermKey,
-        lattice_result: &LatticeResult,
-        config: &QdiConfig,
-    ) {
-        let missing_keys: Vec<TermKey> = lattice_result
-            .trace
-            .nodes
-            .iter()
-            .filter(|(k, o)| {
-                matches!(o, crate::lattice::NodeOutcome::Missing) && k.len() >= 2
-            })
-            .map(|(k, _)| k.clone())
-            .collect();
-        for key in missing_keys {
-            let Some(usage) = self.global.usage(&key) else { continue };
-            // Redundancy: are complete results for this key already available from a
-            // retrieved subset key?
-            let redundant = lattice_result
-                .retrieved
-                .iter()
-                .any(|(k2, list)| k2.is_subset_of(&key) && !list.is_truncated());
-            let decision = activation_decision(
-                &usage,
-                false,
-                key.len(),
-                Some(!redundant),
-                config,
-            );
-            if !decision.should_activate() {
-                continue;
-            }
-            self.activate_key(&key, config);
-        }
-    }
-
-    /// The on-demand indexing step: the responsible peer acquires a bounded top-k
-    /// posting list for the key from the peers holding matching documents.
-    fn activate_key(&mut self, key: &TermKey, config: &QdiConfig) {
-        let params = self.config.bm25;
-        let mut merged = TruncatedPostingList::new(config.truncation_k);
-        let mut acquisition_bytes = 0usize;
-        for peer in &self.peers {
-            let list = score_local_postings(
-                peer.index(),
-                key,
-                &self.ranking,
-                params,
-                config.truncation_k,
-            );
-            if list.is_empty() {
-                continue;
-            }
-            // Request to the contributing peer + its response carrying the local top-k.
-            acquisition_bytes += 48 + key.wire_size() + list.wire_size();
-            merged.merge(&list);
-        }
-        self.global
-            .charge(TrafficCategory::Indexing, acquisition_bytes);
-        if let Ok(responsible) = self.global.dht().responsible_for(key.ring_id()) {
-            self.global.store_acquired(responsible, key, merged);
-            self.qdi_report.activations += 1;
-            self.qdi_report.acquisition_bytes += acquisition_bytes as u64;
-        }
-    }
-
-    /// Periodically deactivates keys that have not been queried within the
-    /// obsolescence window.
-    fn qdi_eviction_pass(&mut self, seq: u64, config: &QdiConfig) {
-        if config.eviction_period == 0 || seq % config.eviction_period != 0 {
-            return;
-        }
-        let obsolete: Vec<TermKey> = self
-            .global
-            .entries()
-            .filter(|e| e.activated && e.key.len() >= 2 && is_obsolete(&e.usage, seq, config))
-            .map(|e| e.key.clone())
-            .collect();
-        for key in obsolete {
-            if self.global.deactivate(&key) {
-                self.qdi_report.evictions += 1;
-            }
-        }
+        Ok((result, exhausted))
     }
 
     /// Runs the query against the centralized reference engine (quality baseline).
@@ -704,7 +596,8 @@ impl AlvisNetwork {
 
     /// Second retrieval step: forwards the query to the local engines of the peers
     /// hosting the first-step results and enriches each result with the owner's local
-    /// score, title, URL and snippet.
+    /// score, title, URL and snippet. Runs automatically for requests built with
+    /// [`QueryRequest::with_refinement`].
     pub fn refine(&mut self, query: &str, results: &[ScoredDoc], k: usize) -> Vec<RefinedResult> {
         let mut owners: BTreeSet<u32> = results.iter().take(k).map(|r| r.doc.peer).collect();
         owners.retain(|p| (*p as usize) < self.peers.len());
@@ -712,7 +605,12 @@ impl AlvisNetwork {
         for owner in &owners {
             let request = 32 + query.len();
             self.global.charge(TrafficCategory::Retrieval, request);
-            let response = 64 * results.iter().take(k).filter(|r| r.doc.peer == *owner).count();
+            let response = 64
+                * results
+                    .iter()
+                    .take(k)
+                    .filter(|r| r.doc.peer == *owner)
+                    .count();
             self.global.charge(TrafficCategory::Retrieval, response);
         }
         results
@@ -763,10 +661,15 @@ impl AlvisNetwork {
         let outcome = self.peers[owner].fetch(doc, credentials);
         let response_bytes = match &outcome {
             FetchOutcome::Full(d) => d.body.len() + d.title.len() + 32,
-            FetchOutcome::Metadata { snippet, title, url } => snippet.len() + title.len() + url.len(),
+            FetchOutcome::Metadata {
+                snippet,
+                title,
+                url,
+            } => snippet.len() + title.len() + url.len(),
             _ => 8,
         };
-        self.global.charge(TrafficCategory::Retrieval, response_bytes);
+        self.global
+            .charge(TrafficCategory::Retrieval, response_bytes);
         outcome
     }
 
@@ -779,33 +682,35 @@ impl AlvisNetwork {
         self.global.per_peer_load()
     }
 
-    /// The HDK per-level construction reports (empty for other strategies).
-    pub fn hdk_level_reports(&self) -> &[HdkLevelReport] {
-        &self.hdk_levels
+    /// The per-level construction reports of the most recent build (one level
+    /// for flat strategies, one per expansion level for HDK).
+    pub fn level_reports(&self) -> &[HdkLevelReport] {
+        &self.level_reports
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hdk::HdkConfig;
+    use crate::qdi::QdiConfig;
+    use crate::strategy::{Qdi, SingleTermFull};
     use alvisp2p_textindex::demo_corpus;
 
-    fn demo_network(strategy: IndexingStrategy, peers: usize) -> AlvisNetwork {
-        let config = NetworkConfig {
-            peers,
-            strategy,
-            seed: 7,
-            ..Default::default()
-        };
-        let mut net = AlvisNetwork::new(config);
-        net.distribute_documents(demo_corpus());
-        net
+    fn demo_network(strategy: impl Strategy + 'static, peers: usize) -> AlvisNetwork {
+        AlvisNetwork::builder()
+            .peers(peers)
+            .strategy(strategy)
+            .seed(7)
+            .documents(demo_corpus())
+            .build()
+            .expect("valid configuration")
     }
 
     #[test]
     fn distribute_spreads_documents_round_robin() {
         let net = {
-            let mut n = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 4);
+            let mut n = demo_network(Hdk::default(), 4);
             assert_eq!(n.total_documents(), 12);
             n.build_index();
             n
@@ -818,9 +723,23 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_invalid_configurations() {
+        let err = AlvisNetwork::builder().peers(0).build().unwrap_err();
+        assert!(matches!(err, AlvisError::InvalidConfig(_)));
+        let err = AlvisNetwork::builder()
+            .strategy(Hdk::new(HdkConfig {
+                truncation_k: 0,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AlvisError::InvalidConfig(_)));
+    }
+
+    #[test]
     fn hdk_query_finds_relevant_documents() {
         let mut net = demo_network(
-            IndexingStrategy::Hdk(HdkConfig {
+            Hdk::new(HdkConfig {
                 df_max: 2,
                 truncation_k: 5,
                 ..Default::default()
@@ -834,7 +753,9 @@ mod tests {
         assert_eq!(report.strategy, "hdk");
         assert!(!report.levels.is_empty());
 
-        let outcome = net.query(0, "posting list truncated", 10).unwrap();
+        let outcome = net
+            .execute(&QueryRequest::new("posting list truncated"))
+            .unwrap();
         assert!(!outcome.results.is_empty());
         assert!(outcome.bytes > 0);
         assert!(outcome.trace.probes > 0);
@@ -846,10 +767,10 @@ mod tests {
 
     #[test]
     fn single_term_baseline_reaches_reference_quality_with_more_bytes() {
-        let mut baseline = demo_network(IndexingStrategy::SingleTermFull, 4);
+        let mut baseline = demo_network(SingleTermFull, 4);
         baseline.build_index();
         let mut hdk = demo_network(
-            IndexingStrategy::Hdk(HdkConfig {
+            Hdk::new(HdkConfig {
                 df_max: 2,
                 truncation_k: 3,
                 ..Default::default()
@@ -858,10 +779,10 @@ mod tests {
         );
         hdk.build_index();
 
-        let query = "peer retrieval index";
-        let b = baseline.query(1, query, 10).unwrap();
-        let h = hdk.query(1, query, 10).unwrap();
-        let reference = baseline.reference_search(query, 10);
+        let request = QueryRequest::new("peer retrieval index").from_peer(1);
+        let b = baseline.execute(&request).unwrap();
+        let h = hdk.execute(&request).unwrap();
+        let reference = baseline.reference_search(&request.text, 10);
         assert!(!b.results.is_empty());
         // The untruncated baseline reproduces the reference ranking's document set.
         let ref_set: std::collections::HashSet<_> = reference.iter().map(|r| r.doc).collect();
@@ -877,7 +798,7 @@ mod tests {
         // truncated single-term lists, so multi-term keys are non-redundant and can be
         // activated on demand.
         let mut net = demo_network(
-            IndexingStrategy::Qdi(QdiConfig {
+            Qdi::new(QdiConfig {
                 activation_threshold: 2,
                 truncation_k: 2,
                 ..Default::default()
@@ -887,44 +808,56 @@ mod tests {
         net.build_index();
         let query = "query driven indexing";
         // Initially the multi-term key is not indexed.
-        let first = net.query(0, query, 10).unwrap();
+        let first = net.execute(&QueryRequest::new(query)).unwrap();
         assert!(!first.results.is_empty());
         assert_eq!(net.qdi_report().activations, 0);
         // After enough repetitions the popular combination gets activated.
-        let _ = net.query(1, query, 10).unwrap();
-        let _ = net.query(2, query, 10).unwrap();
+        let batch: Vec<QueryRequest> = (1..3)
+            .map(|origin| QueryRequest::new(query).from_peer(origin))
+            .collect();
+        let responses = net.query_batch(&batch).unwrap();
+        assert_eq!(responses.len(), 2);
         assert!(net.qdi_report().activations >= 1, "{:?}", net.qdi_report());
         // Subsequent queries hit the activated multi-term key.
-        let later = net.query(3, query, 10).unwrap();
-        let multi_found = later
-            .trace
-            .found_keys()
-            .iter()
-            .any(|k| k.len() > 1);
+        let later = net.execute(&QueryRequest::new(query).from_peer(3)).unwrap();
+        let multi_found = later.trace.found_keys().iter().any(|k| k.len() > 1);
         assert!(multi_found, "trace: {:?}", later.trace.nodes);
         assert!(net.qdi_report().multi_term_hits >= 1);
     }
 
     #[test]
-    fn empty_query_and_bad_origin_are_handled() {
-        let mut net = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 2);
+    fn empty_query_and_bad_requests_are_handled() {
+        let mut net = demo_network(Hdk::default(), 2);
         net.build_index();
-        let empty = net.query(0, "the of and", 10).unwrap();
+        let empty = net.execute(&QueryRequest::new("the of and")).unwrap();
         assert!(empty.results.is_empty());
         assert_eq!(empty.bytes, 0);
         assert!(matches!(
-            net.query(99, "peer", 10),
-            Err(NetworkError::NoSuchPeer(99))
+            net.execute(&QueryRequest::new("peer").from_peer(99)),
+            Err(AlvisError::NoSuchPeer {
+                origin: 99,
+                peers: 2
+            })
+        ));
+        assert!(matches!(
+            net.execute(&QueryRequest::new("peer").top_k(0)),
+            Err(AlvisError::InvalidRequest(_))
         ));
     }
 
     #[test]
     fn refinement_enriches_results_with_owner_metadata() {
-        let mut net = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 3);
+        let mut net = demo_network(Hdk::default(), 3);
         net.build_index();
-        let outcome = net.query(0, "congestion control overlay", 5).unwrap();
+        let outcome = net
+            .execute(
+                &QueryRequest::new("congestion control overlay")
+                    .top_k(5)
+                    .with_refinement(),
+            )
+            .unwrap();
         assert!(!outcome.results.is_empty());
-        let refined = net.refine("congestion control overlay", &outcome.results, 5);
+        let refined = &outcome.refined;
         assert_eq!(refined.len(), outcome.results.len().min(5));
         let top = &refined[0];
         assert!(!top.title.is_empty());
@@ -936,9 +869,11 @@ mod tests {
 
     #[test]
     fn fetch_document_respects_access_rights_through_the_network() {
-        let mut net = demo_network(IndexingStrategy::Hdk(HdkConfig::default()), 2);
+        let mut net = demo_network(Hdk::default(), 2);
         net.build_index();
-        let outcome = net.query(0, "access rights shared documents", 5).unwrap();
+        let outcome = net
+            .execute(&QueryRequest::new("access rights shared documents").top_k(5))
+            .unwrap();
         assert!(!outcome.results.is_empty());
         let doc = outcome.results[0].doc;
         match net.fetch_document(doc, &Credentials::anonymous()) {
@@ -946,7 +881,10 @@ mod tests {
             other => panic!("expected full document, got {other:?}"),
         }
         assert!(matches!(
-            net.fetch_document(alvisp2p_textindex::DocId::new(99, 0), &Credentials::anonymous()),
+            net.fetch_document(
+                alvisp2p_textindex::DocId::new(99, 0),
+                &Credentials::anonymous()
+            ),
             FetchOutcome::NotFound
         ));
     }
@@ -954,7 +892,7 @@ mod tests {
     #[test]
     fn index_load_is_distributed_over_peers() {
         let mut net = demo_network(
-            IndexingStrategy::Hdk(HdkConfig {
+            Hdk::new(HdkConfig {
                 df_max: 2,
                 ..Default::default()
             }),
@@ -965,5 +903,27 @@ mod tests {
         assert_eq!(load.len(), 6);
         let peers_with_keys = load.iter().filter(|(k, _)| *k > 0).count();
         assert!(peers_with_keys >= 3, "load: {load:?}");
+    }
+
+    #[test]
+    fn budgets_bound_exploration_and_are_reported() {
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        // A tiny byte budget stops probing almost immediately.
+        let tight = net
+            .execute(&QueryRequest::new("peer to peer retrieval").byte_budget(1))
+            .unwrap();
+        assert!(tight.budget_exhausted);
+        // A generous budget changes nothing.
+        let loose = net
+            .execute(&QueryRequest::new("peer to peer retrieval").byte_budget(u64::MAX))
+            .unwrap();
+        assert!(!loose.budget_exhausted);
+        assert!(!loose.results.is_empty());
+        // Hop budgets behave the same way.
+        let hops = net
+            .execute(&QueryRequest::new("peer to peer retrieval").hop_budget(usize::MAX))
+            .unwrap();
+        assert!(!hops.budget_exhausted);
     }
 }

@@ -247,8 +247,14 @@ mod tests {
             .with_access(AccessRights::Private);
         let private = peer.publish_document(private_doc);
 
-        assert!(matches!(peer.fetch(public, &Credentials::anonymous()), FetchOutcome::Full(_)));
-        assert_eq!(peer.fetch(restricted, &Credentials::anonymous()), FetchOutcome::Denied);
+        assert!(matches!(
+            peer.fetch(public, &Credentials::anonymous()),
+            FetchOutcome::Full(_)
+        ));
+        assert_eq!(
+            peer.fetch(restricted, &Credentials::anonymous()),
+            FetchOutcome::Denied
+        );
         assert!(matches!(
             peer.fetch(restricted, &Credentials::basic("alice", "pw")),
             FetchOutcome::Full(_)
@@ -270,7 +276,10 @@ mod tests {
     fn digest_import_makes_external_documents_searchable() {
         // An "external engine" (modelled as another peer) exports its collection.
         let mut library = AlvisPeer::new(7);
-        library.publish("Digital library holdings", "medieval manuscripts digitized archive");
+        library.publish(
+            "Digital library holdings",
+            "medieval manuscripts digitized archive",
+        );
         library.publish("Catalogue", "rare books catalogue with annotations");
         let digest = library.export_digest();
 

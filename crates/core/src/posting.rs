@@ -108,9 +108,7 @@ impl TruncatedPostingList {
                 if self.refs.len() < self.capacity {
                     self.insert_sorted(r);
                 } else if let Some(last) = self.refs.last() {
-                    if r.score > last.score
-                        || (r.score == last.score && r.doc < last.doc)
-                    {
+                    if r.score > last.score || (r.score == last.score && r.doc < last.doc) {
                         self.refs.pop();
                         self.insert_sorted(r);
                     }
@@ -213,7 +211,14 @@ mod tests {
 
     #[test]
     fn insertion_order_does_not_matter() {
-        let refs = [r(0, 1.0), r(1, 9.0), r(2, 5.0), r(3, 7.0), r(4, 3.0), r(5, 8.0)];
+        let refs = [
+            r(0, 1.0),
+            r(1, 9.0),
+            r(2, 5.0),
+            r(3, 7.0),
+            r(4, 3.0),
+            r(5, 8.0),
+        ];
         let mut shuffled = refs;
         shuffled.reverse();
         let a = TruncatedPostingList::from_refs(refs, 4);
@@ -251,9 +256,18 @@ mod tests {
     #[test]
     fn remove_peer_docs_filters_by_owner() {
         let mut list = TruncatedPostingList::new(10);
-        list.insert(ScoredRef { doc: DocId::new(1, 0), score: 1.0 });
-        list.insert(ScoredRef { doc: DocId::new(2, 0), score: 2.0 });
-        list.insert(ScoredRef { doc: DocId::new(1, 1), score: 3.0 });
+        list.insert(ScoredRef {
+            doc: DocId::new(1, 0),
+            score: 1.0,
+        });
+        list.insert(ScoredRef {
+            doc: DocId::new(2, 0),
+            score: 2.0,
+        });
+        list.insert(ScoredRef {
+            doc: DocId::new(1, 1),
+            score: 3.0,
+        });
         let removed = list.remove_peer_docs(1);
         assert_eq!(removed, 2);
         assert_eq!(list.len(), 1);

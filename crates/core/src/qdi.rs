@@ -163,8 +163,9 @@ mod tests {
             activation_decision(&usage(3, 0), false, 2, Some(true), &config),
             ActivationDecision::Activate
         );
-        assert!(activation_decision(&usage(10, 0), false, 2, Some(true), &config)
-            .should_activate());
+        assert!(
+            activation_decision(&usage(10, 0), false, 2, Some(true), &config).should_activate()
+        );
     }
 
     #[test]

@@ -73,8 +73,8 @@ impl GlobalRankingStats {
     pub fn fragment_wire_size(fragment: &CollectionStats) -> usize {
         16 + fragment
             .doc_frequencies
-            .iter()
-            .map(|(t, _)| t.len() + 8 + 4)
+            .keys()
+            .map(|t| t.len() + 8 + 4)
             .sum::<usize>()
     }
 }
@@ -125,12 +125,9 @@ pub fn score_local_postings(
 /// overlapping term's contribution is only added once (approximated by scaling the
 /// key's aggregate score by the fraction of its terms that are still uncovered for
 /// that document).
-pub fn merge_retrieved(
-    retrieved: &[(TermKey, TruncatedPostingList)],
-    k: usize,
-) -> Vec<ScoredDoc> {
+pub fn merge_retrieved(retrieved: &[(TermKey, TruncatedPostingList)], k: usize) -> Vec<ScoredDoc> {
     let mut ordered: Vec<&(TermKey, TruncatedPostingList)> = retrieved.iter().collect();
-    ordered.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+    ordered.sort_by_key(|e| std::cmp::Reverse(e.0.len()));
 
     let mut scores: HashMap<DocId, f64> = HashMap::new();
     let mut covered: HashMap<DocId, BTreeSet<&str>> = HashMap::new();
@@ -203,10 +200,13 @@ mod tests {
     #[test]
     fn fragment_wire_size_grows_with_vocabulary() {
         let small = local_index(0, &["one short document"]).collection_stats();
-        let large = local_index(0, &[
-            "a much longer document with many different interesting terms appearing here",
-            "another document with yet more vocabulary diversity and novel words",
-        ])
+        let large = local_index(
+            0,
+            &[
+                "a much longer document with many different interesting terms appearing here",
+                "another document with yet more vocabulary diversity and novel words",
+            ],
+        )
         .collection_stats();
         assert!(
             GlobalRankingStats::fragment_wire_size(&large)
@@ -216,11 +216,14 @@ mod tests {
 
     #[test]
     fn score_local_postings_single_term_matches_bm25() {
-        let idx = local_index(0, &[
-            "peer retrieval peer systems",
-            "web search engines",
-            "peer protocols",
-        ]);
+        let idx = local_index(
+            0,
+            &[
+                "peer retrieval peer systems",
+                "web search engines",
+                "peer protocols",
+            ],
+        );
         let global = global_from(&[&idx]);
         let key = TermKey::single("peer");
         let list = score_local_postings(&idx, &key, &global, Bm25Params::default(), 100);
@@ -233,27 +236,54 @@ mod tests {
 
     #[test]
     fn score_local_postings_multi_term_requires_all_terms() {
-        let idx = local_index(0, &[
-            "peer retrieval systems",
-            "peer networks without the other keyword",
-            "retrieval only here",
-        ]);
+        let idx = local_index(
+            0,
+            &[
+                "peer retrieval systems",
+                "peer networks without the other keyword",
+                "retrieval only here",
+            ],
+        );
         let global = global_from(&[&idx]);
         let key = TermKey::new(["peer", "retriev"]);
         let list = score_local_postings(&idx, &key, &global, Bm25Params::default(), 100);
         assert_eq!(list.len(), 1);
         assert_eq!(list.refs()[0].doc, DocId::new(0, 0));
         // The pair score equals the sum of the two single-term scores for that doc.
-        let single_p = score_local_postings(&idx, &TermKey::single("peer"), &global, Bm25Params::default(), 100);
-        let single_r = score_local_postings(&idx, &TermKey::single("retriev"), &global, Bm25Params::default(), 100);
-        let sp = single_p.refs().iter().find(|r| r.doc == DocId::new(0, 0)).unwrap().score;
-        let sr = single_r.refs().iter().find(|r| r.doc == DocId::new(0, 0)).unwrap().score;
+        let single_p = score_local_postings(
+            &idx,
+            &TermKey::single("peer"),
+            &global,
+            Bm25Params::default(),
+            100,
+        );
+        let single_r = score_local_postings(
+            &idx,
+            &TermKey::single("retriev"),
+            &global,
+            Bm25Params::default(),
+            100,
+        );
+        let sp = single_p
+            .refs()
+            .iter()
+            .find(|r| r.doc == DocId::new(0, 0))
+            .unwrap()
+            .score;
+        let sr = single_r
+            .refs()
+            .iter()
+            .find(|r| r.doc == DocId::new(0, 0))
+            .unwrap()
+            .score;
         assert!((list.refs()[0].score - (sp + sr)).abs() < 1e-9);
     }
 
     #[test]
     fn truncation_caps_published_contributions() {
-        let docs: Vec<String> = (0..50).map(|i| format!("peer document number {i}")).collect();
+        let docs: Vec<String> = (0..50)
+            .map(|i| format!("peer document number {i}"))
+            .collect();
         let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         let idx = local_index(0, &doc_refs);
         let global = global_from(&[&idx]);
@@ -274,12 +304,15 @@ mod tests {
         // Query {a, b, c} answered from keys {b, c} and {a}: a document present in
         // both lists must score the sum of both contributions.
         let doc = DocId::new(0, 7);
-        let bc = TruncatedPostingList::from_refs(
-            [ScoredRef { doc, score: 2.0 }],
-            10,
-        );
+        let bc = TruncatedPostingList::from_refs([ScoredRef { doc, score: 2.0 }], 10);
         let a = TruncatedPostingList::from_refs(
-            [ScoredRef { doc, score: 1.5 }, ScoredRef { doc: DocId::new(0, 9), score: 0.5 }],
+            [
+                ScoredRef { doc, score: 1.5 },
+                ScoredRef {
+                    doc: DocId::new(0, 9),
+                    score: 0.5,
+                },
+            ],
             10,
         );
         let merged = merge_retrieved(
@@ -314,7 +347,10 @@ mod tests {
                 (
                     TermKey::single(format!("t{i}")),
                     TruncatedPostingList::from_refs(
-                        [ScoredRef { doc: DocId::new(0, i), score: f64::from(i) }],
+                        [ScoredRef {
+                            doc: DocId::new(0, i),
+                            score: f64::from(i),
+                        }],
                         10,
                     ),
                 )

@@ -1,0 +1,150 @@
+//! The session-oriented query API: [`QueryRequest`] in, [`QueryResponse`] out.
+//!
+//! Replaces the earlier positional `query(origin, text, k)` calls with a
+//! self-describing request value: where the query originates, how many results
+//! to return, whether the two-step refinement runs, and optional byte/hop
+//! budgets bounding how much the exploration may spend. Requests compose into
+//! batches via [`crate::network::AlvisNetwork::query_batch`].
+
+use crate::lattice::LatticeTrace;
+use crate::network::RefinedResult;
+use alvisp2p_textindex::bm25::ScoredDoc;
+
+/// One query, fully described.
+///
+/// ```
+/// use alvisp2p_core::request::QueryRequest;
+///
+/// let request = QueryRequest::new("peer to peer retrieval")
+///     .from_peer(3)
+///     .top_k(5)
+///     .with_refinement()
+///     .byte_budget(64 * 1024);
+/// assert_eq!(request.origin, 3);
+/// assert_eq!(request.top_k, 5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// The raw query text (analyzed by the network's analyzer).
+    pub text: String,
+    /// Index of the peer the query originates from.
+    pub origin: usize,
+    /// Number of ranked results to return.
+    pub top_k: usize,
+    /// Whether to run the two-step refinement (forwarding the query to the
+    /// owners of the first-step results for local re-scoring and snippets).
+    pub refine: bool,
+    /// Optional bound on the retrieval bytes the exploration may spend; once
+    /// exceeded, no further probes are sent and the response is marked
+    /// [`QueryResponse::budget_exhausted`].
+    pub byte_budget: Option<u64>,
+    /// Optional bound on the total overlay hops of the exploration.
+    pub hop_budget: Option<usize>,
+}
+
+impl QueryRequest {
+    /// A request for `text` with the defaults: origin peer 0, top-10 results,
+    /// no refinement, no budgets.
+    pub fn new(text: impl Into<String>) -> Self {
+        QueryRequest {
+            text: text.into(),
+            origin: 0,
+            top_k: 10,
+            refine: false,
+            byte_budget: None,
+            hop_budget: None,
+        }
+    }
+
+    /// Sets the originating peer.
+    pub fn from_peer(mut self, origin: usize) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Sets the number of results to return.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Enables the two-step refinement.
+    pub fn with_refinement(mut self) -> Self {
+        self.refine = true;
+        self
+    }
+
+    /// Bounds the retrieval bytes the exploration may spend.
+    pub fn byte_budget(mut self, bytes: u64) -> Self {
+        self.byte_budget = Some(bytes);
+        self
+    }
+
+    /// Bounds the total overlay hops of the exploration.
+    pub fn hop_budget(mut self, hops: usize) -> Self {
+        self.hop_budget = Some(hops);
+        self
+    }
+}
+
+/// The outcome of one query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResponse {
+    /// Final ranked results (top-k).
+    pub results: Vec<ScoredDoc>,
+    /// Refined results (owner-local scores, titles, URLs, snippets); empty
+    /// unless the request asked for refinement.
+    pub refined: Vec<RefinedResult>,
+    /// The lattice-exploration trace (what was probed, found, skipped).
+    pub trace: LatticeTrace,
+    /// First-step retrieval bytes this query consumed (requests, routing,
+    /// posting-list responses). Refinement traffic is charged to the network's
+    /// traffic statistics but not included here, so the field is comparable
+    /// across requests with and without refinement.
+    pub bytes: u64,
+    /// Retrieval messages this query consumed.
+    pub messages: u64,
+    /// Total overlay hops across all probes.
+    pub hops: usize,
+    /// Whether a byte/hop budget stopped the exploration early; results are
+    /// then best-effort over what was retrieved within the budget.
+    pub budget_exhausted: bool,
+}
+
+impl QueryResponse {
+    /// Whether any results were returned.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters_compose() {
+        let r = QueryRequest::new("alpha beta")
+            .from_peer(7)
+            .top_k(3)
+            .with_refinement()
+            .byte_budget(1024)
+            .hop_budget(16);
+        assert_eq!(r.text, "alpha beta");
+        assert_eq!(r.origin, 7);
+        assert_eq!(r.top_k, 3);
+        assert!(r.refine);
+        assert_eq!(r.byte_budget, Some(1024));
+        assert_eq!(r.hop_budget, Some(16));
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let r = QueryRequest::new("x");
+        assert_eq!(r.origin, 0);
+        assert_eq!(r.top_k, 10);
+        assert!(!r.refine);
+        assert_eq!(r.byte_budget, None);
+        assert_eq!(r.hop_budget, None);
+    }
+}

@@ -145,8 +145,13 @@ mod tests {
         let mut keys = Vec::new();
         for i in 0..n_keys {
             let key = RingId::hash_str(&format!("key-{i}"));
-            d.put(i % d.live_peers(), key, vec![i as u32], TrafficCategory::Indexing)
-                .unwrap();
+            d.put(
+                i % d.live_peers(),
+                key,
+                vec![i as u32],
+                TrafficCategory::Indexing,
+            )
+            .unwrap();
             keys.push(key);
         }
         keys
@@ -184,7 +189,10 @@ mod tests {
         assert_eq!(d.total_keys(), 100);
         for k in &keys {
             let resp = d.responsible_for(*k).unwrap();
-            assert!(d.peer(resp).store.contains(k), "key {k:?} not at responsible peer");
+            assert!(
+                d.peer(resp).store.contains(k),
+                "key {k:?} not at responsible peer"
+            );
         }
         let _ = had;
         // Leaving twice is an error.
@@ -240,7 +248,8 @@ mod tests {
         assert!(d.live_peers() >= 23);
         for (i, origin) in origins.iter().take(10).enumerate() {
             let key = RingId::hash_str(&format!("post-churn-{i}"));
-            d.put(*origin, key, vec![1, 2], TrafficCategory::Indexing).unwrap();
+            d.put(*origin, key, vec![1, 2], TrafficCategory::Indexing)
+                .unwrap();
             let (_, v) = d.get(origins[0], key, TrafficCategory::Retrieval).unwrap();
             assert_eq!(v, Some(vec![1, 2]));
         }
@@ -256,6 +265,9 @@ mod tests {
         let summary = summarize(&peers);
         assert_eq!(summary.len(), 6);
         assert_eq!(summary.iter().filter(|s| !s.alive).count(), 1);
-        assert_eq!(summary.iter().map(|s| s.keys).sum::<usize>(), d.total_keys());
+        assert_eq!(
+            summary.iter().map(|s| s.keys).sum::<usize>(),
+            d.total_keys()
+        );
     }
 }

@@ -248,14 +248,14 @@ impl ClientState {
                     Outstanding {
                         dest,
                         sent_at: ctx.now(),
-                        retries: self
-                            .outstanding
-                            .get(&id)
-                            .map(|o| o.retries)
-                            .unwrap_or(0),
+                        retries: self.outstanding.get(&id).map(|o| o.retries).unwrap_or(0),
                     },
                 );
-                ctx.send_categorized(dest, CongestionMsg::Request { id }, TrafficCategory::Retrieval);
+                ctx.send_categorized(
+                    dest,
+                    CongestionMsg::Request { id },
+                    TrafficCategory::Retrieval,
+                );
             }
         }
     }
@@ -283,7 +283,9 @@ impl ClientState {
             .map(|(id, _)| *id)
             .collect();
         for id in expired {
-            let Some(out) = self.outstanding.remove(&id) else { continue };
+            let Some(out) = self.outstanding.remove(&id) else {
+                continue;
+            };
             self.controller(out.dest).on_timeout();
             if out.retries < self.config.max_retries {
                 self.stats.retransmissions += 1;
@@ -314,14 +316,22 @@ impl ClientState {
 impl Node for CongestionNode {
     type Msg = CongestionMsg;
 
-    fn on_message(&mut self, ctx: &mut Context<'_, CongestionMsg>, from: NodeId, msg: CongestionMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, CongestionMsg>,
+        from: NodeId,
+        msg: CongestionMsg,
+    ) {
         match self {
             CongestionNode::Server { served, payload } => {
                 if let CongestionMsg::Request { id } = msg {
                     *served += 1;
                     ctx.send_categorized(
                         from,
-                        CongestionMsg::Response { id, payload: *payload },
+                        CongestionMsg::Response {
+                            id,
+                            payload: *payload,
+                        },
                         TrafficCategory::Retrieval,
                     );
                 }
@@ -471,12 +481,20 @@ pub fn run_hotspot(scenario: &HotspotScenario, seed: u64) -> CongestionOutcome {
     for (i, c) in clients.iter().enumerate() {
         // Stagger generation starts to avoid perfectly synchronised bursts.
         sim.post_timer(*c, TIMER_GENERATE, SimTime::from_millis(i as u64 % 100));
-        sim.post_timer(*c, TIMER_CHECK_TIMEOUTS, SimTime::from_millis(100 + i as u64 % 100));
+        sim.post_timer(
+            *c,
+            TIMER_CHECK_TIMEOUTS,
+            SimTime::from_millis(100 + i as u64 % 100),
+        );
     }
 
     // Run for the generation period plus drain time.
-    let horizon = SimTime::ZERO + scenario.duration
-        + scenario.congestion.timeout.saturating_mul(scenario.congestion.max_retries as u64 + 2)
+    let horizon = SimTime::ZERO
+        + scenario.duration
+        + scenario
+            .congestion
+            .timeout
+            .saturating_mul(scenario.congestion.max_retries as u64 + 2)
         + SimDuration::from_secs(2);
     sim.run_until(horizon);
 

@@ -67,7 +67,7 @@ pub fn lookup<V>(
             if progress == 0 || progress > dist_to_key {
                 continue;
             }
-            if best.map_or(true, |(bp, _)| progress > bp) {
+            if best.is_none_or(|(bp, _)| progress > bp) {
                 best = Some((progress, entry.peer_index));
             }
         }
@@ -164,17 +164,12 @@ mod tests {
         // Kill a peer that is *not* responsible for the key and not the originator.
         let key = RingId(u64::MAX / 2 + 12345);
         let responsible = ring.successor_of_key(key).unwrap().1;
-        let victim = (0..32)
-            .find(|i| *i != responsible && *i != 0)
-            .unwrap();
+        let victim = (0..32).find(|i| *i != responsible && *i != 0).unwrap();
         peers[victim].alive = false;
         ring.remove(peers[victim].id);
         // Rebuild tables to reflect the smaller ring (stabilisation).
-        for i in 0..peers.len() {
-            if peers[i].alive {
-                peers[i].table =
-                    build_routing_table(peers[i].id, &ring, RoutingStrategy::HopSpace);
-            }
+        for peer in peers.iter_mut().filter(|p| p.alive) {
+            peer.table = build_routing_table(peer.id, &ring, RoutingStrategy::HopSpace);
         }
         let res = lookup(&peers, &ring, 0, key, 64).unwrap();
         assert!(res.path.iter().all(|p| peers[*p].alive));

@@ -11,8 +11,8 @@ use crate::lookup::{lookup, LookupResult};
 use crate::node::Peer;
 use crate::ring::Ring;
 use crate::routing::{build_routing_table, RoutingStrategy};
-use alvisp2p_netsim::{PowerLaw, SimRng, TrafficCategory, TrafficStats, WireSize};
 use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
+use alvisp2p_netsim::{PowerLaw, SimRng, TrafficCategory, TrafficStats, WireSize};
 
 /// How peer identifiers are assigned when populating a network.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -172,7 +172,9 @@ impl<V: Clone + WireSize> Dht<V> {
 
     /// Indices of all live peers.
     pub fn live_peer_indices(&self) -> Vec<usize> {
-        (0..self.peers.len()).filter(|i| self.peers[*i].alive).collect()
+        (0..self.peers.len())
+            .filter(|i| self.peers[*i].alive)
+            .collect()
     }
 
     /// Immutable access to a peer.
@@ -305,11 +307,7 @@ impl<V: Clone + WireSize> Dht<V> {
         let peer = &mut self.peers[info.responsible];
         peer.served_requests += 1;
         let value = peer.store.get(&key).cloned();
-        let response_bytes = value
-            .as_ref()
-            .map(|v| v.wire_size())
-            .unwrap_or(1)
-            + ENVELOPE_OVERHEAD;
+        let response_bytes = value.as_ref().map(|v| v.wire_size()).unwrap_or(1) + ENVELOPE_OVERHEAD;
         self.stats.record(category, response_bytes);
         Ok((info, value))
     }
@@ -327,7 +325,8 @@ impl<V: Clone + WireSize> Dht<V> {
         f: impl FnOnce(&mut Option<V>),
     ) -> Result<RouteInfo, DhtError> {
         let info = self.route(from, key, category)?;
-        self.stats.record(category, request_bytes + ENVELOPE_OVERHEAD);
+        self.stats
+            .record(category, request_bytes + ENVELOPE_OVERHEAD);
         let peer = &mut self.peers[info.responsible];
         peer.served_requests += 1;
         peer.store.upsert_with(key, f);
@@ -362,8 +361,7 @@ impl<V: Clone + WireSize> Dht<V> {
     /// a posting-list response that travels directly back to the requester) or that
     /// are modelled analytically (e.g. the on-demand acquisition of a posting list).
     pub fn charge_external(&mut self, category: TrafficCategory, bytes: usize) {
-        self.stats
-            .record(category, bytes + ENVELOPE_OVERHEAD);
+        self.stats.record(category, bytes + ENVELOPE_OVERHEAD);
     }
 
     // ------------------------------------------------------------------
@@ -430,7 +428,8 @@ mod tests {
     fn put_then_get_round_trips() {
         let mut d = dht(16);
         let key = RingId::hash_str("database retrieval");
-        d.put(0, key, vec![1, 2, 3], TrafficCategory::Indexing).unwrap();
+        d.put(0, key, vec![1, 2, 3], TrafficCategory::Indexing)
+            .unwrap();
         let (_, value) = d.get(5, key, TrafficCategory::Retrieval).unwrap();
         assert_eq!(value, Some(vec![1, 2, 3]));
         // The value lives at the responsible peer.
@@ -444,7 +443,11 @@ mod tests {
         let mut d = dht(8);
         let before = d.stats().bytes_sent();
         let (_, v) = d
-            .get(0, RingId::hash_str("nothing here"), TrafficCategory::Retrieval)
+            .get(
+                0,
+                RingId::hash_str("nothing here"),
+                TrafficCategory::Retrieval,
+            )
             .unwrap();
         assert!(v.is_none());
         assert!(d.stats().bytes_sent() > before);
@@ -483,7 +486,8 @@ mod tests {
     fn traffic_is_attributed_to_categories() {
         let mut d = dht(32);
         let key = RingId::hash_str("category test");
-        d.put(0, key, vec![0; 100], TrafficCategory::Indexing).unwrap();
+        d.put(0, key, vec![0; 100], TrafficCategory::Indexing)
+            .unwrap();
         d.get(1, key, TrafficCategory::Retrieval).unwrap();
         assert!(d.stats().category(TrafficCategory::Indexing).bytes > 0);
         assert!(d.stats().category(TrafficCategory::Retrieval).bytes >= 100);

@@ -21,7 +21,9 @@ pub struct Ring {
 impl Ring {
     /// Creates an empty ring.
     pub fn new() -> Self {
-        Ring { members: Vec::new() }
+        Ring {
+            members: Vec::new(),
+        }
     }
 
     /// Builds a ring from an iterator of `(identifier, peer_index)` pairs.
@@ -182,7 +184,11 @@ mod tests {
                 .map(|(id, _)| *id)
                 .filter(|peer| r.is_responsible(*peer, key))
                 .collect();
-            assert_eq!(responsible.len(), 1, "key {key:?} responsible: {responsible:?}");
+            assert_eq!(
+                responsible.len(),
+                1,
+                "key {key:?} responsible: {responsible:?}"
+            );
             // And it matches successor_of_key.
             assert_eq!(responsible[0], r.successor_of_key(key).unwrap().0);
         }

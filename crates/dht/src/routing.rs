@@ -112,7 +112,10 @@ pub fn build_routing_table(own_id: RingId, ring: &Ring, strategy: RoutingStrateg
         RoutingStrategy::Finger => build_finger_entries(own_id, ring),
     };
 
-    RoutingTable { entries, successors }
+    RoutingTable {
+        entries,
+        successors,
+    }
 }
 
 /// Hop-space entries: peers at ranks `rank + n/2`, `rank + n/4`, … `rank + 1`.

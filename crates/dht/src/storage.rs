@@ -107,10 +107,7 @@ impl<V> LocalStore<V> {
 impl<V: WireSize> LocalStore<V> {
     /// Approximate storage footprint in bytes (keys + serialized values).
     pub fn storage_bytes(&self) -> usize {
-        self.entries
-            .iter()
-            .map(|(_, v)| 8 + v.wire_size())
-            .sum()
+        self.entries.values().map(|v| 8 + v.wire_size()).sum()
     }
 }
 

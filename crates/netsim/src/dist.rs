@@ -27,7 +27,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative / non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf distribution needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -104,7 +107,10 @@ impl PowerLaw {
     /// # Panics
     /// Panics if `alpha < 1` or `alpha` is not finite.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha >= 1.0 && alpha.is_finite(), "alpha must be >= 1 and finite");
+        assert!(
+            alpha >= 1.0 && alpha.is_finite(),
+            "alpha must be >= 1 and finite"
+        );
         PowerLaw { alpha }
     }
 
@@ -161,7 +167,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 0 should be sampled far more often than rank 100.
-        assert!(counts[0] > counts[100] * 5, "head {} tail {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "head {} tail {}",
+            counts[0],
+            counts[100]
+        );
         // All samples within range (indexing above would have panicked otherwise).
         assert_eq!(counts.iter().sum::<usize>(), 20_000);
     }

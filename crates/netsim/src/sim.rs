@@ -255,12 +255,21 @@ impl<N: Node> Simulator<N> {
         }
         let delay = self.config.latency.sample(&mut self.rng);
         let arrive = at.max(self.now) + delay;
-        self.queue.push(arrive, Fire::Arrive { from, to, msg, bytes });
+        self.queue.push(
+            arrive,
+            Fire::Arrive {
+                from,
+                to,
+                msg,
+                bytes,
+            },
+        );
     }
 
     /// Schedules a timer on `node` at absolute time `at`.
     pub fn post_timer(&mut self, node: NodeId, timer: u64, at: SimTime) {
-        self.queue.push(at.max(self.now), Fire::Timer { node, timer });
+        self.queue
+            .push(at.max(self.now), Fire::Timer { node, timer });
     }
 
     /// Runs the simulation until the event queue drains or `max_events` events have
@@ -300,7 +309,12 @@ impl<N: Node> Simulator<N> {
         };
         self.now = self.now.max(event.at);
         match event.payload {
-            Fire::Arrive { from, to, msg, bytes } => self.handle_arrival(from, to, msg, bytes),
+            Fire::Arrive {
+                from,
+                to,
+                msg,
+                bytes,
+            } => self.handle_arrival(from, to, msg, bytes),
             Fire::Process { node } => self.handle_process(node),
             Fire::Timer { node, timer } => self.dispatch_timer(node, timer),
         }
@@ -323,8 +337,10 @@ impl<N: Node> Simulator<N> {
         state.inbox.push_back((from, msg, bytes));
         if !state.processing {
             state.processing = true;
-            self.queue
-                .push(self.now + self.config.service_time, Fire::Process { node: to });
+            self.queue.push(
+                self.now + self.config.service_time,
+                Fire::Process { node: to },
+            );
         }
     }
 
@@ -386,7 +402,8 @@ impl<N: Node> Simulator<N> {
                     self.post_categorized(node, to, msg, self.now, category);
                 }
                 Action::Schedule { delay, timer } => {
-                    self.queue.push(self.now + delay, Fire::Timer { node, timer });
+                    self.queue
+                        .push(self.now + delay, Fire::Timer { node, timer });
                 }
             }
         }
@@ -444,7 +461,7 @@ mod tests {
         assert_eq!(s.node(a).received, vec![1001, 1002]);
         s.run_to_completion(10);
         assert_eq!(s.node(a).received, vec![1001, 1002, 1003]);
-        assert_eq!(s.now() >= SimTime::from_millis(30), true);
+        assert!(s.now() >= SimTime::from_millis(30));
     }
 
     #[test]
@@ -479,15 +496,18 @@ mod tests {
         }
         s.run_to_completion(1_000);
         // Only the messages that fit the queue get processed; the rest are dropped.
-        assert!(s.stats().dropped_messages() >= 7, "drops: {}", s.stats().dropped_messages());
+        assert!(
+            s.stats().dropped_messages() >= 7,
+            "drops: {}",
+            s.stats().dropped_messages()
+        );
         assert!(s.node(b).received.len() <= 3);
     }
 
     #[test]
     fn deterministic_across_runs() {
         let run = |seed: u64| {
-            let mut s: Simulator<Countdown> =
-                Simulator::new(SimConfig::wide_area(), seed);
+            let mut s: Simulator<Countdown> = Simulator::new(SimConfig::wide_area(), seed);
             let a = s.add_node(Countdown { received: vec![] });
             let b = s.add_node(Countdown { received: vec![] });
             s.post(a, b, 20, SimTime::ZERO);

@@ -98,7 +98,10 @@ impl TrafficStats {
 
     /// Counter for a single category.
     pub fn category(&self, category: TrafficCategory) -> Counter {
-        self.per_category.get(&category).copied().unwrap_or_default()
+        self.per_category
+            .get(&category)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total messages sent across all categories.
@@ -147,7 +150,9 @@ impl TrafficStats {
                 out.per_category.insert(cat, c);
             }
         }
-        out.dropped_messages = self.dropped_messages.saturating_sub(baseline.dropped_messages);
+        out.dropped_messages = self
+            .dropped_messages
+            .saturating_sub(baseline.dropped_messages);
         out.dropped_bytes = self.dropped_bytes.saturating_sub(baseline.dropped_bytes);
         out
     }

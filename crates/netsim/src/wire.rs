@@ -10,8 +10,6 @@
 //! strings and sequences) rather than the exact bytes of any particular serializer, so
 //! that bandwidth numbers are stable across serde/format changes.
 
-use bytes::Bytes;
-
 /// Fixed per-message envelope overhead in bytes (source, destination, type tag,
 /// sequence number) — roughly a UDP header plus a small application header.
 pub const ENVELOPE_OVERHEAD: usize = 32;
@@ -53,12 +51,6 @@ impl WireSize for String {
 }
 
 impl WireSize for &str {
-    fn wire_size(&self) -> usize {
-        4 + self.len()
-    }
-}
-
-impl WireSize for Bytes {
     fn wire_size(&self) -> usize {
         4 + self.len()
     }
@@ -112,7 +104,7 @@ mod tests {
     fn string_and_bytes_sizes() {
         assert_eq!("abc".wire_size(), 7);
         assert_eq!(String::from("hello").wire_size(), 9);
-        assert_eq!(Bytes::from_static(b"12345678").wire_size(), 12);
+        assert_eq!(b"12345678".to_vec().wire_size(), 12);
     }
 
     #[test]

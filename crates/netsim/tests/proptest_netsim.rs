@@ -1,9 +1,7 @@
 //! Property-based tests for the simulation substrate: time arithmetic, event
 //! ordering, traffic-statistics algebra and wire-size composition.
 
-use alvisp2p_netsim::{
-    EventQueue, SimDuration, SimTime, TrafficCategory, TrafficStats, WireSize,
-};
+use alvisp2p_netsim::{EventQueue, SimDuration, SimTime, TrafficCategory, TrafficStats, WireSize};
 use proptest::prelude::*;
 
 fn category(i: u8) -> TrafficCategory {

@@ -8,9 +8,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Access policy attached to a published document.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AccessRights {
     /// Anyone who finds the document may fetch it.
+    #[default]
     Public,
     /// Fetching the document requires the given username/password pair.
     Restricted {
@@ -23,12 +24,6 @@ pub enum AccessRights {
     /// The document is searchable but the full text is never served remotely
     /// (only its metadata/snippet is visible).
     Private,
-}
-
-impl Default for AccessRights {
-    fn default() -> Self {
-        AccessRights::Public
-    }
 }
 
 /// Credentials presented when fetching a document from its hosting peer.
@@ -107,7 +102,10 @@ mod tests {
             username: "alice".into(),
             password: "s3cret".into(),
         };
-        assert_eq!(rights.check(&Credentials::anonymous()), AccessDecision::Denied);
+        assert_eq!(
+            rights.check(&Credentials::anonymous()),
+            AccessDecision::Denied
+        );
         assert_eq!(
             rights.check(&Credentials::basic("alice", "wrong")),
             AccessDecision::Denied

@@ -84,7 +84,11 @@ impl Analyzer {
             .filter(|t| t.text.chars().count() >= self.config.min_term_len)
             .filter(|t| !self.config.remove_stopwords || !self.stopwords.contains(&t.text))
             .map(|t| TermOccurrence {
-                term: if self.config.stem { stem(&t.text) } else { t.text },
+                term: if self.config.stem {
+                    stem(&t.text)
+                } else {
+                    t.text
+                },
                 position: t.position,
             })
             .collect()
@@ -125,7 +129,11 @@ mod tests {
     #[test]
     fn plain_analyzer_keeps_everything() {
         let a = Analyzer::plain();
-        let terms: Vec<String> = a.analyze("The Cat AND the Hat").into_iter().map(|o| o.term).collect();
+        let terms: Vec<String> = a
+            .analyze("The Cat AND the Hat")
+            .into_iter()
+            .map(|o| o.term)
+            .collect();
         assert_eq!(terms, vec!["the", "cat", "and", "the", "hat"]);
     }
 
@@ -143,7 +151,10 @@ mod tests {
         let query_terms = a.analyze_query("retrieving scalability in peer systems");
         for qt in &query_terms {
             if qt == "scalabl" || qt == "retriev" || qt == "peer" || qt == "system" {
-                assert!(doc_terms.contains(qt), "query term {qt} missing from doc terms {doc_terms:?}");
+                assert!(
+                    doc_terms.contains(qt),
+                    "query term {qt} missing from doc terms {doc_terms:?}"
+                );
             }
         }
     }

@@ -221,7 +221,11 @@ mod tests {
     #[test]
     fn search_respects_k() {
         let idx = build_index();
-        let q = vec!["search".to_string(), "retriev".to_string(), "peer".to_string()];
+        let q = vec![
+            "search".to_string(),
+            "retriev".to_string(),
+            "peer".to_string(),
+        ];
         let top2 = Bm25Searcher::new(&idx).search(&q, 2);
         assert_eq!(top2.len(), 2);
         let all = Bm25Searcher::new(&idx).search(&q, 100);
@@ -242,8 +246,14 @@ mod tests {
 
     #[test]
     fn ranking_ties_break_deterministically() {
-        let a = ScoredDoc { doc: DocId::new(0, 2), score: 1.0 };
-        let b = ScoredDoc { doc: DocId::new(0, 1), score: 1.0 };
+        let a = ScoredDoc {
+            doc: DocId::new(0, 2),
+            score: 1.0,
+        };
+        let b = ScoredDoc {
+            doc: DocId::new(0, 1),
+            score: 1.0,
+        };
         let ranked = top_k(vec![a, b], 2);
         assert_eq!(ranked[0].doc, DocId::new(0, 1));
         assert_eq!(ranked[1].doc, DocId::new(0, 2));

@@ -129,8 +129,14 @@ impl CorpusGenerator {
         for t in 0..cfg.num_topics {
             let mut topic_rng = rng.derive(1000 + t as u64);
             let candidates: Vec<usize> = (head..cfg.vocab_size).collect();
-            let picked = topic_rng.sample_indices(candidates.len(), cfg.topic_vocab.min(candidates.len()));
-            topics.push(picked.into_iter().map(|i| candidates[i]).collect::<Vec<usize>>());
+            let picked =
+                topic_rng.sample_indices(candidates.len(), cfg.topic_vocab.min(candidates.len()));
+            topics.push(
+                picked
+                    .into_iter()
+                    .map(|i| candidates[i])
+                    .collect::<Vec<usize>>(),
+            );
         }
         if topics.is_empty() {
             topics.push((0..cfg.vocab_size.min(cfg.topic_vocab)).collect());

@@ -110,7 +110,12 @@ impl DocumentDigest {
     /// Imports the digest into a peer's local inverted index, assigning fresh local
     /// document identifiers owned by `peer`. Returns the assigned identifiers in the
     /// order of the digest's documents.
-    pub fn import_into(&self, index: &mut InvertedIndex, peer: u32, first_local: u32) -> Vec<DocId> {
+    pub fn import_into(
+        &self,
+        index: &mut InvertedIndex,
+        peer: u32,
+        first_local: u32,
+    ) -> Vec<DocId> {
         let mut ids = Vec::with_capacity(self.documents.len());
         for (i, entry) in self.documents.iter().enumerate() {
             let id = DocId::new(peer, first_local + i as u32);
@@ -182,7 +187,10 @@ mod tests {
         // Index built directly from the documents.
         let mut direct = InvertedIndex::default();
         for (i, doc) in store.iter().enumerate() {
-            direct.index_text(DocId::new(9, i as u32), &format!("{} {}", doc.title, doc.body));
+            direct.index_text(
+                DocId::new(9, i as u32),
+                &format!("{} {}", doc.title, doc.body),
+            );
         }
         // Index built by exporting and re-importing a digest (what an external engine
         // would do).
@@ -203,8 +211,14 @@ mod tests {
             url: "u".into(),
             title: "t".into(),
             terms: vec![
-                DigestTerm { term: "b".into(), positions: vec![3, 1] },
-                DigestTerm { term: "a".into(), positions: vec![0, 2] },
+                DigestTerm {
+                    term: "b".into(),
+                    positions: vec![3, 1],
+                },
+                DigestTerm {
+                    term: "a".into(),
+                    positions: vec![0, 2],
+                },
             ],
         };
         let occs = entry.to_occurrences();

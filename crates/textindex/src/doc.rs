@@ -54,9 +54,10 @@ impl std::fmt::Display for DocId {
 /// The supported source formats of a published document (the paper's client accepts
 /// text, HTML, XML, PDF/Word and the Alvis XML format; multimedia is published through
 /// an XML description).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum DocumentFormat {
     /// Plain text.
+    #[default]
     Text,
     /// HTML page.
     Html,
@@ -68,12 +69,6 @@ pub enum DocumentFormat {
     Word,
     /// Alvis XML description of an external or multimedia resource.
     AlvisDescription,
-}
-
-impl Default for DocumentFormat {
-    fn default() -> Self {
-        DocumentFormat::Text
-    }
 }
 
 /// A published document.
@@ -149,7 +144,13 @@ impl Document {
 fn slugify(title: &str) -> String {
     let slug: String = title
         .chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect();
     let mut cleaned = String::new();
     let mut prev_dash = false;

@@ -306,7 +306,10 @@ mod tests {
     fn sample_index() -> InvertedIndex {
         let mut idx = InvertedIndex::default();
         idx.index_text(doc(0), "peer to peer text retrieval in structured networks");
-        idx.index_text(doc(1), "distributed hash tables route messages between peers");
+        idx.index_text(
+            doc(1),
+            "distributed hash tables route messages between peers",
+        );
         idx.index_text(doc(2), "text indexing and retrieval with inverted indexes");
         idx.index_text(doc(3), "centralized web search engines index the whole web");
         idx

@@ -47,7 +47,9 @@ pub mod tokenize;
 pub use access::{AccessDecision, AccessRights, Credentials};
 pub use analyze::{Analyzer, AnalyzerConfig, TermOccurrence};
 pub use bm25::{bm25_term_score, idf, top_k, Bm25Params, Bm25Searcher, ScoredDoc};
-pub use corpus::{build_vocabulary, demo_corpus, CorpusConfig, CorpusGenerator, GeneratedDoc, SyntheticCorpus};
+pub use corpus::{
+    build_vocabulary, demo_corpus, CorpusConfig, CorpusGenerator, GeneratedDoc, SyntheticCorpus,
+};
 pub use digest::{DigestDocument, DigestTerm, DocumentDigest};
 pub use doc::{DocId, Document, DocumentFormat, DocumentStore};
 pub use index::{CollectionStats, InvertedIndex, Posting, PostingList};

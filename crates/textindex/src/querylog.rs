@@ -226,7 +226,10 @@ mod tests {
         hist.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(hist.iter().sum::<usize>(), log.len());
         // The most popular query should be much more frequent than the median one.
-        assert!(hist[0] >= 3 * hist[hist.len() / 2].max(1), "histogram head {hist:?}");
+        assert!(
+            hist[0] >= 3 * hist[hist.len() / 2].max(1),
+            "histogram head {hist:?}"
+        );
     }
 
     #[test]
@@ -267,7 +270,11 @@ mod tests {
             for q in &log.queries[range] {
                 hist[q.query_id] += 1;
             }
-            hist.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap()
+            hist.iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i)
+                .unwrap()
         };
         let top_first = top_of(0..half);
         let top_second = top_of(half..log.len());

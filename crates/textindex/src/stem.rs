@@ -183,7 +183,10 @@ impl Stemmer {
                 false
             };
             if matched {
-                if self.ends("at").is_some() || self.ends("bl").is_some() || self.ends("iz").is_some() {
+                if self.ends("at").is_some()
+                    || self.ends("bl").is_some()
+                    || self.ends("iz").is_some()
+                {
                     let k = self.k;
                     self.set_to(k, "e");
                 } else if self.double_cons(self.k) {
@@ -260,8 +263,8 @@ impl Stemmer {
 
     fn step4(&mut self) {
         let suffixes: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suffix in suffixes {
             if let Some(j) = self.ends(suffix) {
@@ -289,7 +292,11 @@ impl Stemmer {
             }
         }
         // Step 5b.
-        if self.k > 1 && self.b[self.k - 1] == b'l' && self.double_cons(self.k) && self.measure(self.k) > 1 {
+        if self.k > 1
+            && self.b[self.k - 1] == b'l'
+            && self.double_cons(self.k)
+            && self.measure(self.k) > 1
+        {
             self.k -= 1;
             self.b.truncate(self.k);
         }
@@ -401,8 +408,17 @@ mod tests {
     #[test]
     fn stemming_is_idempotent_on_common_vocabulary() {
         let words = [
-            "distribution", "scalable", "networks", "peers", "searching", "documents",
-            "combinations", "popularity", "statistics", "ranking", "bandwidth",
+            "distribution",
+            "scalable",
+            "networks",
+            "peers",
+            "searching",
+            "documents",
+            "combinations",
+            "popularity",
+            "statistics",
+            "ranking",
+            "bandwidth",
         ];
         for w in words {
             let once = stem(w);

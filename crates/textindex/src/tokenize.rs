@@ -26,7 +26,15 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         if raw.is_empty() {
             continue;
         }
-        let lowered: String = raw.chars().take(MAX_TOKEN_LEN).flat_map(char::to_lowercase).collect();
+        // Lowercasing can expand one character into several, including combining
+        // marks that are not themselves alphanumeric (e.g. 'İ' → "i\u{307}");
+        // drop those so tokens stay purely alphanumeric.
+        let lowered: String = raw
+            .chars()
+            .take(MAX_TOKEN_LEN)
+            .flat_map(char::to_lowercase)
+            .filter(|c| c.is_alphanumeric())
+            .collect();
         if lowered.is_empty() {
             continue;
         }
@@ -60,7 +68,10 @@ mod tests {
     #[test]
     fn splits_on_non_alphanumeric_and_lowercases() {
         let toks = tokenize_terms("Hello, World! P2P-networks are FUN.");
-        assert_eq!(toks, vec!["hello", "world", "p2p", "networks", "are", "fun"]);
+        assert_eq!(
+            toks,
+            vec!["hello", "world", "p2p", "networks", "are", "fun"]
+        );
     }
 
     #[test]
@@ -101,6 +112,9 @@ mod tests {
 
     #[test]
     fn mixed_alphanumerics_stay_joined() {
-        assert_eq!(tokenize_terms("bm25 top10 x86"), vec!["bm25", "top10", "x86"]);
+        assert_eq!(
+            tokenize_terms("bm25 top10 x86"),
+            vec!["bm25", "top10", "x86"]
+        );
     }
 }

@@ -16,32 +16,35 @@
 //! cargo run --release --example churn_and_congestion
 //! ```
 
-use alvisp2p::prelude::*;
 use alvisp2p::dht::congestion::{run_hotspot, CongestionConfig, HotspotScenario};
 use alvisp2p::netsim::SimDuration;
+use alvisp2p::prelude::*;
 
 fn churn_demo() {
     println!("=== churn demo ===");
     let corpus = CorpusGenerator::new(CorpusConfig::tiny(), 3).generate();
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers: 24,
-        strategy: IndexingStrategy::Hdk(HdkConfig {
+    let mut net = AlvisNetwork::builder()
+        .peers(24)
+        .strategy(Hdk::new(HdkConfig {
             df_max: 10,
             truncation_k: 20,
             ..Default::default()
-        }),
-        seed: 5,
-        ..Default::default()
-    });
-    net.distribute_corpus(&corpus);
-    net.build_index();
+        }))
+        .seed(5)
+        .corpus(&corpus)
+        .build_indexed()
+        .expect("valid configuration");
     let keys_before = net.global_index().activated_keys();
     println!("peers: {}, activated keys: {keys_before}", net.peer_count());
 
     // Query with two mid-frequency vocabulary terms (head terms can be stopword-like).
     let query = format!("{} {}", corpus.vocabulary[60], corpus.vocabulary[61]);
-    let before = net.query(0, &query, 10).unwrap();
-    println!("query {query:?} before churn: {} results", before.results.len());
+    let request = QueryRequest::new(query.clone());
+    let before = net.execute(&request).unwrap();
+    println!(
+        "query {query:?} before churn: {} results",
+        before.results.len()
+    );
 
     // Graceful departures: their index slices move to the successors.
     {
@@ -57,7 +60,7 @@ fn churn_demo() {
     }
 
     let keys_after = net.global_index().activated_keys();
-    let after = net.query(0, &query, 10).unwrap();
+    let after = net.execute(&request).unwrap();
     println!(
         "after churn: activated keys {keys_after} (graceful churn preserves them), \
          query returns {} results",
@@ -82,11 +85,17 @@ fn congestion_demo() {
             ..Default::default()
         };
         let with_cc = run_hotspot(
-            &HotspotScenario { congestion: CongestionConfig::default(), ..base.clone() },
+            &HotspotScenario {
+                congestion: CongestionConfig::default(),
+                ..base.clone()
+            },
             42,
         );
         let without_cc = run_hotspot(
-            &HotspotScenario { congestion: CongestionConfig::disabled(), ..base },
+            &HotspotScenario {
+                congestion: CongestionConfig::disabled(),
+                ..base
+            },
             42,
         );
         println!(

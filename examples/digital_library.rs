@@ -52,32 +52,27 @@ fn library_documents() -> Vec<(&'static str, &'static str, AccessRights)> {
 }
 
 fn main() {
-    // A 6-peer network; peer 0 acts as the digital library's gateway.
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers: 6,
-        strategy: IndexingStrategy::Hdk(HdkConfig {
+    // A 6-peer network; peer 0 acts as the digital library's gateway. The other
+    // peers publish ordinary web-style documents.
+    let mut net = AlvisNetwork::builder()
+        .peers(6)
+        .strategy(Hdk::new(HdkConfig {
             df_max: 2,
             truncation_k: 5,
             ..Default::default()
-        }),
-        seed: 7,
-        ..Default::default()
-    });
-
-    // The other peers publish ordinary web-style documents.
-    net.distribute_documents(demo_corpus());
+        }))
+        .seed(7)
+        .documents(demo_corpus())
+        .build()
+        .expect("valid configuration");
 
     // --- Step 1: the library's external engine builds its collection and a digest ---
     // We model the external engine as a standalone AlvisPeer that never joins the
     // network; only its digest does.
     let mut external_engine = alvisp2p::core::AlvisPeer::new(999);
     for (title, body, access) in library_documents() {
-        let doc = alvisp2p::textindex::Document::new(
-            DocId::new(999, 0),
-            title,
-            body,
-        )
-        .with_access(access);
+        let doc =
+            alvisp2p::textindex::Document::new(DocId::new(999, 0), title, body).with_access(access);
         external_engine.publish_document(doc);
     }
     let digest: DocumentDigest = external_engine.export_digest();
@@ -90,7 +85,10 @@ fn main() {
 
     // --- Step 2: the gateway peer imports the digest ---
     let imported = net.peer_mut(0).import_digest(&digest);
-    println!("gateway peer 0 imported {} library documents", imported.len());
+    println!(
+        "gateway peer 0 imported {} library documents",
+        imported.len()
+    );
 
     // Rebuild the distributed index so the library's terms are globally searchable.
     let report = net.build_index();
@@ -100,9 +98,18 @@ fn main() {
     );
 
     // --- Step 3: another peer searches for library content ---
-    for query in ["medieval manuscripts", "rare cartography maps", "incunabula scans"] {
-        let outcome = net.query(4, query, 5).expect("query succeeds");
-        println!("\npeer 4 searches {query:?}: {} results", outcome.results.len());
+    for query in [
+        "medieval manuscripts",
+        "rare cartography maps",
+        "incunabula scans",
+    ] {
+        let outcome = net
+            .execute(&QueryRequest::new(query).from_peer(4).top_k(5))
+            .expect("query succeeds");
+        println!(
+            "\npeer 4 searches {query:?}: {} results",
+            outcome.results.len()
+        );
         for r in &outcome.results {
             println!(
                 "  [{:.3}] doc {} owned by peer {}",
@@ -131,7 +138,10 @@ fn main() {
         }),
     );
     println!("\nfetching a restricted document without credentials:");
-    println!("  -> {:?}", net.fetch_document(restricted, &Credentials::anonymous()));
+    println!(
+        "  -> {:?}",
+        net.fetch_document(restricted, &Credentials::anonymous())
+    );
     println!("fetching with researcher credentials:");
     match net.fetch_document(restricted, &Credentials::basic("researcher", "gutenberg")) {
         alvisp2p::core::FetchOutcome::Full(doc) => println!("  -> full document: {}", doc.title),
@@ -139,15 +149,25 @@ fn main() {
     }
 
     // --- Step 5: two-step refinement against the owners' local engines ---
-    let outcome = net.query(5, "manuscripts archive annotations", 5).unwrap();
-    let refined = net.refine("manuscripts archive annotations", &outcome.results, 5);
+    let outcome = net
+        .execute(
+            &QueryRequest::new("manuscripts archive annotations")
+                .from_peer(5)
+                .top_k(5)
+                .with_refinement(),
+        )
+        .unwrap();
     println!("\nrefined results (owner's local engine consulted):");
-    for r in refined {
+    for r in outcome.refined {
         println!(
             "  global {:.3} / local {:?}  {}  {}",
             r.global_score,
             r.local_score.map(|s| (s * 1000.0).round() / 1000.0),
-            if r.title.is_empty() { "[external document]" } else { &r.title },
+            if r.title.is_empty() {
+                "[external document]"
+            } else {
+                &r.title
+            },
             r.snippet
         );
     }

@@ -16,23 +16,26 @@ fn main() {
     // 1. Build an 8-peer network using the HDK indexing strategy.
     //    df_max is tiny because the demo corpus is tiny; real deployments use a few
     //    hundred (see EXPERIMENTS.md).
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers: 8,
-        strategy: IndexingStrategy::Hdk(HdkConfig {
+    //    Each peer publishes its local documents (the demo corpus is spread
+    //    round-robin, as if every participant dropped files into its shared folder).
+    let mut net = AlvisNetwork::builder()
+        .peers(8)
+        .strategy(Hdk::new(HdkConfig {
             df_max: 2,
             truncation_k: 5,
             ..Default::default()
-        }),
-        seed: 42,
-        ..Default::default()
-    });
+        }))
+        .seed(42)
+        .documents(demo_corpus())
+        .build()
+        .expect("valid configuration");
+    println!(
+        "published {} documents across {} peers",
+        net.total_documents(),
+        net.peer_count()
+    );
 
-    // 2. Each peer publishes its local documents (the demo corpus is spread
-    //    round-robin, as if every participant dropped files into its shared folder).
-    let published = net.distribute_documents(demo_corpus());
-    println!("published {published} documents across {} peers", net.peer_count());
-
-    // 3. Build the distributed index: single-term level plus HDK expansions.
+    // 2. Build the distributed index: single-term level plus HDK expansions.
     let report = net.build_index();
     println!(
         "built '{}' index: {} keys, {} postings, {} bytes of indexing traffic",
@@ -45,20 +48,21 @@ fn main() {
         );
     }
 
-    // 4. Any peer can now query the global collection with multiple keywords.
+    // 3. Any peer can now query the global collection with multiple keywords; the
+    //    request asks for the two-step refinement so results carry owner metadata.
     for query in [
         "peer to peer retrieval",
         "congestion control overlay",
         "query driven indexing popularity",
     ] {
-        let outcome = net.query(0, query, 5).expect("query succeeds");
+        let request = QueryRequest::new(query).top_k(5).with_refinement();
+        let outcome = net.execute(&request).expect("query succeeds");
         println!("\nquery: {query:?}");
         println!(
             "  probes: {}  hops: {}  retrieval bytes: {}",
             outcome.trace.probes, outcome.hops, outcome.bytes
         );
-        let refined = net.refine(query, &outcome.results, 5);
-        for (rank, r) in refined.iter().enumerate() {
+        for (rank, r) in outcome.refined.iter().enumerate() {
             println!(
                 "  {}. [{:.3}] {}  ({})",
                 rank + 1,
@@ -74,8 +78,14 @@ fn main() {
         println!("  overlap@5 with centralized reference: {overlap:.2}");
     }
 
-    // 5. Fetch the top document of the last query from its hosting peer.
-    let outcome = net.query(3, "access rights shared documents", 3).unwrap();
+    // 4. Fetch the top document of the last query from its hosting peer.
+    let outcome = net
+        .execute(
+            &QueryRequest::new("access rights shared documents")
+                .from_peer(3)
+                .top_k(3),
+        )
+        .unwrap();
     if let Some(top) = outcome.results.first() {
         match net.fetch_document(top.doc, &Credentials::anonymous()) {
             alvisp2p::core::FetchOutcome::Full(doc) => {
@@ -90,7 +100,7 @@ fn main() {
         }
     }
 
-    // 6. The traffic report shows where the bytes went.
+    // 5. The traffic report shows where the bytes went.
     println!("\ntraffic report:\n{}", net.traffic().report());
     println!(
         "retrieval traffic so far: {} bytes in {} messages",

@@ -12,8 +12,8 @@
 //! cargo run --release --example web_search_qdi
 //! ```
 
-use alvisp2p::prelude::*;
 use alvisp2p::core::stats::{mean, overlap_at_k};
+use alvisp2p::prelude::*;
 
 fn main() {
     // --- Workload ---------------------------------------------------------------
@@ -39,19 +39,19 @@ fn main() {
     .generate(&corpus);
 
     // --- Network ----------------------------------------------------------------
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers: 32,
-        strategy: IndexingStrategy::Qdi(QdiConfig {
+    let mut net = AlvisNetwork::builder()
+        .peers(32)
+        .strategy(Qdi::new(QdiConfig {
             activation_threshold: 3,
             truncation_k: 50,
             obsolescence_window: 400,
             eviction_period: 100,
             ..Default::default()
-        }),
-        seed: 17,
-        ..Default::default()
-    });
-    net.distribute_corpus(&corpus);
+        }))
+        .seed(17)
+        .corpus(&corpus)
+        .build()
+        .expect("valid configuration");
     let report = net.build_index();
     println!(
         "initial single-term index: {} keys, {} postings",
@@ -68,7 +68,9 @@ fn main() {
     );
     for (i, q) in log.queries.iter().enumerate() {
         let origin = i % net.peer_count();
-        let outcome = net.query(origin, &q.text, 10).expect("query succeeds");
+        let outcome = net
+            .execute(&QueryRequest::new(q.text.clone()).from_peer(origin))
+            .expect("query succeeds");
         let reference = net.reference_search(&q.text, 10);
         window_overlap.push(overlap_at_k(&outcome.results, &reference, 10));
         window_bytes.push(outcome.bytes as f64);

@@ -16,19 +16,27 @@
 //!   distributed indexing, query-lattice retrieval and distributed ranking
 //!   (layers 3–4).
 //!
+//! The public API is session-oriented and strategy-pluggable: assemble a network
+//! with [`prelude::AlvisNetworkBuilder`], pick any [`prelude::Strategy`]
+//! implementation (the paper's [`prelude::SingleTermFull`], [`prelude::Hdk`] and
+//! [`prelude::Qdi`] are built in), and run [`prelude::QueryRequest`]s — singly via
+//! `execute` or in batches via `query_batch`. Every fallible call returns the
+//! unified [`prelude::AlvisError`].
+//!
 //! The [`prelude`] re-exports the handful of types most applications need.
 //!
 //! ```
 //! use alvisp2p::prelude::*;
 //!
-//! let mut net = AlvisNetwork::new(NetworkConfig {
-//!     peers: 4,
-//!     strategy: IndexingStrategy::Hdk(HdkConfig { df_max: 2, ..Default::default() }),
-//!     ..Default::default()
-//! });
-//! net.distribute_documents(demo_corpus());
-//! net.build_index();
-//! let hits = net.query(0, "peer to peer retrieval", 5).unwrap();
+//! let mut net = AlvisNetwork::builder()
+//!     .peers(4)
+//!     .strategy(Hdk::new(HdkConfig { df_max: 2, ..Default::default() }))
+//!     .documents(demo_corpus())
+//!     .build_indexed()
+//!     .unwrap();
+//! let hits = net
+//!     .execute(&QueryRequest::new("peer to peer retrieval").top_k(5))
+//!     .unwrap();
 //! assert!(!hits.results.is_empty());
 //! ```
 
@@ -42,17 +50,27 @@ pub use alvisp2p_textindex as textindex;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
+    // The network and its fluent assembly.
+    pub use alvisp2p_core::network::{
+        AlvisNetwork, AlvisNetworkBuilder, IndexBuildReport, NetworkConfig, RefinedResult,
+    };
+    // The session-oriented query API.
+    pub use alvisp2p_core::request::{QueryRequest, QueryResponse};
+    // The unified error hierarchy.
+    pub use alvisp2p_core::error::AlvisError;
+    // The pluggable indexing strategies and their configurations.
     pub use alvisp2p_core::hdk::HdkConfig;
     pub use alvisp2p_core::lattice::LatticeConfig;
-    pub use alvisp2p_core::network::{
-        AlvisNetwork, IndexBuildReport, IndexingStrategy, NetworkConfig, QueryOutcome,
-    };
     pub use alvisp2p_core::qdi::QdiConfig;
-    pub use alvisp2p_core::{CentralizedEngine, TermKey, TruncatedPostingList};
-    pub use alvisp2p_dht::{Dht, DhtConfig, IdDistribution, RingId, RoutingStrategy};
+    pub use alvisp2p_core::strategy::{Hdk, IndexerCtx, Qdi, QueryCtx, SingleTermFull, Strategy};
+    // Core data types.
+    pub use alvisp2p_core::{CentralizedEngine, FetchOutcome, TermKey, TruncatedPostingList};
+    // Overlay and simulation.
+    pub use alvisp2p_dht::{Dht, DhtConfig, DhtError, IdDistribution, RingId, RoutingStrategy};
     pub use alvisp2p_netsim::{SimRng, TrafficCategory};
+    // Text substrate.
     pub use alvisp2p_textindex::{
-        demo_corpus, Analyzer, CorpusConfig, CorpusGenerator, Credentials, DocId,
-        QueryLogConfig, QueryLogGenerator,
+        demo_corpus, Analyzer, CorpusConfig, CorpusGenerator, Credentials, DocId, QueryLogConfig,
+        QueryLogGenerator,
     };
 }

@@ -29,18 +29,17 @@ fn indexed_network(peers: usize, seed: u64) -> (AlvisNetwork, Vec<String>) {
         seed,
     )
     .generate(&corpus);
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers,
-        strategy: IndexingStrategy::Hdk(HdkConfig {
+    let net = AlvisNetwork::builder()
+        .peers(peers)
+        .strategy(Hdk::new(HdkConfig {
             df_max: 30,
             truncation_k: 30,
             ..Default::default()
-        }),
-        seed,
-        ..Default::default()
-    });
-    net.distribute_corpus(&corpus);
-    net.build_index();
+        }))
+        .seed(seed)
+        .corpus(&corpus)
+        .build_indexed()
+        .expect("valid configuration");
     let queries = log.queries.iter().map(|q| q.text.clone()).collect();
     (net, queries)
 }
@@ -67,12 +66,17 @@ fn graceful_churn_preserves_the_whole_global_index() {
     let mut answered = 0;
     for (i, q) in queries.iter().take(10).enumerate() {
         let origin = [0usize, 1, 3, 4, 5][i % 5];
-        let outcome = net.query(origin, q, 10).unwrap();
+        let outcome = net
+            .execute(&QueryRequest::new(q.clone()).from_peer(origin))
+            .unwrap();
         if !outcome.results.is_empty() {
             answered += 1;
         }
     }
-    assert!(answered >= 5, "only {answered}/10 queries returned results after churn");
+    assert!(
+        answered >= 5,
+        "only {answered}/10 queries returned results after churn"
+    );
 }
 
 #[test]
@@ -95,19 +99,30 @@ fn abrupt_failure_loses_only_the_failed_peers_slice() {
     let mut answered = 0;
     for (i, q) in queries.iter().take(10).enumerate() {
         let origin = [0usize, 1, 2, 3, 4][i % 5];
-        if !net.query(origin, q, 10).unwrap().results.is_empty() {
+        if !net
+            .execute(&QueryRequest::new(q.clone()).from_peer(origin))
+            .unwrap()
+            .results
+            .is_empty()
+        {
             answered += 1;
         }
     }
-    assert!(answered >= 4, "only {answered}/10 queries answered after a failure");
+    assert!(
+        answered >= 4,
+        "only {answered}/10 queries answered after a failure"
+    );
 }
 
 #[test]
 fn querying_from_a_departed_peer_is_rejected_cleanly() {
     let (mut net, queries) = indexed_network(12, 27);
     net.global_index_mut().dht_mut().leave(3).unwrap();
-    let err = net.query(3, &queries[0], 10);
-    assert!(err.is_err(), "a departed peer must not be able to originate lookups");
+    let err = net.execute(&QueryRequest::new(queries[0].clone()).from_peer(3));
+    assert!(
+        matches!(err, Err(AlvisError::Overlay(_))),
+        "a departed peer must not be able to originate lookups: {err:?}"
+    );
 }
 
 #[test]
@@ -122,11 +137,17 @@ fn congestion_control_keeps_goodput_under_hotspot_overload() {
         ..Default::default()
     };
     let with_cc = run_hotspot(
-        &HotspotScenario { congestion: CongestionConfig::default(), ..base.clone() },
+        &HotspotScenario {
+            congestion: CongestionConfig::default(),
+            ..base.clone()
+        },
         3,
     );
     let without_cc = run_hotspot(
-        &HotspotScenario { congestion: CongestionConfig::disabled(), ..base },
+        &HotspotScenario {
+            congestion: CongestionConfig::disabled(),
+            ..base
+        },
         3,
     );
     assert!(with_cc.generated > 0 && without_cc.generated > 0);
@@ -149,7 +170,13 @@ fn light_load_is_served_fully_with_and_without_congestion_control() {
         ..Default::default()
     };
     for congestion in [CongestionConfig::default(), CongestionConfig::disabled()] {
-        let out = run_hotspot(&HotspotScenario { congestion, ..base.clone() }, 9);
+        let out = run_hotspot(
+            &HotspotScenario {
+                congestion,
+                ..base.clone()
+            },
+            9,
+        );
         assert!(
             out.completion_rate > 0.95,
             "light load should complete, got {out:?}"

@@ -1,11 +1,14 @@
 //! End-to-end integration tests: corpus → distributed index → multi-keyword queries,
 //! compared against the centralized reference, for all three indexing strategies.
 
-use alvisp2p::prelude::*;
 use alvisp2p::core::stats::{overlap_at_k, precision_at_k, reference_relevant};
+use alvisp2p::prelude::*;
 use alvisp2p_netsim::TrafficCategory;
 
-fn corpus_and_queries(docs: usize, seed: u64) -> (alvisp2p::textindex::SyntheticCorpus, Vec<String>) {
+fn corpus_and_queries(
+    docs: usize,
+    seed: u64,
+) -> (alvisp2p::textindex::SyntheticCorpus, Vec<String>) {
     let corpus = CorpusGenerator::new(
         CorpusConfig {
             num_docs: docs,
@@ -32,23 +35,25 @@ fn corpus_and_queries(docs: usize, seed: u64) -> (alvisp2p::textindex::Synthetic
     (corpus, queries)
 }
 
-fn build(strategy: IndexingStrategy, corpus: &alvisp2p::textindex::SyntheticCorpus, peers: usize) -> AlvisNetwork {
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers,
-        strategy,
-        seed: 99,
-        ..Default::default()
-    });
-    net.distribute_corpus(corpus);
-    net.build_index();
-    net
+fn build(
+    strategy: impl Strategy + 'static,
+    corpus: &alvisp2p::textindex::SyntheticCorpus,
+    peers: usize,
+) -> AlvisNetwork {
+    AlvisNetwork::builder()
+        .peers(peers)
+        .strategy(strategy)
+        .seed(99)
+        .corpus(corpus)
+        .build_indexed()
+        .expect("valid configuration")
 }
 
 #[test]
 fn hdk_retrieval_quality_is_comparable_to_centralized() {
     let (corpus, queries) = corpus_and_queries(300, 11);
     let mut net = build(
-        IndexingStrategy::Hdk(HdkConfig {
+        Hdk::new(HdkConfig {
             df_max: 50,
             truncation_k: 50,
             ..Default::default()
@@ -59,7 +64,9 @@ fn hdk_retrieval_quality_is_comparable_to_centralized() {
     let mut total_precision = 0.0;
     let mut evaluated = 0usize;
     for (i, q) in queries.iter().enumerate() {
-        let outcome = net.query(i % 12, q, 10).expect("query succeeds");
+        let outcome = net
+            .execute(&QueryRequest::new(q.clone()).from_peer(i % 12))
+            .expect("query succeeds");
         let reference = net.reference_search(q, 10);
         if reference.is_empty() {
             continue;
@@ -88,33 +95,45 @@ fn single_term_baseline_transfers_more_than_hdk_and_grows_faster() {
             .collect()
     };
 
-    let mean_bytes = |strategy: IndexingStrategy,
+    let mean_bytes = |strategy: std::sync::Arc<dyn Strategy>,
                       corpus: &alvisp2p::textindex::SyntheticCorpus| {
         let queries = frequent_queries(corpus);
-        let mut net = build(strategy, corpus, 8);
+        let mut net = AlvisNetwork::builder()
+            .peers(8)
+            .strategy_arc(strategy)
+            .seed(99)
+            .corpus(corpus)
+            .build_indexed()
+            .expect("valid configuration");
         net.reset_traffic();
-        let mut total = 0u64;
-        for (i, q) in queries.iter().enumerate() {
-            total += net.query(i % 8, q, 10).unwrap().bytes;
-        }
+        let batch: Vec<QueryRequest> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(q.clone()).from_peer(i % 8))
+            .collect();
+        let responses = net.query_batch(&batch).unwrap();
+        let total: u64 = responses.iter().map(|r| r.bytes).sum();
         total as f64 / queries.len() as f64
     };
 
-    let hdk = || {
-        IndexingStrategy::Hdk(HdkConfig {
+    let hdk = || -> std::sync::Arc<dyn Strategy> {
+        std::sync::Arc::new(Hdk::new(HdkConfig {
             df_max: 20,
             truncation_k: 20,
             ..Default::default()
-        })
+        }))
     };
 
-    let base_small = mean_bytes(IndexingStrategy::SingleTermFull, &small_corpus);
-    let base_large = mean_bytes(IndexingStrategy::SingleTermFull, &large_corpus);
+    let base_small = mean_bytes(std::sync::Arc::new(SingleTermFull), &small_corpus);
+    let base_large = mean_bytes(std::sync::Arc::new(SingleTermFull), &large_corpus);
     let hdk_small = mean_bytes(hdk(), &small_corpus);
     let hdk_large = mean_bytes(hdk(), &large_corpus);
 
     // At the larger collection the untruncated baseline ships more bytes per query.
-    assert!(base_large > hdk_large, "large: baseline {base_large} vs hdk {hdk_large}");
+    assert!(
+        base_large > hdk_large,
+        "large: baseline {base_large} vs hdk {hdk_large}"
+    );
     // And the baseline's traffic grows faster with the collection size (the paper's
     // unscalability argument), while HDK stays bounded by its truncation constant.
     let base_growth = base_large / base_small;
@@ -132,9 +151,11 @@ fn single_term_baseline_transfers_more_than_hdk_and_grows_faster() {
 #[test]
 fn untruncated_single_term_baseline_reproduces_the_reference_ranking() {
     let (corpus, queries) = corpus_and_queries(200, 31);
-    let mut net = build(IndexingStrategy::SingleTermFull, &corpus, 8);
+    let mut net = build(SingleTermFull, &corpus, 8);
     for (i, q) in queries.iter().take(15).enumerate() {
-        let outcome = net.query(i % 8, q, 10).unwrap();
+        let outcome = net
+            .execute(&QueryRequest::new(q.clone()).from_peer(i % 8))
+            .unwrap();
         let reference = net.reference_search(q, 10);
         let overlap = overlap_at_k(&outcome.results, &reference, 10);
         assert!(
@@ -148,7 +169,7 @@ fn untruncated_single_term_baseline_reproduces_the_reference_ranking() {
 fn traffic_is_accounted_per_category_across_the_whole_pipeline() {
     let (corpus, queries) = corpus_and_queries(200, 41);
     let mut net = build(
-        IndexingStrategy::Hdk(HdkConfig {
+        Hdk::new(HdkConfig {
             df_max: 30,
             truncation_k: 30,
             ..Default::default()
@@ -163,7 +184,8 @@ fn traffic_is_accounted_per_category_across_the_whole_pipeline() {
     assert_eq!(t.category(TrafficCategory::Retrieval).bytes, 0);
     // Retrieval traffic only appears once queries run.
     for (i, q) in queries.iter().take(10).enumerate() {
-        net.query(i % 8, q, 10).unwrap();
+        net.execute(&QueryRequest::new(q.clone()).from_peer(i % 8))
+            .unwrap();
     }
     let t2 = net.traffic_snapshot();
     assert!(t2.category(TrafficCategory::Retrieval).bytes > 0);
@@ -178,7 +200,7 @@ fn traffic_is_accounted_per_category_across_the_whole_pipeline() {
 fn query_outcome_traces_are_consistent_with_the_lattice() {
     let (corpus, queries) = corpus_and_queries(200, 51);
     let mut net = build(
-        IndexingStrategy::Hdk(HdkConfig {
+        Hdk::new(HdkConfig {
             df_max: 30,
             truncation_k: 30,
             ..Default::default()
@@ -187,7 +209,9 @@ fn query_outcome_traces_are_consistent_with_the_lattice() {
         8,
     );
     for (i, q) in queries.iter().take(10).enumerate() {
-        let outcome = net.query(i % 8, q, 10).unwrap();
+        let outcome = net
+            .execute(&QueryRequest::new(q.clone()).from_peer(i % 8))
+            .unwrap();
         let terms = Analyzer::default().analyze_query(q);
         let lattice_size = (1usize << terms.len()) - 1;
         assert!(outcome.trace.nodes.len() <= lattice_size);
@@ -204,7 +228,7 @@ fn query_outcome_traces_are_consistent_with_the_lattice() {
 fn results_point_back_to_hosting_peers_and_documents_are_fetchable() {
     let (corpus, queries) = corpus_and_queries(150, 61);
     let mut net = build(
-        IndexingStrategy::Hdk(HdkConfig {
+        Hdk::new(HdkConfig {
             df_max: 30,
             truncation_k: 30,
             ..Default::default()
@@ -214,7 +238,9 @@ fn results_point_back_to_hosting_peers_and_documents_are_fetchable() {
     );
     let mut fetched = 0;
     for (i, q) in queries.iter().take(10).enumerate() {
-        let outcome = net.query(i % 6, q, 5).unwrap();
+        let outcome = net
+            .execute(&QueryRequest::new(q.clone()).from_peer(i % 6).top_k(5))
+            .unwrap();
         for r in &outcome.results {
             assert!((r.doc.peer as usize) < net.peer_count());
             if let alvisp2p::core::FetchOutcome::Full(doc) =
@@ -225,5 +251,8 @@ fn results_point_back_to_hosting_peers_and_documents_are_fetchable() {
             }
         }
     }
-    assert!(fetched > 0, "no documents could be fetched from their owners");
+    assert!(
+        fetched > 0,
+        "no documents could be fetched from their owners"
+    );
 }

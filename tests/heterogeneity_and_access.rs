@@ -7,18 +7,17 @@ use alvisp2p::prelude::*;
 use alvisp2p::textindex::{AccessRights, DocId as TDocId, Document};
 
 fn base_network(peers: usize) -> AlvisNetwork {
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers,
-        strategy: IndexingStrategy::Hdk(HdkConfig {
+    AlvisNetwork::builder()
+        .peers(peers)
+        .strategy(Hdk::new(HdkConfig {
             df_max: 3,
             truncation_k: 10,
             ..Default::default()
-        }),
-        seed: 3,
-        ..Default::default()
-    });
-    net.distribute_documents(demo_corpus());
-    net
+        }))
+        .seed(3)
+        .documents(demo_corpus())
+        .build()
+        .expect("valid configuration")
 }
 
 #[test]
@@ -46,7 +45,9 @@ fn imported_digest_collections_are_globally_searchable() {
     net.build_index();
 
     // Any other peer now finds the library's documents.
-    let outcome = net.query(4, "herbarium specimens botanical", 10).unwrap();
+    let outcome = net
+        .execute(&QueryRequest::new("herbarium specimens botanical").from_peer(4))
+        .unwrap();
     assert!(!outcome.results.is_empty());
     assert!(
         outcome.results.iter().any(|r| r.doc.peer == 2),
@@ -59,20 +60,30 @@ fn access_rights_are_enforced_when_fetching_results() {
     let mut net = base_network(4);
     // Peer 1 publishes a restricted and a private document.
     let restricted = net.peer_mut(1).publish_document(
-        Document::new(TDocId::new(1, 500), "Quarterly earnings draft", "confidential quarterly earnings projections draft")
-            .with_access(AccessRights::Restricted {
-                username: "cfo".into(),
-                password: "numbers".into(),
-            }),
+        Document::new(
+            TDocId::new(1, 500),
+            "Quarterly earnings draft",
+            "confidential quarterly earnings projections draft",
+        )
+        .with_access(AccessRights::Restricted {
+            username: "cfo".into(),
+            password: "numbers".into(),
+        }),
     );
     let private = net.peer_mut(1).publish_document(
-        Document::new(TDocId::new(1, 501), "Internal memo", "internal memo about unannounced partnerships")
-            .with_access(AccessRights::Private),
+        Document::new(
+            TDocId::new(1, 501),
+            "Internal memo",
+            "internal memo about unannounced partnerships",
+        )
+        .with_access(AccessRights::Private),
     );
     net.build_index();
 
     // Both documents are searchable.
-    let outcome = net.query(3, "confidential quarterly earnings", 10).unwrap();
+    let outcome = net
+        .execute(&QueryRequest::new("confidential quarterly earnings").from_peer(3))
+        .unwrap();
     assert!(outcome.results.iter().any(|r| r.doc == restricted));
 
     // Fetching enforces the rights at the owning peer.
@@ -99,11 +110,13 @@ fn two_step_refinement_reports_owner_scores_and_snippets() {
     let mut net = base_network(4);
     net.build_index();
     let query = "truncated posting lists bandwidth";
-    let outcome = net.query(0, query, 5).unwrap();
+    let outcome = net
+        .execute(&QueryRequest::new(query).top_k(5).with_refinement())
+        .unwrap();
     assert!(!outcome.results.is_empty());
-    let refined = net.refine(query, &outcome.results, 5);
+    let refined = &outcome.refined;
     assert_eq!(refined.len(), outcome.results.len().min(5));
-    for r in &refined {
+    for r in refined {
         assert!(r.global_score > 0.0);
         assert!(!r.url.is_empty());
         assert!(!r.snippet.is_empty());
@@ -117,10 +130,18 @@ fn two_step_refinement_reports_owner_scores_and_snippets() {
 #[test]
 fn unpublishing_documents_removes_them_from_local_search() {
     let mut net = base_network(3);
-    let extra = net.peer_mut(0).publish("Ephemeral note", "very temporary searchable content");
-    assert!(!net.peer(0).local_search("ephemeral temporary", 5).is_empty());
+    let extra = net
+        .peer_mut(0)
+        .publish("Ephemeral note", "very temporary searchable content");
+    assert!(!net
+        .peer(0)
+        .local_search("ephemeral temporary", 5)
+        .is_empty());
     assert!(net.peer_mut(0).unpublish(extra));
-    assert!(net.peer(0).local_search("ephemeral temporary", 5).is_empty());
+    assert!(net
+        .peer(0)
+        .local_search("ephemeral temporary", 5)
+        .is_empty());
 }
 
 #[test]
@@ -135,7 +156,10 @@ fn peers_with_different_analyzers_can_coexist() {
 
     // A default peer would have removed them.
     let mut standard = alvisp2p::core::AlvisPeer::new(8);
-    standard.publish("Stop words removed", "the and of are dropped by this engine");
+    standard.publish(
+        "Stop words removed",
+        "the and of are dropped by this engine",
+    );
     let digest2 = standard.export_digest();
     assert!(digest2.documents[0].terms.iter().all(|t| t.term != "the"));
 }

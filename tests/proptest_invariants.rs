@@ -291,6 +291,7 @@ proptest! {
                     postings: entry.map(|(_, complete)| make_list(*complete)),
                     hops: 1,
                     responsible: 0,
+                    skipped: false,
                 })
             },
         )

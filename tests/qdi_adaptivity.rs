@@ -3,7 +3,11 @@
 
 use alvisp2p::prelude::*;
 
-fn workload(seed: u64, queries: usize, drift: bool) -> (alvisp2p::textindex::SyntheticCorpus, Vec<String>) {
+fn workload(
+    seed: u64,
+    queries: usize,
+    drift: bool,
+) -> (alvisp2p::textindex::SyntheticCorpus, Vec<String>) {
     let corpus = CorpusGenerator::new(
         CorpusConfig {
             num_docs: 250,
@@ -32,15 +36,13 @@ fn workload(seed: u64, queries: usize, drift: bool) -> (alvisp2p::textindex::Syn
 }
 
 fn qdi_network(corpus: &alvisp2p::textindex::SyntheticCorpus, config: QdiConfig) -> AlvisNetwork {
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers: 8,
-        strategy: IndexingStrategy::Qdi(config),
-        seed: 5,
-        ..Default::default()
-    });
-    net.distribute_corpus(corpus);
-    net.build_index();
-    net
+    AlvisNetwork::builder()
+        .peers(8)
+        .strategy(Qdi::new(config))
+        .seed(5)
+        .corpus(corpus)
+        .build_indexed()
+        .expect("valid configuration")
 }
 
 #[test]
@@ -55,9 +57,12 @@ fn repeated_popular_queries_trigger_on_demand_activation() {
         },
     );
     assert_eq!(net.qdi_report().activations, 0);
-    for (i, q) in queries.iter().enumerate() {
-        net.query(i % 8, q, 10).unwrap();
-    }
+    let batch: Vec<QueryRequest> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| QueryRequest::new(q.clone()).from_peer(i % 8))
+        .collect();
+    net.query_batch(&batch).unwrap();
     let report = net.qdi_report();
     assert!(report.activations > 0, "no key was activated: {report:?}");
     assert!(report.acquisition_bytes > 0);
@@ -69,17 +74,25 @@ fn repeated_popular_queries_trigger_on_demand_activation() {
         .filter(|k| k.len() > 1)
         .count();
     assert!(multi > 0);
-    assert!(report.multi_term_hits > 0, "activated keys were never hit: {report:?}");
+    assert!(
+        report.multi_term_hits > 0,
+        "activated keys were never hit: {report:?}"
+    );
 }
 
 #[test]
 fn warmed_qdi_uses_fewer_probes_for_popular_queries() {
     let (corpus, queries) = workload(81, 100, false);
+    // Activation regardless of redundancy: the most popular query can pair a
+    // rare term (whose complete single-term list would make the combination
+    // redundant) with a common one, and this test is about the warm-up effect,
+    // not the redundancy filter.
     let mut net = qdi_network(
         &corpus,
         QdiConfig {
             activation_threshold: 2,
             truncation_k: 15,
+            require_nonredundant: false,
             ..Default::default()
         },
     );
@@ -94,19 +107,25 @@ fn warmed_qdi_uses_fewer_probes_for_popular_queries() {
         .map(|(q, _)| q.clone())
         .unwrap();
 
-    let cold = net.query(0, &popular, 10).unwrap();
+    let cold = net.execute(&QueryRequest::new(popular.clone())).unwrap();
     // Warm up on the whole stream.
     for (i, q) in queries.iter().enumerate() {
-        net.query(i % 8, q, 10).unwrap();
+        net.execute(&QueryRequest::new(q.clone()).from_peer(i % 8))
+            .unwrap();
     }
-    let warm = net.query(1, &popular, 10).unwrap();
+    let warm = net
+        .execute(&QueryRequest::new(popular.clone()).from_peer(1))
+        .unwrap();
     // After warm-up the popular combination is indexed: the query needs at most as
     // many probes (typically fewer, because the full-query key now prunes the
     // lattice) and still returns results.
     assert!(warm.trace.probes <= cold.trace.probes);
     assert!(!warm.results.is_empty());
     let multi_found = warm.trace.found_keys().iter().any(|k| k.len() > 1);
-    assert!(multi_found, "popular multi-term key still not indexed after warm-up");
+    assert!(
+        multi_found,
+        "popular multi-term key still not indexed after warm-up"
+    );
 }
 
 #[test]
@@ -124,38 +143,45 @@ fn popularity_drift_causes_evictions_and_new_activations() {
     );
     let mut activations_at_half = 0;
     for (i, q) in queries.iter().enumerate() {
-        net.query(i % 8, q, 10).unwrap();
+        net.execute(&QueryRequest::new(q.clone()).from_peer(i % 8))
+            .unwrap();
         if i == queries.len() / 2 {
             activations_at_half = net.qdi_report().activations;
         }
     }
     let report = net.qdi_report();
-    assert!(activations_at_half > 0, "nothing activated before the drift");
+    assert!(
+        activations_at_half > 0,
+        "nothing activated before the drift"
+    );
     assert!(
         report.activations > activations_at_half,
         "no new activations after the drift: {report:?}"
     );
-    assert!(report.evictions > 0, "no obsolete key was evicted: {report:?}");
+    assert!(
+        report.evictions > 0,
+        "no obsolete key was evicted: {report:?}"
+    );
 }
 
 #[test]
 fn hdk_network_never_activates_keys_at_query_time() {
     let (corpus, queries) = workload(99, 60, false);
-    let mut net = AlvisNetwork::new(NetworkConfig {
-        peers: 8,
-        strategy: IndexingStrategy::Hdk(HdkConfig {
+    let mut net = AlvisNetwork::builder()
+        .peers(8)
+        .strategy(Hdk::new(HdkConfig {
             df_max: 30,
             truncation_k: 30,
             ..Default::default()
-        }),
-        seed: 5,
-        ..Default::default()
-    });
-    net.distribute_corpus(&corpus);
-    net.build_index();
+        }))
+        .seed(5)
+        .corpus(&corpus)
+        .build_indexed()
+        .expect("valid configuration");
     let keys_before = net.global_index().activated_keys();
     for (i, q) in queries.iter().enumerate() {
-        net.query(i % 8, q, 10).unwrap();
+        net.execute(&QueryRequest::new(q.clone()).from_peer(i % 8))
+            .unwrap();
     }
     assert_eq!(net.qdi_report().activations, 0);
     assert_eq!(net.global_index().activated_keys(), keys_before);
