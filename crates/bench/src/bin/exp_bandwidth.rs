@@ -10,4 +10,15 @@ fn main() {
     let rows = exp_bandwidth::run(&params);
     exp_bandwidth::print(&params, &rows);
     table::maybe_print_json(&rows);
+
+    // E2c: the planned-vs-best-effort arm — same workload under per-query byte
+    // budgets, planned with the cost-based planner vs the PR 1 cutoff.
+    let planned_params = if quick_mode() {
+        exp_bandwidth::PlannedParams::quick()
+    } else {
+        exp_bandwidth::PlannedParams::default()
+    };
+    let planned_rows = exp_bandwidth::run_planned(&planned_params);
+    exp_bandwidth::print_planned(&planned_rows);
+    table::maybe_print_json(&planned_rows);
 }

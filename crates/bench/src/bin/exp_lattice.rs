@@ -13,4 +13,9 @@ fn main() {
     println!("(ablation: same query without pruning below truncated keys)");
     exp_lattice::print(&rows_no_prune);
     table::maybe_print_json(&rows);
+
+    // E1b: the same scenario through the plan → execute pipeline under a byte
+    // budget, comparing the cost-based planner against the fixed-order cutoff.
+    let summaries = exp_lattice::print_planned(&params, 1_000);
+    table::maybe_print_json(&summaries);
 }

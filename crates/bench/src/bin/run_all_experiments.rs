@@ -9,6 +9,7 @@ fn main() {
 
     let rows = bench::exp_lattice::run(&bench::exp_lattice::LatticeParams::default());
     bench::exp_lattice::print(&rows);
+    bench::exp_lattice::print_planned(&bench::exp_lattice::LatticeParams::default(), 1_000);
 
     let p = if quick {
         bench::exp_bandwidth::BandwidthParams::quick()
@@ -16,6 +17,12 @@ fn main() {
         Default::default()
     };
     bench::exp_bandwidth::print(&p, &bench::exp_bandwidth::run(&p));
+    let p = if quick {
+        bench::exp_bandwidth::PlannedParams::quick()
+    } else {
+        Default::default()
+    };
+    bench::exp_bandwidth::print_planned(&bench::exp_bandwidth::run_planned(&p));
 
     let p = if quick {
         bench::exp_storage::StorageParams::quick()

@@ -10,10 +10,16 @@
 use alvisp2p_core::global_index::GlobalIndex;
 use alvisp2p_core::key::TermKey;
 use alvisp2p_core::lattice::{explore_lattice, LatticeConfig, NodeOutcome};
+use alvisp2p_core::plan::{
+    BestEffort, CursorStep, GreedyCost, PlanCtx, PlanCursor, PlanDecision, PlanHints, Planner,
+};
 use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_core::ranking::GlobalRankingStats;
 use alvisp2p_dht::DhtConfig;
-use alvisp2p_textindex::DocId;
+use alvisp2p_netsim::TrafficCategory;
+use alvisp2p_textindex::{CollectionStats, DocId};
 use serde::Serialize;
+use std::collections::BTreeMap;
 
 use crate::table::Table;
 
@@ -52,8 +58,9 @@ impl Default for LatticeParams {
     }
 }
 
-/// Builds the Figure 1 index and runs the query `{a, b, c}` through the lattice.
-pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
+/// Builds the Figure 1 index: key `bc` activated with a truncated posting list,
+/// the single terms activated too, everything else missing.
+fn build_figure1_index(params: &LatticeParams) -> GlobalIndex {
     let mut index = GlobalIndex::new(DhtConfig::default(), 1, params.peers);
 
     let list = |n: u32, offset: u32| {
@@ -84,6 +91,12 @@ pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
     index
         .publish_postings(0, &TermKey::single("c"), &list(4, 300), params.capacity)
         .unwrap();
+    index
+}
+
+/// Builds the Figure 1 index and runs the query `{a, b, c}` through the lattice.
+pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
+    let mut index = build_figure1_index(params);
 
     let config = LatticeConfig {
         prune_below_truncated: params.prune_below_truncated,
@@ -114,6 +127,206 @@ pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
             in_result: retrieved.contains(&key.canonical()),
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// E1b — planned-vs-best-effort arm: the same Figure 1 scenario through the
+// plan → execute pipeline, under a byte budget.
+// ---------------------------------------------------------------------------
+
+/// One row of the E1b output: a scheduled lattice node of one planner's plan and
+/// what executing it did.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlannedLatticeRow {
+    /// Planner label ("best-effort" or "greedy-cost").
+    pub planner: String,
+    /// Position in the schedule.
+    pub position: usize,
+    /// The lattice node (canonical key form).
+    pub key: String,
+    /// The planner's decision ("probe" or "skip").
+    pub decision: String,
+    /// Worst-case byte estimate of the probe.
+    pub est_bytes: u64,
+    /// The planner's benefit/cost priority.
+    pub priority: f64,
+    /// What executing the schedule did to the node.
+    pub outcome: String,
+}
+
+/// Summary of one planner's budgeted execution of the Figure 1 scenario.
+#[derive(Clone, Debug, Serialize)]
+pub struct PlannedSummary {
+    /// Planner label.
+    pub planner: String,
+    /// The byte budget.
+    pub byte_budget: u64,
+    /// Probes actually sent.
+    pub probes: usize,
+    /// Retrieval bytes actually spent.
+    pub bytes: u64,
+    /// Keys whose posting lists were retrieved (the result union).
+    pub retrieved: Vec<String>,
+    /// Whether a budget withheld at least one probe.
+    pub budget_exhausted: bool,
+}
+
+/// Synthetic global ranking statistics consistent with the Figure 1 index, so
+/// the cost-based planner has document frequencies to estimate with.
+fn figure1_stats(params: &LatticeParams) -> GlobalRankingStats {
+    let fragment = CollectionStats {
+        doc_count: u64::from(params.bc_matches) + 11,
+        total_terms: 1_000,
+        doc_frequencies: [
+            ("a".to_string(), 3u64),
+            ("b".to_string(), u64::from(params.bc_matches)),
+            ("c".to_string(), u64::from(params.bc_matches)),
+        ]
+        .into_iter()
+        .collect::<BTreeMap<String, u64>>(),
+    };
+    GlobalRankingStats::aggregate([&fragment])
+}
+
+/// Plans and executes the Figure 1 query with `planner` under `byte_budget`,
+/// returning the schedule rows and the execution summary.
+pub fn run_planned(
+    params: &LatticeParams,
+    planner: &dyn Planner,
+    byte_budget: u64,
+) -> (Vec<PlannedLatticeRow>, PlannedSummary) {
+    let mut index = build_figure1_index(params);
+    let ranking = figure1_stats(params);
+    let query = TermKey::new(["a", "b", "c"]);
+    let lattice = LatticeConfig {
+        prune_below_truncated: params.prune_below_truncated,
+        ..Default::default()
+    };
+    let ctx = PlanCtx {
+        query_key: &query,
+        origin: 1,
+        lattice: lattice.clone(),
+        hints: PlanHints::default(),
+        capacity: params.capacity,
+        ranking: &ranking,
+        global: &index,
+        byte_budget: Some(byte_budget),
+        hop_budget: None,
+    };
+    let plan = planner.plan(&ctx);
+
+    let base = index.stats().category(TrafficCategory::Retrieval).bytes;
+    let mut cursor = PlanCursor::new(plan.clone(), &lattice, Some(byte_budget), None);
+    loop {
+        let spent = index.stats().category(TrafficCategory::Retrieval).bytes - base;
+        match cursor.next_key(spent) {
+            CursorStep::Done => break,
+            CursorStep::Probe(key) => {
+                let probe = index
+                    .probe(1, &key, 1, params.capacity)
+                    .expect("probe succeeds");
+                cursor.record(probe);
+            }
+        }
+    }
+    let (result, budget_exhausted) = cursor.finish();
+
+    let rows = plan
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(position, node)| PlannedLatticeRow {
+            planner: plan.planner.clone(),
+            position,
+            key: node.key.canonical(),
+            decision: match node.decision {
+                PlanDecision::Probe => "probe".to_string(),
+                PlanDecision::Skip | PlanDecision::SkipTooLong => "skip".to_string(),
+            },
+            est_bytes: node.est_bytes,
+            priority: node.priority,
+            outcome: result
+                .trace
+                .outcome_of(&node.key)
+                .map(|o| match o {
+                    NodeOutcome::Found { truncated: true } => "found (truncated)".to_string(),
+                    NodeOutcome::Found { truncated: false } => "found (complete)".to_string(),
+                    NodeOutcome::Missing => "missing".to_string(),
+                    NodeOutcome::Skipped => "skipped".to_string(),
+                    NodeOutcome::TooLong => "not probed (too long)".to_string(),
+                })
+                .unwrap_or_default(),
+        })
+        .collect();
+    let summary = PlannedSummary {
+        planner: plan.planner.clone(),
+        byte_budget,
+        probes: result.trace.probes,
+        bytes: index.stats().category(TrafficCategory::Retrieval).bytes - base,
+        retrieved: result
+            .retrieved
+            .iter()
+            .map(|(k, _)| k.canonical())
+            .collect(),
+        budget_exhausted,
+    };
+    (rows, summary)
+}
+
+/// Prints the E1b schedule and summary tables for both planners.
+pub fn print_planned(params: &LatticeParams, byte_budget: u64) -> Vec<PlannedSummary> {
+    let mut summaries = Vec::new();
+    let mut t = Table::new(
+        format!("E1b: planned execution of {{a,b,c}} under a {byte_budget}-byte budget"),
+        &[
+            "planner",
+            "#",
+            "node",
+            "decision",
+            "est bytes",
+            "priority",
+            "outcome",
+        ],
+    );
+    for planner in [&BestEffort as &dyn Planner, &GreedyCost::default()] {
+        let (rows, summary) = run_planned(params, planner, byte_budget);
+        for r in &rows {
+            t.row(&[
+                r.planner.clone(),
+                r.position.to_string(),
+                r.key.clone(),
+                r.decision.clone(),
+                r.est_bytes.to_string(),
+                format!("{:.4}", r.priority),
+                r.outcome.clone(),
+            ]);
+        }
+        summaries.push(summary);
+    }
+    t.print();
+    let mut s = Table::new(
+        "E1b summary: probes / bytes / retrieved union per planner",
+        &[
+            "planner",
+            "budget",
+            "probes",
+            "bytes",
+            "retrieved",
+            "truncated by budget",
+        ],
+    );
+    for sum in &summaries {
+        s.row(&[
+            sum.planner.clone(),
+            sum.byte_budget.to_string(),
+            sum.probes.to_string(),
+            sum.bytes.to_string(),
+            sum.retrieved.join(" "),
+            if sum.budget_exhausted { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    s.print();
+    summaries
 }
 
 /// Prints the E1 table.
@@ -175,5 +388,37 @@ mod tests {
             .filter(|r| r.outcome.starts_with("found"))
             .count();
         assert_eq!(found, 4); // bc, a, b, c
+    }
+
+    #[test]
+    fn planned_arm_greedy_retrieves_the_union_within_a_budget_best_effort_wastes() {
+        let params = LatticeParams::default();
+        // Generous budget: both planners end with the Figure 1 result union.
+        let (_, best_loose) = run_planned(&params, &BestEffort, 1_000_000);
+        let (_, greedy_loose) = run_planned(&params, &GreedyCost::default(), 1_000_000);
+        assert_eq!(best_loose.retrieved, vec!["b+c", "a"]);
+        let mut greedy_sorted = greedy_loose.retrieved.clone();
+        greedy_sorted.sort();
+        assert_eq!(greedy_sorted, vec!["a", "b+c"]);
+        assert!(!greedy_loose.budget_exhausted);
+
+        // Tight budget (enough for roughly two probes): the cost-based plan
+        // spends it on the keys that are actually indexed and still retrieves
+        // the full union, while the fixed-order cutoff burns it on the missing
+        // multi-term prefixes. The Reserve policy also never exceeds the budget,
+        // whereas the cutoff may overshoot.
+        let budget = 1_000;
+        let (_, best) = run_planned(&params, &BestEffort, budget);
+        let (_, greedy) = run_planned(&params, &GreedyCost::default(), budget);
+        assert!(greedy.bytes <= budget, "greedy spent {}", greedy.bytes);
+        assert!(
+            greedy.retrieved.len() >= best.retrieved.len(),
+            "greedy {:?} vs best-effort {:?}",
+            greedy.retrieved,
+            best.retrieved
+        );
+        assert!(greedy.retrieved.contains(&"a".to_string()));
+        assert!(greedy.retrieved.contains(&"b+c".to_string()));
+        assert!(best.retrieved.is_empty());
     }
 }

@@ -202,6 +202,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "quick()-scale experiment (minutes in debug); run with `cargo test -- --ignored` (nightly CI job)"]
     fn baseline_matches_reference_and_hdk_improves_with_larger_k() {
         let params = QualityParams {
             docs: 200,

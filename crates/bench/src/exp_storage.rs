@@ -253,6 +253,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "quick()-scale experiment (minutes in debug); run with `cargo test -- --ignored` (nightly CI job)"]
     fn index_grows_with_the_collection_and_stays_distributed() {
         let small = build_one(
             120,
@@ -289,6 +290,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "quick()-scale experiment (minutes in debug); run with `cargo test -- --ignored` (nightly CI job)"]
     fn smaller_df_max_creates_more_multi_term_keys() {
         let strict = build_one(
             240,
@@ -320,6 +322,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "quick()-scale experiment (minutes in debug); run with `cargo test -- --ignored` (nightly CI job)"]
     fn proximity_filter_contains_the_candidate_explosion() {
         let with = build_one(
             240,

@@ -207,6 +207,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "quick()-scale experiment (minutes in debug); run with `cargo test -- --ignored` (nightly CI job)"]
     fn transferred_lists_are_bounded_by_k_and_quality_improves_with_k() {
         let params = TruncationParams {
             docs: 200,
@@ -228,6 +229,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "quick()-scale experiment (minutes in debug); run with `cargo test -- --ignored` (nightly CI job)"]
     fn disabling_lattice_pruning_probes_more() {
         let corpus = workloads::corpus(200, 8);
         let log = workloads::query_log(&corpus, 20, false, 8);

@@ -7,7 +7,7 @@
 //!   quality is "fully comparable to state-of-the-art centralized search engines", and
 //!   experiment E4 measures precision/overlap against exactly this engine.
 //! * The **single-term full-posting-list** distributed strategy of Zhang & Suel
-//!   (reference [11] of the paper) — the approach AlvisP2P argues against: every term's
+//!   (reference \[11\] of the paper) — the approach AlvisP2P argues against: every term's
 //!   complete posting list is stored in the DHT and shipped to the querying peer, so
 //!   retrieval traffic grows with the collection. It is implemented as the
 //!   [`crate::strategy::SingleTermFull`] strategy; this module holds

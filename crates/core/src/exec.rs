@@ -1,0 +1,316 @@
+//! Plan execution: run a [`QueryPlan`] and observe results incrementally.
+//!
+//! The second half of the plan → execute pipeline (see [`crate::plan`]). Three
+//! ways to consume an execution, from highest to lowest level:
+//!
+//! * [`crate::network::AlvisNetwork::run`] — run a plan to completion and get the
+//!   final [`QueryResponse`] (what `execute` does internally);
+//! * [`ExecutionObserver`] — push-style: [`crate::network::AlvisNetwork::run_observed`]
+//!   calls [`ExecutionObserver::on_probe`] after every probe with the key, the
+//!   outcome, the bytes spent and the running top-k, and the observer may stop the
+//!   execution early (e.g. with the built-in [`StableTopK`] once the top-k has
+//!   stabilised);
+//! * [`QueryStream`] — pull-style: an iterator of [`ProbeEvent`]s that the caller
+//!   drains at its own pace and then [`QueryStream::finish`]es into the response.
+//!
+//! Early termination is loss-free bookkeeping-wise: remaining scheduled probes are
+//! recorded as skipped in the trace, the response is assembled from what was
+//! retrieved, and adaptive strategies still observe the (partial) query through
+//! [`crate::strategy::Strategy::post_query`].
+
+use crate::error::AlvisError;
+use crate::key::TermKey;
+use crate::lattice::NodeOutcome;
+use crate::network::AlvisNetwork;
+use crate::plan::{CursorStep, PlanCursor, QueryPlan};
+use crate::ranking::merge_retrieved;
+use crate::request::{QueryRequest, QueryResponse};
+use alvisp2p_textindex::bm25::ScoredDoc;
+use alvisp2p_textindex::DocId;
+
+/// One executed probe, as seen by observers and streams.
+#[derive(Clone, Debug)]
+pub struct ProbeEvent {
+    /// 0-based index among the probes actually sent.
+    pub index: usize,
+    /// Number of probes the plan scheduled in total.
+    pub planned: usize,
+    /// The probed key.
+    pub key: TermKey,
+    /// What the probe returned.
+    pub outcome: NodeOutcome,
+    /// Retrieval bytes this probe charged.
+    pub bytes: u64,
+    /// Overlay hops this probe took.
+    pub hops: usize,
+    /// Cumulative retrieval bytes of the query so far.
+    pub spent_bytes: u64,
+    /// Cumulative overlay hops of the query so far.
+    pub spent_hops: usize,
+    /// The running top-k after merging everything retrieved so far.
+    pub top_k: Vec<ScoredDoc>,
+}
+
+/// An observer's verdict after each probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionControl {
+    /// Keep executing the plan.
+    Continue,
+    /// Stop: skip the remaining probes and assemble the response from what has
+    /// been retrieved.
+    Stop,
+}
+
+/// Observes a plan execution probe by probe and may terminate it early.
+pub trait ExecutionObserver {
+    /// Called after every sent probe. Return [`ExecutionControl::Stop`] to
+    /// early-terminate (e.g. once the running top-k has stabilised).
+    fn on_probe(&mut self, event: &ProbeEvent) -> ExecutionControl {
+        let _ = event;
+        ExecutionControl::Continue
+    }
+
+    /// Called once with the assembled response.
+    fn on_complete(&mut self, response: &QueryResponse) {
+        let _ = response;
+    }
+}
+
+/// Built-in observer that stops the execution once the top-k document set has
+/// been unchanged for `patience` consecutive probes — the "stop paying once the
+/// answer stops moving" policy.
+#[derive(Clone, Debug)]
+pub struct StableTopK {
+    patience: usize,
+    stable: usize,
+    last: Vec<DocId>,
+}
+
+impl StableTopK {
+    /// Stops after the top-k has been stable for `patience` consecutive probes
+    /// (`patience` is clamped to at least 1).
+    pub fn new(patience: usize) -> Self {
+        StableTopK {
+            patience: patience.max(1),
+            stable: 0,
+            last: Vec::new(),
+        }
+    }
+
+    /// How many consecutive probes the top-k has currently been stable for.
+    pub fn stable_for(&self) -> usize {
+        self.stable
+    }
+}
+
+impl ExecutionObserver for StableTopK {
+    fn on_probe(&mut self, event: &ProbeEvent) -> ExecutionControl {
+        let docs: Vec<DocId> = event.top_k.iter().map(|r| r.doc).collect();
+        if !docs.is_empty() && docs == self.last {
+            self.stable += 1;
+        } else {
+            self.stable = 0;
+            self.last = docs;
+        }
+        if self.stable >= self.patience {
+            ExecutionControl::Stop
+        } else {
+            ExecutionControl::Continue
+        }
+    }
+}
+
+/// Runs [`QueryPlan`]s against a network. A thin, explicit handle over the same
+/// machinery [`AlvisNetwork::execute`] uses — callers that already hold a network
+/// can equally call [`AlvisNetwork::run`] / [`AlvisNetwork::run_observed`] /
+/// [`AlvisNetwork::stream`] directly.
+#[derive(Debug)]
+pub struct QueryExecutor<'n> {
+    net: &'n mut AlvisNetwork,
+}
+
+impl<'n> QueryExecutor<'n> {
+    pub(crate) fn new(net: &'n mut AlvisNetwork) -> Self {
+        QueryExecutor { net }
+    }
+
+    /// Runs a plan to completion.
+    pub fn run(
+        &mut self,
+        plan: &QueryPlan,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse, AlvisError> {
+        self.net.run(plan, request)
+    }
+
+    /// Runs a plan under an observer that may early-terminate it.
+    pub fn run_observed(
+        &mut self,
+        plan: &QueryPlan,
+        request: &QueryRequest,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<QueryResponse, AlvisError> {
+        self.net.run_observed(plan, request, observer)
+    }
+
+    /// Turns the executor into a pull-style stream over the execution.
+    pub fn stream(
+        self,
+        plan: QueryPlan,
+        request: QueryRequest,
+    ) -> Result<QueryStream<'n>, AlvisError> {
+        self.net.stream(plan, request)
+    }
+}
+
+/// A pull-style execution: iterate [`ProbeEvent`]s at your own pace, optionally
+/// [`QueryStream::stop`] early, then [`QueryStream::finish`] into the
+/// [`QueryResponse`].
+///
+/// The [`Iterator`] implementation yields events and ends on the first overlay
+/// error; [`QueryStream::finish`] surfaces the error. Dropping a stream without
+/// finishing abandons the query: the response is never assembled and adaptive
+/// strategies do not observe it.
+#[derive(Debug)]
+pub struct QueryStream<'n> {
+    net: &'n mut AlvisNetwork,
+    request: QueryRequest,
+    query_key: Option<TermKey>,
+    cursor: PlanCursor,
+    seq: u64,
+    planned: usize,
+    sent: usize,
+    base_bytes: u64,
+    base_messages: u64,
+    error: Option<AlvisError>,
+}
+
+impl<'n> QueryStream<'n> {
+    pub(crate) fn new(net: &'n mut AlvisNetwork, plan: QueryPlan, request: QueryRequest) -> Self {
+        let lattice = net.strategy().lattice_config(&net.config().lattice);
+        let (base_bytes, base_messages) = net.retrieval_totals();
+        let query_key = plan.query_key.clone();
+        let seq = if query_key.is_some() {
+            net.begin_query()
+        } else {
+            0
+        };
+        let planned = plan.scheduled_probes();
+        let cursor = PlanCursor::new(plan, &lattice, request.byte_budget, request.hop_budget);
+        QueryStream {
+            net,
+            request,
+            query_key,
+            cursor,
+            seq,
+            planned,
+            sent: 0,
+            base_bytes,
+            base_messages,
+            error: None,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &QueryPlan {
+        self.cursor.plan()
+    }
+
+    /// Retrieval bytes the query has charged so far.
+    pub fn spent_bytes(&self) -> u64 {
+        self.net.retrieval_totals().0 - self.base_bytes
+    }
+
+    /// Stops the execution: remaining scheduled probes are skipped.
+    pub fn stop(&mut self) {
+        self.cursor.stop();
+    }
+
+    /// Executes the next scheduled probe and returns its event, or `None` when
+    /// the plan is exhausted (or stopped). The first overlay error is returned
+    /// once; subsequent calls return `None`.
+    pub fn next_event(&mut self) -> Option<Result<ProbeEvent, AlvisError>> {
+        if self.error.is_some() {
+            return None;
+        }
+        self.query_key.as_ref()?;
+        let spent = self.spent_bytes();
+        match self.cursor.next_key(spent) {
+            CursorStep::Done => None,
+            CursorStep::Probe(key) => {
+                let before = self.net.retrieval_totals().0;
+                match self.net.probe_planned(self.request.origin, &key, self.seq) {
+                    Err(e) => {
+                        let err = AlvisError::from(e);
+                        self.error = Some(err.clone());
+                        Some(Err(err))
+                    }
+                    Ok(probe) => {
+                        let hops = probe.hops;
+                        let outcome = self.cursor.record(probe);
+                        let bytes = self.net.retrieval_totals().0 - before;
+                        let top_k = merge_retrieved(self.cursor.retrieved(), self.request.top_k);
+                        let event = ProbeEvent {
+                            index: self.sent,
+                            planned: self.planned,
+                            key,
+                            outcome,
+                            bytes,
+                            hops,
+                            spent_bytes: self.spent_bytes(),
+                            spent_hops: self.cursor.hops_spent(),
+                            top_k,
+                        };
+                        self.sent += 1;
+                        Some(Ok(event))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains any remaining probes and assembles the final [`QueryResponse`]
+    /// (merged ranking, optional refinement, traffic accounting, trace). Runs
+    /// the strategy's [`crate::strategy::Strategy::post_query`] hook.
+    pub fn finish(mut self) -> Result<QueryResponse, AlvisError> {
+        while let Some(event) = self.next_event() {
+            event?;
+        }
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        let Some(query_key) = self.query_key.take() else {
+            return Ok(QueryResponse::default());
+        };
+        let (result, budget_exhausted) = self.cursor.finish();
+        self.net.post_query_hook(&query_key, &result, self.seq);
+        let results = merge_retrieved(&result.retrieved, self.request.top_k);
+        // Snapshot the first-step retrieval spend before refinement so
+        // `QueryResponse::bytes` means the same thing with and without
+        // refinement.
+        let (bytes_now, messages_now) = self.net.retrieval_totals();
+        let refined = if self.request.refine {
+            self.net
+                .refine(&self.request.text, &results, self.request.top_k)
+        } else {
+            Vec::new()
+        };
+        Ok(QueryResponse {
+            results,
+            refined,
+            hops: result.trace.hops,
+            trace: result.trace,
+            bytes: bytes_now - self.base_bytes,
+            messages: messages_now - self.base_messages,
+            budget_exhausted,
+        })
+    }
+}
+
+impl Iterator for QueryStream<'_> {
+    type Item = ProbeEvent;
+
+    fn next(&mut self) -> Option<ProbeEvent> {
+        self.next_event().and_then(Result::ok)
+    }
+}

@@ -274,6 +274,46 @@ impl GlobalIndex {
         })
     }
 
+    /// Estimates the overlay hops a probe for `key` from peer `from` would take,
+    /// without sending anything (see [`Dht::estimate_hops`]). Planners use this to
+    /// cost-annotate probe schedules before spending bandwidth.
+    pub fn estimate_hops(&self, from: usize, key: &TermKey) -> Result<usize, DhtError> {
+        self.dht.estimate_hops(from, key.ring_id())
+    }
+
+    /// Size in bytes of a probe request (key excluded).
+    pub fn probe_request_bytes(&self) -> usize {
+        self.probe_request_bytes
+    }
+
+    /// Upper bound on the retrieval bytes one probe for `key` can charge, given its
+    /// hop count and an upper bound on the number of posting references the response
+    /// can carry (`max_entries`, e.g. `min(df, truncation_k)`).
+    ///
+    /// The bound mirrors [`GlobalIndex::probe`]'s accounting exactly: per-hop routing
+    /// messages, the routed probe request, and the posting-list response — each with
+    /// its wire envelope. The actual charge is never larger as long as the response
+    /// really carries at most `max_entries` references (a miss response of 1 byte is
+    /// always within the bound).
+    pub fn estimate_probe_bytes(&self, key: &TermKey, hops: usize, max_entries: usize) -> u64 {
+        use crate::posting::ScoredRef;
+        use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
+        use alvisp2p_textindex::DocId;
+        let routing = hops * (self.dht.config().lookup_request_bytes + ENVELOPE_OVERHEAD);
+        let request = self.probe_request_bytes + key.wire_size() + ENVELOPE_OVERHEAD;
+        // Derive the response-size model from the actual wire format: an empty
+        // list's wire size is the serialised header (which also covers the
+        // 1-byte miss notice), plus one ScoredRef per reference.
+        let header = TruncatedPostingList::new(1).wire_size();
+        let per_entry = ScoredRef {
+            doc: DocId::new(0, 0),
+            score: 0.0,
+        }
+        .wire_size();
+        let response = header + per_entry * max_entries + ENVELOPE_OVERHEAD;
+        (routing + request + response) as u64
+    }
+
     /// Reads a key's entry without routing or traffic (ground truth for tests and
     /// experiment verification).
     pub fn peek(&self, key: &TermKey) -> Option<&KeyIndexEntry> {
@@ -535,6 +575,25 @@ mod tests {
         assert_eq!(entry.postings.len(), 7);
         // The usage statistics survived the activation.
         assert_eq!(entry.usage.probes, 2);
+    }
+
+    #[test]
+    fn estimate_probe_bytes_bounds_the_actual_probe_charge() {
+        let mut gi = index(32);
+        let found = TermKey::new(["cost", "model"]);
+        gi.publish_postings(0, &found, &refs(9), 16).unwrap();
+        for (key, max_entries) in [(found, 9usize), (TermKey::single("miss"), 0)] {
+            let hops = gi.estimate_hops(3, &key).unwrap();
+            let bound = gi.estimate_probe_bytes(&key, hops, max_entries);
+            let before = gi.stats_snapshot();
+            gi.probe(3, &key, 1, 16).unwrap();
+            let spent = gi
+                .stats_snapshot()
+                .since(&before)
+                .category(TrafficCategory::Retrieval)
+                .bytes;
+            assert!(spent <= bound, "probe {key} spent {spent} > bound {bound}");
+        }
     }
 
     #[test]

@@ -16,13 +16,20 @@
 //! * [`qdi`] — Query-Driven Indexing: popularity-driven on-demand key activation and
 //!   eviction;
 //! * [`lattice`] — the query-lattice retrieval algorithm of Figure 1;
+//! * [`plan`] — budget-aware query planning: the [`Planner`] seam producing
+//!   ordered, cost-annotated [`QueryPlan`]s over the term lattice (built-ins:
+//!   the PR 1-equivalent [`BestEffort`] and the cost-based [`GreedyCost`]);
+//! * [`exec`] — plan execution with streaming results: [`QueryExecutor`],
+//!   pull-style [`QueryStream`]s and push-style [`ExecutionObserver`]s with
+//!   per-probe events and early termination;
 //! * [`ranking`] — the distributed BM25 ranking layer (global statistics, result
 //!   merging);
 //! * [`peer`] — an AlvisP2P participant: shared documents, local engine, access
 //!   control, digests;
 //! * [`network`] — the full system: assemble a network with
 //!   [`AlvisNetworkBuilder`], distribute a corpus, build the index with any
-//!   strategy, and execute [`QueryRequest`]s with full traffic accounting;
+//!   strategy, and run [`QueryRequest`]s — in one shot via `execute`, or as an
+//!   explicit plan → run pipeline — with full traffic accounting;
 //! * [`request`] — the [`QueryRequest`]/[`QueryResponse`] pair;
 //! * [`error`] — the unified [`AlvisError`] hierarchy;
 //! * [`baseline`] — the centralized reference engine;
@@ -51,12 +58,14 @@
 
 pub mod baseline;
 pub mod error;
+pub mod exec;
 pub mod global_index;
 pub mod hdk;
 pub mod key;
 pub mod lattice;
 pub mod network;
 pub mod peer;
+pub mod plan;
 pub mod posting;
 pub mod qdi;
 pub mod ranking;
@@ -66,6 +75,9 @@ pub mod strategy;
 
 pub use baseline::CentralizedEngine;
 pub use error::AlvisError;
+pub use exec::{
+    ExecutionControl, ExecutionObserver, ProbeEvent, QueryExecutor, QueryStream, StableTopK,
+};
 pub use global_index::{GlobalIndex, KeyIndexEntry, KeyUsageStats, ProbeResult};
 pub use hdk::{HdkConfig, HdkLevelReport};
 pub use key::TermKey;
@@ -74,6 +86,10 @@ pub use network::{
     AlvisNetwork, AlvisNetworkBuilder, IndexBuildReport, NetworkConfig, RefinedResult,
 };
 pub use peer::{AlvisPeer, FetchOutcome};
+pub use plan::{
+    BestEffort, BudgetPolicy, GreedyCost, PlanCtx, PlanCursor, PlanDecision, PlanHints, PlanNode,
+    Planner, QueryPlan,
+};
 pub use posting::{ScoredRef, TruncatedPostingList};
 pub use qdi::{ActivationDecision, QdiConfig, QdiReport};
 pub use ranking::{merge_retrieved, score_local_postings, GlobalRankingStats};

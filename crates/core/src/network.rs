@@ -19,11 +19,13 @@
 
 use crate::baseline::CentralizedEngine;
 use crate::error::AlvisError;
+use crate::exec::{ExecutionObserver, QueryExecutor, QueryStream};
 use crate::global_index::{GlobalIndex, ProbeResult};
 use crate::hdk::HdkLevelReport;
 use crate::key::TermKey;
-use crate::lattice::{explore_lattice, LatticeConfig, LatticeResult};
+use crate::lattice::{LatticeConfig, LatticeResult};
 use crate::peer::{AlvisPeer, FetchOutcome};
+use crate::plan::{BestEffort, PlanCtx, Planner, QueryPlan};
 use crate::qdi::QdiReport;
 use crate::ranking::GlobalRankingStats;
 use crate::request::{QueryRequest, QueryResponse};
@@ -45,6 +47,10 @@ pub struct NetworkConfig {
     pub dht: DhtConfig,
     /// Distributed indexing strategy (any [`Strategy`] implementation).
     pub strategy: Arc<dyn Strategy>,
+    /// Query planner used by [`AlvisNetwork::plan`] and [`AlvisNetwork::execute`]
+    /// (any [`Planner`] implementation). The default, [`BestEffort`], reproduces
+    /// the fixed-order cutoff semantics of the pre-planner API.
+    pub planner: Arc<dyn Planner>,
     /// BM25 parameters used by every ranking component.
     pub bm25: Bm25Params,
     /// Query-lattice exploration parameters.
@@ -59,6 +65,7 @@ impl Default for NetworkConfig {
             peers: 32,
             dht: DhtConfig::default(),
             strategy: Arc::new(Hdk::default()),
+            planner: Arc::new(BestEffort),
             bm25: Bm25Params::default(),
             lattice: LatticeConfig::default(),
             seed: 42,
@@ -112,6 +119,19 @@ impl AlvisNetworkBuilder {
     /// Sets an already-shared strategy.
     pub fn strategy_arc(mut self, strategy: Arc<dyn Strategy>) -> Self {
         self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the query planner (any [`Planner`] implementation, including
+    /// user-defined ones).
+    pub fn planner(mut self, planner: impl Planner + 'static) -> Self {
+        self.config.planner = Arc::new(planner);
+        self
+    }
+
+    /// Sets an already-shared planner.
+    pub fn planner_arc(mut self, planner: Arc<dyn Planner>) -> Self {
+        self.config.planner = planner;
         self
     }
 
@@ -300,6 +320,11 @@ impl AlvisNetwork {
         &self.config.strategy
     }
 
+    /// The query planner [`AlvisNetwork::plan`] and [`AlvisNetwork::execute`] use.
+    pub fn planner(&self) -> &Arc<dyn Planner> {
+        &self.config.planner
+    }
+
     /// Number of peers.
     pub fn peer_count(&self) -> usize {
         self.peers.len()
@@ -460,12 +485,13 @@ impl AlvisNetwork {
     }
 
     // ------------------------------------------------------------------
-    // Retrieval
+    // Retrieval: the plan → execute pipeline
     // ------------------------------------------------------------------
 
-    /// Executes one [`QueryRequest`] and returns the ranked results together with
-    /// the exploration trace and the traffic the query consumed.
-    pub fn execute(&mut self, request: &QueryRequest) -> Result<QueryResponse, AlvisError> {
+    /// Validates a request against this network. Guards every entry point of the
+    /// query pipeline so an out-of-range origin is always a typed [`AlvisError`],
+    /// never a peer-indexing panic.
+    fn validate_request(&self, request: &QueryRequest) -> Result<(), AlvisError> {
         if request.top_k == 0 {
             return Err(AlvisError::InvalidRequest("top_k must be positive".into()));
         }
@@ -475,24 +501,168 @@ impl AlvisNetwork {
                 peers: self.peers.len(),
             });
         }
+        Ok(())
+    }
+
+    /// Plans one [`QueryRequest`] with the configured [`Planner`]: analyzes the
+    /// query, consults the strategy's [`Strategy::plan_hints`] and lattice bounds,
+    /// and returns the cost-annotated probe schedule. Planning is free — no
+    /// traffic is charged and no network state changes.
+    pub fn plan(&self, request: &QueryRequest) -> Result<QueryPlan, AlvisError> {
+        let planner = Arc::clone(&self.config.planner);
+        self.plan_with(planner.as_ref(), request)
+    }
+
+    /// Like [`AlvisNetwork::plan`] but with an explicit planner (e.g. to compare
+    /// [`BestEffort`] and [`crate::plan::GreedyCost`] schedules side by side).
+    pub fn plan_with(
+        &self,
+        planner: &dyn Planner,
+        request: &QueryRequest,
+    ) -> Result<QueryPlan, AlvisError> {
+        self.validate_request(request)?;
         let terms = self.analyzer.analyze_query(&request.text);
         if terms.is_empty() {
-            return Ok(QueryResponse::default());
+            return Ok(QueryPlan::empty(planner.label(), request.origin));
         }
+        let query_key = TermKey::new(terms);
+        let strategy = &self.config.strategy;
+        let ctx = PlanCtx {
+            query_key: &query_key,
+            origin: request.origin,
+            lattice: strategy.lattice_config(&self.config.lattice),
+            hints: strategy.plan_hints(),
+            capacity: strategy.truncation_k(),
+            ranking: &self.ranking,
+            global: &self.global,
+            byte_budget: request.byte_budget,
+            hop_budget: request.hop_budget,
+        };
+        Ok(planner.plan(&ctx))
+    }
+
+    /// Runs a [`QueryPlan`] to completion and returns the assembled
+    /// [`QueryResponse`]. Budgets are enforced per the plan's
+    /// [`crate::plan::BudgetPolicy`].
+    pub fn run(
+        &mut self,
+        plan: &QueryPlan,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse, AlvisError> {
+        self.stream(plan.clone(), request.clone())?.finish()
+    }
+
+    /// Runs a plan under an [`ExecutionObserver`] that receives one event per
+    /// sent probe (key, outcome, bytes, running top-k) and may early-terminate
+    /// the execution once the top-k has stabilised.
+    pub fn run_observed(
+        &mut self,
+        plan: &QueryPlan,
+        request: &QueryRequest,
+        observer: &mut dyn ExecutionObserver,
+    ) -> Result<QueryResponse, AlvisError> {
+        let mut stream = self.stream(plan.clone(), request.clone())?;
+        while let Some(event) = stream.next_event() {
+            let event = event?;
+            if matches!(
+                observer.on_probe(&event),
+                crate::exec::ExecutionControl::Stop
+            ) {
+                stream.stop();
+            }
+        }
+        let response = stream.finish()?;
+        observer.on_complete(&response);
+        Ok(response)
+    }
+
+    /// Starts a pull-style [`QueryStream`] over the plan: the caller drains
+    /// [`crate::exec::ProbeEvent`]s at its own pace and then finishes the stream
+    /// into the response.
+    ///
+    /// The request must originate from the peer the plan was made for: the
+    /// plan's cost annotations (and therefore the Reserve policy's
+    /// never-exceed-the-budget guarantee) are origin-specific, so a mismatch is
+    /// an [`AlvisError::InvalidRequest`].
+    pub fn stream(
+        &mut self,
+        plan: QueryPlan,
+        request: QueryRequest,
+    ) -> Result<QueryStream<'_>, AlvisError> {
+        self.validate_request(&request)?;
+        if plan.query_key.is_some() && plan.origin != request.origin {
+            return Err(AlvisError::InvalidRequest(format!(
+                "plan was made for origin {} but the request originates from {}; \
+                 re-plan for the new origin (cost annotations are origin-specific)",
+                plan.origin, request.origin
+            )));
+        }
+        Ok(QueryStream::new(self, plan, request))
+    }
+
+    /// An explicit [`QueryExecutor`] handle over this network.
+    pub fn executor(&mut self) -> QueryExecutor<'_> {
+        QueryExecutor::new(self)
+    }
+
+    /// Executes one [`QueryRequest`] and returns the ranked results together with
+    /// the exploration trace and the traffic the query consumed.
+    ///
+    /// Thin wrapper over [`AlvisNetwork::plan`] + [`AlvisNetwork::run`] with the
+    /// configured planner (default: [`BestEffort`], which keeps the pre-planner
+    /// fixed-order budget-cutoff semantics).
+    pub fn execute(&mut self, request: &QueryRequest) -> Result<QueryResponse, AlvisError> {
+        let plan = self.plan(request)?;
+        self.run(&plan, request)
+    }
+
+    /// Executes a batch of requests in order, stopping at the first error. Each
+    /// request is planned with the configured planner and run like
+    /// [`AlvisNetwork::execute`].
+    pub fn query_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryResponse>, AlvisError> {
+        requests.iter().map(|r| self.execute(r)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal execution hooks (used by exec::QueryStream)
+    // ------------------------------------------------------------------
+
+    /// Current retrieval-category `(bytes, messages)` totals.
+    pub(crate) fn retrieval_totals(&self) -> (u64, u64) {
+        let c = self.global.stats().category(TrafficCategory::Retrieval);
+        (c.bytes, c.messages)
+    }
+
+    /// Registers the start of one query and returns its global sequence number.
+    pub(crate) fn begin_query(&mut self) -> u64 {
         self.query_seq += 1;
         self.qdi_report.queries += 1;
-        let seq = self.query_seq;
-        let before = self.traffic_snapshot();
+        self.query_seq
+    }
 
+    /// Sends one planned probe through the global index.
+    pub(crate) fn probe_planned(
+        &mut self,
+        origin: usize,
+        key: &TermKey,
+        seq: u64,
+    ) -> Result<ProbeResult, DhtError> {
+        let capacity = self.config.strategy.truncation_k();
+        self.global.probe(origin, key, seq, capacity)
+    }
+
+    /// Lets the strategy observe a finished query (QDI activation/eviction) and
+    /// updates the behaviour counters.
+    pub(crate) fn post_query_hook(
+        &mut self,
+        query_key: &TermKey,
+        result: &LatticeResult,
+        seq: u64,
+    ) {
         let strategy = Arc::clone(&self.config.strategy);
-        let query_key = TermKey::new(terms);
-        let capacity = strategy.truncation_k();
-        let lattice_config = strategy.lattice_config(&self.config.lattice);
-
-        let (lattice_result, budget_exhausted) =
-            self.run_lattice(request, &query_key, &lattice_config, seq, capacity, &before)?;
-
-        // On-demand strategies (e.g. QDI) observe the finished query.
         let mut ctx = QueryCtx::new(
             &self.peers,
             &mut self.global,
@@ -501,88 +671,13 @@ impl AlvisNetwork {
             seq,
             &mut self.qdi_report,
         );
-        strategy.post_query(&mut ctx, &query_key, &lattice_result);
-
-        let results = crate::ranking::merge_retrieved(&lattice_result.retrieved, request.top_k);
-        let multi_hits = lattice_result
+        strategy.post_query(&mut ctx, query_key, result);
+        let multi_hits = result
             .retrieved
             .iter()
             .filter(|(key, _)| key.len() > 1)
             .count() as u64;
         self.qdi_report.multi_term_hits += multi_hits;
-
-        // Snapshot the first-step retrieval spend before refinement so
-        // `QueryResponse::bytes` means the same thing with and without
-        // refinement; refinement traffic is still charged to the network's
-        // traffic statistics.
-        let delta = self.traffic_snapshot().since(&before);
-        let retrieval = delta.category(TrafficCategory::Retrieval);
-
-        let refined = if request.refine {
-            self.refine(&request.text, &results, request.top_k)
-        } else {
-            Vec::new()
-        };
-
-        Ok(QueryResponse {
-            results,
-            refined,
-            hops: lattice_result.trace.hops,
-            trace: lattice_result.trace,
-            bytes: retrieval.bytes,
-            messages: retrieval.messages,
-            budget_exhausted,
-        })
-    }
-
-    /// Executes a batch of requests in order, stopping at the first error.
-    pub fn query_batch(
-        &mut self,
-        requests: &[QueryRequest],
-    ) -> Result<Vec<QueryResponse>, AlvisError> {
-        requests.iter().map(|r| self.execute(r)).collect()
-    }
-
-    /// Explores the query lattice, enforcing the request's byte/hop budgets by
-    /// skipping further probes once a budget is exhausted. Returns the result and
-    /// whether a budget cut the exploration short.
-    fn run_lattice(
-        &mut self,
-        request: &QueryRequest,
-        query_key: &TermKey,
-        lattice_config: &LatticeConfig,
-        seq: u64,
-        capacity: usize,
-        traffic_before: &TrafficStats,
-    ) -> Result<(LatticeResult, bool), AlvisError> {
-        // When the strategy limits probes to single terms, the (multi-term) query
-        // key itself must not be probed either: only the singles exist in the
-        // index, each with its complete posting list.
-        let single_term_only = lattice_config.max_probe_len == 1;
-        let origin = request.origin;
-        let global = &mut self.global;
-        let base_retrieval_bytes = traffic_before.category(TrafficCategory::Retrieval).bytes;
-        let mut hops_spent = 0usize;
-        let mut exhausted = false;
-        let result = explore_lattice(query_key, lattice_config, |key| {
-            if single_term_only && key.len() > 1 {
-                return Ok::<ProbeResult, DhtError>(ProbeResult::skipped(key.clone()));
-            }
-            let byte_budget_left = request.byte_budget.is_none_or(|budget| {
-                let spent = global.stats().category(TrafficCategory::Retrieval).bytes
-                    - base_retrieval_bytes;
-                spent < budget
-            });
-            let hop_budget_left = request.hop_budget.is_none_or(|budget| hops_spent < budget);
-            if !byte_budget_left || !hop_budget_left {
-                exhausted = true;
-                return Ok(ProbeResult::skipped(key.clone()));
-            }
-            let probe = global.probe(origin, key, seq, capacity)?;
-            hops_spent += probe.hops;
-            Ok(probe)
-        })?;
-        Ok((result, exhausted))
     }
 
     /// Runs the query against the centralized reference engine (quality baseline).
@@ -925,5 +1020,233 @@ mod tests {
             .execute(&QueryRequest::new("peer to peer retrieval").hop_budget(usize::MAX))
             .unwrap();
         assert!(!hops.budget_exhausted);
+    }
+
+    #[test]
+    fn exhausting_the_lattice_exactly_at_the_budget_is_not_truncation() {
+        // budget_exhausted means "a budget withheld a probe", not "the budget
+        // happened to be fully spent": a budget equal to the query's exact
+        // budget-free spend must not be reported as truncation.
+        let mut reference = demo_network(Hdk::default(), 4);
+        reference.build_index();
+        let free = reference
+            .execute(&QueryRequest::new("peer to peer retrieval"))
+            .unwrap();
+
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        let exact = net
+            .execute(&QueryRequest::new("peer to peer retrieval").byte_budget(free.bytes))
+            .unwrap();
+        assert_eq!(exact.bytes, free.bytes);
+        assert!(!exact.budget_exhausted);
+
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        let exact_hops = net
+            .execute(&QueryRequest::new("peer to peer retrieval").hop_budget(free.hops))
+            .unwrap();
+        assert_eq!(exact_hops.hops, free.hops);
+        assert!(!exact_hops.budget_exhausted);
+    }
+
+    // ------------------------------------------------------------------
+    // The plan → execute pipeline
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn plan_then_run_matches_execute_exactly() {
+        let mut planned = demo_network(Hdk::default(), 4);
+        planned.build_index();
+        let mut direct = demo_network(Hdk::default(), 4);
+        direct.build_index();
+
+        let request = QueryRequest::new("peer to peer retrieval").from_peer(2);
+        let plan = planned.plan(&request).unwrap();
+        assert_eq!(plan.planner, "best-effort");
+        assert!(plan.est_total_bytes > 0);
+        let via_plan = planned.run(&plan, &request).unwrap();
+        let via_execute = direct.execute(&request).unwrap();
+
+        assert_eq!(via_plan.trace.nodes, via_execute.trace.nodes);
+        assert_eq!(via_plan.bytes, via_execute.bytes);
+        assert_eq!(via_plan.hops, via_execute.hops);
+        let plan_docs: Vec<_> = via_plan.results.iter().map(|r| r.doc).collect();
+        let exec_docs: Vec<_> = via_execute.results.iter().map(|r| r.doc).collect();
+        assert_eq!(plan_docs, exec_docs);
+    }
+
+    #[test]
+    fn planning_is_free_and_annotates_costs() {
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        net.reset_traffic();
+        let request = QueryRequest::new("peer to peer retrieval");
+        let plan = net.plan(&request).unwrap();
+        let greedy = net
+            .plan_with(&crate::plan::GreedyCost::default(), &request)
+            .unwrap();
+        assert_eq!(net.traffic_snapshot().bytes_sent(), 0, "planning is free");
+        assert!(plan.scheduled_probes() > 0);
+        assert!(greedy.scheduled_probes() > 0);
+        for node in greedy.probes() {
+            assert!(node.est_bytes > 0);
+        }
+        // The schedules cover the same lattice.
+        assert_eq!(plan.nodes.len(), greedy.nodes.len());
+    }
+
+    #[test]
+    fn greedy_cost_reserve_policy_never_exceeds_budgets() {
+        for budget in [1u64, 300, 800, 2_000, 10_000] {
+            let mut net = demo_network(Hdk::default(), 4);
+            net.build_index();
+            net.reset_traffic();
+            let request =
+                QueryRequest::new("peer to peer retrieval overlay network").byte_budget(budget);
+            let plan = net
+                .plan_with(&crate::plan::GreedyCost::default(), &request)
+                .unwrap();
+            let response = net.run(&plan, &request).unwrap();
+            assert!(
+                response.bytes <= budget,
+                "spent {} with byte budget {budget}",
+                response.bytes
+            );
+        }
+        for hop_budget in [0usize, 2, 5, 20] {
+            let mut net = demo_network(Hdk::default(), 4);
+            net.build_index();
+            let request =
+                QueryRequest::new("peer to peer retrieval overlay network").hop_budget(hop_budget);
+            let plan = net
+                .plan_with(&crate::plan::GreedyCost::default(), &request)
+                .unwrap();
+            let response = net.run(&plan, &request).unwrap();
+            assert!(
+                response.hops <= hop_budget,
+                "spent {} hops with budget {hop_budget}",
+                response.hops
+            );
+        }
+    }
+
+    #[test]
+    fn stream_yields_per_probe_events_with_running_top_k() {
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        let request = QueryRequest::new("peer to peer retrieval").top_k(5);
+        let plan = net.plan(&request).unwrap();
+        let scheduled = plan.scheduled_probes();
+        let mut stream = net.stream(plan, request).unwrap();
+        let mut events = Vec::new();
+        while let Some(event) = stream.next_event() {
+            events.push(event.unwrap());
+        }
+        let response = stream.finish().unwrap();
+        assert!(!events.is_empty());
+        assert!(events.len() <= scheduled);
+        assert_eq!(events.len(), response.trace.probes);
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(event.index, i);
+            assert_eq!(event.planned, scheduled);
+            assert!(event.bytes > 0);
+            assert!(event.spent_bytes >= event.bytes);
+            assert!(event.top_k.len() <= 5);
+        }
+        // The last event's running top-k equals the final ranking.
+        let last_docs: Vec<_> = events.last().unwrap().top_k.iter().map(|r| r.doc).collect();
+        let final_docs: Vec<_> = response.results.iter().map(|r| r.doc).collect();
+        assert_eq!(last_docs, final_docs);
+        // Cumulative spend adds up to the response's first-step bytes.
+        assert_eq!(events.last().unwrap().spent_bytes, response.bytes);
+    }
+
+    #[test]
+    fn observer_can_stop_once_the_top_k_stabilises() {
+        struct StopAfter {
+            probes: usize,
+            seen: usize,
+        }
+        impl crate::exec::ExecutionObserver for StopAfter {
+            fn on_probe(
+                &mut self,
+                _event: &crate::exec::ProbeEvent,
+            ) -> crate::exec::ExecutionControl {
+                self.seen += 1;
+                if self.seen >= self.probes {
+                    crate::exec::ExecutionControl::Stop
+                } else {
+                    crate::exec::ExecutionControl::Continue
+                }
+            }
+        }
+
+        let mut full = demo_network(Hdk::default(), 4);
+        full.build_index();
+        let request = QueryRequest::new("peer to peer retrieval");
+        let plan = full.plan(&request).unwrap();
+        let unbounded = full.run(&plan, &request).unwrap();
+        assert!(unbounded.trace.probes > 1);
+
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        let plan = net.plan(&request).unwrap();
+        let mut observer = StopAfter { probes: 1, seen: 0 };
+        let stopped = net.run_observed(&plan, &request, &mut observer).unwrap();
+        assert_eq!(stopped.trace.probes, 1);
+        assert!(stopped.bytes < unbounded.bytes);
+
+        // The built-in stabilisation observer terminates too (possibly at the
+        // natural end of the plan) and never changes the result set ordering
+        // rules.
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        let plan = net.plan(&request).unwrap();
+        let mut stable = crate::exec::StableTopK::new(2);
+        let observed = net.run_observed(&plan, &request, &mut stable).unwrap();
+        assert!(!observed.results.is_empty());
+        assert!(observed.trace.probes <= unbounded.trace.probes);
+    }
+
+    #[test]
+    fn invalid_requests_fail_identically_across_entry_points() {
+        let mut net = demo_network(Hdk::default(), 2);
+        net.build_index();
+        let bad_origin = QueryRequest::new("peer").from_peer(99);
+        assert!(matches!(
+            net.plan(&bad_origin),
+            Err(AlvisError::NoSuchPeer {
+                origin: 99,
+                peers: 2
+            })
+        ));
+        let ok_plan = net.plan(&QueryRequest::new("peer")).unwrap();
+        assert!(matches!(
+            net.stream(ok_plan.clone(), bad_origin.clone()),
+            Err(AlvisError::NoSuchPeer { .. })
+        ));
+        assert!(matches!(
+            net.run(&ok_plan, &bad_origin),
+            Err(AlvisError::NoSuchPeer { .. })
+        ));
+        assert!(matches!(
+            net.plan(&QueryRequest::new("peer").top_k(0)),
+            Err(AlvisError::InvalidRequest(_))
+        ));
+        // A plan is origin-specific: running it for a different (valid) origin
+        // would void its cost annotations, so it is rejected.
+        assert!(matches!(
+            net.run(&ok_plan, &QueryRequest::new("peer").from_peer(1)),
+            Err(AlvisError::InvalidRequest(_))
+        ));
+        // Empty queries plan to an empty schedule and run to an empty response.
+        let empty_plan = net.plan(&QueryRequest::new("the of and")).unwrap();
+        assert!(empty_plan.is_empty());
+        let response = net
+            .run(&empty_plan, &QueryRequest::new("the of and"))
+            .unwrap();
+        assert!(response.is_empty());
+        assert_eq!(response.bytes, 0);
     }
 }

@@ -106,8 +106,14 @@ pub struct QueryResponse {
     pub messages: u64,
     /// Total overlay hops across all probes.
     pub hops: usize,
-    /// Whether a byte/hop budget stopped the exploration early; results are
-    /// then best-effort over what was retrieved within the budget.
+    /// Whether a byte/hop budget **truncated the probe schedule**: `true` iff at
+    /// least one probe that would otherwise have been sent was withheld because
+    /// a budget blocked it. Exhausting the lattice exactly at the budget
+    /// boundary (nothing left to probe) does *not* set this flag. When set, the
+    /// results are best-effort over what was retrieved within the budget; how
+    /// strictly the budget bounds the actual spend depends on the plan's
+    /// [`crate::plan::BudgetPolicy`] (`Cutoff` may overshoot by one probe,
+    /// `Reserve` never exceeds the budget).
     pub budget_exhausted: bool,
 }
 

@@ -5,7 +5,7 @@
 //! * a 64-bit identifier **ring** with successor-based key responsibility ([`ring`]);
 //! * **skew-tolerant hop-space routing tables** (Klemm et al., P2P 2007) and a
 //!   Chord-style finger-table baseline ([`routing`]);
-//! * greedy O(log n) **lookup** ([`lookup`]);
+//! * greedy O(log n) **lookup** ([`mod@lookup`]);
 //! * routed, traffic-accounted **storage operations** over the overlay ([`network`]);
 //! * peer **churn**: joins, graceful departures, abrupt failures ([`churn`]);
 //! * the **congestion controller** that protects hot-spot peers from collapse

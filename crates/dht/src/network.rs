@@ -252,6 +252,18 @@ impl<V: Clone + WireSize> Dht<V> {
         self.raw_lookup(from, key).map(|r| r.hops())
     }
 
+    /// Estimates the overlay hops a request for `key` from peer `from` would take,
+    /// **without sending or charging anything**: the simulator replays the exact
+    /// greedy lookup a routed request would perform (walking every en-route peer's
+    /// routing table), so the estimate matches the subsequent request exactly as
+    /// long as membership and routing state do not change in between. In a real
+    /// deployment this would be an analytic `O(log n)` estimate computed at the
+    /// querying peer. Query planners use it to cost-annotate probe schedules
+    /// before spending any bandwidth.
+    pub fn estimate_hops(&self, from: usize, key: RingId) -> Result<usize, DhtError> {
+        self.probe_hops(from, key)
+    }
+
     /// The peer currently responsible for `key` (no routing, no traffic) — the ground
     /// truth used in tests and for co-located state management.
     pub fn responsible_for(&self, key: RingId) -> Result<usize, DhtError> {
@@ -500,6 +512,28 @@ mod tests {
         let hops = d.probe_hops(0, RingId::hash_str("probe")).unwrap();
         assert!(hops <= 10);
         assert_eq!(d.stats().messages_sent(), 0);
+    }
+
+    #[test]
+    fn estimate_hops_is_free_and_matches_the_routed_request() {
+        let mut d = dht(64);
+        let keys: Vec<RingId> = (0..20)
+            .map(|i| RingId::hash_str(&format!("estimate{i}")))
+            .collect();
+        let estimates: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| d.estimate_hops(i % 64, *key).unwrap())
+            .collect();
+        assert_eq!(d.stats().messages_sent(), 0, "estimation must be free");
+        for (i, (key, estimated)) in keys.iter().zip(&estimates).enumerate() {
+            let info = d.route(i % 64, *key, TrafficCategory::Routing).unwrap();
+            assert_eq!(*estimated, info.hops);
+        }
+        assert_eq!(
+            d.estimate_hops(999, RingId(1)).unwrap_err(),
+            DhtError::BadOrigin
+        );
     }
 
     #[test]

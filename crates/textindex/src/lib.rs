@@ -5,7 +5,7 @@
 //! this role is played by the Terrier search engine; here everything is implemented
 //! from scratch:
 //!
-//! * [`tokenize`], [`stopwords`], [`stem`], [`analyze`] — the text-analysis pipeline
+//! * [`mod@tokenize`], [`stopwords`], [`mod@stem`], [`analyze`] — the text-analysis pipeline
 //!   (tokenizer, English stopword list, Porter stemmer);
 //! * [`doc`] — documents, the peer-local document store, result snippets;
 //! * [`access`] — per-document access rights (public / password-protected / private);

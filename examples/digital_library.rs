@@ -98,17 +98,26 @@ fn main() {
     );
 
     // --- Step 3: another peer searches for library content ---
+    // Interactive searches stop paying network cost once the top-k stabilises:
+    // each query is planned, then executed under a `StableTopK` observer that
+    // terminates the probe schedule early when two consecutive probes leave the
+    // running top-k unchanged.
     for query in [
         "medieval manuscripts",
         "rare cartography maps",
         "incunabula scans",
     ] {
+        let request = QueryRequest::new(query).from_peer(4).top_k(5);
+        let plan = net.plan(&request).expect("planning is free");
+        let mut observer = StableTopK::new(2);
         let outcome = net
-            .execute(&QueryRequest::new(query).from_peer(4).top_k(5))
+            .run_observed(&plan, &request, &mut observer)
             .expect("query succeeds");
         println!(
-            "\npeer 4 searches {query:?}: {} results",
-            outcome.results.len()
+            "\npeer 4 searches {query:?}: {} results ({} of {} scheduled probes sent)",
+            outcome.results.len(),
+            outcome.trace.probes,
+            plan.scheduled_probes(),
         );
         for r in &outcome.results {
             println!(

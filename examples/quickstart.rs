@@ -78,7 +78,43 @@ fn main() {
         println!("  overlap@5 with centralized reference: {overlap:.2}");
     }
 
-    // 4. Fetch the top document of the last query from its hosting peer.
+    // 4. Queries are planned before they are executed: inspect the cost-annotated
+    //    probe schedule, then stream the execution probe by probe. With the
+    //    cost-based planner and a byte budget, the spend never exceeds the budget.
+    let request = QueryRequest::new("truncated posting lists")
+        .top_k(5)
+        .byte_budget(2_000);
+    let plan = net
+        .plan_with(&GreedyCost::default(), &request)
+        .expect("planning is free");
+    println!("\nplanned {:?} with a 2,000-byte budget:", request.text);
+    for node in plan.probes() {
+        println!(
+            "  probe {:<20} est {} bytes  priority {:.4}",
+            node.key.to_string(),
+            node.est_bytes,
+            node.priority
+        );
+    }
+    let mut stream = net.stream(plan, request).expect("valid request");
+    while let Some(event) = stream.next_event() {
+        let event = event.expect("probe succeeds");
+        println!(
+            "  -> {:<20} {:?}  {} bytes (total {})  top-1: {:?}",
+            event.key.to_string(),
+            event.outcome,
+            event.bytes,
+            event.spent_bytes,
+            event.top_k.first().map(|r| r.doc)
+        );
+    }
+    let planned_outcome = stream.finish().expect("query succeeds");
+    println!(
+        "  planned query spent {} bytes (budget 2,000), {} probes, truncated by budget: {}",
+        planned_outcome.bytes, planned_outcome.trace.probes, planned_outcome.budget_exhausted
+    );
+
+    // 5. Fetch the top document of the last query from its hosting peer.
     let outcome = net
         .execute(
             &QueryRequest::new("access rights shared documents")
@@ -100,7 +136,7 @@ fn main() {
         }
     }
 
-    // 5. The traffic report shows where the bytes went.
+    // 6. The traffic report shows where the bytes went.
     println!("\ntraffic report:\n{}", net.traffic().report());
     println!(
         "retrieval traffic so far: {} bytes in {} messages",

@@ -104,5 +104,25 @@ fn main() {
             .filter(|k| k.len() > 1)
             .count()
     );
+    // --- Budget-planned retrieval over the adapted index -------------------------
+    // The cost-based planner spends a tight per-query byte budget on the most
+    // valuable keys (the activated combinations and rare singles) and — unlike
+    // the best-effort cutoff — never exceeds it.
+    let popular = &log.queries[log.queries.len() - 1].text;
+    let request = QueryRequest::new(popular.clone()).byte_budget(3_000);
+    let plan = net
+        .plan_with(&GreedyCost::default(), &request)
+        .expect("planning is free");
+    let outcome = net.run(&plan, &request).expect("query succeeds");
+    let reference = net.reference_search(popular, 10);
+    println!(
+        "\nbudget-planned query {popular:?}: {} of {} scheduled probes sent, \
+         {} bytes (budget 3,000), overlap@10 {:.2}",
+        outcome.trace.probes,
+        plan.scheduled_probes(),
+        outcome.bytes,
+        overlap_at_k(&outcome.results, &reference, 10)
+    );
+
     println!("\ntraffic report:\n{}", net.traffic().report());
 }

@@ -39,6 +39,62 @@
 //!     .unwrap();
 //! assert!(!hits.results.is_empty());
 //! ```
+//!
+//! ## Plan / execute / stream
+//!
+//! Query execution is an explicit two-phase pipeline underneath `execute`:
+//! a [`prelude::Planner`] first turns the request into a [`prelude::QueryPlan`]
+//! — an ordered, cost-annotated probe schedule over the query's term lattice,
+//! using per-key document-frequency estimates and traffic-free DHT hop
+//! estimates — and the network then runs the plan, yielding results
+//! incrementally.
+//!
+//! * [`prelude::BestEffort`] (the default) reproduces the fixed-order,
+//!   budget-cutoff semantics of the classic `execute` path.
+//! * [`prelude::GreedyCost`] plans against the request's byte/hop budgets:
+//!   provably useless probes are dropped, the rest are prioritised by
+//!   benefit/cost, and probes are only sent while their worst-case cost still
+//!   fits — the spend never exceeds the budget.
+//!
+//! Results stream: [`prelude::AlvisNetwork::stream`] pulls one
+//! [`prelude::ProbeEvent`] per probe (key, outcome, bytes, running top-k), and
+//! [`prelude::AlvisNetwork::run_observed`] pushes the same events into an
+//! [`prelude::ExecutionObserver`] which may stop early — e.g. the built-in
+//! [`prelude::StableTopK`] once the top-k stops changing.
+//!
+//! ```
+//! use alvisp2p::prelude::*;
+//!
+//! let mut net = AlvisNetwork::builder()
+//!     .peers(4)
+//!     .strategy(Hdk::new(HdkConfig { df_max: 2, ..Default::default() }))
+//!     .planner(GreedyCost::default())
+//!     .documents(demo_corpus())
+//!     .build_indexed()
+//!     .unwrap();
+//!
+//! // Plan: a cost-annotated schedule, free of network traffic.
+//! let request = QueryRequest::new("truncated posting lists").byte_budget(50_000);
+//! let plan = net.plan(&request).unwrap();
+//! assert!(plan.scheduled_probes() > 0 && plan.est_total_bytes > 0);
+//!
+//! // Execute: stream per-probe events, then finish into the response.
+//! let mut stream = net.stream(plan.clone(), request.clone()).unwrap();
+//! let mut probes_seen = 0;
+//! while let Some(event) = stream.next_event() {
+//!     let event = event.unwrap();
+//!     probes_seen += 1;
+//!     assert!(event.spent_bytes <= 50_000); // GreedyCost never exceeds the budget
+//! }
+//! let response = stream.finish().unwrap();
+//! assert_eq!(probes_seen, response.trace.probes);
+//! assert!(response.bytes <= 50_000);
+//!
+//! // Or run to completion with early termination once the top-k stabilises.
+//! let mut observer = StableTopK::new(2);
+//! let observed = net.run_observed(&plan, &request, &mut observer).unwrap();
+//! assert!(!observed.results.is_empty());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +112,14 @@ pub mod prelude {
     };
     // The session-oriented query API.
     pub use alvisp2p_core::request::{QueryRequest, QueryResponse};
+    // The plan → execute pipeline: planners, plans and streaming execution.
+    pub use alvisp2p_core::exec::{
+        ExecutionControl, ExecutionObserver, ProbeEvent, QueryExecutor, QueryStream, StableTopK,
+    };
+    pub use alvisp2p_core::plan::{
+        BestEffort, BudgetPolicy, GreedyCost, PlanCtx, PlanDecision, PlanHints, PlanNode, Planner,
+        QueryPlan,
+    };
     // The unified error hierarchy.
     pub use alvisp2p_core::error::AlvisError;
     // The pluggable indexing strategies and their configurations.

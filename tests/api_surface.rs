@@ -243,6 +243,124 @@ fn byte_budget_truncates_exploration_but_never_errors() {
 }
 
 // ---------------------------------------------------------------------------
+// The plan → execute pipeline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn plan_run_and_stream_are_part_of_the_public_surface() {
+    let mut net = AlvisNetwork::builder()
+        .peers(4)
+        .strategy(Hdk::new(HdkConfig {
+            df_max: 2,
+            truncation_k: 5,
+            ..Default::default()
+        }))
+        .planner(GreedyCost::default())
+        .documents(demo_corpus())
+        .build_indexed()
+        .unwrap();
+    assert_eq!(net.planner().label(), "greedy-cost");
+
+    let request = QueryRequest::new("peer to peer retrieval").top_k(5);
+    let plan = net.plan(&request).unwrap();
+    assert_eq!(plan.planner, "greedy-cost");
+    assert_eq!(plan.budget_policy, BudgetPolicy::Reserve);
+    assert!(plan.scheduled_probes() > 0);
+    // Cost annotations are populated for every scheduled probe.
+    for node in plan.probes() {
+        assert_eq!(node.decision, PlanDecision::Probe);
+        assert!(node.est_bytes > 0);
+    }
+
+    // run() executes a plan; an explicit executor handle does the same.
+    let response = net.run(&plan, &request).unwrap();
+    assert!(!response.results.is_empty());
+    let response2 = net.executor().run(&plan, &request).unwrap();
+    assert_eq!(response.results.len(), response2.results.len());
+
+    // Streams yield one event per probe and finish into the response.
+    let mut stream = net.stream(plan.clone(), request.clone()).unwrap();
+    let mut seen = 0usize;
+    for event in stream.by_ref() {
+        assert!(event.top_k.len() <= 5);
+        seen += 1;
+    }
+    let streamed = stream.finish().unwrap();
+    assert_eq!(seen, streamed.trace.probes);
+
+    // Side-by-side planner comparison over the same network state.
+    let best_effort = net.plan_with(&BestEffort, &request).unwrap();
+    assert_eq!(best_effort.budget_policy, BudgetPolicy::Cutoff);
+    assert_eq!(best_effort.nodes.len(), plan.nodes.len());
+}
+
+/// A user-defined planner: schedules only the single-term probes, cheapest
+/// first. Exercises the `Planner` seam a third-party policy would implement.
+#[derive(Debug)]
+struct SinglesFirst;
+
+impl Planner for SinglesFirst {
+    fn label(&self) -> &str {
+        "singles-first"
+    }
+
+    fn plan(&self, ctx: &PlanCtx<'_>) -> QueryPlan {
+        let mut plan = BestEffort.plan(ctx);
+        plan.planner = self.label().to_string();
+        for node in &mut plan.nodes {
+            if node.key.len() > 1 {
+                node.decision = PlanDecision::Skip;
+            }
+        }
+        plan.nodes.sort_by_key(|n| n.est_bytes);
+        plan
+    }
+}
+
+#[test]
+fn custom_planners_plug_into_the_network() {
+    let mut net = AlvisNetwork::builder()
+        .peers(4)
+        .strategy(Hdk::default())
+        .planner(SinglesFirst)
+        .documents(demo_corpus())
+        .build_indexed()
+        .unwrap();
+    let response = net
+        .execute(&QueryRequest::new("peer to peer retrieval"))
+        .unwrap();
+    assert!(!response.results.is_empty());
+    // Only single-term keys were probed.
+    for key in response.trace.probed_keys() {
+        assert_eq!(key.len(), 1);
+    }
+}
+
+#[test]
+fn observers_receive_probe_events_and_can_stop() {
+    struct CountAndStop(usize);
+    impl ExecutionObserver for CountAndStop {
+        fn on_probe(&mut self, event: &ProbeEvent) -> ExecutionControl {
+            assert!(event.bytes > 0);
+            self.0 += 1;
+            ExecutionControl::Stop
+        }
+    }
+    let mut net = AlvisNetwork::builder()
+        .peers(4)
+        .strategy(Hdk::default())
+        .documents(demo_corpus())
+        .build_indexed()
+        .unwrap();
+    let request = QueryRequest::new("peer to peer retrieval");
+    let plan = net.plan(&request).unwrap();
+    let mut observer = CountAndStop(0);
+    let response = net.run_observed(&plan, &request, &mut observer).unwrap();
+    assert_eq!(observer.0, 1);
+    assert_eq!(response.trace.probes, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Error hierarchy
 // ---------------------------------------------------------------------------
 

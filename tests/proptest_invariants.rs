@@ -320,6 +320,182 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Query planning and budget-aware execution
+// ---------------------------------------------------------------------------
+
+/// Words that appear in the demo corpus (plus one that does not), so generated
+/// queries exercise found, truncated and missing lattice nodes.
+const QUERY_POOL: &[&str] = &[
+    "peer",
+    "retrieval",
+    "index",
+    "overlay",
+    "network",
+    "congestion",
+    "posting",
+    "truncated",
+    "access",
+    "rights",
+    "quality",
+    "library",
+    "zebra", // not in the corpus: df 0
+];
+
+fn pool_query(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|i| QUERY_POOL[i % QUERY_POOL.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn demo_net(strategy_pick: u8, seed: u64) -> alvisp2p::core::AlvisNetwork {
+    use alvisp2p::prelude::*;
+    let builder = AlvisNetwork::builder()
+        .peers(4)
+        .seed(seed)
+        .documents(demo_corpus());
+    let builder = match strategy_pick % 3 {
+        0 => builder.strategy(SingleTermFull),
+        1 => builder.strategy(Hdk::new(alvisp2p::core::HdkConfig {
+            df_max: 2,
+            truncation_k: 4,
+            ..Default::default()
+        })),
+        _ => builder.strategy(Qdi::new(alvisp2p::core::QdiConfig {
+            activation_threshold: 2,
+            truncation_k: 3,
+            ..Default::default()
+        })),
+    };
+    builder.build_indexed().expect("valid configuration")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) A GreedyCost-planned execution never exceeds the request's byte/hop
+    /// budgets — the Reserve admission policy is a hard bound, not best-effort.
+    #[test]
+    fn planned_execution_never_exceeds_budgets(
+        strategy_pick: u8,
+        picks in proptest::collection::vec(0usize..QUERY_POOL.len(), 1..5),
+        byte_budget in 0u64..6_000,
+        hop_budget in 0usize..24,
+        origin in 0usize..4,
+    ) {
+        use alvisp2p::prelude::*;
+        let mut net = demo_net(strategy_pick, 11);
+        let request = QueryRequest::new(pool_query(&picks))
+            .from_peer(origin)
+            .byte_budget(byte_budget)
+            .hop_budget(hop_budget);
+        let plan = net.plan_with(&GreedyCost::default(), &request).unwrap();
+        let response = net.run(&plan, &request).unwrap();
+        prop_assert!(
+            response.bytes <= byte_budget,
+            "spent {} bytes with budget {}",
+            response.bytes,
+            byte_budget
+        );
+        prop_assert!(
+            response.hops <= hop_budget,
+            "spent {} hops with budget {}",
+            response.hops,
+            hop_budget
+        );
+    }
+
+    /// (b) Every plan's probes are a subset of the query's full lattice, cover
+    /// it exactly once, and contain no duplicates — for both built-in planners.
+    #[test]
+    fn plans_cover_the_lattice_without_duplicates(
+        strategy_pick: u8,
+        picks in proptest::collection::hash_set(0usize..QUERY_POOL.len(), 1..5),
+        greedy: bool,
+    ) {
+        use alvisp2p::prelude::*;
+        let net = demo_net(strategy_pick, 7);
+        let picks: Vec<usize> = picks.into_iter().collect();
+        let request = QueryRequest::new(pool_query(&picks));
+        let plan = if greedy {
+            net.plan_with(&GreedyCost::default(), &request).unwrap()
+        } else {
+            net.plan_with(&BestEffort, &request).unwrap()
+        };
+        let Some(query_key) = plan.query_key.clone() else {
+            prop_assert!(plan.nodes.is_empty());
+            return;
+        };
+        let lattice: HashSet<TermKey> = query_key.all_subsets_desc().into_iter().collect();
+        // The plan enumerates the full lattice exactly once…
+        prop_assert_eq!(plan.nodes.len(), lattice.len());
+        let mut seen: HashSet<TermKey> = HashSet::new();
+        for node in &plan.nodes {
+            prop_assert!(lattice.contains(&node.key), "{} not in lattice", node.key);
+            prop_assert!(seen.insert(node.key.clone()), "duplicate node {}", node.key);
+        }
+        // …and the scheduled probes are a (dedup-free) subset of it.
+        prop_assert!(plan.scheduled_probes() <= lattice.len());
+    }
+
+    /// (c) The BestEffort planner reproduces the pre-planner (PR 1) execution
+    /// trace key-for-key on budget-free queries: same nodes, same outcomes,
+    /// same order, same traffic.
+    #[test]
+    fn best_effort_reproduces_pre_planner_traces(
+        strategy_pick: u8,
+        picks in proptest::collection::vec(0usize..QUERY_POOL.len(), 1..5),
+        origin in 0usize..4,
+    ) {
+        use alvisp2p::prelude::*;
+        let text = pool_query(&picks);
+
+        // New path: plan with BestEffort, run the plan.
+        let mut planned_net = demo_net(strategy_pick, 23);
+        let request = QueryRequest::new(text.clone()).from_peer(origin);
+        let plan = planned_net.plan_with(&BestEffort, &request).unwrap();
+        let response = planned_net.run(&plan, &request).unwrap();
+
+        // Reference: the PR 1 `execute` loop, replicated verbatim over an
+        // identically-built network via `explore_lattice`.
+        let mut reference_net = demo_net(strategy_pick, 23);
+        let analyzer = Analyzer::default();
+        let terms = analyzer.analyze_query(&text);
+        if terms.is_empty() {
+            prop_assert!(response.trace.nodes.is_empty());
+            return;
+        }
+        let query_key = TermKey::new(terms);
+        let strategy = reference_net.strategy().clone();
+        let lattice_config = strategy.lattice_config(&reference_net.config().lattice);
+        let single_term_only = lattice_config.max_probe_len == 1;
+        let capacity = strategy.truncation_k();
+        let before = reference_net.traffic_snapshot();
+        let reference = {
+            let gi = reference_net.global_index_mut();
+            explore_lattice(&query_key, &lattice_config, |key| {
+                if single_term_only && key.len() > 1 {
+                    return Ok(ProbeResult::skipped(key.clone()));
+                }
+                gi.probe(origin, key, 1, capacity)
+            })
+            .unwrap()
+        };
+        let reference_bytes = reference_net
+            .traffic_snapshot()
+            .since(&before)
+            .category(TrafficCategory::Retrieval)
+            .bytes;
+
+        prop_assert_eq!(&response.trace.nodes, &reference.trace.nodes);
+        prop_assert_eq!(response.trace.probes, reference.trace.probes);
+        prop_assert_eq!(response.hops, reference.trace.hops);
+        prop_assert_eq!(response.bytes, reference_bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Text analysis, index and digest
 // ---------------------------------------------------------------------------
 
