@@ -1,0 +1,137 @@
+//! Criterion-compat microbenchmarks for the interned-key hot paths: key
+//! construction, cached `ring_id`, lattice enumeration and publish throughput,
+//! each against the in-bench replica of the seed's string-based key. The same
+//! operations back `exp_perf` / `BENCH_perf.json`; this harness exists so
+//! `cargo bench` tracks them interactively.
+
+use alvisp2p_bench::exp_perf::legacy::LegacyTermKey;
+use alvisp2p_core::global_index::GlobalIndex;
+use alvisp2p_core::key::TermKey;
+use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_dht::DhtConfig;
+use alvisp2p_textindex::{build_vocabulary, DocId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn term_tuples(vocab: &[String], n: usize) -> Vec<Vec<&str>> {
+    (0..n)
+        .map(|i| {
+            let a = (i * 7 + 13) % vocab.len();
+            let b = (i * 31 + 101) % vocab.len();
+            let c = (i * 57 + 229) % vocab.len();
+            let mut t = vec![vocab[a].as_str(), vocab[b].as_str()];
+            if i % 2 == 0 {
+                t.push(vocab[c].as_str());
+            }
+            t
+        })
+        .collect()
+}
+
+fn bench_key_construct(c: &mut Criterion) {
+    let vocab = build_vocabulary(2_000);
+    let tuples = term_tuples(&vocab, 256);
+    for t in &tuples {
+        let _ = TermKey::new(t.iter().copied()); // warm the interner
+    }
+    let mut group = c.benchmark_group("key_construct");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            for t in &tuples {
+                black_box(LegacyTermKey::new(t.iter().copied()).ring_id());
+            }
+        })
+    });
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            for t in &tuples {
+                black_box(TermKey::new(t.iter().copied()).ring_id());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_ring_id_and_lattice(c: &mut Criterion) {
+    let vocab = build_vocabulary(2_000);
+    let tuples = term_tuples(&vocab, 256);
+    let legacy: Vec<LegacyTermKey> = tuples
+        .iter()
+        .map(|t| LegacyTermKey::new(t.iter().copied()))
+        .collect();
+    let interned: Vec<TermKey> = tuples
+        .iter()
+        .map(|t| TermKey::new(t.iter().copied()))
+        .collect();
+
+    let mut group = c.benchmark_group("ring_id");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            for k in &legacy {
+                black_box(k.ring_id());
+            }
+        })
+    });
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            for k in &interned {
+                black_box(k.ring_id());
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("lattice_enum");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            for k in &legacy {
+                black_box(k.all_subsets_desc().len());
+            }
+        })
+    });
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            for k in &interned {
+                black_box(k.all_subsets_desc().len());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let vocab = build_vocabulary(2_000);
+    let tuples = term_tuples(&vocab, 256);
+    let keys: Vec<TermKey> = tuples
+        .iter()
+        .map(|t| TermKey::new(t.iter().copied()))
+        .collect();
+    let delta = TruncatedPostingList::from_refs(
+        (0..64u32).map(|i| ScoredRef {
+            doc: DocId::new(0, i),
+            score: f64::from(64 - i),
+        }),
+        64,
+    );
+    let mut gi = GlobalIndex::new(DhtConfig::default(), 7, 64);
+    let mut group = c.benchmark_group("publish_throughput");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            for (i, k) in keys.iter().enumerate() {
+                black_box(gi.publish_postings(i % 64, k, &delta, 256).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_key_construct,
+    bench_ring_id_and_lattice,
+    bench_publish
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! P1 — key/posting hot-path microbenchmarks; writes `BENCH_perf.json`. See `exp_perf`.
+use alvisp2p_bench::{exp_perf, quick_mode};
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        exp_perf::PerfParams::quick()
+    } else {
+        exp_perf::PerfParams::default()
+    };
+    let rows = exp_perf::run(&params);
+    exp_perf::print(&rows);
+    let report = exp_perf::report(&params, quick, rows);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    let path = std::env::var("ALVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_perf.json".to_string());
+    std::fs::write(&path, json + "\n").expect("write BENCH_perf.json");
+    println!("wrote {path}");
+}

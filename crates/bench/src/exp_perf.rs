@@ -1,0 +1,588 @@
+//! **P1 — Key/posting hot-path microbenchmarks: the repo's perf trajectory.**
+//!
+//! The interning PR rebuilt [`alvisp2p_core::key::TermKey`] on the process-wide
+//! term interner: term ids inline, ring hash cached at construction, publish and
+//! probe free of key/list copies. This experiment quantifies exactly that work
+//! and writes the numbers to `BENCH_perf.json`, so every future placement or
+//! planner optimisation has a measured baseline to beat.
+//!
+//! Arms:
+//!
+//! * `legacy` — a faithful in-bench replica of the seed's `Vec<String>` key
+//!   (construction, join-and-hash `ring_id`, per-term `wire_size`, deep clones).
+//!   It exercises the *exact* per-operation work the seed implementation
+//!   performed on the same inputs.
+//! * `interned` — the live [`TermKey`] / [`GlobalIndex`] code paths.
+//!
+//! `publish_keyops` isolates the per-publish key-side work the seed performed
+//! (`ring_id` join+hash, string `wire_size`, key clone, delta posting-list
+//! clone) against what the interned path performs today (cached-hash copy,
+//! arithmetic `wire_size`, inline key clone, borrowed delta). `publish_e2e`
+//! measures the full [`GlobalIndex::publish_postings`] call — its `legacy-model`
+//! arm is the same call **plus** the removed key-side work, i.e. what publishing
+//! would cost today had the copies stayed.
+
+use alvisp2p_core::global_index::GlobalIndex;
+use alvisp2p_core::key::TermKey;
+use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_core::request::QueryRequest;
+use alvisp2p_core::strategy::Hdk;
+use alvisp2p_dht::DhtConfig;
+use alvisp2p_netsim::WireSize;
+use alvisp2p_textindex::{build_vocabulary, DocId, TermId};
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::table::{fmt_f, Table};
+use crate::workloads::{self, DEFAULT_SEED};
+
+/// A faithful replica of the seed revision's string-based key, used as the
+/// before-arm of the microbenchmarks. The logic mirrors the pre-interning
+/// `core::key` byte for byte where it matters: construction sorts and
+/// deduplicates owned `String`s, `ring_id` joins the terms and hashes the
+/// joined string, `wire_size` walks the strings, and `clone` deep-copies.
+pub mod legacy {
+    use alvisp2p_dht::RingId;
+
+    /// The seed's `TermKey`: a sorted, deduplicated `Vec<String>`.
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    pub struct LegacyTermKey {
+        terms: Vec<String>,
+    }
+
+    impl LegacyTermKey {
+        /// Seed `TermKey::new`.
+        pub fn new(terms: impl IntoIterator<Item = impl Into<String>>) -> Self {
+            let mut terms: Vec<String> = terms.into_iter().map(Into::into).collect();
+            terms.sort_unstable();
+            terms.dedup();
+            assert!(!terms.is_empty(), "a LegacyTermKey needs at least one term");
+            LegacyTermKey { terms }
+        }
+
+        /// Seed `TermKey::canonical`: joins the terms into a fresh `String`.
+        pub fn canonical(&self) -> String {
+            self.terms.join("+")
+        }
+
+        /// Seed `TermKey::ring_id`: re-joins and re-hashes on every call.
+        pub fn ring_id(&self) -> RingId {
+            RingId::hash_str(&self.canonical())
+        }
+
+        /// Seed `TermKey::wire_size`.
+        pub fn wire_size(&self) -> usize {
+            4 + self.terms.iter().map(|t| 4 + t.len()).sum::<usize>()
+        }
+
+        /// Number of terms.
+        pub fn len(&self) -> usize {
+            self.terms.len()
+        }
+
+        /// Whether the key is empty (never, by construction).
+        pub fn is_empty(&self) -> bool {
+            self.terms.is_empty()
+        }
+
+        /// Seed `TermKey::subsets_of_size`.
+        pub fn subsets_of_size(&self, size: usize) -> Vec<LegacyTermKey> {
+            if size == 0 || size > self.terms.len() {
+                return Vec::new();
+            }
+            let mut out = Vec::new();
+            let n = self.terms.len();
+            for mask in 1u32..(1u32 << n) {
+                if mask.count_ones() as usize != size {
+                    continue;
+                }
+                let terms: Vec<String> = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| self.terms[i].clone())
+                    .collect();
+                out.push(LegacyTermKey { terms });
+            }
+            out.sort();
+            out
+        }
+
+        /// Seed `TermKey::all_subsets_desc`.
+        pub fn all_subsets_desc(&self) -> Vec<LegacyTermKey> {
+            let mut out = Vec::new();
+            for size in (1..=self.terms.len()).rev() {
+                out.extend(self.subsets_of_size(size));
+            }
+            out
+        }
+    }
+}
+
+/// One measured benchmark arm.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfRow {
+    /// Benchmark name (`key_construct`, `publish_keyops`, …).
+    pub bench: String,
+    /// Arm (`legacy`, `interned`, `legacy-model`).
+    pub arm: String,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Speedup of the `interned` arm over this benchmark's `legacy` arm
+    /// (present on the interned arm only; 1.0 for single-arm benchmarks).
+    pub speedup_vs_legacy: Option<f64>,
+}
+
+/// Parameters of the perf experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfParams {
+    /// Vocabulary size for key-operation inputs.
+    pub vocab: usize,
+    /// Distinct key shapes per benchmark input pool.
+    pub pool: usize,
+    /// Posting-list delta size used by the publish benchmarks.
+    pub delta_refs: u32,
+    /// Peers in the publish/query networks.
+    pub peers: usize,
+    /// Documents in the planned-query network.
+    pub docs: usize,
+    /// Minimum measurement time per arm.
+    pub measure_ms: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PerfParams {
+    fn default() -> Self {
+        PerfParams {
+            vocab: 4_000,
+            pool: 512,
+            delta_refs: 64,
+            peers: 64,
+            docs: 1_200,
+            measure_ms: 600,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl PerfParams {
+    /// Fast smoke-test configuration (`ALVIS_QUICK=1` / `--quick`).
+    pub fn quick() -> Self {
+        PerfParams {
+            vocab: 600,
+            pool: 64,
+            delta_refs: 16,
+            peers: 16,
+            docs: 200,
+            measure_ms: 30,
+            ..Default::default()
+        }
+    }
+}
+
+/// Times `f` repeatedly until `budget` elapses (after one warm-up call) and
+/// returns `(iters, mean ns/op)`.
+fn measure<O>(budget: Duration, mut f: impl FnMut() -> O) -> (u64, f64) {
+    black_box(f());
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        black_box(f());
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    (iters, start.elapsed().as_nanos() as f64 / iters as f64)
+}
+
+fn push_pair(rows: &mut Vec<PerfRow>, bench: &str, legacy: (u64, f64), interned: (u64, f64)) {
+    rows.push(PerfRow {
+        bench: bench.to_string(),
+        arm: "legacy".to_string(),
+        iters: legacy.0,
+        ns_per_op: legacy.1,
+        ops_per_sec: 1e9 / legacy.1,
+        speedup_vs_legacy: None,
+    });
+    rows.push(PerfRow {
+        bench: bench.to_string(),
+        arm: "interned".to_string(),
+        iters: interned.0,
+        ns_per_op: interned.1,
+        ops_per_sec: 1e9 / interned.1,
+        speedup_vs_legacy: Some(legacy.1 / interned.1),
+    });
+}
+
+/// Runs every microbenchmark and returns the measured rows.
+pub fn run(params: &PerfParams) -> Vec<PerfRow> {
+    let budget = Duration::from_millis(params.measure_ms);
+    let mut rows = Vec::new();
+
+    // Input pool: realistic analyzed-vocabulary words, 2–3 terms per key.
+    let vocab = build_vocabulary(params.vocab);
+    let tuples: Vec<Vec<&str>> = (0..params.pool)
+        .map(|i| {
+            let a = (i * 7 + 13) % vocab.len();
+            let b = (i * 31 + 101) % vocab.len();
+            let c = (i * 57 + 229) % vocab.len();
+            let mut t = vec![vocab[a].as_str(), vocab[b].as_str()];
+            if i % 2 == 0 {
+                t.push(vocab[c].as_str());
+            }
+            t
+        })
+        .collect();
+    // Warm the interner so the interned arm measures the steady state (the
+    // indexing phase interns the whole vocabulary long before queries arrive).
+    for t in &tuples {
+        let _ = TermKey::new(t.iter().copied());
+    }
+
+    // --- key_construct: analyzed terms → probe-ready key + ring id ---------
+    // Each arm starts from what the analyzer hands its query pipeline: the
+    // seed's analyzer emitted `String`s, the interned analyzer emits `TermId`s
+    // (`Analyzer::analyze_query_ids`), so each arm constructs from its native
+    // representation.
+    let string_tuples: Vec<Vec<String>> = tuples
+        .iter()
+        .map(|t| t.iter().map(|s| (*s).to_string()).collect())
+        .collect();
+    let id_tuples: Vec<Vec<TermId>> = tuples
+        .iter()
+        .map(|t| t.iter().map(|s| TermId::intern(s)).collect())
+        .collect();
+    let legacy = measure(budget, || {
+        let mut acc = 0u64;
+        for t in &string_tuples {
+            let key = legacy::LegacyTermKey::new(t.iter().map(String::as_str));
+            acc = acc.wrapping_add(key.ring_id().0);
+        }
+        acc
+    });
+    let interned = measure(budget, || {
+        let mut acc = 0u64;
+        for t in &id_tuples {
+            let key = TermKey::from_term_ids(t.iter().copied());
+            acc = acc.wrapping_add(key.ring_id().0);
+        }
+        acc
+    });
+    push_pair(
+        &mut rows,
+        "key_construct",
+        (legacy.0, legacy.1 / tuples.len() as f64),
+        (interned.0, interned.1 / tuples.len() as f64),
+    );
+
+    // --- key_construct_from_str: same &str input for both arms -------------
+    // Informational: includes the warm intern-map lookup the id path amortises
+    // into analysis.
+    let legacy = measure(budget, || {
+        let mut acc = 0u64;
+        for t in &tuples {
+            let key = legacy::LegacyTermKey::new(t.iter().copied());
+            acc = acc.wrapping_add(key.ring_id().0);
+        }
+        acc
+    });
+    let interned = measure(budget, || {
+        let mut acc = 0u64;
+        for t in &tuples {
+            let key = TermKey::new(t.iter().copied());
+            acc = acc.wrapping_add(key.ring_id().0);
+        }
+        acc
+    });
+    push_pair(
+        &mut rows,
+        "key_construct_from_str",
+        (legacy.0, legacy.1 / tuples.len() as f64),
+        (interned.0, interned.1 / tuples.len() as f64),
+    );
+
+    // --- ring_id: hash an existing key onto the ring -----------------------
+    let legacy_keys: Vec<legacy::LegacyTermKey> = tuples
+        .iter()
+        .map(|t| legacy::LegacyTermKey::new(t.iter().copied()))
+        .collect();
+    let interned_keys: Vec<TermKey> = tuples
+        .iter()
+        .map(|t| TermKey::new(t.iter().copied()))
+        .collect();
+    let legacy = measure(budget, || {
+        let mut acc = 0u64;
+        for k in &legacy_keys {
+            acc = acc.wrapping_add(k.ring_id().0);
+        }
+        acc
+    });
+    let interned = measure(budget, || {
+        let mut acc = 0u64;
+        for k in &interned_keys {
+            acc = acc.wrapping_add(k.ring_id().0);
+        }
+        acc
+    });
+    push_pair(
+        &mut rows,
+        "ring_id",
+        (legacy.0, legacy.1 / legacy_keys.len() as f64),
+        (interned.0, interned.1 / interned_keys.len() as f64),
+    );
+
+    // --- lattice_enum: enumerate the subset lattice of 3-term keys ---------
+    let legacy = measure(budget, || {
+        let mut acc = 0usize;
+        for k in &legacy_keys {
+            acc += k.all_subsets_desc().len();
+        }
+        acc
+    });
+    let interned = measure(budget, || {
+        let mut acc = 0usize;
+        for k in &interned_keys {
+            acc += k.all_subsets_desc().len();
+        }
+        acc
+    });
+    push_pair(
+        &mut rows,
+        "lattice_enum",
+        (legacy.0, legacy.1 / legacy_keys.len() as f64),
+        (interned.0, interned.1 / interned_keys.len() as f64),
+    );
+
+    // --- publish_keyops: the per-publish key-side work ---------------------
+    // Seed per publish: ring_id (join + hash), wire_size (string walk), a deep
+    // key clone and a delta posting-list clone crossed into the DHT closure.
+    // Interned per publish: cached-hash copy, arithmetic wire_size, an inline
+    // key copy; the delta is borrowed (modelled here as no copy).
+    let delta = TruncatedPostingList::from_refs(
+        (0..params.delta_refs).map(|i| ScoredRef {
+            doc: DocId::new(0, i),
+            score: f64::from(params.delta_refs - i),
+        }),
+        params.delta_refs as usize,
+    );
+    let legacy = measure(budget, || {
+        let mut acc = 0u64;
+        for k in &legacy_keys {
+            acc = acc.wrapping_add(k.ring_id().0);
+            acc = acc.wrapping_add(k.wire_size() as u64);
+            let key_copy = k.clone();
+            let delta_copy = delta.clone();
+            acc = acc.wrapping_add(key_copy.len() as u64 + delta_copy.len() as u64);
+        }
+        acc
+    });
+    let interned = measure(budget, || {
+        let mut acc = 0u64;
+        for k in &interned_keys {
+            acc = acc.wrapping_add(k.ring_id().0);
+            acc = acc.wrapping_add(k.wire_size() as u64);
+            let key_copy = k.clone();
+            let delta_ref = &delta;
+            acc = acc.wrapping_add(key_copy.len() as u64 + delta_ref.len() as u64);
+        }
+        acc
+    });
+    push_pair(
+        &mut rows,
+        "publish_keyops",
+        (legacy.0, legacy.1 / legacy_keys.len() as f64),
+        (interned.0, interned.1 / interned_keys.len() as f64),
+    );
+
+    // --- publish_e2e: the full routed publish call -------------------------
+    // `interned` is the live call; `legacy-model` adds back the key-side work
+    // the seed performed per call (measured on the same overlay state).
+    let mut gi = GlobalIndex::new(DhtConfig::default(), params.seed, params.peers);
+    let interned = {
+        let mut i = 0usize;
+        measure(budget, || {
+            let k = &interned_keys[i % interned_keys.len()];
+            i += 1;
+            gi.publish_postings(i % params.peers, k, &delta, params.delta_refs as usize * 4)
+                .expect("publish succeeds")
+        })
+    };
+    let mut gi = GlobalIndex::new(DhtConfig::default(), params.seed, params.peers);
+    let legacy_model = {
+        let mut i = 0usize;
+        measure(budget, || {
+            let k = &interned_keys[i % interned_keys.len()];
+            let lk = &legacy_keys[i % legacy_keys.len()];
+            i += 1;
+            // The removed seed work: join+hash, string wire walk, deep copies.
+            black_box(lk.ring_id());
+            black_box(lk.wire_size());
+            black_box(lk.clone());
+            black_box(delta.clone());
+            gi.publish_postings(i % params.peers, k, &delta, params.delta_refs as usize * 4)
+                .expect("publish succeeds")
+        })
+    };
+    rows.push(PerfRow {
+        bench: "publish_e2e".to_string(),
+        arm: "legacy-model".to_string(),
+        iters: legacy_model.0,
+        ns_per_op: legacy_model.1,
+        ops_per_sec: 1e9 / legacy_model.1,
+        speedup_vs_legacy: None,
+    });
+    rows.push(PerfRow {
+        bench: "publish_e2e".to_string(),
+        arm: "interned".to_string(),
+        iters: interned.0,
+        ns_per_op: interned.1,
+        ops_per_sec: 1e9 / interned.1,
+        speedup_vs_legacy: Some(legacy_model.1 / interned.1),
+    });
+
+    // --- planned_query: end-to-end plan + execute latency ------------------
+    // Single-arm trajectory metric: the number future planner PRs must beat.
+    let corpus = workloads::corpus(params.docs, params.seed);
+    let mut net = workloads::indexed_network(
+        &corpus,
+        Arc::new(Hdk::new(workloads::default_hdk())),
+        params.peers,
+        params.seed,
+    );
+    let log = workloads::query_log(&corpus, 64, false, params.seed);
+    let (iters, ns) = {
+        let mut i = 0usize;
+        measure(budget, || {
+            let q = &log.queries[i % log.queries.len()];
+            i += 1;
+            let request = QueryRequest::new(&q.text).from_peer(i % params.peers);
+            net.execute(&request).expect("query succeeds").results.len()
+        })
+    };
+    rows.push(PerfRow {
+        bench: "planned_query".to_string(),
+        arm: "interned".to_string(),
+        iters,
+        ns_per_op: ns,
+        ops_per_sec: 1e9 / ns,
+        speedup_vs_legacy: None,
+    });
+
+    rows
+}
+
+/// Prints the result table.
+pub fn print(rows: &[PerfRow]) {
+    let mut table = Table::new(
+        "P1: key/posting hot paths (legacy string keys vs interned keys)",
+        &["bench", "arm", "ns/op", "ops/s", "speedup"],
+    );
+    for r in rows {
+        table.row(&[
+            r.bench.clone(),
+            r.arm.clone(),
+            fmt_f(r.ns_per_op, 1),
+            fmt_f(r.ops_per_sec, 0),
+            r.speedup_vs_legacy
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    table.print();
+}
+
+/// The `BENCH_perf.json` document: parameters plus measured rows.
+#[derive(Clone, Debug, Serialize)]
+pub struct PerfReport {
+    /// Experiment identifier.
+    pub bench: String,
+    /// Whether the quick configuration ran.
+    pub quick: bool,
+    /// Parameters used.
+    pub params: PerfParams,
+    /// Measured rows.
+    pub rows: Vec<PerfRow>,
+}
+
+/// Serialises a report for `BENCH_perf.json`.
+pub fn report(params: &PerfParams, quick: bool, rows: Vec<PerfRow>) -> PerfReport {
+    PerfReport {
+        bench: "perf".to_string(),
+        quick,
+        params: params.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_replica_matches_interned_semantics() {
+        let terms = ["peer", "retriev", "overlai"];
+        let legacy = legacy::LegacyTermKey::new(terms);
+        let interned = TermKey::new(terms);
+        assert_eq!(legacy.canonical(), interned.canonical());
+        assert_eq!(legacy.ring_id(), interned.ring_id());
+        assert_eq!(legacy.wire_size(), interned.wire_size());
+        assert_eq!(legacy.len(), interned.len());
+        assert!(!legacy.is_empty());
+        let l: Vec<String> = legacy
+            .all_subsets_desc()
+            .iter()
+            .map(|k| k.canonical())
+            .collect();
+        let i: Vec<String> = interned
+            .all_subsets_desc()
+            .iter()
+            .map(|k| k.canonical())
+            .collect();
+        assert_eq!(l, i);
+    }
+
+    #[test]
+    fn perf_smoke_produces_all_benchmarks_with_speedups() {
+        let params = PerfParams {
+            measure_ms: 2,
+            pool: 16,
+            vocab: 120,
+            peers: 8,
+            docs: 60,
+            ..PerfParams::quick()
+        };
+        let rows = run(&params);
+        let benches: std::collections::BTreeSet<&str> =
+            rows.iter().map(|r| r.bench.as_str()).collect();
+        for expected in [
+            "key_construct",
+            "key_construct_from_str",
+            "ring_id",
+            "lattice_enum",
+            "publish_keyops",
+            "publish_e2e",
+            "planned_query",
+        ] {
+            assert!(benches.contains(expected), "missing bench {expected}");
+        }
+        for r in &rows {
+            assert!(r.ns_per_op > 0.0, "{r:?}");
+            assert!(r.iters > 0, "{r:?}");
+        }
+        // Every paired benchmark reports a speedup on its interned arm.
+        for bench in ["key_construct", "ring_id", "lattice_enum", "publish_keyops"] {
+            let s = rows
+                .iter()
+                .find(|r| r.bench == bench && r.arm == "interned")
+                .and_then(|r| r.speedup_vs_legacy)
+                .unwrap_or(0.0);
+            assert!(s > 0.0, "{bench} has no speedup recorded");
+        }
+    }
+}

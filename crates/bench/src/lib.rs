@@ -14,6 +14,7 @@
 //! | E6 | congestion control prevents congestion collapse | [`exp_congestion`] | `exp_congestion` |
 //! | E7 | QDI adapts the index to query popularity | [`exp_qdi`] | `exp_qdi_adaptivity` |
 //! | E8 | posting-list truncation bounds traffic with marginal quality loss | [`exp_truncation`] | `exp_truncation` |
+//! | P1 | key/posting hot-path microbenchmarks (perf trajectory, `BENCH_perf.json`) | [`exp_perf`] | `exp_perf` |
 //!
 //! Each module exposes a `run(...)` function returning typed rows (so integration
 //! tests and Criterion benches reuse the same code) and a `print(...)` helper that
@@ -29,6 +30,7 @@
 pub mod exp_bandwidth;
 pub mod exp_congestion;
 pub mod exp_lattice;
+pub mod exp_perf;
 pub mod exp_qdi;
 pub mod exp_quality;
 pub mod exp_routing;

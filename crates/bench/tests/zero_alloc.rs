@@ -1,0 +1,100 @@
+//! Asserts the interning PR's core claim at the allocator level: once the
+//! vocabulary is interned, the key operations on the query/publish hot path —
+//! `ring_id`, `wire_size`, `clone`, equality/ordering, subset and domination
+//! checks, and construction of ≤3-term keys from warm terms — perform **zero
+//! heap allocations**.
+//!
+//! A counting global allocator wraps the system allocator; each probe runs with
+//! the count sampled before and after. The test file contains exactly one test
+//! (and the harness runs it on a single thread), so no concurrent test can
+//! perturb the counter.
+
+// The one place in the workspace that needs `unsafe`: a `GlobalAlloc`
+// implementation cannot be written without it. It only delegates to `System`
+// and bumps a counter.
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`, which upholds the `GlobalAlloc`
+// contract; the counter update has no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_key_hot_paths_are_allocation_free() {
+    use alvisp2p_core::key::TermKey;
+    use alvisp2p_netsim::WireSize;
+    use std::hint::black_box;
+
+    // Warm-up: intern the vocabulary and exercise every code path once so
+    // lazily-initialised state (interner tables, pad entries) exists.
+    let abc = TermKey::new(["alloc-a", "alloc-b", "alloc-c"]);
+    let bc = TermKey::new(["alloc-b", "alloc-c"]);
+    let d = TermKey::single("alloc-d");
+    black_box(abc.ring_id());
+    black_box(TermKey::new(["alloc-a", "alloc-b", "alloc-c"]));
+    black_box(abc.clone());
+    black_box(abc.cmp(&bc));
+    black_box(d.expand("alloc-a"));
+
+    // ring_id on the query path: a cached-field copy.
+    let n = allocations_in(|| {
+        for _ in 0..1_000 {
+            black_box(abc.ring_id());
+            black_box(bc.ring_id());
+        }
+    });
+    assert_eq!(n, 0, "ring_id allocated {n} times");
+
+    // Wire sizing, cloning, equality, ordering, subset/domination checks.
+    let n = allocations_in(|| {
+        for _ in 0..1_000 {
+            black_box(abc.wire_size());
+            black_box(abc.clone());
+            black_box(abc == bc);
+            black_box(abc.cmp(&bc));
+            black_box(bc.is_subset_of(&abc));
+            black_box(abc.dominates(&bc));
+            black_box(abc.contains("alloc-b"));
+        }
+    });
+    assert_eq!(n, 0, "key comparison hot path allocated {n} times");
+
+    // Constructing inline (≤ 3 term) keys over an already-interned vocabulary,
+    // including the HDK expansion step.
+    let n = allocations_in(|| {
+        for _ in 0..1_000 {
+            black_box(TermKey::new(["alloc-a", "alloc-b", "alloc-c"]));
+            black_box(TermKey::single("alloc-d"));
+            black_box(d.expand("alloc-a"));
+        }
+    });
+    assert_eq!(n, 0, "warm inline key construction allocated {n} times");
+}

@@ -179,17 +179,17 @@ impl GlobalIndex {
     ) -> Result<usize, DhtError> {
         let ring_key = key.ring_id();
         let request_bytes = key.wire_size() + delta.wire_size();
-        let key_clone = key.clone();
-        let delta_clone = delta.clone();
+        // The closure borrows `key` and `delta`: no copy of the key or of the
+        // delta posting list is made to cross the (simulated) wire.
         let info = self.dht.update(
             from,
             ring_key,
             request_bytes,
             TrafficCategory::Indexing,
-            move |slot| {
+            |slot| {
                 let entry =
-                    slot.get_or_insert_with(|| KeyIndexEntry::stats_only(key_clone, capacity));
-                entry.postings.merge(&delta_clone);
+                    slot.get_or_insert_with(|| KeyIndexEntry::stats_only(key.clone(), capacity));
+                entry.postings.merge(delta);
                 entry.activated = true;
             },
         )?;
@@ -242,7 +242,6 @@ impl GlobalIndex {
         stats_capacity: usize,
     ) -> Result<ProbeResult, DhtError> {
         let ring_key = key.ring_id();
-        let key_clone = key.clone();
         let mut fetched: Option<TruncatedPostingList> = None;
         let fetched_ref = &mut fetched;
         let info = self.dht.update(
@@ -250,9 +249,9 @@ impl GlobalIndex {
             ring_key,
             self.probe_request_bytes + key.wire_size(),
             TrafficCategory::Retrieval,
-            move |slot| {
+            |slot| {
                 let entry = slot
-                    .get_or_insert_with(|| KeyIndexEntry::stats_only(key_clone, stats_capacity));
+                    .get_or_insert_with(|| KeyIndexEntry::stats_only(key.clone(), stats_capacity));
                 entry.usage.probes += 1;
                 entry.usage.last_probe = query_seq;
                 if entry.activated {

@@ -18,6 +18,7 @@
 //! frequencies, iterate levels) lives in [`crate::network`].
 
 use crate::key::TermKey;
+use alvisp2p_textindex::TermId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -108,15 +109,16 @@ pub fn min_cover_window(position_lists: &[&[u32]]) -> Option<u32> {
 }
 
 /// Whether all terms of a candidate key co-occur within `window` positions in the
-/// document described by `doc_terms` (a sorted `(term, positions)` view).
+/// document described by `doc_terms` (an id-sorted `(term, positions)` view, as
+/// produced by [`alvisp2p_textindex::InvertedIndex::doc_term_positions`]).
 pub fn cooccurs_within_window(
-    doc_terms: &[(String, Vec<u32>)],
+    doc_terms: &[(TermId, Vec<u32>)],
     key: &TermKey,
     window: u32,
 ) -> bool {
     let mut lists: Vec<&[u32]> = Vec::with_capacity(key.len());
-    for term in key.terms() {
-        match doc_terms.binary_search_by(|(t, _)| t.as_str().cmp(term)) {
+    for term in key.term_ids() {
+        match doc_terms.binary_search_by_key(term, |(t, _)| *t) {
             Ok(i) => lists.push(&doc_terms[i].1),
             Err(_) => return false,
         }
@@ -137,20 +139,20 @@ pub fn cooccurs_within_window(
 /// term is already discriminative on its own, so combining it would only create
 /// redundant keys).
 pub fn generate_doc_candidates(
-    doc_terms: &[(String, Vec<u32>)],
+    doc_terms: &[(TermId, Vec<u32>)],
     frequent_parents: &BTreeSet<TermKey>,
-    frequent_terms: &BTreeSet<String>,
+    frequent_terms: &BTreeSet<TermId>,
     target_len: usize,
     config: &HdkConfig,
 ) -> Vec<TermKey> {
     if target_len < 2 || target_len > config.max_key_len {
         return Vec::new();
     }
-    // Terms of this document that are globally frequent, in sorted order.
-    let doc_frequent: Vec<&String> = doc_terms
+    // Terms of this document that are globally frequent.
+    let doc_frequent: Vec<TermId> = doc_terms
         .iter()
-        .map(|(t, _)| t)
-        .filter(|t| frequent_terms.contains(*t))
+        .map(|(t, _)| *t)
+        .filter(|t| frequent_terms.contains(t))
         .collect();
     if doc_frequent.len() < target_len {
         return Vec::new();
@@ -162,15 +164,15 @@ pub fn generate_doc_candidates(
             continue;
         }
         // The parent's terms must all occur in this document.
-        if !parent.terms().iter().all(|t| {
-            doc_terms
-                .binary_search_by(|(dt, _)| dt.as_str().cmp(t))
-                .is_ok()
-        }) {
+        if !parent
+            .term_ids()
+            .iter()
+            .all(|t| doc_terms.binary_search_by_key(t, |(dt, _)| *dt).is_ok())
+        {
             continue;
         }
         for term in &doc_frequent {
-            let Some(candidate) = parent.expand(term) else {
+            let Some(candidate) = parent.expand_id(*term) else {
                 continue;
             };
             if out.contains(&candidate) {
@@ -187,25 +189,28 @@ pub fn generate_doc_candidates(
 }
 
 /// Convenience: the level-1 "parents" (single-term keys) of a set of frequent terms.
-pub fn single_term_keys(frequent_terms: &BTreeSet<String>) -> BTreeSet<TermKey> {
-    frequent_terms.iter().map(TermKey::single).collect()
+pub fn single_term_keys(frequent_terms: &BTreeSet<TermId>) -> BTreeSet<TermKey> {
+    frequent_terms
+        .iter()
+        .map(|t| TermKey::from_term_ids([*t]))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn doc(terms: &[(&str, &[u32])]) -> Vec<(String, Vec<u32>)> {
-        let mut v: Vec<(String, Vec<u32>)> = terms
+    fn doc(terms: &[(&str, &[u32])]) -> Vec<(TermId, Vec<u32>)> {
+        let mut v: Vec<(TermId, Vec<u32>)> = terms
             .iter()
-            .map(|(t, p)| ((*t).to_string(), p.to_vec()))
+            .map(|(t, p)| (TermId::intern(t), p.to_vec()))
             .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.sort_unstable_by_key(|(t, _)| *t);
         v
     }
 
-    fn set(terms: &[&str]) -> BTreeSet<String> {
-        terms.iter().map(|t| (*t).to_string()).collect()
+    fn set(terms: &[&str]) -> BTreeSet<TermId> {
+        terms.iter().map(|t| TermId::intern(t)).collect()
     }
 
     #[test]

@@ -55,6 +55,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Keys are cheap to copy now, but a clone that could be a borrow is still a
+// smell on the hot paths this crate owns; CI runs clippy with `-D warnings`.
+#![warn(clippy::redundant_clone)]
 
 pub mod baseline;
 pub mod error;

@@ -521,11 +521,11 @@ impl AlvisNetwork {
         request: &QueryRequest,
     ) -> Result<QueryPlan, AlvisError> {
         self.validate_request(request)?;
-        let terms = self.analyzer.analyze_query(&request.text);
+        let terms = self.analyzer.analyze_query_ids(&request.text);
         if terms.is_empty() {
             return Ok(QueryPlan::empty(planner.label(), request.origin));
         }
-        let query_key = TermKey::new(terms);
+        let query_key = TermKey::from_term_ids(terms);
         let strategy = &self.config.strategy;
         let ctx = PlanCtx {
             query_key: &query_key,

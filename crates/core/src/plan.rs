@@ -212,9 +212,9 @@ impl PlanCtx<'_> {
     /// smallest global document frequency among its terms (an intersection can
     /// never be larger than its smallest member).
     pub fn df_upper_bound(&self, key: &TermKey) -> u64 {
-        key.terms()
+        key.term_ids()
             .iter()
-            .map(|t| self.ranking.df(t))
+            .map(|t| self.ranking.df_id(*t))
             .min()
             .unwrap_or(0)
     }
@@ -352,8 +352,8 @@ impl GreedyCost {
             return 0.0;
         }
         let mut expected = n;
-        for t in key.terms() {
-            expected *= ctx.ranking.df(t) as f64 / n;
+        for t in key.term_ids() {
+            expected *= ctx.ranking.df_id(*t) as f64 / n;
         }
         expected.min(entries_upper_bound as f64)
     }
@@ -364,9 +364,9 @@ impl GreedyCost {
     fn benefit(&self, ctx: &PlanCtx<'_>, key: &TermKey, entries_upper_bound: usize) -> f64 {
         let n = ctx.ranking.doc_count() as f64;
         let idf_sum: f64 = key
-            .terms()
+            .term_ids()
             .iter()
-            .map(|t| (1.0 + n / (1.0 + ctx.ranking.df(t) as f64)).ln())
+            .map(|t| (1.0 + n / (1.0 + ctx.ranking.df_id(*t) as f64)).ln())
             .sum();
         let p_indexed = if key.is_single() {
             1.0

@@ -8,7 +8,8 @@
 
 use alvisp2p_netsim::WireSize;
 use alvisp2p_textindex::DocId;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashSet;
 
 /// One entry of a (truncated) posting list: a document reference with the relevance
 /// score the publisher computed from global collection statistics.
@@ -34,11 +35,26 @@ impl WireSize for ScoredRef {
 /// may exceed the number of stored references; `is_truncated()` is how the retrieval
 /// algorithm decides whether a result is complete (allowing it to prune the dominated
 /// part of the query lattice) or merely a top-k approximation.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// A membership set over the stored documents makes the common-case insert — a
+/// document not yet in the list — O(log n) instead of the former O(n) linear
+/// duplicate scan, so bulk [`TruncatedPostingList::merge`] /
+/// [`TruncatedPostingList::from_refs`] are no longer quadratic in list capacity.
+#[derive(Clone, Debug, Default)]
 pub struct TruncatedPostingList {
+    /// Stored references, best score first.
     refs: Vec<ScoredRef>,
     capacity: usize,
     full_df: u64,
+    /// Documents currently present in `refs` (derived; not serialized).
+    members: HashSet<DocId>,
+}
+
+impl PartialEq for TruncatedPostingList {
+    fn eq(&self, other: &Self) -> bool {
+        // `members` is derived from `refs`; comparing it would be redundant.
+        self.refs == other.refs && self.capacity == other.capacity && self.full_df == other.full_df
+    }
 }
 
 impl TruncatedPostingList {
@@ -48,6 +64,7 @@ impl TruncatedPostingList {
             refs: Vec::new(),
             capacity: capacity.max(1),
             full_df: 0,
+            members: HashSet::new(),
         }
     }
 
@@ -94,24 +111,33 @@ impl TruncatedPostingList {
     /// Inserts a reference, keeping the list sorted by descending score (ties broken by
     /// ascending document id) and bounded by the capacity. A reference for a document
     /// that is already present replaces the old entry if its score is higher.
+    ///
+    /// The common case — a document not yet stored — is a hash-set membership
+    /// check plus a sorted insert; only re-publications of an already-stored
+    /// document fall back to scanning for the old entry.
     pub fn insert(&mut self, r: ScoredRef) {
-        match self.refs.iter().position(|x| x.doc == r.doc) {
-            Some(i) => {
-                // Same document published again (e.g. re-indexing): keep the best score.
-                if r.score > self.refs[i].score {
-                    self.refs.remove(i);
-                    self.insert_sorted(r);
-                }
+        if self.members.contains(&r.doc) {
+            // Same document published again (e.g. re-indexing): keep the best score.
+            let i = self
+                .refs
+                .iter()
+                .position(|x| x.doc == r.doc)
+                .expect("membership set out of sync with refs");
+            if r.score > self.refs[i].score {
+                self.refs.remove(i);
+                self.insert_sorted(r);
             }
-            None => {
-                self.full_df += 1;
-                if self.refs.len() < self.capacity {
+        } else {
+            self.full_df += 1;
+            if self.refs.len() < self.capacity {
+                self.insert_sorted(r);
+                self.members.insert(r.doc);
+            } else if let Some(last) = self.refs.last() {
+                if r.score > last.score || (r.score == last.score && r.doc < last.doc) {
+                    let evicted = self.refs.pop().expect("non-empty at capacity");
+                    self.members.remove(&evicted.doc);
                     self.insert_sorted(r);
-                } else if let Some(last) = self.refs.last() {
-                    if r.score > last.score || (r.score == last.score && r.doc < last.doc) {
-                        self.refs.pop();
-                        self.insert_sorted(r);
-                    }
+                    self.members.insert(r.doc);
                 }
             }
         }
@@ -141,6 +167,7 @@ impl TruncatedPostingList {
     pub fn remove_peer_docs(&mut self, peer: u32) -> usize {
         let before = self.refs.len();
         self.refs.retain(|r| r.doc.peer != peer);
+        self.members.retain(|d| d.peer != peer);
         let removed = before - self.refs.len();
         self.full_df = self.full_df.saturating_sub(removed as u64);
         removed
@@ -161,6 +188,33 @@ impl WireSize for TruncatedPostingList {
     fn wire_size(&self) -> usize {
         // refs + capacity (4) + full_df (8)
         4 + self.refs.iter().map(WireSize::wire_size).sum::<usize>() + 4 + 8
+    }
+}
+
+impl Serialize for TruncatedPostingList {
+    fn to_value(&self) -> Value {
+        // Same shape the former derive produced; the membership set is derived
+        // state and never crosses the wire.
+        Value::Obj(vec![
+            ("refs".to_string(), self.refs.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("full_df".to_string(), self.full_df.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TruncatedPostingList {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let refs: Vec<ScoredRef> = serde::field(v, "refs")?;
+        let capacity: usize = serde::field(v, "capacity")?;
+        let full_df: u64 = serde::field(v, "full_df")?;
+        let members = refs.iter().map(|r| r.doc).collect();
+        Ok(TruncatedPostingList {
+            refs,
+            capacity,
+            full_df,
+            members,
+        })
     }
 }
 
@@ -243,7 +297,7 @@ mod tests {
         for i in 0..10 {
             big.insert(r(100 + i, f64::from(i)));
         }
-        let mut merged = a.clone();
+        let mut merged = a;
         merged.merge(&big);
         assert_eq!(merged.len(), 3);
         // 2 distinct from a + 10 distinct from big.
@@ -284,6 +338,34 @@ mod tests {
         // 50 refs * 12 bytes + 16 bytes of header.
         assert_eq!(list.wire_size(), 50 * 12 + 16);
         assert_eq!(list.full_df(), 1000);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_membership() {
+        let mut list = TruncatedPostingList::new(3);
+        for i in 0..10 {
+            list.insert(r(i, f64::from(i)));
+        }
+        let back = TruncatedPostingList::from_value(&list.to_value()).unwrap();
+        assert_eq!(back, list);
+        // The rebuilt membership set keeps duplicate suppression working.
+        let mut back = back;
+        let stored_doc = back.refs()[0];
+        back.insert(stored_doc);
+        assert_eq!(back.full_df(), list.full_df());
+    }
+
+    #[test]
+    fn duplicate_suppression_survives_eviction() {
+        // A document evicted by the capacity bound is no longer "present": a
+        // later reference to it counts as a fresh distinct document.
+        let mut list = TruncatedPostingList::new(1);
+        list.insert(r(1, 1.0));
+        list.insert(r(2, 5.0)); // evicts doc 1
+        assert_eq!(list.refs()[0].doc.local, 2);
+        list.insert(r(1, 9.0)); // doc 1 returns, evicting doc 2
+        assert_eq!(list.refs()[0].doc.local, 1);
+        assert_eq!(list.full_df(), 3);
     }
 
     #[test]

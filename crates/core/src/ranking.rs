@@ -18,14 +18,20 @@
 use crate::key::TermKey;
 use crate::posting::{ScoredRef, TruncatedPostingList};
 use alvisp2p_textindex::bm25::{bm25_term_score, top_k, Bm25Params, ScoredDoc};
-use alvisp2p_textindex::{CollectionStats, DocId, InvertedIndex};
-use serde::{Deserialize, Serialize};
+use alvisp2p_textindex::{CollectionStats, DocId, InvertedIndex, TermId};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::{BTreeSet, HashMap};
 
 /// Globally aggregated collection statistics used by the ranking layer.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// Alongside the mergeable string-keyed [`CollectionStats`] (the form peers
+/// publish), an interned `TermId → df` side table is maintained so the query
+/// planner's per-key document-frequency estimates never touch a string.
+#[derive(Clone, Debug, Default)]
 pub struct GlobalRankingStats {
     stats: CollectionStats,
+    /// Interned mirror of `stats.doc_frequencies`, rebuilt as fragments merge.
+    df_by_id: HashMap<TermId, u64>,
 }
 
 impl GlobalRankingStats {
@@ -36,16 +42,21 @@ impl GlobalRankingStats {
 
     /// Aggregates the statistics published by all peers.
     pub fn aggregate<'a>(fragments: impl IntoIterator<Item = &'a CollectionStats>) -> Self {
-        let mut stats = CollectionStats::default();
+        let mut out = GlobalRankingStats::default();
         for f in fragments {
-            stats.merge(f);
+            out.merge_fragment(f);
         }
-        GlobalRankingStats { stats }
+        out
     }
 
     /// Merges one more peer's statistics fragment.
     pub fn merge_fragment(&mut self, fragment: &CollectionStats) {
         self.stats.merge(fragment);
+        // Interning here warms the process-wide interner with the whole query
+        // vocabulary before the first query arrives.
+        for (term, df) in &fragment.doc_frequencies {
+            *self.df_by_id.entry(TermId::intern(term)).or_insert(0) += df;
+        }
     }
 
     /// Global number of documents.
@@ -61,6 +72,11 @@ impl GlobalRankingStats {
     /// Global document frequency of a term.
     pub fn df(&self, term: &str) -> u64 {
         self.stats.df(term)
+    }
+
+    /// Global document frequency of an interned term (allocation-free).
+    pub fn df_id(&self, term: TermId) -> u64 {
+        self.df_by_id.get(&term).copied().unwrap_or(0)
     }
 
     /// Size of the aggregated vocabulary.
@@ -79,6 +95,23 @@ impl GlobalRankingStats {
     }
 }
 
+impl Serialize for GlobalRankingStats {
+    fn to_value(&self) -> Value {
+        // Only the mergeable string-keyed statistics cross process boundaries;
+        // the id table is process-local and rebuilt on deserialization.
+        Value::Obj(vec![("stats".to_string(), self.stats.to_value())])
+    }
+}
+
+impl Deserialize for GlobalRankingStats {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let stats: CollectionStats = serde::field(v, "stats")?;
+        let mut out = GlobalRankingStats::default();
+        out.merge_fragment(&stats);
+        Ok(out)
+    }
+}
+
 /// Scores the documents of a peer's local index for `key` against the global
 /// statistics, producing the posting-list contribution that peer publishes for the key.
 ///
@@ -93,14 +126,14 @@ pub fn score_local_postings(
     params: Bm25Params,
     capacity: usize,
 ) -> TruncatedPostingList {
-    let matching = index.intersect(key.terms());
+    let matching = index.intersect_ids(key.term_ids());
     let mut list = TruncatedPostingList::new(capacity);
     for doc in matching {
         let doc_len = index.doc_len(doc).unwrap_or(0);
         let mut score = 0.0;
-        for term in key.terms() {
+        for term in key.term_ids() {
             let tf = index
-                .postings(term)
+                .postings_id(*term)
                 .and_then(|l| l.get(doc))
                 .map(|p| p.tf)
                 .unwrap_or(0);
@@ -108,7 +141,7 @@ pub fn score_local_postings(
                 tf,
                 doc_len,
                 global.avg_doc_len(),
-                global.df(term),
+                global.df_id(*term),
                 global.doc_count(),
                 params,
             );
@@ -130,25 +163,18 @@ pub fn merge_retrieved(retrieved: &[(TermKey, TruncatedPostingList)], k: usize) 
     ordered.sort_by_key(|e| std::cmp::Reverse(e.0.len()));
 
     let mut scores: HashMap<DocId, f64> = HashMap::new();
-    let mut covered: HashMap<DocId, BTreeSet<&str>> = HashMap::new();
+    let mut covered: HashMap<DocId, BTreeSet<TermId>> = HashMap::new();
 
     for (key, list) in ordered {
         for r in list.refs() {
             let cov = covered.entry(r.doc).or_default();
-            let new_terms: Vec<&str> = key
-                .terms()
-                .iter()
-                .map(String::as_str)
-                .filter(|t| !cov.contains(*t))
-                .collect();
-            if new_terms.is_empty() {
+            let new_terms = key.term_ids().iter().filter(|t| !cov.contains(t)).count();
+            if new_terms == 0 {
                 continue;
             }
-            let fraction = new_terms.len() as f64 / key.len() as f64;
+            let fraction = new_terms as f64 / key.len() as f64;
             *scores.entry(r.doc).or_insert(0.0) += r.score * fraction;
-            for t in new_terms {
-                cov.insert(t);
-            }
+            cov.extend(key.term_ids().iter().copied());
         }
     }
 

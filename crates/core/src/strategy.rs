@@ -28,6 +28,7 @@ use crate::qdi::{activation_decision, is_obsolete, QdiConfig, QdiReport};
 use crate::ranking::{score_local_postings, GlobalRankingStats};
 use alvisp2p_netsim::{TrafficCategory, WireSize};
 use alvisp2p_textindex::bm25::Bm25Params;
+use alvisp2p_textindex::TermId;
 use std::collections::BTreeSet;
 
 /// A distributed indexing policy.
@@ -174,13 +175,9 @@ impl<'a> IndexerCtx<'a> {
     pub fn publish_single_term_level(&mut self, capacity: usize, df_max: u64) -> HdkLevelReport {
         let mut candidates = 0usize;
         for peer_index in 0..self.peers.len() {
-            let vocabulary: Vec<String> = self.peers[peer_index]
-                .index()
-                .vocabulary()
-                .map(str::to_string)
-                .collect();
+            let vocabulary: Vec<TermId> = self.peers[peer_index].index().vocabulary_ids().collect();
             for term in vocabulary {
-                let key = TermKey::single(&term);
+                let key = TermKey::from_term_ids([term]);
                 // A peer publishes from its own overlay node.
                 if self.publish(peer_index, &key, capacity) {
                     candidates += 1;
@@ -400,13 +397,13 @@ impl Strategy for Hdk {
         let mut levels = vec![ctx.publish_single_term_level(config.truncation_k, self.df_max())];
 
         // Globally frequent single terms (observed by the responsible peers).
-        let frequent_terms: BTreeSet<String> = ctx
+        let frequent_terms: BTreeSet<TermId> = ctx
             .global()
             .entries()
             .filter(|e| {
                 e.activated && e.key.is_single() && e.postings.full_df() > config.df_max as u64
             })
-            .map(|e| e.key.terms()[0].clone())
+            .map(|e| e.key.term_ids()[0])
             .collect();
         // Every peer learns which of its local terms are frequent (a small
         // notification from each responsible peer, piggybacked on the
@@ -414,8 +411,8 @@ impl Strategy for Hdk {
         for peer_index in 0..ctx.peers().len() {
             let local_frequent = ctx.peers()[peer_index]
                 .index()
-                .vocabulary()
-                .filter(|t| frequent_terms.contains(*t))
+                .vocabulary_ids()
+                .filter(|t| frequent_terms.contains(t))
                 .count();
             ctx.charge_indexing(9 * local_frequent + 16);
         }

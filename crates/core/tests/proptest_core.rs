@@ -8,7 +8,7 @@ use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
 use alvisp2p_core::ranking::merge_retrieved;
 use alvisp2p_dht::DhtConfig;
 use alvisp2p_netsim::TrafficCategory;
-use alvisp2p_textindex::DocId;
+use alvisp2p_textindex::{DocId, TermId};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -60,10 +60,10 @@ proptest! {
     ) {
         let doc = {
             let mut d = vec![
-                ("alpha".to_string(), positions_a.iter().copied().collect::<Vec<u32>>()),
-                ("beta".to_string(), positions_b.iter().copied().collect::<Vec<u32>>()),
+                (TermId::intern("alpha"), positions_a.iter().copied().collect::<Vec<u32>>()),
+                (TermId::intern("beta"), positions_b.iter().copied().collect::<Vec<u32>>()),
             ];
-            d.sort_by(|a, b| a.0.cmp(&b.0));
+            d.sort_unstable_by_key(|(t, _)| *t);
             d
         };
         let key = TermKey::new(["alpha", "beta"]);

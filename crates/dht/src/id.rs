@@ -25,16 +25,15 @@ impl RingId {
     ///
     /// FNV-1a is not cryptographic, but it is deterministic, fast and uniform enough
     /// for load-balancing index keys over peers, which is all the DHT needs.
+    ///
+    /// Equivalent to streaming the string's bytes through a [`RingHasher`]; callers
+    /// that hash a logical string scattered over several fragments (e.g. the
+    /// `"a+b+c"` canonical form of a multi-term key whose terms live in an interner)
+    /// can use the hasher directly and skip materializing the string.
     pub fn hash_str(s: &str) -> RingId {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        for b in s.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-        // Final avalanche (splitmix64) to break up FNV's weak high bits.
-        RingId(Self::mix(h))
+        let mut h = RingHasher::new();
+        h.write(s.as_bytes());
+        h.finish()
     }
 
     /// Hashes an integer onto the ring (used for peer identifiers derived from
@@ -88,6 +87,55 @@ impl RingId {
     }
 }
 
+/// Incremental version of [`RingId::hash_str`]: feed byte fragments in order and
+/// [`RingHasher::finish`] to obtain the identifier the concatenation would hash to.
+///
+/// This is what lets a multi-term key compute its ring identifier once, at
+/// construction, without ever materializing its `"a+b"` canonical string: the term
+/// fragments and `+` separators are streamed straight out of the interner.
+#[derive(Clone, Copy, Debug)]
+pub struct RingHasher {
+    state: u64,
+}
+
+impl RingHasher {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher in the initial (empty input) state.
+    pub fn new() -> Self {
+        RingHasher {
+            state: Self::FNV_OFFSET,
+        }
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(Self::FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Folds a single byte into the running hash.
+    pub fn write_byte(&mut self, byte: u8) {
+        self.state = (self.state ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+    }
+
+    /// Finalizes the hash (splitmix64 avalanche to break up FNV's weak high bits).
+    pub fn finish(self) -> RingId {
+        RingId(RingId::mix(self.state))
+    }
+}
+
+impl Default for RingHasher {
+    fn default() -> Self {
+        RingHasher::new()
+    }
+}
+
 impl fmt::Debug for RingId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "RingId({:016x})", self.0)
@@ -109,6 +157,26 @@ mod tests {
         assert_eq!(RingId::hash_str("database"), RingId::hash_str("database"));
         assert_ne!(RingId::hash_str("database"), RingId::hash_str("databases"));
         assert_ne!(RingId::hash_str("a b"), RingId::hash_str("b a"));
+    }
+
+    #[test]
+    fn streaming_hasher_matches_hash_str() {
+        for s in ["", "a", "databas+peer", "a+b+c", "long+canonical+key+form"] {
+            let mut h = RingHasher::new();
+            for (i, frag) in s.split('+').enumerate() {
+                if i > 0 {
+                    h.write_byte(b'+');
+                }
+                h.write(frag.as_bytes());
+            }
+            assert_eq!(h.finish(), RingId::hash_str(s), "fragmented hash of {s:?}");
+        }
+        // Byte-at-a-time streaming is equivalent too.
+        let mut h = RingHasher::new();
+        for b in "peer+retriev".bytes() {
+            h.write_byte(b);
+        }
+        assert_eq!(h.finish(), RingId::hash_str("peer+retriev"));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod routing;
 pub mod storage;
 
 pub use congestion::{AimdController, CongestionConfig, CongestionOutcome, HotspotScenario};
-pub use id::RingId;
+pub use id::{RingHasher, RingId};
 pub use lookup::{lookup, LookupResult};
 pub use network::{Dht, DhtConfig, DhtError, IdDistribution, RouteInfo};
 pub use node::Peer;

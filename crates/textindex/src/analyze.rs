@@ -6,6 +6,7 @@
 //! story allows peers to run different local indexing models as long as the digest
 //! they publish uses agreed-upon terms.
 
+use crate::intern::TermId;
 use crate::stem::stem;
 use crate::stopwords::Stopwords;
 use crate::tokenize::tokenize;
@@ -109,6 +110,29 @@ impl Analyzer {
     pub fn analyze_query(&self, query: &str) -> Vec<String> {
         self.analyze_distinct(query)
     }
+
+    /// Analyzes a text into its distinct **interned** terms (deduplicated, in
+    /// id order). This is the entry point the query pipeline uses: downstream
+    /// key construction, planning and probing work on [`TermId`]s directly and
+    /// never re-touch the strings. (Analysis itself still allocates per token
+    /// — the tokenizer and stemmer produce transient `String`s — so this is
+    /// not an allocation-free path; the interned ids are what make everything
+    /// *after* analysis allocation-free.)
+    pub fn analyze_distinct_ids(&self, text: &str) -> Vec<TermId> {
+        let mut ids: Vec<TermId> = self
+            .analyze(text)
+            .into_iter()
+            .map(|o| TermId::intern(&o.term))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Interned-term variant of [`Analyzer::analyze_query`].
+    pub fn analyze_query_ids(&self, query: &str) -> Vec<TermId> {
+        self.analyze_distinct_ids(query)
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +166,21 @@ mod tests {
         let a = Analyzer::default();
         let d = a.analyze_distinct("peers and peers and more peers searching searches");
         assert_eq!(d, vec!["peer", "search"]);
+    }
+
+    #[test]
+    fn interned_analysis_matches_string_analysis() {
+        let a = Analyzer::default();
+        let text = "peers and peers and more peers searching searches";
+        let strs = a.analyze_distinct(text);
+        let mut resolved: Vec<&str> = a
+            .analyze_distinct_ids(text)
+            .iter()
+            .map(|id| id.as_str())
+            .collect();
+        resolved.sort_unstable();
+        assert_eq!(resolved, strs);
+        assert_eq!(a.analyze_query_ids(""), Vec::new());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::analyze::{Analyzer, TermOccurrence};
 use crate::doc::{DocId, Document};
+use crate::intern::TermId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -115,10 +116,15 @@ impl CollectionStats {
 }
 
 /// A peer-local positional inverted index.
+///
+/// The vocabulary is keyed by interned [`TermId`]s: indexing a document interns
+/// its analyzed terms once, and every later lookup — candidate generation,
+/// posting-list scoring, intersection — moves 4-byte ids instead of strings.
+/// String-based accessors remain for query-facing callers.
 #[derive(Clone, Debug)]
 pub struct InvertedIndex {
     analyzer: Analyzer,
-    terms: HashMap<String, PostingList>,
+    terms: HashMap<TermId, PostingList>,
     doc_lengths: HashMap<DocId, u32>,
     total_terms: u64,
 }
@@ -162,7 +168,10 @@ impl InvertedIndex {
         self.doc_lengths.insert(doc, len);
         self.total_terms += u64::from(len);
         for TermOccurrence { term, position } in occurrences {
-            self.terms.entry(term).or_default().upsert(doc, position);
+            self.terms
+                .entry(TermId::intern(&term))
+                .or_default()
+                .upsert(doc, position);
         }
     }
 
@@ -177,7 +186,7 @@ impl InvertedIndex {
         self.total_terms += u64::from(len);
         for TermOccurrence { term, position } in occurrences {
             self.terms
-                .entry(term.clone())
+                .entry(TermId::intern(term))
                 .or_default()
                 .upsert(doc, *position);
         }
@@ -198,12 +207,22 @@ impl InvertedIndex {
 
     /// The posting list of a term, if any document contains it.
     pub fn postings(&self, term: &str) -> Option<&PostingList> {
-        self.terms.get(term)
+        self.terms.get(&TermId::get(term)?)
+    }
+
+    /// The posting list of an interned term, if any document contains it.
+    pub fn postings_id(&self, term: TermId) -> Option<&PostingList> {
+        self.terms.get(&term)
     }
 
     /// Document frequency of a term in this local collection.
     pub fn df(&self, term: &str) -> usize {
-        self.terms.get(term).map_or(0, PostingList::df)
+        self.postings(term).map_or(0, PostingList::df)
+    }
+
+    /// Document frequency of an interned term in this local collection.
+    pub fn df_id(&self, term: TermId) -> usize {
+        self.terms.get(&term).map_or(0, PostingList::df)
     }
 
     /// Number of indexed documents.
@@ -226,8 +245,13 @@ impl InvertedIndex {
     }
 
     /// Iterates over the vocabulary (terms in arbitrary order).
-    pub fn vocabulary(&self) -> impl Iterator<Item = &str> {
-        self.terms.keys().map(String::as_str)
+    pub fn vocabulary(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.terms.keys().map(|id| id.as_str())
+    }
+
+    /// Iterates over the interned vocabulary (arbitrary order, no resolution).
+    pub fn vocabulary_ids(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.terms.keys().copied()
     }
 
     /// Number of distinct terms.
@@ -245,7 +269,22 @@ impl InvertedIndex {
     /// Documents that contain **all** of the given terms (conjunctive/AND semantics),
     /// sorted by document id. This is the posting-list intersection primitive whose
     /// network cost the paper's single-term baseline cannot afford.
-    pub fn intersect(&self, terms: &[String]) -> Vec<DocId> {
+    pub fn intersect<S: AsRef<str>>(&self, terms: &[S]) -> Vec<DocId> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&PostingList> = Vec::with_capacity(terms.len());
+        for t in terms {
+            match self.postings(t.as_ref()) {
+                Some(l) => lists.push(l),
+                None => return Vec::new(),
+            }
+        }
+        Self::intersect_lists(lists)
+    }
+
+    /// [`InvertedIndex::intersect`] for already-interned terms.
+    pub fn intersect_ids(&self, terms: &[TermId]) -> Vec<DocId> {
         if terms.is_empty() {
             return Vec::new();
         }
@@ -256,6 +295,10 @@ impl InvertedIndex {
                 None => return Vec::new(),
             }
         }
+        Self::intersect_lists(lists)
+    }
+
+    fn intersect_lists(mut lists: Vec<&PostingList>) -> Vec<DocId> {
         // Start from the shortest list and probe the others.
         lists.sort_by_key(|l| l.df());
         let (first, rest) = lists.split_first().expect("non-empty");
@@ -276,21 +319,22 @@ impl InvertedIndex {
             doc_frequencies: self
                 .terms
                 .iter()
-                .map(|(t, l)| (t.clone(), l.df() as u64))
+                .map(|(t, l)| (t.as_str().to_string(), l.df() as u64))
                 .collect(),
         }
     }
 
     /// The distinct analyzed terms of a document together with their positions,
-    /// reconstructed from the inverted index. Used by the HDK key generator, which
-    /// needs per-document term positions to apply its proximity-window filter.
-    pub fn doc_term_positions(&self, doc: DocId) -> Vec<(String, Vec<u32>)> {
-        let mut out: Vec<(String, Vec<u32>)> = self
+    /// reconstructed from the inverted index, **sorted by [`TermId`]** so callers
+    /// can binary-search by id. Used by the HDK key generator, which needs
+    /// per-document term positions to apply its proximity-window filter.
+    pub fn doc_term_positions(&self, doc: DocId) -> Vec<(TermId, Vec<u32>)> {
+        let mut out: Vec<(TermId, Vec<u32>)> = self
             .terms
             .iter()
-            .filter_map(|(t, l)| l.get(doc).map(|p| (t.clone(), p.positions.clone())))
+            .filter_map(|(t, l)| l.get(doc).map(|p| (*t, p.positions.clone())))
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_unstable_by_key(|(t, _)| *t);
         out
     }
 }
@@ -371,12 +415,16 @@ mod tests {
     #[test]
     fn intersection_requires_all_terms() {
         let idx = sample_index();
-        let both = idx.intersect(&["text".into(), "retriev".into()]);
+        let both = idx.intersect(&["text", "retriev"]);
         assert_eq!(both, vec![doc(0), doc(2)]);
-        let none = idx.intersect(&["text".into(), "messag".into()]);
+        let none = idx.intersect(&["text", "messag"]);
         assert!(none.is_empty());
-        assert!(idx.intersect(&[]).is_empty());
-        assert!(idx.intersect(&["nonexistent".into()]).is_empty());
+        assert!(idx.intersect::<&str>(&[]).is_empty());
+        assert!(idx.intersect(&["nonexistent"]).is_empty());
+        // The interned-id variant agrees with the string variant.
+        let ids = [TermId::intern("text"), TermId::intern("retriev")];
+        assert_eq!(idx.intersect_ids(&ids), both);
+        assert!(idx.intersect_ids(&[]).is_empty());
     }
 
     #[test]
@@ -398,9 +446,11 @@ mod tests {
     fn doc_term_positions_reconstructs_forward_view() {
         let idx = sample_index();
         let terms = idx.doc_term_positions(doc(0));
-        assert!(terms.iter().any(|(t, _)| t == "peer"));
-        let (_, positions) = terms.iter().find(|(t, _)| t == "peer").unwrap();
+        assert!(terms.iter().any(|(t, _)| t.as_str() == "peer"));
+        let (_, positions) = terms.iter().find(|(t, _)| t.as_str() == "peer").unwrap();
         assert_eq!(positions.len(), 2);
+        // Sorted by id so callers can binary-search.
+        assert!(terms.windows(2).all(|w| w[0].0 < w[1].0));
         // Unknown document yields an empty view.
         assert!(idx.doc_term_positions(DocId::new(5, 5)).is_empty());
     }

@@ -7,6 +7,8 @@
 //!
 //! * [`mod@tokenize`], [`stopwords`], [`mod@stem`], [`analyze`] — the text-analysis pipeline
 //!   (tokenizer, English stopword list, Porter stemmer);
+//! * [`intern`] — the process-wide term interner mapping analyzed terms to dense
+//!   [`TermId`]s, the substrate of the allocation-free key hot paths upstream;
 //! * [`doc`] — documents, the peer-local document store, result snippets;
 //! * [`access`] — per-document access rights (public / password-protected / private);
 //! * [`index`] — the positional inverted index and mergeable collection statistics;
@@ -39,6 +41,7 @@ pub mod corpus;
 pub mod digest;
 pub mod doc;
 pub mod index;
+pub mod intern;
 pub mod querylog;
 pub mod stem;
 pub mod stopwords;
@@ -53,6 +56,7 @@ pub use corpus::{
 pub use digest::{DigestDocument, DigestTerm, DocumentDigest};
 pub use doc::{DocId, Document, DocumentFormat, DocumentStore};
 pub use index::{CollectionStats, InvertedIndex, Posting, PostingList};
+pub use intern::{interned_terms, resolver, Resolver, TermId};
 pub use querylog::{LoggedQuery, QueryLog, QueryLogConfig, QueryLogGenerator};
 pub use stem::stem;
 pub use stopwords::Stopwords;
