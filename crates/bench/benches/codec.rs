@@ -1,0 +1,49 @@
+//! Criterion-compat microbenchmarks for the posting-list wire codec:
+//! encoding, full decoding and floored (block-skipping) decoding of
+//! probe-response-shaped lists, plus the exact `wire_size` length computation
+//! the simulator charges on every probe. The same operations back the
+//! `codec_encode`/`codec_decode` arms of `exp_perf` / `BENCH_perf.json`; this
+//! harness exists so `cargo bench` tracks them interactively.
+
+use alvisp2p_core::codec;
+use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_netsim::WireSize;
+use alvisp2p_textindex::DocId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn response_list(entries: u32) -> TruncatedPostingList {
+    TruncatedPostingList::from_refs(
+        (0..entries).map(|i| ScoredRef {
+            doc: DocId::new(i % 64, i.wrapping_mul(2_654_435_761) % 4_096),
+            score: 12.0 / f64::from(i + 1) + f64::from(i % 5) * 0.05,
+        }),
+        entries as usize,
+    )
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    for entries in [16u32, 100, 400] {
+        let list = response_list(entries);
+        let frame = codec::encode_list(&list, None);
+        let mid_score = list.refs()[list.len() / 2].score;
+
+        let mut group = c.benchmark_group(format!("codec/{entries}"));
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_function("encode", |b| {
+            b.iter(|| black_box(codec::encode_list(&list, None)))
+        });
+        group.bench_function("decode", |b| {
+            b.iter(|| black_box(codec::decode_list(&frame).expect("frame decodes")))
+        });
+        group.bench_function("decode_floored", |b| {
+            b.iter(|| {
+                black_box(codec::decode_list_above(&frame, mid_score).expect("frame decodes"))
+            })
+        });
+        group.bench_function("wire_size", |b| b.iter(|| black_box(list.wire_size())));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_encode_decode);
+criterion_main!(benches);

@@ -10,7 +10,9 @@ fn main() {
     };
     let rows = exp_perf::run(&params);
     exp_perf::print(&rows);
-    let report = exp_perf::report(&params, quick, rows);
+    let wire = exp_perf::run_wire(&params);
+    exp_perf::print_wire(&wire);
+    let report = exp_perf::report(&params, quick, rows, wire);
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     let path = std::env::var("ALVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_perf.json".to_string());
     std::fs::write(&path, json + "\n").expect("write BENCH_perf.json");

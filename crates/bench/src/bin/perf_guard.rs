@@ -1,0 +1,143 @@
+//! CI regression guard over `BENCH_perf.json`.
+//!
+//! Usage: `perf_guard <committed.json> <fresh.json>`
+//!
+//! Compares a fresh `exp_perf --quick` run against the committed perf
+//! trajectory and fails (exit code 1) when any comparable arm regressed by
+//! more than the tolerance (default 30%, override with
+//! `ALVIS_PERF_TOLERANCE=0.5` style fractions).
+//!
+//! Two measures keep the guard meaningful across machines and
+//! configurations:
+//!
+//! * **Calibration** — absolute ns/op depends on the machine, so every row is
+//!   normalized by the run's own `key_construct/legacy` row: that arm is a
+//!   frozen in-bench replica of the seed's string key whose code never
+//!   changes, making its per-op cost a pure machine-speed probe. The guarded
+//!   quantity is the *ratio* of a row to the calibration row, compared across
+//!   the two reports.
+//! * **Scale-independent rows only** — `--quick` shrinks the corpus/network,
+//!   so workload-dependent benches (`publish_e2e`, `planned_query`) measure
+//!   different work per op and are reported but not guarded. The guarded
+//!   benches operate on fixed-shape inputs (2–3 term keys, the 100-entry
+//!   codec list), so their per-op work is identical at any scale.
+
+use alvisp2p_bench::exp_perf::PerfReport;
+use std::process::ExitCode;
+
+/// Benches whose per-op work does not depend on the `--quick` scaling.
+const GUARDED: &[&str] = &[
+    "key_construct",
+    "key_construct_from_str",
+    "ring_id",
+    "lattice_enum",
+    "publish_keyops",
+    "codec_encode",
+    "codec_decode",
+    "codec_decode_floored",
+];
+
+/// The machine-speed probe used for normalization.
+const CALIBRATION: (&str, &str) = ("key_construct", "legacy");
+
+/// Rows cheaper than this are dominated by timer/loop granularity (e.g. the
+/// cached-hash `ring_id` at ~0.4 ns/op): they are printed but not guarded,
+/// since a fraction of a nanosecond of jitter reads as a huge relative change.
+const NOISE_FLOOR_NS: f64 = 5.0;
+
+fn load(path: &str) -> PerfReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_guard: cannot parse {path}: {e:?}"))
+}
+
+fn ns_of(report: &PerfReport, bench: &str, arm: &str) -> Option<f64> {
+    report
+        .rows
+        .iter()
+        .find(|r| r.bench == bench && r.arm == arm)
+        .map(|r| r.ns_per_op)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: perf_guard <committed.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let tolerance: f64 = std::env::var("ALVIS_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+    let committed = load(committed_path);
+    let fresh = load(fresh_path);
+
+    let cal_committed = ns_of(&committed, CALIBRATION.0, CALIBRATION.1)
+        .expect("committed report lacks the calibration row");
+    let cal_fresh = ns_of(&fresh, CALIBRATION.0, CALIBRATION.1)
+        .expect("fresh report lacks the calibration row");
+    println!(
+        "calibration ({}/{}): committed {cal_committed:.1} ns/op, fresh {cal_fresh:.1} ns/op",
+        CALIBRATION.0, CALIBRATION.1
+    );
+
+    let mut regressions = Vec::new();
+    let mut checked = 0usize;
+    for row in &committed.rows {
+        if !GUARDED.contains(&row.bench.as_str()) {
+            continue;
+        }
+        if (row.bench.as_str(), row.arm.as_str()) == CALIBRATION {
+            continue;
+        }
+        let Some(fresh_ns) = ns_of(&fresh, &row.bench, &row.arm) else {
+            regressions.push(format!("{}/{}: missing from fresh run", row.bench, row.arm));
+            continue;
+        };
+        if row.ns_per_op < NOISE_FLOOR_NS || fresh_ns < NOISE_FLOOR_NS {
+            println!(
+                "{:<24} {:<14} committed {:>9.1} ns  fresh {:>9.1} ns  below noise floor, not guarded",
+                row.bench, row.arm, row.ns_per_op, fresh_ns
+            );
+            continue;
+        }
+        let committed_rel = row.ns_per_op / cal_committed;
+        let fresh_rel = fresh_ns / cal_fresh;
+        let change = fresh_rel / committed_rel - 1.0;
+        checked += 1;
+        let verdict = if change > tolerance {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<24} {:<14} committed {:>9.1} ns  fresh {:>9.1} ns  normalized {:>+6.1}%  {verdict}",
+            row.bench,
+            row.arm,
+            row.ns_per_op,
+            fresh_ns,
+            change * 100.0
+        );
+        if change > tolerance {
+            regressions.push(format!(
+                "{}/{}: {:.1}% over the committed trajectory (tolerance {:.0}%)",
+                row.bench,
+                row.arm,
+                change * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    println!(
+        "perf_guard: {checked} arms checked, {} regressions",
+        regressions.len()
+    );
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("perf regression: {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

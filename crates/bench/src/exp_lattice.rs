@@ -103,8 +103,10 @@ pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
         ..Default::default()
     };
     let query = TermKey::new(["a", "b", "c"]);
-    let result = explore_lattice(&query, &config, |k| index.probe(1, k, 1, params.capacity))
-        .expect("exploration succeeds");
+    let result = explore_lattice(&query, &config, |k| {
+        index.probe(1, k, 1, params.capacity, None)
+    })
+    .expect("exploration succeeds");
 
     let retrieved: Vec<String> = result
         .retrieved
@@ -223,7 +225,7 @@ pub fn run_planned(
             CursorStep::Done => break,
             CursorStep::Probe(key) => {
                 let probe = index
-                    .probe(1, &key, 1, params.capacity)
+                    .probe(1, &key, 1, params.capacity, None)
                     .expect("probe succeeds");
                 cursor.record(probe);
             }
@@ -402,12 +404,13 @@ mod tests {
         assert_eq!(greedy_sorted, vec!["a", "b+c"]);
         assert!(!greedy_loose.budget_exhausted);
 
-        // Tight budget (enough for roughly two probes): the cost-based plan
-        // spends it on the keys that are actually indexed and still retrieves
-        // the full union, while the fixed-order cutoff burns it on the missing
-        // multi-term prefixes. The Reserve policy also never exceeds the budget,
-        // whereas the cutoff may overshoot.
-        let budget = 1_000;
+        // Tight budget (enough for roughly two probes under the codec's byte
+        // accounting): the cost-based plan spends it on the keys that are
+        // actually indexed and still retrieves the full union, while the
+        // fixed-order cutoff burns it on the missing multi-term prefixes. The
+        // Reserve policy also never exceeds the budget, whereas the cutoff may
+        // overshoot.
+        let budget = 800;
         let (_, best) = run_planned(&params, &BestEffort, budget);
         let (_, greedy) = run_planned(&params, &GreedyCost::default(), budget);
         assert!(greedy.bytes <= budget, "greedy spent {}", greedy.bytes);

@@ -15,6 +15,7 @@ use alvisp2p_core::request::QueryRequest;
 use alvisp2p_core::stats::{mean, QualityAccumulator};
 use alvisp2p_core::strategy::Hdk;
 use alvisp2p_dht::DhtConfig;
+use alvisp2p_netsim::WireSize;
 use serde::Serialize;
 
 use crate::table::{fmt_bytes, fmt_f, Table};
@@ -110,12 +111,13 @@ pub fn measure(
         .build_indexed()
         .expect("experiment network configuration is valid");
 
-    // The largest possible on-the-wire posting list is bounded by the capacity.
+    // The largest possible on-the-wire posting list is bounded by the capacity:
+    // report the exact codec frame length of the largest stored list.
     let max_list_bytes = net
         .global_index()
         .entries()
         .filter(|e| e.activated)
-        .map(|e| e.postings.refs().len() * 12 + 16)
+        .map(|e| e.postings.wire_size())
         .max()
         .unwrap_or(0);
 
@@ -220,9 +222,10 @@ mod tests {
         let rows = run(&params);
         let small = rows.iter().find(|r| r.truncation_k == 5).unwrap();
         let large = rows.iter().find(|r| r.truncation_k == 50).unwrap();
-        // The on-the-wire list size is bounded by the truncation bound.
-        assert!(small.max_list_bytes <= 5 * 12 + 16);
-        assert!(large.max_list_bytes <= 50 * 12 + 16);
+        // The on-the-wire list size is bounded by the truncation bound (via
+        // the codec's worst case for a frame of that many entries).
+        assert!(small.max_list_bytes <= alvisp2p_core::codec::max_encoded_list_len(5));
+        assert!(large.max_list_bytes <= alvisp2p_core::codec::max_encoded_list_len(50));
         // Larger truncation bound → at least as good quality and more bytes.
         assert!(large.overlap_at_10 >= small.overlap_at_10);
         assert!(large.mean_query_bytes >= small.mean_query_bytes);

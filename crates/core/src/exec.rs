@@ -24,7 +24,7 @@ use crate::lattice::NodeOutcome;
 use crate::network::AlvisNetwork;
 use crate::plan::{CursorStep, PlanCursor, QueryPlan};
 use crate::ranking::merge_retrieved;
-use crate::request::{QueryRequest, QueryResponse};
+use crate::request::{QueryRequest, QueryResponse, ThresholdMode};
 use alvisp2p_textindex::bm25::ScoredDoc;
 use alvisp2p_textindex::DocId;
 
@@ -47,6 +47,10 @@ pub struct ProbeEvent {
     pub spent_bytes: u64,
     /// Cumulative overlay hops of the query so far.
     pub spent_hops: usize,
+    /// The score floor this probe carried (threshold-aware probes: the
+    /// responsible peer elided posting entries scoring below it). `None` until
+    /// the running top-k is full, or when the request disabled thresholding.
+    pub score_floor: Option<f64>,
     /// The running top-k after merging everything retrieved so far.
     pub top_k: Vec<ScoredDoc>,
 }
@@ -182,6 +186,11 @@ pub struct QueryStream<'n> {
     sent: usize,
     base_bytes: u64,
     base_messages: u64,
+    /// Number of terms in the analyzed query (the `m` of the threshold bound).
+    query_terms: usize,
+    /// The score floor fed into the next probe, recomputed from the running
+    /// top-k after every event (see [`QueryStream::next_event`]).
+    score_floor: Option<f64>,
     error: Option<AlvisError>,
 }
 
@@ -196,6 +205,7 @@ impl<'n> QueryStream<'n> {
             0
         };
         let planned = plan.scheduled_probes();
+        let query_terms = query_key.as_ref().map_or(0, TermKey::len);
         let cursor = PlanCursor::new(plan, &lattice, request.byte_budget, request.hop_budget);
         QueryStream {
             net,
@@ -207,6 +217,8 @@ impl<'n> QueryStream<'n> {
             sent: 0,
             base_bytes,
             base_messages,
+            query_terms,
+            score_floor: None,
             error: None,
         }
     }
@@ -226,6 +238,44 @@ impl<'n> QueryStream<'n> {
         self.cursor.stop();
     }
 
+    /// The score floor the next probe will carry, if any.
+    pub fn score_floor(&self) -> Option<f64> {
+        self.score_floor
+    }
+
+    /// Recomputes the threshold fed into subsequent probes from the running
+    /// top-k.
+    ///
+    /// Once the running top-k holds the full `k` documents with k-th merged
+    /// score `θ`, the floor is `θ / (2m)` ([`ThresholdMode::Conservative`])
+    /// or `θ / m` ([`ThresholdMode::Aggressive`]), `m` being the number of
+    /// query terms — see [`ThresholdMode`] for the guarantee each point buys.
+    /// The conservative bound: a document whose every posting entry scores
+    /// below `θ / (2m)` aggregates to strictly less than `θ / 2` across the
+    /// at most `m` lattice keys that can contribute to it (`merge_retrieved`
+    /// counts each query term once), so eliding those entries at the
+    /// responsible peer cannot lift it into contention. The floor is
+    /// recomputed (not ratcheted) after every probe because the
+    /// coverage-weighted merge is not monotone in the retrieved set — `θ` can
+    /// move in either direction as larger keys arrive.
+    fn update_floor(&mut self, top_k: &[ScoredDoc]) {
+        let scale = match self.request.threshold {
+            ThresholdMode::Off => return,
+            ThresholdMode::Conservative => 0.5,
+            ThresholdMode::Aggressive => 1.0,
+        };
+        if self.query_terms == 0 {
+            return;
+        }
+        self.score_floor = if top_k.len() >= self.request.top_k {
+            top_k
+                .last()
+                .map(|worst| worst.score * scale / self.query_terms as f64)
+        } else {
+            None
+        };
+    }
+
     /// Executes the next scheduled probe and returns its event, or `None` when
     /// the plan is exhausted (or stopped). The first overlay error is returned
     /// once; subsequent calls return `None`.
@@ -239,7 +289,11 @@ impl<'n> QueryStream<'n> {
             CursorStep::Done => None,
             CursorStep::Probe(key) => {
                 let before = self.net.retrieval_totals().0;
-                match self.net.probe_planned(self.request.origin, &key, self.seq) {
+                let floor = self.score_floor;
+                match self
+                    .net
+                    .probe_planned(self.request.origin, &key, self.seq, floor)
+                {
                     Err(e) => {
                         let err = AlvisError::from(e);
                         self.error = Some(err.clone());
@@ -250,6 +304,7 @@ impl<'n> QueryStream<'n> {
                         let outcome = self.cursor.record(probe);
                         let bytes = self.net.retrieval_totals().0 - before;
                         let top_k = merge_retrieved(self.cursor.retrieved(), self.request.top_k);
+                        self.update_floor(&top_k);
                         let event = ProbeEvent {
                             index: self.sent,
                             planned: self.planned,
@@ -259,6 +314,7 @@ impl<'n> QueryStream<'n> {
                             hops,
                             spent_bytes: self.spent_bytes(),
                             spent_hops: self.cursor.hops_spent(),
+                            score_floor: floor,
                             top_k,
                         };
                         self.sent += 1;

@@ -170,6 +170,15 @@ impl GlobalIndex {
     /// Publishes a delta posting list for `key` from peer `from`. The responsible peer
     /// merges the delta into its stored entry (activating it). The delta's bytes plus
     /// the routing messages are charged to [`TrafficCategory::Indexing`].
+    ///
+    /// The charge is the exact [`crate::codec`] frame length of the delta, but —
+    /// unlike [`GlobalIndex::probe`], which round-trips through the codec so
+    /// queriers observe quantized scores — the merge keeps the publisher's
+    /// `f64` scores. This is a deliberate modelling simplification: stored
+    /// lists are merged from many deltas over time, and re-quantizing at every
+    /// publish would compound one grid-step of error per hop without changing
+    /// any byte count; the retrieval path (the paper's cost metric) is where
+    /// the quantization is made observable.
     pub fn publish_postings(
         &mut self,
         from: usize,
@@ -233,17 +242,30 @@ impl GlobalIndex {
     /// [`TrafficCategory::Retrieval`]); the responsible peer updates the key's usage
     /// statistics (creating a statistics-only entry if the key is unknown, exactly as
     /// QDI prescribes) and returns the posting list if the key is activated. The
-    /// response bytes are charged to [`TrafficCategory::Retrieval`].
+    /// response **round-trips through the wire codec** ([`crate::codec`]): the
+    /// responsible peer encodes its stored list, the encoded length is charged
+    /// to [`TrafficCategory::Retrieval`], and the querier decodes it back —
+    /// so the returned scores carry the codec's `u16` quantization and the
+    /// simulator charges exactly what the codec produced.
+    ///
+    /// With a `score_floor` (the threshold-aware probe path: the executor
+    /// feeds the running k-th merged score back, see
+    /// [`crate::exec::QueryStream`]), the responsible peer encodes only the
+    /// prefix of entries scoring at least the floor. The elided tail is
+    /// subtracted from the decoded list's `full_df`, which preserves the
+    /// original truncation status — lattice domination pruning behaves
+    /// identically with and without thresholding.
     pub fn probe(
         &mut self,
         from: usize,
         key: &TermKey,
         query_seq: u64,
         stats_capacity: usize,
+        score_floor: Option<f64>,
     ) -> Result<ProbeResult, DhtError> {
         let ring_key = key.ring_id();
-        let mut fetched: Option<TruncatedPostingList> = None;
-        let fetched_ref = &mut fetched;
+        let mut encoded: Option<Vec<u8>> = None;
+        let encoded_ref = &mut encoded;
         let info = self.dht.update(
             from,
             ring_key,
@@ -256,17 +278,20 @@ impl GlobalIndex {
                 entry.usage.last_probe = query_seq;
                 if entry.activated {
                     entry.usage.hits += 1;
-                    *fetched_ref = Some(entry.postings.clone());
+                    *encoded_ref = Some(crate::codec::encode_list(&entry.postings, score_floor));
                 }
             },
         )?;
-        // Response: the posting list travels directly back to the requester
-        // (or a one-byte miss notice).
-        let response_bytes = fetched.as_ref().map(|p| p.wire_size()).unwrap_or(1);
+        // Response: the encoded posting list travels directly back to the
+        // requester (or a one-byte miss notice).
+        let response_bytes = encoded.as_ref().map(Vec::len).unwrap_or(1);
         self.charge(TrafficCategory::Retrieval, response_bytes);
+        let postings = encoded.map(|bytes| {
+            crate::codec::decode_list(&bytes).expect("probe response frames are well-formed")
+        });
         Ok(ProbeResult {
             key: key.clone(),
-            postings: fetched,
+            postings,
             hops: info.hops,
             responsible: info.responsible,
             skipped: false,
@@ -295,21 +320,14 @@ impl GlobalIndex {
     /// really carries at most `max_entries` references (a miss response of 1 byte is
     /// always within the bound).
     pub fn estimate_probe_bytes(&self, key: &TermKey, hops: usize, max_entries: usize) -> u64 {
-        use crate::posting::ScoredRef;
         use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
-        use alvisp2p_textindex::DocId;
         let routing = hops * (self.dht.config().lookup_request_bytes + ENVELOPE_OVERHEAD);
         let request = self.probe_request_bytes + key.wire_size() + ENVELOPE_OVERHEAD;
-        // Derive the response-size model from the actual wire format: an empty
-        // list's wire size is the serialised header (which also covers the
-        // 1-byte miss notice), plus one ScoredRef per reference.
-        let header = TruncatedPostingList::new(1).wire_size();
-        let per_entry = ScoredRef {
-            doc: DocId::new(0, 0),
-            score: 0.0,
-        }
-        .wire_size();
-        let response = header + per_entry * max_entries + ENVELOPE_OVERHEAD;
+        // The response-size model is the codec's worst case for a frame
+        // carrying `max_entries` references (it also covers the 1-byte miss
+        // notice), so Reserve admission reserves against what the codec can
+        // actually produce.
+        let response = crate::codec::max_encoded_list_len(max_entries) + ENVELOPE_OVERHEAD;
         (routing + request + response) as u64
     }
 
@@ -452,7 +470,7 @@ mod tests {
         let mut gi = index(16);
         let key = TermKey::new(["peer", "retriev"]);
         gi.publish_postings(0, &key, &refs(5), 100).unwrap();
-        let probe = gi.probe(3, &key, 1, 100).unwrap();
+        let probe = gi.probe(3, &key, 1, 100, None).unwrap();
         assert!(probe.found());
         assert_eq!(probe.postings.unwrap().len(), 5);
         assert_eq!(gi.activated_keys(), 1);
@@ -467,7 +485,7 @@ mod tests {
     fn probing_unknown_key_records_statistics_only() {
         let mut gi = index(8);
         let key = TermKey::new(["never", "indexed"]);
-        let probe = gi.probe(2, &key, 7, 50).unwrap();
+        let probe = gi.probe(2, &key, 7, 50, None).unwrap();
         assert!(!probe.found());
         assert_eq!(gi.activated_keys(), 0);
         assert_eq!(gi.total_entries(), 1);
@@ -476,7 +494,7 @@ mod tests {
         assert_eq!(usage.hits, 0);
         assert_eq!(usage.last_probe, 7);
         // Probing again accumulates.
-        gi.probe(3, &key, 9, 50).unwrap();
+        gi.probe(3, &key, 9, 50, None).unwrap();
         assert_eq!(gi.usage(&key).unwrap().probes, 2);
     }
 
@@ -529,10 +547,68 @@ mod tests {
         let after_publish = gi.stats_snapshot();
         assert!(after_publish.category(TrafficCategory::Indexing).bytes > 0);
         assert_eq!(after_publish.category(TrafficCategory::Retrieval).bytes, 0);
-        gi.probe(9, &key, 1, 100).unwrap();
+        gi.probe(9, &key, 1, 100, None).unwrap();
         let delta = gi.stats_snapshot().since(&after_publish);
-        assert!(delta.category(TrafficCategory::Retrieval).bytes > 50 * 12);
+        // The probe charges at least the codec frame of the stored list (plus
+        // request + routing), and never more than the planner's worst case.
+        let frame = gi.peek(&key).unwrap().postings.wire_size() as u64;
+        assert!(delta.category(TrafficCategory::Retrieval).bytes > frame);
         assert_eq!(delta.category(TrafficCategory::Indexing).bytes, 0);
+    }
+
+    #[test]
+    fn probe_round_trips_through_the_codec() {
+        let mut gi = index(16);
+        let key = TermKey::new(["codec", "probe"]);
+        gi.publish_postings(0, &key, &refs(30), 100).unwrap();
+        let stored = gi.peek(&key).unwrap().postings.clone();
+        let probe = gi.probe(3, &key, 1, 100, None).unwrap();
+        let got = probe.postings.unwrap();
+        // Same documents in the same order; scores within one quantization step.
+        assert_eq!(got.len(), stored.len());
+        assert_eq!(got.full_df(), stored.full_df());
+        let step = crate::codec::quantization_step(
+            stored.worst_score().unwrap(),
+            stored.best_score().unwrap(),
+        ) + 1e-9;
+        for (a, b) in stored.refs().iter().zip(got.refs()) {
+            assert_eq!(a.doc, b.doc);
+            assert!((a.score - b.score).abs() <= step);
+        }
+    }
+
+    #[test]
+    fn score_floor_elides_the_tail_and_charges_fewer_bytes() {
+        let mut gi = index(16);
+        let key = TermKey::new(["floor", "probe"]);
+        // Scores 30.0 down to 1.0, complete list.
+        gi.publish_postings(0, &key, &refs(30), 100).unwrap();
+        let before = gi.stats_snapshot();
+        let full = gi.probe(3, &key, 1, 100, None).unwrap().postings.unwrap();
+        let full_bytes = gi
+            .stats_snapshot()
+            .since(&before)
+            .category(TrafficCategory::Retrieval)
+            .bytes;
+        let before = gi.stats_snapshot();
+        let floored = gi
+            .probe(3, &key, 2, 100, Some(20.0))
+            .unwrap()
+            .postings
+            .unwrap();
+        let floored_bytes = gi
+            .stats_snapshot()
+            .since(&before)
+            .category(TrafficCategory::Retrieval)
+            .bytes;
+        assert_eq!(full.len(), 30);
+        assert!(!full.is_truncated());
+        assert_eq!(floored.len(), 11, "scores 30..=20 survive the floor");
+        assert!(floored.refs().iter().all(|r| r.score >= 19.9));
+        // Floor elision is not capacity truncation: the list stays "complete"
+        // so domination pruning is unchanged.
+        assert!(!floored.is_truncated());
+        assert!(floored_bytes < full_bytes);
     }
 
     #[test]
@@ -540,11 +616,11 @@ mod tests {
         let mut gi = index(8);
         let key = TermKey::new(["old", "popular"]);
         gi.publish_postings(0, &key, &refs(5), 100).unwrap();
-        gi.probe(1, &key, 1, 100).unwrap();
+        gi.probe(1, &key, 1, 100, None).unwrap();
         assert!(gi.deactivate(&key));
         assert!(!gi.deactivate(&key), "already deactivated");
         assert_eq!(gi.activated_keys(), 0);
-        let probe = gi.probe(2, &key, 2, 100).unwrap();
+        let probe = gi.probe(2, &key, 2, 100, None).unwrap();
         assert!(!probe.found());
         assert_eq!(gi.usage(&key).unwrap().probes, 2);
     }
@@ -565,8 +641,8 @@ mod tests {
         let mut gi = index(16);
         let key = TermKey::new(["on", "demand"]);
         // Build up some probe statistics first.
-        gi.probe(0, &key, 1, 50).unwrap();
-        gi.probe(1, &key, 2, 50).unwrap();
+        gi.probe(0, &key, 1, 50, None).unwrap();
+        gi.probe(1, &key, 2, 50, None).unwrap();
         let responsible = gi.dht().responsible_for(key.ring_id()).unwrap();
         gi.store_acquired(responsible, &key, refs(7));
         let entry = gi.peek(&key).unwrap();
@@ -585,7 +661,7 @@ mod tests {
             let hops = gi.estimate_hops(3, &key).unwrap();
             let bound = gi.estimate_probe_bytes(&key, hops, max_entries);
             let before = gi.stats_snapshot();
-            gi.probe(3, &key, 1, 16).unwrap();
+            gi.probe(3, &key, 1, 16, None).unwrap();
             let spent = gi
                 .stats_snapshot()
                 .since(&before)

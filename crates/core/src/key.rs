@@ -65,6 +65,10 @@ pub struct TermKey {
     hash: u64,
     /// Total byte length of the terms (separators excluded).
     str_len: u32,
+    /// Length of the [`crate::codec::encode_key`] wire frame (varint term
+    /// count + per-term varint length prefix + bytes), computed at
+    /// construction so `wire_size` stays a cached-field read.
+    wire_len: u32,
 }
 
 /// Scratch buffer for canonicalising `(id, term)` pairs during construction.
@@ -203,6 +207,7 @@ impl TermKey {
             hasher.write(s.as_bytes());
             str_len += u32::try_from(s.len()).expect("term length fits u32");
         }
+        let wire_len = crate::codec::key_frame_len(entries.iter().map(|(_, s)| s.len()));
         let repr = if entries.len() <= INLINE_TERMS {
             let mut ids = [entries[0].0; INLINE_TERMS];
             for (slot, (id, _)) in ids.iter_mut().zip(entries) {
@@ -219,6 +224,7 @@ impl TermKey {
             repr,
             hash: hasher.finish().0,
             str_len,
+            wire_len: u32::try_from(wire_len).expect("key frame length fits u32"),
         }
     }
 
@@ -531,10 +537,12 @@ impl fmt::Display for TermKey {
 }
 
 impl WireSize for TermKey {
+    /// Exact length of the [`crate::codec::encode_key`] frame (varint term
+    /// count, then per term a varint length prefix plus the UTF-8 bytes),
+    /// cached at construction: still a field read, but now it is the length of
+    /// bytes the codec really produces rather than a fixed-width model.
     fn wire_size(&self) -> usize {
-        // Same formula as the string representation: a length prefix plus one
-        // length-prefixed term each — now pure arithmetic on cached lengths.
-        4 + self.len() * 4 + self.str_len as usize
+        self.wire_len as usize
     }
 }
 
@@ -676,9 +684,13 @@ mod tests {
     }
 
     #[test]
-    fn wire_size_counts_terms() {
+    fn wire_size_is_the_codec_key_frame_length() {
         let k = TermKey::new(["ab", "cde"]);
-        assert_eq!(k.wire_size(), 4 + (4 + 2) + (4 + 3));
+        // varint(2 terms) + (varint(2) + "ab") + (varint(3) + "cde").
+        assert_eq!(k.wire_size(), 1 + (1 + 2) + (1 + 3));
+        let mut frame = Vec::new();
+        crate::codec::encode_key(&mut frame, &k);
+        assert_eq!(k.wire_size(), frame.len());
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!
 //! * [`key`] — term-combination keys and their subset lattice;
 //! * [`posting`] — truncated posting lists (bounded top-k document references);
+//! * [`codec`] — the wire codec for posting lists and key frames
+//!   (delta-varint blocks, `u16`-quantized scores, per-block max-score headers
+//!   and skip offsets); `WireSize` for retrieval frames is the exact length of
+//!   what this codec produces;
 //! * [`global_index`] — the distributed key → posting-list index with per-key usage
 //!   statistics, scattered over the overlay;
 //! * [`strategy`] — the pluggable [`Strategy`] trait with the paper's three
@@ -60,6 +64,7 @@
 #![warn(clippy::redundant_clone)]
 
 pub mod baseline;
+pub mod codec;
 pub mod error;
 pub mod exec;
 pub mod global_index;
@@ -77,6 +82,10 @@ pub mod stats;
 pub mod strategy;
 
 pub use baseline::CentralizedEngine;
+pub use codec::{
+    decode_list, decode_list_above, encode_list, max_encoded_list_len, quantization_step,
+    CodecError,
+};
 pub use error::AlvisError;
 pub use exec::{
     ExecutionControl, ExecutionObserver, ProbeEvent, QueryExecutor, QueryStream, StableTopK,
@@ -96,6 +105,6 @@ pub use plan::{
 pub use posting::{ScoredRef, TruncatedPostingList};
 pub use qdi::{ActivationDecision, QdiConfig, QdiReport};
 pub use ranking::{merge_retrieved, score_local_postings, GlobalRankingStats};
-pub use request::{QueryRequest, QueryResponse};
+pub use request::{QueryRequest, QueryResponse, ThresholdMode};
 pub use stats::{overlap_at_k, precision_at_k, recall_at_k, QualityAccumulator, QualitySummary};
 pub use strategy::{Hdk, IndexerCtx, Qdi, QueryCtx, SingleTermFull, Strategy};

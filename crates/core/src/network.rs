@@ -643,15 +643,18 @@ impl AlvisNetwork {
         self.query_seq
     }
 
-    /// Sends one planned probe through the global index.
+    /// Sends one planned probe through the global index. `score_floor` is the
+    /// executor's threshold feedback: responsible peers encode only the
+    /// posting prefix at or above it (see [`GlobalIndex::probe`]).
     pub(crate) fn probe_planned(
         &mut self,
         origin: usize,
         key: &TermKey,
         seq: u64,
+        score_floor: Option<f64>,
     ) -> Result<ProbeResult, DhtError> {
         let capacity = self.config.strategy.truncation_k();
-        self.global.probe(origin, key, seq, capacity)
+        self.global.probe(origin, key, seq, capacity, score_floor)
     }
 
     /// Lets the strategy observe a finished query (QDI activation/eviction) and

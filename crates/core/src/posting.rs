@@ -23,9 +23,13 @@ pub struct ScoredRef {
 }
 
 impl WireSize for ScoredRef {
+    /// Actual encoded length of a stand-alone entry under [`crate::codec`]:
+    /// two doc-id varints plus the 2-byte quantized score. (The seed claimed a
+    /// fixed "packed doc id (8) + quantised score (4)" while serde shipped a
+    /// full `f64`; the codec makes the quantized bytes real, and in-list
+    /// entries are delta-coded smaller still.)
     fn wire_size(&self) -> usize {
-        // packed doc id (8) + quantised score (4)
-        12
+        crate::codec::entry_wire_size(self)
     }
 }
 
@@ -182,12 +186,26 @@ impl TruncatedPostingList {
     pub fn worst_score(&self) -> Option<f64> {
         self.refs.last().map(|r| r.score)
     }
+
+    /// Builds a list directly from wire-decoded parts: `refs` already in
+    /// canonical order (descending score, ties by ascending doc id), with the
+    /// membership set derived. Used by [`crate::codec`] and the serde path.
+    pub(crate) fn from_wire_parts(refs: Vec<ScoredRef>, capacity: usize, full_df: u64) -> Self {
+        let members = refs.iter().map(|r| r.doc).collect();
+        TruncatedPostingList {
+            refs,
+            capacity: capacity.max(1),
+            full_df,
+            members,
+        }
+    }
 }
 
 impl WireSize for TruncatedPostingList {
+    /// Exact length of the [`crate::codec`] list frame for this list — the
+    /// bytes a probe response actually ships (pure arithmetic, no allocation).
     fn wire_size(&self) -> usize {
-        // refs + capacity (4) + full_df (8)
-        4 + self.refs.iter().map(WireSize::wire_size).sum::<usize>() + 4 + 8
+        crate::codec::encoded_list_len(self)
     }
 }
 
@@ -208,13 +226,9 @@ impl Deserialize for TruncatedPostingList {
         let refs: Vec<ScoredRef> = serde::field(v, "refs")?;
         let capacity: usize = serde::field(v, "capacity")?;
         let full_df: u64 = serde::field(v, "full_df")?;
-        let members = refs.iter().map(|r| r.doc).collect();
-        Ok(TruncatedPostingList {
-            refs,
-            capacity,
-            full_df,
-            members,
-        })
+        Ok(TruncatedPostingList::from_wire_parts(
+            refs, capacity, full_df,
+        ))
     }
 }
 
@@ -335,8 +349,15 @@ mod tests {
         for i in 0..1000 {
             list.insert(r(i, f64::from(i)));
         }
-        // 50 refs * 12 bytes + 16 bytes of header.
-        assert_eq!(list.wire_size(), 50 * 12 + 16);
+        // The wire size is the exact codec frame length, bounded by the
+        // codec's worst case for 50 entries — and far below the seed's
+        // 12-bytes-per-ref accounting for these clustered doc ids.
+        assert_eq!(
+            list.wire_size(),
+            crate::codec::encode_list(&list, None).len()
+        );
+        assert!(list.wire_size() <= crate::codec::max_encoded_list_len(50));
+        assert!(list.wire_size() < 50 * 12 + 16);
         assert_eq!(list.full_df(), 1000);
     }
 

@@ -10,6 +10,47 @@ use crate::lattice::LatticeTrace;
 use crate::network::RefinedResult;
 use alvisp2p_textindex::bm25::ScoredDoc;
 
+/// How aggressively the executor feeds the running k-th merged score back into
+/// subsequent probes as a score floor (threshold-aware probes; the policy
+/// itself lives in [`crate::exec::QueryStream`]).
+///
+/// With `m` query terms and running k-th merged score `θ`:
+///
+/// * [`ThresholdMode::Conservative`] (the default) floors at `θ / (2m)`. A
+///   document whose every posting entry scores below that floor aggregates to
+///   strictly less than `θ / 2` across the at most `m` keys that can
+///   contribute to it, so elision can never lift it past the running k-th
+///   score *as of the probe that elided it*. Two gaps keep even this mode
+///   heuristic rather than proven: partial elision (a retrieved document
+///   losing a sub-floor component of its merged score), and the
+///   coverage-weighted merge being non-monotone (`θ` can later drop below
+///   the level an earlier floor assumed; past elision is irreversible).
+///   Exactness is therefore pinned empirically — the deterministic equality
+///   tests assert the returned top-k is *identical* to unthresholded
+///   execution across the tested corpora and budgets — and the ROADMAP
+///   tracks the WAND-style per-term upper bounds a provably rank-safe floor
+///   would need.
+/// * [`ThresholdMode::Aggressive`] floors at `θ / m`: the bandwidth-first
+///   operating point. A document elided everywhere still cannot aggregate to
+///   `θ`, but merged scores of retrieved documents may lose sub-floor
+///   components, so boundary ranks are approximate — the same trade
+///   posting-list truncation itself makes, measured (bytes saved vs. result
+///   overlap) by the bench arms instead of asserted equal.
+/// * [`ThresholdMode::Off`] never sends a floor (the PR 3 byte baseline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ThresholdMode {
+    /// No score floor is ever sent.
+    Off,
+    /// Floor at `θ / (2m)`: a fully-elided document cannot reach the running
+    /// k-th score as of the probe that elided it; empirically exact on the
+    /// tested workloads (see the type-level docs for the two caveats).
+    #[default]
+    Conservative,
+    /// Floor at `θ / m`: maximal safe-membership elision, approximate
+    /// boundary ranks.
+    Aggressive,
+}
+
 /// One query, fully described.
 ///
 /// ```
@@ -40,6 +81,12 @@ pub struct QueryRequest {
     pub byte_budget: Option<u64>,
     /// Optional bound on the total overlay hops of the exploration.
     pub hop_budget: Option<usize>,
+    /// Threshold-aware probing mode: whether (and how aggressively) the
+    /// executor feeds the running k-th merged score back into subsequent
+    /// probes as a score floor, letting responsible peers elide posting
+    /// entries the running top-k already dominates. Defaults to
+    /// [`ThresholdMode::Conservative`].
+    pub threshold: ThresholdMode,
 }
 
 impl QueryRequest {
@@ -53,6 +100,7 @@ impl QueryRequest {
             refine: false,
             byte_budget: None,
             hop_budget: None,
+            threshold: ThresholdMode::default(),
         }
     }
 
@@ -83,6 +131,23 @@ impl QueryRequest {
     /// Bounds the total overlay hops of the exploration.
     pub fn hop_budget(mut self, hops: usize) -> Self {
         self.hop_budget = Some(hops);
+        self
+    }
+
+    /// Enables or disables threshold-aware probes (shorthand for
+    /// [`ThresholdMode::Conservative`] / [`ThresholdMode::Off`]).
+    pub fn threshold_probes(mut self, enabled: bool) -> Self {
+        self.threshold = if enabled {
+            ThresholdMode::Conservative
+        } else {
+            ThresholdMode::Off
+        };
+        self
+    }
+
+    /// Sets the threshold-aware probing mode explicitly.
+    pub fn threshold_mode(mut self, mode: ThresholdMode) -> Self {
+        self.threshold = mode;
         self
     }
 }
@@ -152,5 +217,16 @@ mod tests {
         assert!(!r.refine);
         assert_eq!(r.byte_budget, None);
         assert_eq!(r.hop_budget, None);
+        assert_eq!(r.threshold, ThresholdMode::Conservative);
+        assert_eq!(
+            QueryRequest::new("x").threshold_probes(false).threshold,
+            ThresholdMode::Off
+        );
+        assert_eq!(
+            QueryRequest::new("x")
+                .threshold_mode(ThresholdMode::Aggressive)
+                .threshold,
+            ThresholdMode::Aggressive
+        );
     }
 }

@@ -1,0 +1,306 @@
+//! Property tests for the posting-list wire codec and the threshold-aware
+//! probe path:
+//!
+//! * `decode(encode(list))` equals the list up to score quantization (same
+//!   documents in canonical order, same `full_df`/capacity, per-entry score
+//!   error within one quantization step, no rank inversion between entries
+//!   more than one step apart);
+//! * decoding under any `score_floor` yields exactly the monotone prefix of
+//!   the fully decoded list at or above the floor;
+//! * executing the same query workload with threshold-aware probes on and off
+//!   returns the same ranked top-k documents (and never more bytes) across
+//!   random corpora and budgets.
+
+use alvisp2p_core::codec::{
+    decode_list, decode_list_above, encode_list, encoded_list_len, max_encoded_list_len,
+    quantization_step,
+};
+use alvisp2p_core::network::AlvisNetwork;
+use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_core::request::{QueryRequest, ThresholdMode};
+use alvisp2p_core::strategy::{Hdk, SingleTermFull, Strategy as IndexingStrategy};
+use alvisp2p_textindex::{
+    CorpusConfig, CorpusGenerator, DocId, QueryLogConfig, QueryLogGenerator, SyntheticCorpus,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn scored_refs(max: usize) -> impl Strategy<Value = Vec<ScoredRef>> {
+    proptest::collection::vec(
+        (0u32..40, 0u32..500, 0u64..4_000).prop_map(|(peer, local, s)| ScoredRef {
+            doc: DocId::new(peer, local),
+            score: s as f64 / 16.0,
+        }),
+        0..max,
+    )
+}
+
+proptest! {
+    #[test]
+    fn round_trip_equals_the_list_up_to_quantization(
+        refs in scored_refs(80),
+        capacity in 1usize..64,
+    ) {
+        let list = TruncatedPostingList::from_refs(refs, capacity);
+        let bytes = encode_list(&list, None);
+        prop_assert_eq!(bytes.len(), encoded_list_len(&list));
+        prop_assert!(bytes.len() <= max_encoded_list_len(list.len()));
+        let back = decode_list(&bytes).unwrap();
+
+        prop_assert_eq!(back.len(), list.len());
+        prop_assert_eq!(back.full_df(), list.full_df());
+        prop_assert_eq!(back.capacity(), list.capacity());
+        prop_assert_eq!(back.is_truncated(), list.is_truncated());
+
+        // Same documents; scores within one quantization step. Entries may be
+        // locally reordered only where quantization collapsed near-ties, so
+        // compare the doc sets and per-doc scores rather than positions.
+        let step = match (list.worst_score(), list.best_score()) {
+            (Some(lo), Some(hi)) => quantization_step(lo, hi) + 1e-9,
+            _ => 0.0,
+        };
+        let mut original: Vec<(DocId, f64)> =
+            list.refs().iter().map(|r| (r.doc, r.score)).collect();
+        let mut decoded: Vec<(DocId, f64)> =
+            back.refs().iter().map(|r| (r.doc, r.score)).collect();
+        original.sort_by_key(|e| e.0);
+        decoded.sort_by_key(|e| e.0);
+        for ((doc_a, score_a), (doc_b, score_b)) in original.iter().zip(&decoded) {
+            prop_assert_eq!(doc_a, doc_b);
+            prop_assert!((score_a - score_b).abs() <= step,
+                "doc {doc_a:?}: {score_a} decoded as {score_b}, step {step}");
+        }
+
+        // Rank-inversion bound: entries whose original scores differ by more
+        // than one quantization step keep their relative order.
+        for (i, a) in back.refs().iter().enumerate() {
+            for b in &back.refs()[i + 1..] {
+                let orig_a = list.refs().iter().find(|r| r.doc == a.doc).unwrap().score;
+                let orig_b = list.refs().iter().find(|r| r.doc == b.doc).unwrap().score;
+                prop_assert!(orig_a >= orig_b - step,
+                    "decoded rank inversion beyond one step: {orig_a} before {orig_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn floored_decode_is_the_monotone_prefix(
+        refs in scored_refs(80),
+        capacity in 1usize..64,
+        floor_per_mille in 0u32..1_200,
+    ) {
+        let list = TruncatedPostingList::from_refs(refs, capacity);
+        let bytes = encode_list(&list, None);
+        let full = decode_list(&bytes).unwrap();
+        let hi = full.best_score().unwrap_or(0.0);
+        let floor = hi * f64::from(floor_per_mille) / 1_000.0;
+        let floored = decode_list_above(&bytes, floor).unwrap();
+
+        // Exactly the prefix of the fully decoded list at or above the floor.
+        let expected: Vec<ScoredRef> = full
+            .refs()
+            .iter()
+            .copied()
+            .filter(|r| r.score >= floor)
+            .collect();
+        prop_assert_eq!(floored.len(), expected.len());
+        for (a, b) in floored.refs().iter().zip(&expected) {
+            prop_assert_eq!(a.doc, b.doc);
+            prop_assert_eq!(a.score, b.score);
+        }
+        // Floor elision never flips the truncation status.
+        prop_assert_eq!(floored.is_truncated(), list.is_truncated());
+    }
+
+    #[test]
+    fn encode_side_floor_ships_fewer_bytes_and_the_right_prefix(
+        refs in scored_refs(80),
+        capacity in 1usize..64,
+        floor_per_mille in 0u32..1_200,
+    ) {
+        let list = TruncatedPostingList::from_refs(refs, capacity);
+        let hi = list.best_score().unwrap_or(0.0);
+        let floor = hi * f64::from(floor_per_mille) / 1_000.0;
+        let full = encode_list(&list, None);
+        let floored = encode_list(&list, Some(floor));
+        prop_assert!(floored.len() <= full.len());
+        let back = decode_list(&floored).unwrap();
+        let kept = list.refs().iter().filter(|r| r.score >= floor).count();
+        prop_assert_eq!(back.len(), kept);
+        for (a, b) in back.refs().iter().zip(list.refs()) {
+            prop_assert_eq!(a.doc, b.doc);
+        }
+        prop_assert_eq!(back.is_truncated(), list.is_truncated());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threshold-aware probes: equal top-k, fewer bytes
+// ---------------------------------------------------------------------------
+
+fn corpus(num_docs: usize, seed: u64) -> SyntheticCorpus {
+    CorpusGenerator::new(
+        CorpusConfig {
+            num_docs,
+            vocab_size: 300,
+            num_topics: 6,
+            topic_vocab: 50,
+            doc_len_mean: 80,
+            doc_len_spread: 30,
+            ..Default::default()
+        },
+        seed,
+    )
+    .generate()
+}
+
+fn network(
+    corpus: &SyntheticCorpus,
+    strategy: Arc<dyn IndexingStrategy>,
+    seed: u64,
+) -> AlvisNetwork {
+    AlvisNetwork::builder()
+        .peers(8)
+        .strategy_arc(strategy)
+        .seed(seed)
+        .corpus(corpus)
+        .build_indexed()
+        .expect("valid configuration")
+}
+
+fn query_texts(corpus: &SyntheticCorpus, n: usize, seed: u64) -> Vec<String> {
+    QueryLogGenerator::new(
+        QueryLogConfig {
+            num_queries: n,
+            distinct_queries: (n / 2).max(10),
+            min_terms: 2,
+            max_terms: 3,
+            ..Default::default()
+        },
+        seed,
+    )
+    .generate(corpus)
+    .queries
+    .into_iter()
+    .map(|q| q.text)
+    .collect()
+}
+
+/// The headline equality: across random corpora and strategies, the ranked
+/// top-k documents under the default [`ThresholdMode::Conservative`] are
+/// identical — docs and traces — to unthresholded execution, and the
+/// thresholded run never ships more bytes. (Deterministic: seeds are fixed.)
+#[test]
+fn conservative_threshold_keeps_the_top_k_exactly() {
+    let strategies: Vec<(&str, Arc<dyn IndexingStrategy>)> = vec![
+        ("single-term", Arc::new(SingleTermFull)),
+        ("hdk", Arc::new(Hdk::default())),
+    ];
+    for (docs, seed) in [(160usize, 11u64), (320, 23), (240, 57)] {
+        let corpus = corpus(docs, seed);
+        let queries = query_texts(&corpus, 24, seed ^ 0x9e);
+        for (label, strategy) in &strategies {
+            let mut with = network(&corpus, Arc::clone(strategy), seed);
+            let mut without = network(&corpus, Arc::clone(strategy), seed);
+            for (i, text) in queries.iter().enumerate() {
+                let base = QueryRequest::new(text.clone()).from_peer(i % 8).top_k(10);
+                let on = with.execute(&base.clone()).unwrap();
+                let off = without.execute(&base.threshold_probes(false)).unwrap();
+                let on_docs: Vec<_> = on.results.iter().map(|r| r.doc).collect();
+                let off_docs: Vec<_> = off.results.iter().map(|r| r.doc).collect();
+                assert_eq!(
+                    on_docs, off_docs,
+                    "{label} corpus({docs},{seed}) query {i} {text:?}: top-k changed"
+                );
+                // Floor elision only shrinks responses; pruning is preserved,
+                // so the traces are identical probe-for-probe.
+                assert_eq!(on.trace.nodes, off.trace.nodes);
+                assert!(
+                    on.bytes <= off.bytes,
+                    "{label} query {i}: thresholded probe shipped more bytes"
+                );
+            }
+        }
+    }
+}
+
+/// The bandwidth-first [`ThresholdMode::Aggressive`] point (`θ / m`): real
+/// byte savings on the frequent-term workload (the paper's problematic case)
+/// at near-identical top-k membership. Deterministic, so the measured trade
+/// is pinned rather than asserted as exact equality.
+#[test]
+fn aggressive_threshold_trades_bounded_overlap_loss_for_bytes() {
+    let corpus = corpus(300, 7);
+    // Frequent vocabulary terms: the long posting lists thresholds act on.
+    let queries: Vec<String> = (5..25)
+        .map(|i| format!("{} {}", corpus.vocabulary[i], corpus.vocabulary[i + 1]))
+        .collect();
+    let mut aggressive = network(&corpus, Arc::new(SingleTermFull), 7);
+    let mut off = network(&corpus, Arc::new(SingleTermFull), 7);
+    let mut overlap_sum = 0.0;
+    let mut queries_scored = 0usize;
+    let mut aggressive_bytes = 0u64;
+    let mut off_bytes = 0u64;
+    for (i, text) in queries.iter().enumerate() {
+        let base = QueryRequest::new(text.clone()).from_peer(i % 8).top_k(10);
+        let a = aggressive
+            .execute(&base.clone().threshold_mode(ThresholdMode::Aggressive))
+            .unwrap();
+        let o = off.execute(&base.threshold_probes(false)).unwrap();
+        let a_docs: std::collections::HashSet<_> = a.results.iter().map(|r| r.doc).collect();
+        let o_docs: std::collections::HashSet<_> = o.results.iter().map(|r| r.doc).collect();
+        if !o_docs.is_empty() {
+            overlap_sum += a_docs.intersection(&o_docs).count() as f64 / o_docs.len() as f64;
+            queries_scored += 1;
+        }
+        aggressive_bytes += a.bytes;
+        off_bytes += o.bytes;
+    }
+    let mean_overlap = overlap_sum / queries_scored as f64;
+    assert!(
+        mean_overlap >= 0.9,
+        "aggressive thresholding lost too much of the top-k: overlap {mean_overlap:.3}"
+    );
+    assert!(
+        aggressive_bytes < off_bytes,
+        "aggressive thresholding saved no bytes ({aggressive_bytes} vs {off_bytes})"
+    );
+}
+
+/// Under byte budgets the Reserve guarantee holds in both modes, and whenever
+/// the budget is loose enough that neither run was truncated, the equality
+/// from the unbudgeted case carries over.
+#[test]
+fn threshold_probes_respect_budgets_and_agree_when_not_truncated() {
+    let corpus = corpus(240, 5);
+    let queries = query_texts(&corpus, 16, 99);
+    let mut agreements = 0usize;
+    for budget in [1_500u64, 6_000, 40_000, u64::MAX / 2] {
+        let mut with = network(&corpus, Arc::new(Hdk::default()), 5);
+        let mut without = network(&corpus, Arc::new(Hdk::default()), 5);
+        for (i, text) in queries.iter().enumerate() {
+            let base = QueryRequest::new(text.clone())
+                .from_peer(i % 8)
+                .top_k(10)
+                .byte_budget(budget);
+            let plan_on = with
+                .plan_with(&alvisp2p_core::plan::GreedyCost::default(), &base)
+                .unwrap();
+            let on = with.run(&plan_on, &base).unwrap();
+            let off_request = base.threshold_probes(false);
+            let plan_off = without
+                .plan_with(&alvisp2p_core::plan::GreedyCost::default(), &off_request)
+                .unwrap();
+            let off = without.run(&plan_off, &off_request).unwrap();
+            assert!(on.bytes <= budget, "threshold-on exceeded the budget");
+            assert!(off.bytes <= budget, "threshold-off exceeded the budget");
+            if !on.budget_exhausted && !off.budget_exhausted {
+                let on_docs: Vec<_> = on.results.iter().map(|r| r.doc).collect();
+                let off_docs: Vec<_> = off.results.iter().map(|r| r.doc).collect();
+                assert_eq!(on_docs, off_docs, "budget {budget} query {i}");
+                agreements += 1;
+            }
+        }
+    }
+    assert!(agreements > 0, "every budget truncated every query");
+}

@@ -134,7 +134,7 @@ proptest! {
         prop_assert_eq!(gi.activated_keys(), keys.len());
         // Every key is found by a probe from any origin and the per-peer loads sum up.
         for (i, key) in keys.iter().enumerate() {
-            let probe = gi.probe((i + 1) % peers, key, i as u64, 16).unwrap();
+            let probe = gi.probe((i + 1) % peers, key, i as u64, 16, None).unwrap();
             prop_assert!(probe.found(), "published key {key} not found");
         }
         let load_sum: usize = gi.per_peer_load().iter().map(|(k, _)| *k).sum();
@@ -160,7 +160,7 @@ proptest! {
         );
         gi.publish_postings(0, &key, &list, capacity).unwrap();
         let before = gi.stats_snapshot();
-        gi.probe(5, &key, 1, capacity).unwrap();
+        gi.probe(5, &key, 1, capacity, None).unwrap();
         let delta = gi.stats_snapshot().since(&before);
         let retrieval = delta.category(TrafficCategory::Retrieval).bytes as usize;
         // The response can never exceed capacity * sizeof(ref) plus bounded overheads

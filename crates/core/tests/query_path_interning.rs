@@ -1,0 +1,67 @@
+//! The distributed query path must never grow the process-wide leaky
+//! interner: a term no document ever published cannot match anything, so the
+//! query pipeline resolves terms lookup-only (`intern::try_term_id`) and drops
+//! never-seen ones. This closes the ROADMAP exposure where an untrusted query
+//! stream grew memory with every novel term.
+
+use alvisp2p_core::network::AlvisNetwork;
+use alvisp2p_core::request::QueryRequest;
+use alvisp2p_core::strategy::Hdk;
+use alvisp2p_textindex::{demo_corpus, intern};
+
+fn demo_network() -> AlvisNetwork {
+    AlvisNetwork::builder()
+        .peers(4)
+        .strategy(Hdk::default())
+        .seed(7)
+        .documents(demo_corpus())
+        .build_indexed()
+        .expect("valid configuration")
+}
+
+#[test]
+fn unseen_query_terms_do_not_grow_the_interner() {
+    let mut net = demo_network();
+    // Warm everything once (plans, ranking stats, analyzers).
+    let warm = net.execute(&QueryRequest::new("peer retrieval")).unwrap();
+    assert!(!warm.results.is_empty());
+
+    let before = intern::interned_terms();
+    // Repeated queries made of terms no document ever published: each would
+    // previously have interned (and leaked) its novel terms.
+    for i in 0..50 {
+        let text = format!("zzyzxq{i} qwfpgjluy{i} vexatiousnonterm{i}");
+        let response = net.execute(&QueryRequest::new(text)).unwrap();
+        assert!(response.results.is_empty());
+        assert_eq!(response.bytes, 0, "nothing to probe for unseen terms");
+    }
+    assert_eq!(
+        intern::interned_terms(),
+        before,
+        "unseen-term queries must leave the interner untouched"
+    );
+    // Lookup-only resolution really is lookup-only.
+    assert_eq!(intern::try_term_id("zzyzxq0"), None);
+    assert_eq!(intern::resolve_existing("zzyzxq0"), None);
+    assert_eq!(intern::try_term_id("zzyzxq0"), None, "try_term_id inserted");
+}
+
+#[test]
+fn mixed_queries_behave_as_if_unseen_terms_were_absent() {
+    let mut clean = demo_network();
+    let mut mixed = demo_network();
+    let clean_response = clean.execute(&QueryRequest::new("peer retrieval")).unwrap();
+
+    let before = intern::interned_terms();
+    let mixed_response = mixed
+        .execute(&QueryRequest::new("peer zzneverpublishedzz retrieval"))
+        .unwrap();
+    assert_eq!(intern::interned_terms(), before);
+
+    // The unseen term is dropped before key construction, so the query runs
+    // as `peer retrieval`: identical results and identical lattice trace.
+    let clean_docs: Vec<_> = clean_response.results.iter().map(|r| r.doc).collect();
+    let mixed_docs: Vec<_> = mixed_response.results.iter().map(|r| r.doc).collect();
+    assert_eq!(clean_docs, mixed_docs);
+    assert_eq!(clean_response.trace.nodes, mixed_response.trace.nodes);
+}

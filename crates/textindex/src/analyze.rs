@@ -129,9 +129,31 @@ impl Analyzer {
         ids
     }
 
-    /// Interned-term variant of [`Analyzer::analyze_query`].
+    /// Interned-term variant of [`Analyzer::analyze_query`] — **lookup-only**.
+    ///
+    /// Unlike [`Analyzer::analyze_distinct_ids`] (the indexing-side entry
+    /// point, which interns), this resolves query terms through
+    /// [`crate::intern::try_term_id`] and silently drops terms that were never
+    /// interned. A term no document ever published cannot match anything, so
+    /// dropping it changes no result — and an untrusted query stream full of
+    /// never-seen terms cannot grow the process-wide leaky interner (pinned by
+    /// `tests/query_path_interning.rs` in `alvisp2p-core`).
+    ///
+    /// The existence check is against the **process-wide** interner, not any
+    /// particular network's vocabulary: in a process hosting several simulated
+    /// networks, a term published only elsewhere still resolves here and is
+    /// probed (and found missing) exactly as before this change. Deployed
+    /// nodes run one network per process, where "interned" and "published"
+    /// coincide.
     pub fn analyze_query_ids(&self, query: &str) -> Vec<TermId> {
-        self.analyze_distinct_ids(query)
+        let mut ids: Vec<TermId> = self
+            .analyze(query)
+            .into_iter()
+            .filter_map(|o| crate::intern::try_term_id(&o.term))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 }
 

@@ -15,15 +15,16 @@
 //! requires to be bounded — the same trade-off production interners (e.g.
 //! rustc's symbol table, `lasso`'s leaky variant) make.
 //!
-//! **Caveat — query-driven growth.** The query path interns *query* terms too
-//! (they must become key components to be probed, and QDI deliberately tracks
-//! keys that are not indexed anywhere), so a long-running node serving an
-//! adversarial or heavy-tailed query stream grows the interner with every
-//! never-seen term, a few dozen bytes each, and never reclaims them. The
-//! simulated workloads here are bounded, so this is accepted for now;
-//! a deployment-grade node wants an eviction-capable arena for query-only
-//! terms (see the ROADMAP open item) before exposing the query API to
-//! untrusted input.
+//! **Untrusted input.** The interner is leaky, so growth must be bounded by
+//! the *published* vocabulary, never by what queries happen to mention. The
+//! query pipeline therefore resolves terms through the lookup-only
+//! [`try_term_id`] / [`resolve_existing`] entry points: a term that was never
+//! published cannot match anything, so the query path drops it instead of
+//! interning it, and an adversarial query stream of never-seen terms leaves
+//! the interner untouched (asserted by `tests/query_path_interning.rs` in
+//! `alvisp2p-core`). Only indexing-side paths — which process the bounded
+//! analyzed vocabulary the paper's scalability argument already assumes —
+//! intern new terms.
 //!
 //! Thread safety: id → term resolution is **lock-free** (the table is a spine
 //! of write-once chunks, two atomic loads per resolve); term → id lookups take
@@ -278,6 +279,29 @@ impl std::fmt::Display for TermId {
 /// Number of distinct terms interned so far (process-wide).
 pub fn interned_terms() -> usize {
     interner().table.len.load(Ordering::Acquire)
+}
+
+/// Lookup-only resolution: the id of an already-interned term, or `None`.
+///
+/// This is the entry point for **untrusted input paths** (the query pipeline):
+/// it never inserts, so a stream of never-seen terms cannot grow the leaky
+/// interner. A term that was never interned was never published by any
+/// document, so on the query side `None` simply means "cannot match".
+/// (Free-function alias of [`TermId::get`], named for discoverability from the
+/// ROADMAP item it resolves.)
+pub fn try_term_id(term: &str) -> Option<TermId> {
+    TermId::get(term)
+}
+
+/// Lookup-only variant of resolution by string: the canonical `&'static str`
+/// of an already-interned term, or `None`. Never allocates, never inserts.
+pub fn resolve_existing(term: &str) -> Option<&'static str> {
+    interner()
+        .map
+        .read()
+        .expect("interner map poisoned")
+        .get_key_value(term)
+        .map(|(&s, _)| s)
 }
 
 #[cfg(test)]

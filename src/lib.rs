@@ -111,7 +111,7 @@ pub mod prelude {
         AlvisNetwork, AlvisNetworkBuilder, IndexBuildReport, NetworkConfig, RefinedResult,
     };
     // The session-oriented query API.
-    pub use alvisp2p_core::request::{QueryRequest, QueryResponse};
+    pub use alvisp2p_core::request::{QueryRequest, QueryResponse, ThresholdMode};
     // The plan → execute pipeline: planners, plans and streaming execution.
     pub use alvisp2p_core::exec::{
         ExecutionControl, ExecutionObserver, ProbeEvent, QueryExecutor, QueryStream, StableTopK,

@@ -210,8 +210,9 @@ proptest! {
         if best_either.is_finite() {
             prop_assert_eq!(merged.best_score().unwrap(), best_either);
         }
-        // Wire size stays bounded by the capacity.
-        prop_assert!(merged.wire_size() <= capacity * 12 + 16);
+        // Wire size is the exact codec frame length, bounded by the codec's
+        // worst case for a list of this capacity.
+        prop_assert!(merged.wire_size() <= alvisp2p::core::codec::max_encoded_list_len(capacity));
     }
 }
 
@@ -461,12 +462,15 @@ proptest! {
         // identically-built network via `explore_lattice`.
         let mut reference_net = demo_net(strategy_pick, 23);
         let analyzer = Analyzer::default();
-        let terms = analyzer.analyze_query(&text);
+        // The query path analyzes lookup-only (never-published terms are
+        // dropped and never intern — see `textindex::intern::try_term_id`),
+        // so the reference must build its query key the same way.
+        let terms = analyzer.analyze_query_ids(&text);
         if terms.is_empty() {
             prop_assert!(response.trace.nodes.is_empty());
             return;
         }
-        let query_key = TermKey::new(terms);
+        let query_key = TermKey::from_term_ids(terms);
         let strategy = reference_net.strategy().clone();
         let lattice_config = strategy.lattice_config(&reference_net.config().lattice);
         let single_term_only = lattice_config.max_probe_len == 1;
@@ -478,7 +482,7 @@ proptest! {
                 if single_term_only && key.len() > 1 {
                     return Ok(ProbeResult::skipped(key.clone()));
                 }
-                gi.probe(origin, key, 1, capacity)
+                gi.probe(origin, key, 1, capacity, None)
             })
             .unwrap()
         };
