@@ -1,0 +1,18 @@
+//! P2 — hot-key replication under Zipf traffic; writes `BENCH_skew.json`. See `exp_skew`.
+use alvisp2p_bench::{exp_skew, quick_mode};
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        exp_skew::SkewParams::quick()
+    } else {
+        exp_skew::SkewParams::default()
+    };
+    let mut report = exp_skew::run(&params);
+    report.quick = quick;
+    exp_skew::print(&report);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    let path = std::env::var("ALVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_skew.json".to_string());
+    std::fs::write(&path, json + "\n").expect("write BENCH_skew.json");
+    println!("wrote {path}");
+}

@@ -1,11 +1,18 @@
-//! CI regression guard over `BENCH_perf.json`.
+//! CI regression guard over `BENCH_perf.json` (and optionally `BENCH_skew.json`).
 //!
-//! Usage: `perf_guard <committed.json> <fresh.json>`
+//! Usage: `perf_guard <committed.json> <fresh.json> [<committed_skew.json> <fresh_skew.json>]`
 //!
 //! Compares a fresh `exp_perf --quick` run against the committed perf
 //! trajectory and fails (exit code 1) when any comparable arm regressed by
 //! more than the tolerance (default 30%, override with
 //! `ALVIS_PERF_TOLERANCE=0.5` style fractions).
+//!
+//! When the two skew-report paths are given, the guard additionally enforces
+//! the replication subsystem's scale-independent guarantees on both reports
+//! (they hold at `--quick` and full scale alike, and the seeded runs are
+//! deterministic): every arm's top-k answers equal the unreplicated
+//! baseline's, the churn arm recovers the hot key and re-converges the
+//! replica placement, and the p99 per-peer load reduction stays ≥ 2x.
 //!
 //! Two measures keep the guard meaningful across machines and
 //! configurations:
@@ -23,6 +30,7 @@
 //!   codec list), so their per-op work is identical at any scale.
 
 use alvisp2p_bench::exp_perf::PerfReport;
+use alvisp2p_bench::exp_skew::SkewReport;
 use std::process::ExitCode;
 
 /// Benches whose per-op work does not depend on the `--quick` scaling.
@@ -59,11 +67,64 @@ fn ns_of(report: &PerfReport, bench: &str, arm: &str) -> Option<f64> {
         .map(|r| r.ns_per_op)
 }
 
+fn load_skew(path: &str) -> SkewReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_guard: cannot parse {path}: {e:?}"))
+}
+
+/// The skew-report invariants are scale-independent, so the same bar applies
+/// to the committed full run and a fresh `--quick` run.
+fn check_skew(label: &str, report: &SkewReport, failures: &mut Vec<String>) {
+    println!(
+        "skew ({label}): p99 reduction {:.2}x, topk {}, churn survived {}, re-converged {}",
+        report.p99_reduction,
+        if report.rows.iter().all(|r| r.identical_topk) {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        report.churn.hot_key_survived,
+        report.churn.reconverged,
+    );
+    for row in &report.rows {
+        if !row.identical_topk {
+            failures.push(format!(
+                "skew/{label}: arm {} changed query answers",
+                row.arm
+            ));
+        }
+    }
+    if report.p99_reduction < 2.0 {
+        failures.push(format!(
+            "skew/{label}: p99 load reduction {:.2}x below the 2x bar",
+            report.p99_reduction
+        ));
+    }
+    if !report.churn.hot_key_survived {
+        failures.push(format!(
+            "skew/{label}: hot key did not survive its primary's failure"
+        ));
+    }
+    if !report.churn.reconverged {
+        failures.push(format!(
+            "skew/{label}: replica placement did not re-converge after joins"
+        ));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [committed_path, fresh_path] = args.as_slice() else {
-        eprintln!("usage: perf_guard <committed.json> <fresh.json>");
-        return ExitCode::from(2);
+    let (committed_path, fresh_path, skew_paths) = match args.as_slice() {
+        [c, f] => (c, f, None),
+        [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone()))),
+        _ => {
+            eprintln!(
+                "usage: perf_guard <committed.json> <fresh.json> \
+                 [<committed_skew.json> <fresh_skew.json>]"
+            );
+            return ExitCode::from(2);
+        }
     };
     let tolerance: f64 = std::env::var("ALVIS_PERF_TOLERANCE")
         .ok()
@@ -127,6 +188,10 @@ fn main() -> ExitCode {
                 tolerance * 100.0
             ));
         }
+    }
+    if let Some((committed_skew, fresh_skew)) = skew_paths {
+        check_skew("committed", &load_skew(&committed_skew), &mut regressions);
+        check_skew("fresh", &load_skew(&fresh_skew), &mut regressions);
     }
     println!(
         "perf_guard: {checked} arms checked, {} regressions",

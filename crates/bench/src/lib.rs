@@ -15,6 +15,7 @@
 //! | E7 | QDI adapts the index to query popularity | [`exp_qdi`] | `exp_qdi_adaptivity` |
 //! | E8 | posting-list truncation bounds traffic with marginal quality loss | [`exp_truncation`] | `exp_truncation` |
 //! | P1 | key/posting hot-path microbenchmarks (perf trajectory, `BENCH_perf.json`) | [`exp_perf`] | `exp_perf` |
+//! | P2 | hot-key replication under Zipf traffic (per-peer p99 load, `BENCH_skew.json`) | [`exp_skew`] | `exp_skew` |
 //!
 //! Each module exposes a `run(...)` function returning typed rows (so integration
 //! tests and Criterion benches reuse the same code) and a `print(...)` helper that
@@ -34,6 +35,7 @@ pub mod exp_perf;
 pub mod exp_qdi;
 pub mod exp_quality;
 pub mod exp_routing;
+pub mod exp_skew;
 pub mod exp_storage;
 pub mod exp_truncation;
 pub mod table;

@@ -46,6 +46,21 @@ pub fn query_log(corpus: &SyntheticCorpus, num_queries: usize, drift: bool, seed
     QueryLogGenerator::new(config, seed ^ 0x51).generate(corpus)
 }
 
+/// Generates a strongly skewed (Zipf exponent `s`) query log over `corpus` —
+/// the hotspot workload of the skew/replication experiment. A higher exponent
+/// concentrates more of the log on the few most popular queries.
+pub fn zipf_query_log(corpus: &SyntheticCorpus, num_queries: usize, s: f64, seed: u64) -> QueryLog {
+    let config = QueryLogConfig {
+        num_queries,
+        distinct_queries: (num_queries / 10).clamp(20, 300),
+        popularity_exponent: s,
+        min_terms: 2,
+        max_terms: 3,
+        popularity_drift: false,
+    };
+    QueryLogGenerator::new(config, seed ^ 0x5ca1e).generate(corpus)
+}
+
 /// The HDK configuration used by the experiments unless a sweep overrides it.
 pub fn default_hdk() -> HdkConfig {
     HdkConfig {

@@ -51,6 +51,13 @@ pub struct ProbeEvent {
     /// responsible peer elided posting entries scoring below it). `None` until
     /// the running top-k is full, or when the request disabled thresholding.
     pub score_floor: Option<f64>,
+    /// The peer that served the probe: the key's responsible peer, or the
+    /// least-loaded live replica when the key is hot-replicated (see
+    /// [`alvisp2p_dht::replica`]).
+    pub served_by: usize,
+    /// Number of live replica holders the key had at probe time (`0` unless
+    /// the key is hot-replicated).
+    pub replicas: usize,
     /// The running top-k after merging everything retrieved so far.
     pub top_k: Vec<ScoredDoc>,
 }
@@ -290,9 +297,10 @@ impl<'n> QueryStream<'n> {
             CursorStep::Probe(key) => {
                 let before = self.net.retrieval_totals().0;
                 let floor = self.score_floor;
+                let shed = self.cursor.pending_node().map_or(0, |n| n.shed_prefix);
                 match self
                     .net
-                    .probe_planned(self.request.origin, &key, self.seq, floor)
+                    .probe_planned(self.request.origin, &key, self.seq, floor, shed)
                 {
                     Err(e) => {
                         let err = AlvisError::from(e);
@@ -301,6 +309,8 @@ impl<'n> QueryStream<'n> {
                     }
                     Ok(probe) => {
                         let hops = probe.hops;
+                        let served_by = probe.served_by;
+                        let replicas = probe.replica_set.len();
                         let outcome = self.cursor.record(probe);
                         let bytes = self.net.retrieval_totals().0 - before;
                         let top_k = merge_retrieved(self.cursor.retrieved(), self.request.top_k);
@@ -315,6 +325,8 @@ impl<'n> QueryStream<'n> {
                             spent_bytes: self.spent_bytes(),
                             spent_hops: self.cursor.hops_spent(),
                             score_floor: floor,
+                            served_by,
+                            replicas,
                             top_k,
                         };
                         self.sent += 1;

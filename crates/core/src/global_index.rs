@@ -83,8 +83,14 @@ pub struct ProbeResult {
     pub postings: Option<TruncatedPostingList>,
     /// Overlay hops the probe took.
     pub hops: usize,
-    /// Index of the responsible peer that served the probe.
+    /// Index of the peer responsible for the key (the primary copy).
     pub responsible: usize,
+    /// Index of the peer that actually served the response — the primary, or
+    /// the least-loaded live replica when the key is hot-replicated.
+    pub served_by: usize,
+    /// The peers currently holding replica copies of the key (empty unless a
+    /// [`alvisp2p_dht::replica::ReplicationPolicy`] has replicated it).
+    pub replica_set: Vec<usize>,
     /// The probe was never sent: the caller pruned it (e.g. a strategy without
     /// multi-term keys, or an exhausted byte/hop budget). Recorded as
     /// [`crate::lattice::NodeOutcome::Skipped`] and excluded from probe counts.
@@ -99,6 +105,8 @@ impl ProbeResult {
             postings: None,
             hops: 0,
             responsible: 0,
+            served_by: 0,
+            replica_set: Vec::new(),
             skipped: true,
         }
     }
@@ -202,6 +210,9 @@ impl GlobalIndex {
                 entry.activated = true;
             },
         )?;
+        // Keep any replica copies identical to the primary (no-op unless the
+        // key is hot-replicated).
+        self.dht.sync_replicas(ring_key, TrafficCategory::Indexing);
         Ok(info.hops)
     }
 
@@ -230,6 +241,7 @@ impl GlobalIndex {
             activated: true,
         };
         self.dht.peer_mut(responsible).store.insert(ring_key, entry);
+        self.dht.sync_replicas(ring_key, TrafficCategory::Indexing);
     }
 
     // ------------------------------------------------------------------
@@ -263,25 +275,71 @@ impl GlobalIndex {
         stats_capacity: usize,
         score_floor: Option<f64>,
     ) -> Result<ProbeResult, DhtError> {
+        self.probe_with(from, key, query_seq, stats_capacity, score_floor, None)
+    }
+
+    /// Like [`GlobalIndex::probe`] with an optional load-shedding instruction:
+    /// with `shed_prefix = Some(p)` the serving peer degrades the answer to
+    /// the top-`p` prefix of the stored list (by raising the effective score
+    /// floor to the `p`-th entry's score) instead of queueing the full
+    /// response — the overload escape hatch the `ReplicaAware` planner engages
+    /// when every live holder of the key is saturated. Prefix elision, like
+    /// floor elision, does not mark the list truncated, so domination pruning
+    /// is unchanged.
+    ///
+    /// Replication changes *placement only*: the probe is routed to the key
+    /// exactly as before (same hops — primary and replicas sit in the same
+    /// ring neighbourhood), the usage statistics and the response bytes always
+    /// come from the primary's canonical copy (replicas are kept
+    /// byte-identical by [`alvisp2p_dht::Dht::sync_replicas`]), and only the
+    /// *serve* — who spends the request-handling capacity — moves to the
+    /// least-loaded live holder. Replication management traffic is charged to
+    /// [`TrafficCategory::Overlay`], never to Retrieval.
+    pub fn probe_with(
+        &mut self,
+        from: usize,
+        key: &TermKey,
+        query_seq: u64,
+        stats_capacity: usize,
+        score_floor: Option<f64>,
+        shed_prefix: Option<usize>,
+    ) -> Result<ProbeResult, DhtError> {
         let ring_key = key.ring_id();
-        let mut encoded: Option<Vec<u8>> = None;
-        let encoded_ref = &mut encoded;
-        let info = self.dht.update(
-            from,
-            ring_key,
-            self.probe_request_bytes + key.wire_size(),
+        let info = self.dht.route(from, ring_key, TrafficCategory::Retrieval)?;
+        let primary = info.responsible;
+        self.dht.charge_external(
             TrafficCategory::Retrieval,
-            |slot| {
-                let entry = slot
-                    .get_or_insert_with(|| KeyIndexEntry::stats_only(key.clone(), stats_capacity));
-                entry.usage.probes += 1;
-                entry.usage.last_probe = query_seq;
-                if entry.activated {
-                    entry.usage.hits += 1;
-                    *encoded_ref = Some(crate::codec::encode_list(&entry.postings, score_floor));
-                }
-            },
-        )?;
+            self.probe_request_bytes + key.wire_size(),
+        );
+        // Usage statistics and response encoding happen at the primary's
+        // canonical copy, whoever ends up serving.
+        let mut encoded: Option<Vec<u8>> = None;
+        {
+            let encoded_ref = &mut encoded;
+            self.dht
+                .peer_mut(primary)
+                .store
+                .upsert_with(ring_key, |slot| {
+                    let entry = slot.get_or_insert_with(|| {
+                        KeyIndexEntry::stats_only(key.clone(), stats_capacity)
+                    });
+                    entry.usage.probes += 1;
+                    entry.usage.last_probe = query_seq;
+                    if entry.activated {
+                        entry.usage.hits += 1;
+                        let floor = shed_floor(&entry.postings, score_floor, shed_prefix);
+                        *encoded_ref = Some(crate::codec::encode_list(&entry.postings, floor));
+                    }
+                });
+        }
+        let replica_set = self.dht.replica_holders(ring_key);
+        let served_by = if replica_set.is_empty() {
+            primary
+        } else {
+            self.dht.least_loaded_holder(ring_key).unwrap_or(primary)
+        };
+        self.dht.peer_mut(served_by).served_requests += 1;
+        self.dht.record_probe(ring_key, served_by);
         // Response: the encoded posting list travels directly back to the
         // requester (or a one-byte miss notice).
         let response_bytes = encoded.as_ref().map(Vec::len).unwrap_or(1);
@@ -293,7 +351,9 @@ impl GlobalIndex {
             key: key.clone(),
             postings,
             hops: info.hops,
-            responsible: info.responsible,
+            responsible: primary,
+            served_by,
+            replica_set,
             skipped: false,
         })
     }
@@ -349,6 +409,7 @@ impl GlobalIndex {
         let Ok(responsible) = self.dht.responsible_for(ring_key) else {
             return false;
         };
+        self.dht.withdraw_replicas(ring_key);
         self.dht
             .peer_mut(responsible)
             .store
@@ -363,6 +424,7 @@ impl GlobalIndex {
         let Ok(responsible) = self.dht.responsible_for(ring_key) else {
             return false;
         };
+        self.dht.withdraw_replicas(ring_key);
         let peer = self.dht.peer_mut(responsible);
         match peer.store.get_mut(&ring_key) {
             Some(entry) if entry.activated => {
@@ -443,6 +505,68 @@ impl GlobalIndex {
     pub fn ring_id_of(key: &TermKey) -> RingId {
         key.ring_id()
     }
+
+    // ------------------------------------------------------------------
+    // Replication (skew-aware hot-key replicas)
+    // ------------------------------------------------------------------
+
+    /// Replaces the overlay's replication policy (see
+    /// [`alvisp2p_dht::Dht::set_replication_policy`]).
+    pub fn set_replication_policy(
+        &mut self,
+        policy: std::sync::Arc<dyn alvisp2p_dht::ReplicationPolicy>,
+    ) {
+        self.dht.set_replication_policy(policy);
+    }
+
+    /// The live peers currently holding a replica of `key` (primary excluded).
+    pub fn replica_holders_of(&self, key: &TermKey) -> Vec<usize> {
+        self.dht.replica_holders(key.ring_id())
+    }
+
+    /// The peers that can currently serve `key`: the primary first, followed
+    /// by the live replica holders. Empty only on an empty overlay.
+    pub fn serving_candidates(&self, key: &TermKey) -> Vec<usize> {
+        let ring_key = key.ring_id();
+        let Ok(primary) = self.dht.responsible_for(ring_key) else {
+            return Vec::new();
+        };
+        let mut out = vec![primary];
+        out.extend(self.dht.replica_holders(ring_key));
+        out
+    }
+
+    /// A peer's current EWMA probe-serve load (see
+    /// [`alvisp2p_dht::replica::LoadTracker`]).
+    pub fn peer_probe_load(&self, peer: usize) -> f64 {
+        self.dht.replication().peer_load(peer)
+    }
+
+    /// Estimates the overlay hops from peer `from` to a specific peer (used by
+    /// the `ReplicaAware` planner to cost probe routes to replica holders).
+    pub fn estimate_hops_to_peer(&self, from: usize, peer: usize) -> Result<usize, DhtError> {
+        self.dht.estimate_hops(from, self.dht.peer(peer).id)
+    }
+}
+
+/// Raises the effective score floor to the `p`-th stored score when a shed
+/// prefix is requested, so the encoded response carries at most `p` entries.
+fn shed_floor(
+    postings: &TruncatedPostingList,
+    score_floor: Option<f64>,
+    shed_prefix: Option<usize>,
+) -> Option<f64> {
+    let Some(prefix) = shed_prefix else {
+        return score_floor;
+    };
+    if prefix == 0 || postings.len() <= prefix {
+        return score_floor;
+    }
+    let cut = postings.refs()[prefix - 1].score;
+    Some(match score_floor {
+        Some(f) => f.max(cut),
+        None => cut,
+    })
 }
 
 #[cfg(test)]
@@ -669,6 +793,79 @@ mod tests {
                 .bytes;
             assert!(spent <= bound, "probe {key} spent {spent} > bound {bound}");
         }
+    }
+
+    #[test]
+    fn shed_prefix_degrades_to_a_truncated_prefix_answer() {
+        let mut gi = index(16);
+        let key = TermKey::new(["shed", "probe"]);
+        gi.publish_postings(0, &key, &refs(30), 100).unwrap();
+        let full = gi
+            .probe_with(3, &key, 1, 100, None, None)
+            .unwrap()
+            .postings
+            .unwrap();
+        assert_eq!(full.len(), 30);
+        let shed = gi
+            .probe_with(3, &key, 2, 100, None, Some(5))
+            .unwrap()
+            .postings
+            .unwrap();
+        assert_eq!(shed.len(), 5, "top-5 prefix under shedding");
+        assert_eq!(
+            shed.refs().iter().map(|r| r.doc).collect::<Vec<_>>(),
+            full.refs()
+                .iter()
+                .take(5)
+                .map(|r| r.doc)
+                .collect::<Vec<_>>()
+        );
+        // Prefix elision is not capacity truncation: pruning is unchanged.
+        assert!(!shed.is_truncated());
+        // A shed prefix wider than the list changes nothing.
+        let wide = gi
+            .probe_with(3, &key, 3, 100, None, Some(100))
+            .unwrap()
+            .postings
+            .unwrap();
+        assert_eq!(wide.len(), 30);
+        // The stricter of (score floor, shed floor) wins.
+        let both = gi
+            .probe_with(3, &key, 4, 100, Some(28.0), Some(10))
+            .unwrap()
+            .postings
+            .unwrap();
+        assert_eq!(both.len(), 3, "scores 30, 29, 28 survive");
+    }
+
+    #[test]
+    fn replicated_probes_move_the_serve_but_not_the_answer() {
+        use alvisp2p_dht::HotKeyReplication;
+        use std::sync::Arc;
+        let mut gi = index(24);
+        gi.set_replication_policy(Arc::new(HotKeyReplication::new(3)));
+        let key = TermKey::new(["hot", "head"]);
+        gi.publish_postings(0, &key, &refs(20), 100).unwrap();
+        let baseline = gi.probe(1, &key, 0, 100, None).unwrap();
+        let primary = baseline.responsible;
+        let mut served = std::collections::BTreeSet::new();
+        for seq in 1..60u64 {
+            let p = gi.probe((seq as usize) % 24, &key, seq, 100, None).unwrap();
+            // The answer never changes with placement.
+            assert_eq!(p.postings, baseline.postings);
+            assert_eq!(p.responsible, primary);
+            served.insert(p.served_by);
+        }
+        assert!(
+            served.len() >= 3,
+            "hot probes spread over primary + replicas: {served:?}"
+        );
+        let holders = gi.replica_holders_of(&key);
+        assert_eq!(holders.len(), 3);
+        assert_eq!(gi.serving_candidates(&key)[0], primary);
+        assert!(gi.peer_probe_load(primary) > 0.0);
+        // Usage statistics stay canonical at the primary.
+        assert_eq!(gi.usage(&key).unwrap().probes, 60);
     }
 
     #[test]

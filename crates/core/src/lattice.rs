@@ -207,6 +207,8 @@ mod tests {
                 postings: self.lists.get(key).cloned(),
                 hops: 2,
                 responsible: 0,
+                served_by: 0,
+                replica_set: Vec::new(),
                 skipped: false,
             })
         }

@@ -100,7 +100,7 @@ pub use network::{
 pub use peer::{AlvisPeer, FetchOutcome};
 pub use plan::{
     BestEffort, BudgetPolicy, GreedyCost, PlanCtx, PlanCursor, PlanDecision, PlanHints, PlanNode,
-    Planner, QueryPlan,
+    Planner, QueryPlan, ReplicaAware,
 };
 pub use posting::{ScoredRef, TruncatedPostingList};
 pub use qdi::{ActivationDecision, QdiConfig, QdiReport};

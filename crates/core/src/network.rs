@@ -30,7 +30,7 @@ use crate::qdi::QdiReport;
 use crate::ranking::GlobalRankingStats;
 use crate::request::{QueryRequest, QueryResponse};
 use crate::strategy::{Hdk, IndexerCtx, QueryCtx, Strategy};
-use alvisp2p_dht::{DhtConfig, DhtError};
+use alvisp2p_dht::{DhtConfig, DhtError, ReplicationPolicy};
 use alvisp2p_netsim::{TrafficCategory, TrafficStats};
 use alvisp2p_textindex::bm25::{Bm25Params, ScoredDoc};
 use alvisp2p_textindex::{Analyzer, Credentials, SyntheticCorpus};
@@ -138,6 +138,22 @@ impl AlvisNetworkBuilder {
     /// Sets the overlay configuration.
     pub fn dht(mut self, dht: DhtConfig) -> Self {
         self.config.dht = dht;
+        self
+    }
+
+    /// Sets the overlay's hot-key replication policy (see
+    /// [`alvisp2p_dht::replica`]). Defaults to
+    /// [`alvisp2p_dht::NoReplication`].
+    pub fn replication(mut self, policy: Arc<dyn ReplicationPolicy>) -> Self {
+        self.config.dht.replication = policy;
+        self
+    }
+
+    /// Sets the length of each peer's ring successor list (the candidate set
+    /// hot-key replicas are placed on). Defaults to
+    /// [`alvisp2p_dht::SUCCESSOR_LIST_LEN`].
+    pub fn successor_list_len(mut self, len: usize) -> Self {
+        self.config.dht.successor_list_len = len;
         self
     }
 
@@ -645,16 +661,26 @@ impl AlvisNetwork {
 
     /// Sends one planned probe through the global index. `score_floor` is the
     /// executor's threshold feedback: responsible peers encode only the
-    /// posting prefix at or above it (see [`GlobalIndex::probe`]).
+    /// posting prefix at or above it (see [`GlobalIndex::probe`]); a non-zero
+    /// `shed_prefix` is the planner's shedding instruction — the serving peer
+    /// degrades to the top-`shed_prefix` posting entries (see
+    /// [`crate::plan::ReplicaAware`]).
     pub(crate) fn probe_planned(
         &mut self,
         origin: usize,
         key: &TermKey,
         seq: u64,
         score_floor: Option<f64>,
+        shed_prefix: usize,
     ) -> Result<ProbeResult, DhtError> {
         let capacity = self.config.strategy.truncation_k();
-        self.global.probe(origin, key, seq, capacity, score_floor)
+        let shed = if shed_prefix > 0 {
+            Some(shed_prefix)
+        } else {
+            None
+        };
+        self.global
+            .probe_with(origin, key, seq, capacity, score_floor, shed)
     }
 
     /// Lets the strategy observe a finished query (QDI activation/eviction) and

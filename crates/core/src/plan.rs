@@ -104,6 +104,11 @@ pub struct PlanNode {
     /// The planner's benefit/cost score (higher = scheduled earlier). Zero for
     /// planners that keep the fixed lattice order.
     pub priority: f64,
+    /// Load-shedding instruction: when non-zero, the serving peer degrades the
+    /// response to the top-`shed_prefix` entries of its stored list instead of
+    /// queueing the full answer. Set by [`ReplicaAware`] when every live
+    /// holder of the key is saturated; `0` (the default) means a full answer.
+    pub shed_prefix: usize,
 }
 
 /// How the executor enforces the request's byte/hop budgets while running a plan.
@@ -294,6 +299,7 @@ impl Planner for BestEffort {
                 est_bytes,
                 est_entries,
                 priority: 0.0,
+                shed_prefix: 0,
             });
         }
         finalize(QueryPlan {
@@ -396,6 +402,7 @@ impl Planner for GreedyCost {
                     est_bytes: 0,
                     est_entries: 0,
                     priority: 0.0,
+                    shed_prefix: 0,
                 });
                 continue;
             }
@@ -417,6 +424,7 @@ impl Planner for GreedyCost {
                     est_bytes: 0,
                     est_entries: 0,
                     priority: 0.0,
+                    shed_prefix: 0,
                 });
                 continue;
             }
@@ -429,6 +437,7 @@ impl Planner for GreedyCost {
                 est_bytes,
                 est_entries,
                 priority,
+                shed_prefix: 0,
             });
         }
         // Under a budget, rank the whole schedule by benefit/cost so the budget
@@ -457,6 +466,117 @@ impl Planner for GreedyCost {
             est_total_bytes: 0,
             est_total_hops: 0,
         })
+    }
+}
+
+/// Replica-aware planner wrapper: delegates scheduling to an inner planner,
+/// then adjusts the schedule for the replication subsystem
+/// ([`alvisp2p_dht::replica`]).
+///
+/// For every scheduled probe whose key currently has live replicas, the
+/// wrapper
+///
+/// 1. **routes by hop estimate to each holder** — the probe can be served by
+///    any live holder, so its effective latency is the hop estimate to the
+///    *nearest* one. The improvement raises the node's `priority` (under a
+///    budget, Reserve-policy plans are re-ranked so cheap replicated probes
+///    are admitted first); `est_hops`/`est_bytes` deliberately stay the inner
+///    planner's worst-case bounds, so [`BudgetPolicy::Reserve`]'s
+///    never-exceed-the-budget guarantee is untouched;
+/// 2. **sheds load when every holder is saturated** — if all serving
+///    candidates (primary + replicas) are above `saturation_threshold` EWMA
+///    serve load, the node's [`PlanNode::shed_prefix`] is set, so the serving
+///    peer degrades to a truncated-prefix answer instead of queueing the full
+///    response (see [`GlobalIndex::probe_with`]). Disabled by default
+///    (`shed_prefix == 0`).
+///
+/// Wrapping a planner on an overlay without replication (or before any key
+/// has become hot) changes nothing but the plan's label.
+#[derive(Clone, Debug)]
+pub struct ReplicaAware {
+    inner: std::sync::Arc<dyn Planner>,
+    label: String,
+    /// EWMA serve load (see [`alvisp2p_dht::replica::LoadTracker`]) above
+    /// which a holder counts as saturated.
+    pub saturation_threshold: f64,
+    /// Prefix length served when all holders are saturated (`0` disables
+    /// shedding).
+    pub shed_prefix: usize,
+}
+
+impl ReplicaAware {
+    /// Wraps `inner` with replica-aware routing (shedding disabled).
+    pub fn new(inner: impl Planner + 'static) -> Self {
+        Self::from_arc(std::sync::Arc::new(inner))
+    }
+
+    /// Wraps an already-shared planner.
+    pub fn from_arc(inner: std::sync::Arc<dyn Planner>) -> Self {
+        let label = format!("replica-aware+{}", inner.label());
+        ReplicaAware {
+            inner,
+            label,
+            saturation_threshold: f64::INFINITY,
+            shed_prefix: 0,
+        }
+    }
+
+    /// Enables load shedding: when every live holder of a key is above
+    /// `saturation_threshold`, probes for it are degraded to the top-`prefix`
+    /// entries.
+    pub fn with_shedding(mut self, saturation_threshold: f64, prefix: usize) -> Self {
+        self.saturation_threshold = saturation_threshold;
+        self.shed_prefix = prefix;
+        self
+    }
+}
+
+impl Planner for ReplicaAware {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn plan(&self, ctx: &PlanCtx<'_>) -> QueryPlan {
+        let mut plan = self.inner.plan(ctx);
+        plan.planner = self.label.clone();
+        let mut reranked = false;
+        for node in &mut plan.nodes {
+            if node.decision != PlanDecision::Probe {
+                continue;
+            }
+            let candidates = ctx.global.serving_candidates(&node.key);
+            if candidates.len() > 1 {
+                // Nearest-holder routing estimate: any live holder can serve.
+                let mut best_hops = node.est_hops;
+                for &holder in &candidates[1..] {
+                    if let Ok(h) = ctx.global.estimate_hops_to_peer(ctx.origin, holder) {
+                        best_hops = best_hops.min(h);
+                    }
+                }
+                if best_hops < node.est_hops {
+                    node.priority *= (node.est_hops + 1) as f64 / (best_hops + 1) as f64;
+                    reranked = true;
+                }
+            }
+            if self.shed_prefix > 0
+                && !candidates.is_empty()
+                && candidates
+                    .iter()
+                    .all(|&p| ctx.global.peer_probe_load(p) >= self.saturation_threshold)
+            {
+                node.shed_prefix = self.shed_prefix;
+            }
+        }
+        // Under a budget a Reserve-policy inner planner ordered the schedule by
+        // priority; re-rank with the replica-adjusted priorities (the same
+        // comparator GreedyCost uses when budgeted). Cutoff planners keep
+        // their fixed order — it is part of their semantics.
+        let budgeted = ctx.byte_budget.is_some() || ctx.hop_budget.is_some();
+        if reranked && budgeted && plan.budget_policy == BudgetPolicy::Reserve {
+            plan.nodes
+                .sort_by(|a, b| b.priority.total_cmp(&a.priority).then(a.key.cmp(&b.key)));
+        }
+        plan
     }
 }
 
@@ -522,6 +642,15 @@ impl PlanCursor {
     /// The plan being executed.
     pub fn plan(&self) -> &QueryPlan {
         &self.plan
+    }
+
+    /// The node the cursor currently points at: after [`PlanCursor::next_key`]
+    /// returned [`CursorStep::Probe`], this is that probe's plan node (whose
+    /// result [`PlanCursor::record`] expects next) — executors read per-probe
+    /// instructions like [`PlanNode::shed_prefix`] from it. `None` once the
+    /// plan is exhausted.
+    pub fn pending_node(&self) -> Option<&PlanNode> {
+        self.plan.nodes.get(self.index)
     }
 
     /// Stops the execution: every remaining scheduled probe is recorded as
@@ -858,6 +987,8 @@ mod tests {
             )),
             hops: 2,
             responsible: 0,
+            served_by: 0,
+            replica_set: Vec::new(),
             skipped: false,
         }
     }
@@ -892,6 +1023,8 @@ mod tests {
                             postings: None,
                             hops: 2,
                             responsible: 0,
+                            served_by: 0,
+                            replica_set: Vec::new(),
                             skipped: false,
                         });
                     }
@@ -958,5 +1091,121 @@ mod tests {
         assert_eq!(cursor.next_key(500), CursorStep::Done);
         let (_, exhausted) = cursor.finish();
         assert!(!exhausted);
+    }
+
+    /// A 32-peer index with hot-key replication where the single-term key
+    /// `term` has been probed hot (live replica holders exist).
+    fn replicated_index(term: &str) -> (GlobalIndex, TermKey) {
+        let dht_config = DhtConfig {
+            replication: std::sync::Arc::new(alvisp2p_dht::HotKeyReplication::new(2)),
+            ..Default::default()
+        };
+        let mut global = GlobalIndex::new(dht_config, 1, 32);
+        let key = TermKey::single(term);
+        let delta = TruncatedPostingList::from_refs(
+            (0..5u32).map(|i| ScoredRef {
+                doc: DocId::new(0, i),
+                score: f64::from(5 - i),
+            }),
+            10,
+        );
+        global.publish_postings(0, &key, &delta, 10).unwrap();
+        for seq in 0..24 {
+            global.probe(0, &key, seq, 10, None).unwrap();
+        }
+        assert!(!global.replica_holders_of(&key).is_empty());
+        (global, key)
+    }
+
+    #[test]
+    fn replica_aware_is_a_pure_relabel_without_replicas() {
+        let query = TermKey::new(["a", "b"]);
+        let ranking = stats(&[("a", 3), ("b", 4)]);
+        let global = GlobalIndex::new(DhtConfig::default(), 1, 8);
+        let c = ctx(
+            &query,
+            &ranking,
+            &global,
+            LatticeConfig::default(),
+            PlanHints::default(),
+        );
+        let plain = GreedyCost::default().plan(&c);
+        let wrapped = ReplicaAware::new(GreedyCost::default()).plan(&c);
+        assert_eq!(wrapped.planner, "replica-aware+greedy-cost");
+        assert_eq!(plain.nodes.len(), wrapped.nodes.len());
+        for (a, b) in plain.nodes.iter().zip(&wrapped.nodes) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.decision, b.decision);
+            assert_eq!(a.priority, b.priority);
+            assert_eq!(a.shed_prefix, 0);
+            assert_eq!(b.shed_prefix, 0);
+        }
+    }
+
+    #[test]
+    fn replica_aware_boosts_replicated_keys_but_keeps_budget_bounds() {
+        let (global, hot) = replicated_index("rare");
+        let query = TermKey::new(["rare", "common"]);
+        let ranking = stats(&[("rare", 9), ("common", 90)]);
+        // Plan from a replica holder: the nearest holder is zero hops away,
+        // while the primary (who the inner planner costs against) is not.
+        let origin = global.replica_holders_of(&hot)[0];
+        let c = PlanCtx {
+            query_key: &query,
+            origin,
+            lattice: LatticeConfig::default(),
+            hints: PlanHints::default(),
+            capacity: 10,
+            ranking: &ranking,
+            global: &global,
+            byte_budget: None,
+            hop_budget: None,
+        };
+        let plain = GreedyCost::default().plan(&c);
+        let wrapped = ReplicaAware::new(GreedyCost::default()).plan(&c);
+        let node = |plan: &QueryPlan, key: &TermKey| {
+            plan.nodes.iter().find(|n| &n.key == key).cloned().unwrap()
+        };
+        let common = TermKey::single("common");
+        // The replicated key's priority rises; the unreplicated one's does not.
+        assert!(node(&wrapped, &hot).priority > node(&plain, &hot).priority);
+        assert_eq!(
+            node(&wrapped, &common).priority,
+            node(&plain, &common).priority
+        );
+        // Reserve admission bounds are untouched: est_hops/est_bytes stay the
+        // inner planner's worst-case estimates, per node and in total.
+        for (a, b) in plain.nodes.iter().zip(&wrapped.nodes) {
+            assert_eq!(a.est_hops, b.est_hops);
+            assert_eq!(a.est_bytes, b.est_bytes);
+        }
+        assert_eq!(plain.est_total_bytes, wrapped.est_total_bytes);
+        assert_eq!(plain.est_total_hops, wrapped.est_total_hops);
+    }
+
+    #[test]
+    fn replica_aware_sheds_only_when_every_holder_is_saturated() {
+        let (global, hot) = replicated_index("rare");
+        let query = TermKey::new(["rare", "common"]);
+        let ranking = stats(&[("rare", 9), ("common", 90)]);
+        let c = ctx(
+            &query,
+            &ranking,
+            &global,
+            LatticeConfig::default(),
+            PlanHints::default(),
+        );
+        // Threshold 0: every live peer counts as saturated, so probes degrade
+        // to the top-3 prefix.
+        let shedding = ReplicaAware::new(BestEffort).with_shedding(0.0, 3);
+        let plan = shedding.plan(&c);
+        let hot_node = plan.nodes.iter().find(|n| n.key == hot).unwrap();
+        assert_eq!(hot_node.shed_prefix, 3);
+        // Unreachable threshold: no holder is saturated, nothing is shed.
+        let calm = ReplicaAware::new(BestEffort).with_shedding(f64::INFINITY, 3);
+        assert!(calm.plan(&c).nodes.iter().all(|n| n.shed_prefix == 0));
+        // shed_prefix = 0 disables shedding regardless of the threshold.
+        let disabled = ReplicaAware::new(BestEffort).with_shedding(0.0, 0);
+        assert!(disabled.plan(&c).nodes.iter().all(|n| n.shed_prefix == 0));
     }
 }

@@ -52,6 +52,9 @@ impl<V: Clone + WireSize> Dht<V> {
         // constant number of neighbour updates.
         self.record_overlay(64 + ENVELOPE_OVERHEAD);
         self.rebuild_routing_tables();
+        // Replica sets re-target onto the changed successor lists (a no-op
+        // under NoReplication).
+        self.reconverge_replicas();
         Some(new_index)
     }
 
@@ -80,10 +83,14 @@ impl<V: Clone + WireSize> Dht<V> {
         }
         self.record_overlay(48 + ENVELOPE_OVERHEAD);
         self.mark_departed(index, id);
+        self.reconverge_replicas();
         Ok(())
     }
 
-    /// Peer `index` fails abruptly: its slice of the distributed index is lost.
+    /// Peer `index` fails abruptly: its slice of the distributed index is lost —
+    /// except for keys the replication subsystem had copied onto the peer's
+    /// successors, which are recovered onto the new responsible peer. Returns
+    /// the number of keys actually lost.
     pub fn fail(&mut self, index: usize) -> Result<usize, DhtError> {
         if index >= self.peer_slots() || !self.peer(index).alive {
             return Err(DhtError::BadOrigin);
@@ -91,11 +98,14 @@ impl<V: Clone + WireSize> Dht<V> {
         let id = self.peer(index).id;
         let lost = self.peer_mut(index).store.drain_all().len();
         self.mark_departed(index, id);
-        Ok(lost)
+        let report = self.reconverge_replicas();
+        Ok(lost.saturating_sub(report.recovered))
     }
 
     fn mark_departed(&mut self, index: usize, id: RingId) {
         self.peer_mut(index).alive = false;
+        // Any replica copies the peer held die with it.
+        let _ = self.peer_mut(index).replica_store.drain_all();
         self.remove_from_ring(id);
         self.rebuild_routing_tables();
     }

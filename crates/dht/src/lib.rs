@@ -9,7 +9,9 @@
 //! * routed, traffic-accounted **storage operations** over the overlay ([`network`]);
 //! * peer **churn**: joins, graceful departures, abrupt failures ([`churn`]);
 //! * the **congestion controller** that protects hot-spot peers from collapse
-//!   ([`congestion`], Klemm et al., NCA 2006).
+//!   ([`congestion`], Klemm et al., NCA 2006);
+//! * **skew-aware replication** of hot keys onto ring successor sets, with
+//!   load-tracked probe routing to the least-loaded replica ([`replica`]).
 //!
 //! The distributed IR layers (crate `alvisp2p-core`) sit directly on [`Dht`].
 //!
@@ -35,6 +37,7 @@ pub mod id;
 pub mod lookup;
 pub mod network;
 pub mod node;
+pub mod replica;
 pub mod ring;
 pub mod routing;
 pub mod storage;
@@ -44,6 +47,13 @@ pub use id::{RingHasher, RingId};
 pub use lookup::{lookup, LookupResult};
 pub use network::{Dht, DhtConfig, DhtError, IdDistribution, RouteInfo};
 pub use node::Peer;
+pub use replica::{
+    HotKeyReplication, LoadTracker, NoReplication, ReconvergeReport, ReplicaManager, ReplicaStats,
+    ReplicationPolicy,
+};
 pub use ring::Ring;
-pub use routing::{build_routing_table, RoutingEntry, RoutingStrategy, RoutingTable};
+pub use routing::{
+    build_routing_table, build_routing_table_with, RoutingEntry, RoutingStrategy, RoutingTable,
+    SUCCESSOR_LIST_LEN,
+};
 pub use storage::LocalStore;

@@ -9,10 +9,12 @@
 use crate::id::RingId;
 use crate::lookup::{lookup, LookupResult};
 use crate::node::Peer;
+use crate::replica::{NoReplication, ReplicaManager, ReplicationPolicy};
 use crate::ring::Ring;
-use crate::routing::{build_routing_table, RoutingStrategy};
+use crate::routing::{build_routing_table_with, RoutingStrategy, SUCCESSOR_LIST_LEN};
 use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
 use alvisp2p_netsim::{PowerLaw, SimRng, TrafficCategory, TrafficStats, WireSize};
+use std::sync::Arc;
 
 /// How peer identifiers are assigned when populating a network.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -38,6 +40,15 @@ pub struct DhtConfig {
     pub lookup_request_bytes: usize,
     /// How peer identifiers are assigned.
     pub id_distribution: IdDistribution,
+    /// Number of ring successors every peer keeps in its routing table
+    /// (defaults to [`SUCCESSOR_LIST_LEN`]). Co-tune with the replication
+    /// factor of the `replication` policy: replicas are placed on the
+    /// primary's first successors, so a factor no larger than this length
+    /// keeps every replica inside the routing tables' successor lists.
+    pub successor_list_len: usize,
+    /// Policy replicating hot stored keys onto their ring successor sets
+    /// (defaults to [`NoReplication`], i.e. the pre-replication semantics).
+    pub replication: Arc<dyn ReplicationPolicy>,
 }
 
 impl Default for DhtConfig {
@@ -47,6 +58,8 @@ impl Default for DhtConfig {
             max_hops: 128,
             lookup_request_bytes: 48,
             id_distribution: IdDistribution::Uniform,
+            successor_list_len: SUCCESSOR_LIST_LEN,
+            replication: Arc::new(NoReplication),
         }
     }
 }
@@ -91,17 +104,20 @@ pub struct Dht<V> {
     config: DhtConfig,
     stats: TrafficStats,
     rng: SimRng,
+    replicas: ReplicaManager,
 }
 
 impl<V: Clone + WireSize> Dht<V> {
     /// Creates an empty overlay.
     pub fn new(config: DhtConfig, seed: u64) -> Self {
+        let replicas = ReplicaManager::new(Arc::clone(&config.replication));
         Dht {
             peers: Vec::new(),
             ring: Ring::new(),
             config,
             stats: TrafficStats::new(),
             rng: SimRng::new(seed).derive(0xD47),
+            replicas,
         }
     }
 
@@ -154,8 +170,12 @@ impl<V: Clone + WireSize> Dht<V> {
     pub fn rebuild_routing_tables(&mut self) {
         for i in 0..self.peers.len() {
             if self.peers[i].alive {
-                self.peers[i].table =
-                    build_routing_table(self.peers[i].id, &self.ring, self.config.strategy);
+                self.peers[i].table = build_routing_table_with(
+                    self.peers[i].id,
+                    &self.ring,
+                    self.config.strategy,
+                    self.config.successor_list_len,
+                );
             }
         }
     }
@@ -195,6 +215,16 @@ impl<V: Clone + WireSize> Dht<V> {
     /// The configuration this overlay was built with.
     pub fn config(&self) -> &DhtConfig {
         &self.config
+    }
+
+    /// The replication subsystem's bookkeeping: active policy, load tracker
+    /// and replica directory (see [`crate::replica`]).
+    pub fn replication(&self) -> &ReplicaManager {
+        &self.replicas
+    }
+
+    pub(crate) fn replicas_mut(&mut self) -> &mut ReplicaManager {
+        &mut self.replicas
     }
 
     /// Traffic statistics accumulated by routed operations.
@@ -595,6 +625,21 @@ mod tests {
         assert_eq!(keys, d.total_keys());
         assert_eq!(bytes, d.total_storage_bytes());
         assert_eq!(keys, 200);
+    }
+
+    #[test]
+    fn successor_list_len_is_configurable_per_overlay() {
+        let cfg = DhtConfig {
+            successor_list_len: 7,
+            ..DhtConfig::default()
+        };
+        let d: Dht<Vec<u32>> = Dht::with_peers(cfg, 9, 32);
+        for i in 0..32 {
+            assert_eq!(d.peer(i).table.successors.len(), 7);
+        }
+        // The default stays at SUCCESSOR_LIST_LEN.
+        let d2 = dht(32);
+        assert_eq!(d2.peer(0).table.successors.len(), SUCCESSOR_LIST_LEN);
     }
 
     #[test]

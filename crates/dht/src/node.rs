@@ -16,6 +16,11 @@ pub struct Peer<V> {
     pub table: RoutingTable,
     /// The peer's slice of the global distributed index.
     pub store: LocalStore<V>,
+    /// Replica copies of hot keys this peer holds for other peers' slices
+    /// (managed by [`crate::replica`]; kept strictly separate from `store`, so
+    /// the "primary value lives at the responsible peer" invariant is
+    /// unaffected by replication).
+    pub replica_store: LocalStore<V>,
     /// Number of lookup requests this peer has forwarded (load indicator).
     pub forwarded_lookups: u64,
     /// Number of storage requests (get/put/update) served by this peer.
@@ -30,6 +35,7 @@ impl<V> Peer<V> {
             alive: true,
             table: RoutingTable::default(),
             store: LocalStore::new(),
+            replica_store: LocalStore::new(),
             forwarded_lookups: 0,
             served_requests: 0,
         }
@@ -46,6 +52,7 @@ mod tests {
         assert!(p.alive);
         assert_eq!(p.id, RingId(42));
         assert!(p.store.is_empty());
+        assert!(p.replica_store.is_empty());
         assert_eq!(p.forwarded_lookups, 0);
         assert_eq!(p.served_requests, 0);
         assert!(p.table.entries.is_empty());

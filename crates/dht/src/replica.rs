@@ -1,0 +1,931 @@
+//! Skew-aware replication of hot keys onto ring successor sets.
+//!
+//! Zipfian query logs concentrate most probe traffic on the few ring positions
+//! owning head terms — the skew regime that provably limits parallel speedup
+//! (Beame et al., "Skew in Parallel Query Processing") and that skew-aware
+//! replication of heavy keys attacks directly. This module adds that layer to
+//! the overlay:
+//!
+//! * [`ReplicationPolicy`] — the seam deciding *when* a stored key is hot
+//!   enough to replicate and when it has cooled enough to withdraw. Built-ins:
+//!   [`NoReplication`] (today's semantics, the default — every key lives only
+//!   at its responsible peer) and [`HotKeyReplication`] (hysteresis thresholds
+//!   over an EWMA probe load).
+//! * [`LoadTracker`] — per-key and per-peer EWMA probe counters. In the
+//!   deployed system each responsible peer tracks the keys it stores (the same
+//!   served-request signals the congestion controller in [`crate::congestion`]
+//!   reacts to); the simulator keeps the union of those per-node trackers in
+//!   one structure, which is equivalent because every key has exactly one
+//!   responsible peer observing its probes.
+//! * [`ReplicaManager`] — the bookkeeping carried by [`Dht`]: the active
+//!   policy, the tracker and the *replica directory* mapping each replicated
+//!   key to the peers currently holding a copy.
+//!
+//! Replica copies live in a **separate** per-peer store
+//! ([`crate::node::Peer::replica_store`]), never in the primary store, so the
+//! overlay's core invariant — a key's primary value lives exactly at its
+//! responsible peer — is untouched and [`NoReplication`] is byte-identical to
+//! the pre-replication overlay.
+//!
+//! Replication never changes *what* a request returns, only *where* it is
+//! served: copies are kept byte-identical to the primary (synced on every
+//! publish through [`Dht::sync_replicas`]), so any live holder can answer.
+//! On churn the replica sets re-converge onto the new successor lists
+//! ([`Dht::reconverge_replicas`], called by join/leave/fail), and a failed
+//! primary's value is recovered from a surviving replica instead of being
+//! lost.
+
+use crate::id::RingId;
+use crate::network::Dht;
+use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
+use alvisp2p_netsim::{TrafficCategory, WireSize};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Policy seam
+// ---------------------------------------------------------------------------
+
+/// Decides when a stored key is replicated onto its ring successor set and
+/// when the replicas are withdrawn again.
+///
+/// The decisions are driven by an EWMA probe load per key (see
+/// [`LoadTracker`]): `should_replicate` is consulted for keys that are not
+/// yet replicated, `should_withdraw` for keys that are — keeping the two
+/// thresholds apart gives hysteresis, so a key oscillating around one
+/// threshold does not thrash copies on and off the network.
+///
+/// # Worked example
+///
+/// A hot key crosses the threshold after a burst of probes and is copied onto
+/// its two ring successors; the replica set never contains the primary:
+///
+/// ```
+/// use alvisp2p_dht::replica::HotKeyReplication;
+/// use alvisp2p_dht::{Dht, DhtConfig, RingId};
+/// use alvisp2p_netsim::TrafficCategory;
+/// use std::sync::Arc;
+///
+/// let mut dht: Dht<Vec<u8>> = Dht::with_peers(DhtConfig::default(), 7, 32);
+/// dht.set_replication_policy(Arc::new(HotKeyReplication::new(2)));
+///
+/// let key = RingId::hash_str("hot term");
+/// dht.put(0, key, vec![1, 2, 3], TrafficCategory::Indexing).unwrap();
+/// let primary = dht.responsible_for(key).unwrap();
+///
+/// // A burst of probes drives the key's EWMA load over the hot threshold …
+/// for _ in 0..16 {
+///     dht.record_probe(key, primary);
+/// }
+/// // … and the key is now replicated onto its two ring successors.
+/// let holders = dht.replica_holders(key);
+/// assert_eq!(holders.len(), 2);
+/// assert!(!holders.contains(&primary));
+/// for h in holders {
+///     assert_eq!(dht.peer(h).replica_store.get(&key), Some(&vec![1, 2, 3]));
+/// }
+/// ```
+pub trait ReplicationPolicy: std::fmt::Debug + Send + Sync {
+    /// A short label used in reports and experiment output.
+    fn label(&self) -> &str;
+
+    /// Number of replicas (beyond the primary) a hot key is copied onto.
+    /// `0` disables replication entirely. Co-tune this with
+    /// [`crate::network::DhtConfig::successor_list_len`]: a factor no larger
+    /// than the successor-list length keeps every replica inside the primary's
+    /// successor list, where lookups terminate anyway.
+    fn replication_factor(&self) -> usize;
+
+    /// Whether a not-yet-replicated key at this EWMA probe load is hot enough
+    /// to replicate.
+    fn should_replicate(&self, load: f64) -> bool;
+
+    /// Whether a replicated key at this EWMA probe load has cooled enough to
+    /// withdraw its copies.
+    fn should_withdraw(&self, load: f64) -> bool;
+
+    /// Half-life, in observed probes network-wide, of the EWMA load tracker.
+    fn half_life(&self) -> f64 {
+        64.0
+    }
+
+    /// Whether the overlay needs to feed the load tracker at all. Policies
+    /// that never replicate return `false`, keeping the probe hot path free
+    /// of tracking cost.
+    fn tracks(&self) -> bool {
+        self.replication_factor() > 0
+    }
+}
+
+/// The default policy: never replicate. Byte-identical to the
+/// pre-replication overlay — no tracking, no copies, no directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoReplication;
+
+impl ReplicationPolicy for NoReplication {
+    fn label(&self) -> &str {
+        "none"
+    }
+
+    fn replication_factor(&self) -> usize {
+        0
+    }
+
+    fn should_replicate(&self, _load: f64) -> bool {
+        false
+    }
+
+    fn should_withdraw(&self, _load: f64) -> bool {
+        true
+    }
+}
+
+/// Replicates a key onto its ring successor set while its EWMA probe load
+/// stays hot, with hysteresis between the replicate and withdraw thresholds.
+///
+/// With the default half-life of 64 probes the steady-state load of a key
+/// receiving a fraction `p` of all probes is ≈ `92·p`, so the default
+/// `hot_threshold` of 2.0 replicates keys drawing more than ≈ 2% of the
+/// network's probe traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotKeyReplication {
+    /// Number of successor-set replicas per hot key (see
+    /// [`ReplicationPolicy::replication_factor`]).
+    pub factor: usize,
+    /// EWMA load above which a key is replicated.
+    pub hot_threshold: f64,
+    /// EWMA load below which a replicated key is withdrawn. Must be below
+    /// `hot_threshold` for useful hysteresis.
+    pub cool_threshold: f64,
+    /// Half-life of the EWMA tracker, in observed probes network-wide.
+    pub half_life: f64,
+}
+
+impl Default for HotKeyReplication {
+    fn default() -> Self {
+        HotKeyReplication {
+            factor: 3,
+            hot_threshold: 2.0,
+            cool_threshold: 0.5,
+            half_life: 64.0,
+        }
+    }
+}
+
+impl HotKeyReplication {
+    /// A policy replicating hot keys onto `factor` successors with the
+    /// default thresholds.
+    pub fn new(factor: usize) -> Self {
+        HotKeyReplication {
+            factor,
+            ..Default::default()
+        }
+    }
+}
+
+impl ReplicationPolicy for HotKeyReplication {
+    fn label(&self) -> &str {
+        "hot-key"
+    }
+
+    fn replication_factor(&self) -> usize {
+        self.factor
+    }
+
+    fn should_replicate(&self, load: f64) -> bool {
+        load >= self.hot_threshold
+    }
+
+    fn should_withdraw(&self, load: f64) -> bool {
+        load <= self.cool_threshold
+    }
+
+    fn half_life(&self) -> f64 {
+        self.half_life
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load tracking
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Ewma {
+    value: f64,
+    at: u64,
+}
+
+/// EWMA probe-load counters per stored key and per serving peer.
+///
+/// The clock is the number of probes observed network-wide: every
+/// [`LoadTracker::observe`] advances it by one and adds one unit of load to
+/// the probed key and the serving peer, with all loads decaying by a factor
+/// of two every `half_life` ticks. Decay is applied lazily, so idle keys
+/// cost nothing.
+#[derive(Clone, Debug)]
+pub struct LoadTracker {
+    half_life: f64,
+    tick: u64,
+    keys: HashMap<RingId, Ewma>,
+    peers: HashMap<usize, Ewma>,
+}
+
+impl LoadTracker {
+    /// Creates a tracker whose loads halve every `half_life` observed probes.
+    pub fn new(half_life: f64) -> Self {
+        LoadTracker {
+            half_life: half_life.max(1.0),
+            tick: 0,
+            keys: HashMap::new(),
+            peers: HashMap::new(),
+        }
+    }
+
+    fn decayed(&self, e: &Ewma) -> f64 {
+        let dt = (self.tick - e.at) as f64;
+        e.value * (-dt / self.half_life).exp2()
+    }
+
+    /// Records one probe for `key` served by peer `served_by`; advances the
+    /// clock and returns the key's updated load.
+    pub fn observe(&mut self, key: RingId, served_by: usize) -> f64 {
+        self.tick += 1;
+        let tick = self.tick;
+        let half_life = self.half_life;
+        let bump = |slot: &mut Ewma| {
+            let dt = (tick - slot.at) as f64;
+            slot.value = slot.value * (-dt / half_life).exp2() + 1.0;
+            slot.at = tick;
+        };
+        let key_slot = self.keys.entry(key).or_insert(Ewma {
+            value: 0.0,
+            at: tick,
+        });
+        bump(key_slot);
+        let key_load = key_slot.value;
+        let peer_slot = self.peers.entry(served_by).or_insert(Ewma {
+            value: 0.0,
+            at: tick,
+        });
+        bump(peer_slot);
+        key_load
+    }
+
+    /// The key's current (decayed) EWMA probe load.
+    pub fn key_load(&self, key: RingId) -> f64 {
+        self.keys.get(&key).map(|e| self.decayed(e)).unwrap_or(0.0)
+    }
+
+    /// The peer's current (decayed) EWMA serve load.
+    pub fn peer_load(&self, peer: usize) -> f64 {
+        self.peers
+            .get(&peer)
+            .map(|e| self.decayed(e))
+            .unwrap_or(0.0)
+    }
+
+    /// Number of probes observed so far (the tracker's clock).
+    pub fn observed(&self) -> u64 {
+        self.tick
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manager state carried by the Dht
+// ---------------------------------------------------------------------------
+
+/// Counters describing the replication subsystem's activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaStats {
+    /// Keys replicated onto their successor set (hysteresis upward crossings).
+    pub replications: u64,
+    /// Replica sets withdrawn after cooling down.
+    pub withdrawals: u64,
+    /// Probes served by a replica instead of the primary.
+    pub replica_serves: u64,
+    /// Publish-path refreshes of existing replica copies.
+    pub syncs: u64,
+    /// Primary values recovered from a replica after an abrupt failure.
+    pub recovered: u64,
+}
+
+/// The replication bookkeeping carried by a [`Dht`]: the active policy, the
+/// EWMA load tracker and the replica directory (key → holder peer indices).
+#[derive(Debug)]
+pub struct ReplicaManager {
+    policy: Arc<dyn ReplicationPolicy>,
+    tracker: LoadTracker,
+    directory: BTreeMap<RingId, Vec<usize>>,
+    stats: ReplicaStats,
+}
+
+impl ReplicaManager {
+    pub(crate) fn new(policy: Arc<dyn ReplicationPolicy>) -> Self {
+        let half_life = policy.half_life();
+        ReplicaManager {
+            policy,
+            tracker: LoadTracker::new(half_life),
+            directory: BTreeMap::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// The active replication policy.
+    pub fn policy(&self) -> &Arc<dyn ReplicationPolicy> {
+        &self.policy
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Number of currently replicated keys.
+    pub fn replicated_keys(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Whether `key` currently has a replica set.
+    pub fn is_replicated(&self, key: RingId) -> bool {
+        self.directory.contains_key(&key)
+    }
+
+    /// All currently replicated keys, in ring order.
+    pub fn replicated_key_list(&self) -> Vec<RingId> {
+        self.directory.keys().copied().collect()
+    }
+
+    /// The key's current EWMA probe load.
+    pub fn key_load(&self, key: RingId) -> f64 {
+        self.tracker.key_load(key)
+    }
+
+    /// The peer's current EWMA serve load.
+    pub fn peer_load(&self, peer: usize) -> f64 {
+        self.tracker.peer_load(peer)
+    }
+
+    /// Number of probes the tracker has observed.
+    pub fn observed_probes(&self) -> u64 {
+        self.tracker.observed()
+    }
+
+    pub(crate) fn observe(&mut self, key: RingId, served_by: usize) -> f64 {
+        self.tracker.observe(key, served_by)
+    }
+
+    pub(crate) fn holders_raw(&self, key: RingId) -> Vec<usize> {
+        self.directory.get(&key).cloned().unwrap_or_default()
+    }
+
+    pub(crate) fn set_holders(&mut self, key: RingId, holders: Vec<usize>) {
+        self.directory.insert(key, holders);
+    }
+
+    pub(crate) fn remove_holders(&mut self, key: RingId) -> Option<Vec<usize>> {
+        self.directory.remove(&key)
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut ReplicaStats {
+        &mut self.stats
+    }
+}
+
+/// What a [`Dht::reconverge_replicas`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReconvergeReport {
+    /// Primary values recovered from a surviving replica.
+    pub recovered: usize,
+    /// Replica copies (re)placed onto new successor-set members.
+    pub refreshed: usize,
+    /// Replicated keys whose every copy was lost (bookkeeping dropped).
+    pub lost: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Replica-aware overlay operations
+// ---------------------------------------------------------------------------
+
+impl<V: Clone + WireSize> Dht<V> {
+    /// Replaces the replication policy, withdrawing any existing replicas
+    /// first (the new policy starts from a clean slate).
+    pub fn set_replication_policy(&mut self, policy: Arc<dyn ReplicationPolicy>) {
+        for key in self.replication().replicated_key_list() {
+            self.withdraw_replicas(key);
+        }
+        *self.replicas_mut() = ReplicaManager::new(policy);
+    }
+
+    /// The first `factor` live ring successors of `key`'s responsible peer —
+    /// where the key's replicas are placed. Never contains the primary.
+    pub fn replica_targets(&self, key: RingId, factor: usize) -> Vec<usize> {
+        let Ok(primary) = self.responsible_for(key) else {
+            return Vec::new();
+        };
+        let ring = self.ring();
+        let Some(rank) = ring.rank_of(self.peer(primary).id) else {
+            return Vec::new();
+        };
+        let n = ring.len();
+        let mut targets = Vec::new();
+        for step in 1..n {
+            if targets.len() >= factor {
+                break;
+            }
+            let (_, idx) = ring.at_rank(rank + step);
+            if idx != primary && !targets.contains(&idx) {
+                targets.push(idx);
+            }
+        }
+        targets
+    }
+
+    /// The live peers currently holding a replica of `key` (primary excluded).
+    pub fn replica_holders(&self, key: RingId) -> Vec<usize> {
+        let mut holders = self.replication().holders_raw(key);
+        holders.retain(|&h| {
+            h < self.peer_slots() && self.peer(h).alive && self.peer(h).replica_store.contains(&key)
+        });
+        holders
+    }
+
+    /// The least-loaded live holder of `key` (primary included), by EWMA serve
+    /// load with the primary winning ties — the probe-routing decision.
+    pub fn least_loaded_holder(&self, key: RingId) -> Option<usize> {
+        let primary = self.responsible_for(key).ok()?;
+        let mut best = primary;
+        let mut best_load = self.replication().peer_load(primary);
+        for h in self.replica_holders(key) {
+            let load = self.replication().peer_load(h);
+            if load < best_load {
+                best = h;
+                best_load = load;
+            }
+        }
+        Some(best)
+    }
+
+    /// Feeds one observed probe for `key` (served by peer `served_by`) into
+    /// the load tracker and applies the policy's hysteresis: a key crossing
+    /// the hot threshold is replicated onto its successor set, a replicated
+    /// key that cooled below the withdraw threshold has its copies revoked.
+    ///
+    /// No-op (and free) under a policy that does not track, such as
+    /// [`NoReplication`].
+    pub fn record_probe(&mut self, key: RingId, served_by: usize) {
+        if !self.replication().policy().tracks() {
+            return;
+        }
+        let load = self.replicas_mut().observe(key, served_by);
+        if let Ok(primary) = self.responsible_for(key) {
+            if served_by != primary {
+                self.replicas_mut().stats_mut().replica_serves += 1;
+            }
+        }
+        let replicated = self.replication().is_replicated(key);
+        let (replicate, withdraw) = {
+            let policy = self.replication().policy();
+            (
+                !replicated && policy.should_replicate(load),
+                replicated && policy.should_withdraw(load),
+            )
+        };
+        if withdraw {
+            self.withdraw_replicas(key);
+        } else if replicate {
+            self.replicate_key(key);
+        }
+    }
+
+    /// Copies `key`'s stored value onto its successor-set targets and records
+    /// the replica set in the directory. Transfer bytes are charged to
+    /// [`TrafficCategory::Overlay`]. No-op if the key has no stored value.
+    fn replicate_key(&mut self, key: RingId) {
+        let factor = self.replication().policy().replication_factor();
+        if factor == 0 {
+            return;
+        }
+        let Ok(primary) = self.responsible_for(key) else {
+            return;
+        };
+        let Some(value) = self.peer(primary).store.get(&key).cloned() else {
+            return;
+        };
+        let targets = self.replica_targets(key, factor);
+        if targets.is_empty() {
+            return;
+        }
+        let bytes_per_copy = 8 + value.wire_size() + ENVELOPE_OVERHEAD;
+        for &t in &targets {
+            self.peer_mut(t).replica_store.insert(key, value.clone());
+            self.record_overlay(bytes_per_copy);
+        }
+        self.replicas_mut().set_holders(key, targets);
+        self.replicas_mut().stats_mut().replications += 1;
+    }
+
+    /// Revokes all replica copies of `key` (small control message per holder,
+    /// charged to [`TrafficCategory::Overlay`]). Returns whether the key was
+    /// replicated.
+    pub fn withdraw_replicas(&mut self, key: RingId) -> bool {
+        let Some(holders) = self.replicas_mut().remove_holders(key) else {
+            return false;
+        };
+        for h in holders {
+            if h < self.peer_slots() {
+                self.peer_mut(h).replica_store.remove(&key);
+            }
+            self.record_overlay(16 + ENVELOPE_OVERHEAD);
+        }
+        self.replicas_mut().stats_mut().withdrawals += 1;
+        true
+    }
+
+    /// Refreshes every replica copy of `key` from the primary's current value
+    /// (called by the layer above after mutating the primary, so copies stay
+    /// byte-identical and any holder can serve). Transfer bytes are charged to
+    /// `category`. No-op if the key is not replicated.
+    pub fn sync_replicas(&mut self, key: RingId, category: TrafficCategory) {
+        let holders = self.replication().holders_raw(key);
+        if holders.is_empty() {
+            return;
+        }
+        let Ok(primary) = self.responsible_for(key) else {
+            return;
+        };
+        let Some(value) = self.peer(primary).store.get(&key).cloned() else {
+            // The primary value is gone (evicted/removed): the copies go too.
+            self.withdraw_replicas(key);
+            return;
+        };
+        let bytes = 8 + value.wire_size();
+        for h in holders {
+            if h < self.peer_slots() && self.peer(h).alive {
+                self.peer_mut(h).replica_store.insert(key, value.clone());
+                self.charge_external(category, bytes);
+            }
+        }
+        self.replicas_mut().stats_mut().syncs += 1;
+    }
+
+    /// Withdraws every replicated key that has cooled below the policy's
+    /// withdraw threshold (a periodic sweep complementing the probe-driven
+    /// hysteresis, which only re-evaluates keys that are still being probed).
+    /// Returns the number of keys withdrawn.
+    pub fn maintain_replicas(&mut self) -> usize {
+        let policy = Arc::clone(self.replication().policy());
+        if !policy.tracks() {
+            return 0;
+        }
+        let mut withdrawn = 0;
+        for key in self.replication().replicated_key_list() {
+            if policy.should_withdraw(self.replication().key_load(key)) {
+                self.withdraw_replicas(key);
+                withdrawn += 1;
+            }
+        }
+        withdrawn
+    }
+
+    /// Re-converges every replica set after a membership change: recovers a
+    /// failed primary's value from a surviving replica, re-targets each set at
+    /// the current successor list, places missing copies and removes copies
+    /// from peers that left the set. Called by
+    /// [`Dht::join`]/[`Dht::leave`]/[`Dht::fail`]; free under
+    /// [`NoReplication`] (empty directory).
+    pub fn reconverge_replicas(&mut self) -> ReconvergeReport {
+        let mut report = ReconvergeReport::default();
+        let factor = self.replication().policy().replication_factor();
+        for key in self.replication().replicated_key_list() {
+            let Ok(primary) = self.responsible_for(key) else {
+                self.replicas_mut().remove_holders(key);
+                continue;
+            };
+            // Recover or promote the value if the current primary lacks it
+            // (its previous owner failed, or responsibility moved onto a
+            // peer that held a replica).
+            if !self.peer(primary).store.contains(&key) {
+                if let Some(v) = self.peer_mut(primary).replica_store.remove(&key) {
+                    self.peer_mut(primary).store.insert(key, v);
+                    report.recovered += 1;
+                } else {
+                    let copy = self
+                        .replication()
+                        .holders_raw(key)
+                        .into_iter()
+                        .filter(|&h| h < self.peer_slots() && self.peer(h).alive)
+                        .find_map(|h| self.peer(h).replica_store.get(&key).cloned());
+                    if let Some(v) = copy {
+                        let bytes = 8 + v.wire_size() + ENVELOPE_OVERHEAD;
+                        self.peer_mut(primary).store.insert(key, v);
+                        self.record_overlay(bytes);
+                        report.recovered += 1;
+                    }
+                }
+            }
+            if !self.peer(primary).store.contains(&key) {
+                // Every copy died with its holder: the entry is gone (the
+                // layer above re-publishes, as with any abrupt failure).
+                if let Some(old) = self.replicas_mut().remove_holders(key) {
+                    for h in old {
+                        if h < self.peer_slots() {
+                            self.peer_mut(h).replica_store.remove(&key);
+                        }
+                    }
+                }
+                report.lost += 1;
+                continue;
+            }
+            // Re-target the set at the current successor list.
+            let targets = self.replica_targets(key, factor);
+            let old = self.replication().holders_raw(key);
+            for h in old {
+                if !targets.contains(&h) && h < self.peer_slots() {
+                    self.peer_mut(h).replica_store.remove(&key);
+                }
+            }
+            if targets.is_empty() {
+                self.replicas_mut().remove_holders(key);
+                continue;
+            }
+            let value = self
+                .peer(primary)
+                .store
+                .get(&key)
+                .cloned()
+                .expect("checked above");
+            let bytes_per_copy = 8 + value.wire_size() + ENVELOPE_OVERHEAD;
+            for &t in &targets {
+                if !self.peer(t).replica_store.contains(&key) {
+                    self.peer_mut(t).replica_store.insert(key, value.clone());
+                    self.record_overlay(bytes_per_copy);
+                    report.refreshed += 1;
+                }
+            }
+            self.replicas_mut().set_holders(key, targets);
+        }
+        self.replicas_mut().stats_mut().recovered += report.recovered as u64;
+        report
+    }
+
+    /// Replica-aware fetch: routes the request for `key` as usual (same hops
+    /// and routing charges as [`Dht::get`] — the request travels into the
+    /// key's ring neighbourhood, where primary and replicas sit side by side),
+    /// then serves the value from the least-loaded live holder. Feeds the load
+    /// tracker, so hot keys replicate and cool keys withdraw as a side effect.
+    ///
+    /// Returns the route, the value and the index of the serving peer.
+    #[allow(clippy::type_complexity)]
+    pub fn get_replicated(
+        &mut self,
+        from: usize,
+        key: RingId,
+        category: TrafficCategory,
+    ) -> Result<(crate::network::RouteInfo, Option<V>, usize), crate::network::DhtError> {
+        let info = self.route(from, key, category)?;
+        let served_by = self.least_loaded_holder(key).unwrap_or(info.responsible);
+        self.peer_mut(served_by).served_requests += 1;
+        let value = {
+            let p = self.peer(served_by);
+            p.store
+                .get(&key)
+                .cloned()
+                .or_else(|| p.replica_store.get(&key).cloned())
+        };
+        self.charge_external(category, value.as_ref().map(|v| v.wire_size()).unwrap_or(1));
+        self.record_probe(key, served_by);
+        Ok((info, value, served_by))
+    }
+
+    /// Replica-aware store: [`Dht::put`] followed by a refresh of any existing
+    /// replica copies, so holders never serve a stale value.
+    pub fn put_replicated(
+        &mut self,
+        from: usize,
+        key: RingId,
+        value: V,
+        category: TrafficCategory,
+    ) -> Result<crate::network::RouteInfo, crate::network::DhtError> {
+        let info = self.put(from, key, value, category)?;
+        self.sync_replicas(key, category);
+        Ok(info)
+    }
+
+    /// Total approximate bytes of replica copies across all live peers.
+    pub fn replica_storage_bytes(&self) -> usize {
+        self.live_peer_indices()
+            .into_iter()
+            .map(|i| self.peer(i).replica_store.storage_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::DhtConfig;
+
+    fn hot_dht(n: usize, factor: usize) -> Dht<Vec<u8>> {
+        let mut dht: Dht<Vec<u8>> = Dht::with_peers(DhtConfig::default(), 11, n);
+        dht.set_replication_policy(Arc::new(HotKeyReplication::new(factor)));
+        dht
+    }
+
+    fn heat(dht: &mut Dht<Vec<u8>>, key: RingId, probes: usize) {
+        let primary = dht.responsible_for(key).unwrap();
+        for _ in 0..probes {
+            dht.record_probe(key, primary);
+        }
+    }
+
+    #[test]
+    fn tracker_decays_with_half_life() {
+        let mut t = LoadTracker::new(4.0);
+        let key = RingId(1);
+        for _ in 0..3 {
+            t.observe(key, 0);
+        }
+        let hot = t.key_load(key);
+        assert!(hot > 2.0, "three consecutive probes accumulate, got {hot}");
+        // Four probes for other keys later, the load has halved.
+        for i in 0..4u64 {
+            t.observe(RingId(100 + i), 1);
+        }
+        let cooled = t.key_load(key);
+        assert!(
+            (cooled - hot / 2.0).abs() < 1e-9,
+            "half-life decay: {hot} -> {cooled}"
+        );
+        assert!(t.peer_load(0) > 0.0 && t.peer_load(1) > 0.0);
+        assert_eq!(t.observed(), 7);
+    }
+
+    #[test]
+    fn no_replication_tracks_nothing_and_replicates_nothing() {
+        let mut dht: Dht<Vec<u8>> = Dht::with_peers(DhtConfig::default(), 3, 16);
+        let key = RingId::hash_str("cold");
+        dht.put(0, key, vec![1], TrafficCategory::Indexing).unwrap();
+        heat(&mut dht, key, 200);
+        assert_eq!(dht.replication().replicated_keys(), 0);
+        assert_eq!(dht.replication().observed_probes(), 0);
+        assert!(dht.replica_holders(key).is_empty());
+        assert_eq!(dht.replica_storage_bytes(), 0);
+    }
+
+    #[test]
+    fn hot_key_crosses_threshold_and_cools_back_down() {
+        let mut dht = hot_dht(24, 3);
+        let key = RingId::hash_str("head term");
+        dht.put(0, key, vec![9; 32], TrafficCategory::Indexing)
+            .unwrap();
+        heat(&mut dht, key, 10);
+        assert!(dht.replication().is_replicated(key));
+        let holders = dht.replica_holders(key);
+        assert_eq!(holders.len(), 3);
+        let primary = dht.responsible_for(key).unwrap();
+        assert!(!holders.contains(&primary), "replica set excludes primary");
+        assert_eq!(
+            holders,
+            dht.replica_targets(key, 3),
+            "successor-set placement"
+        );
+        let stats = dht.replication().stats();
+        assert_eq!(stats.replications, 1);
+
+        // Cooling: probes for other keys decay the EWMA; the sweep withdraws.
+        for i in 0..2_000u64 {
+            let other = RingId::hash_u64(i);
+            dht.record_probe(other, dht.responsible_for(other).unwrap());
+        }
+        assert_eq!(dht.maintain_replicas(), 1);
+        assert!(!dht.replication().is_replicated(key));
+        assert!(dht.replica_holders(key).is_empty());
+        assert_eq!(dht.replication().stats().withdrawals, 1);
+    }
+
+    #[test]
+    fn replication_charges_overlay_traffic_only() {
+        let mut dht = hot_dht(16, 2);
+        let key = RingId::hash_str("charged");
+        dht.put(0, key, vec![7; 100], TrafficCategory::Indexing)
+            .unwrap();
+        let before = dht.stats_snapshot();
+        heat(&mut dht, key, 10);
+        let delta = dht.stats_snapshot().since(&before);
+        assert!(delta.category(TrafficCategory::Overlay).bytes >= 2 * 100);
+        assert_eq!(delta.category(TrafficCategory::Retrieval).bytes, 0);
+        assert_eq!(delta.category(TrafficCategory::Indexing).bytes, 0);
+    }
+
+    #[test]
+    fn least_loaded_holder_spreads_serves() {
+        let mut dht = hot_dht(24, 3);
+        let key = RingId::hash_str("balanced");
+        dht.put(0, key, vec![1, 2], TrafficCategory::Indexing)
+            .unwrap();
+        heat(&mut dht, key, 10);
+        // Serve through the replica-aware read path; the serves should now be
+        // spread over primary + 3 replicas instead of hammering one peer.
+        let mut served = std::collections::BTreeMap::new();
+        for i in 0..80 {
+            let origin = dht.live_peer_indices()[i % 24];
+            let (_, value, by) = dht
+                .get_replicated(origin, key, TrafficCategory::Retrieval)
+                .unwrap();
+            assert_eq!(value, Some(vec![1, 2]));
+            *served.entry(by).or_insert(0u64) += 1;
+        }
+        assert!(served.len() >= 3, "serves spread over holders: {served:?}");
+        let max = served.values().max().copied().unwrap();
+        assert!(max <= 40, "no single holder serves everything: {served:?}");
+        assert!(dht.replication().stats().replica_serves > 0);
+    }
+
+    #[test]
+    fn sync_keeps_copies_identical_after_updates() {
+        let mut dht = hot_dht(16, 2);
+        let key = RingId::hash_str("synced");
+        dht.put(0, key, vec![1], TrafficCategory::Indexing).unwrap();
+        heat(&mut dht, key, 10);
+        dht.put_replicated(0, key, vec![1, 2, 3], TrafficCategory::Indexing)
+            .unwrap();
+        for h in dht.replica_holders(key) {
+            assert_eq!(dht.peer(h).replica_store.get(&key), Some(&vec![1, 2, 3]));
+        }
+        assert!(dht.replication().stats().syncs > 0);
+    }
+
+    #[test]
+    fn failed_primary_recovers_from_a_replica() {
+        let mut dht = hot_dht(24, 3);
+        let key = RingId::hash_str("survivor");
+        dht.put(0, key, vec![42; 16], TrafficCategory::Indexing)
+            .unwrap();
+        heat(&mut dht, key, 10);
+        let primary = dht.responsible_for(key).unwrap();
+        let lost = dht.fail(primary).unwrap();
+        assert_eq!(lost, 0, "the replicated key is recovered, not lost");
+        // The new primary holds the value; the set re-converged onto the new
+        // successor list.
+        let new_primary = dht.responsible_for(key).unwrap();
+        assert_ne!(new_primary, primary);
+        assert_eq!(dht.peer(new_primary).store.get(&key), Some(&vec![42; 16]));
+        let holders = dht.replica_holders(key);
+        assert_eq!(holders, dht.replica_targets(key, 3));
+        assert!(!holders.contains(&new_primary));
+        assert!(dht.replication().stats().recovered >= 1);
+        // And it is still readable over the overlay.
+        let origin = dht.live_peer_indices()[0];
+        let (_, v, _) = dht
+            .get_replicated(origin, key, TrafficCategory::Retrieval)
+            .unwrap();
+        assert_eq!(v, Some(vec![42; 16]));
+    }
+
+    #[test]
+    fn join_retargets_replica_sets() {
+        let mut dht = hot_dht(16, 2);
+        let key = RingId::hash_str("moving");
+        dht.put(0, key, vec![5; 8], TrafficCategory::Indexing)
+            .unwrap();
+        heat(&mut dht, key, 10);
+        // Join a peer right at the key so it takes over as primary.
+        let new_idx = dht.join(key).expect("fresh id");
+        assert_eq!(dht.responsible_for(key).unwrap(), new_idx);
+        assert!(
+            dht.peer(new_idx).store.contains(&key),
+            "handoff moved the value"
+        );
+        let holders = dht.replica_holders(key);
+        assert_eq!(holders, dht.replica_targets(key, 2));
+        assert!(!holders.contains(&new_idx));
+        assert!(
+            !dht.peer(new_idx).replica_store.contains(&key),
+            "a promoted primary keeps no replica copy"
+        );
+    }
+
+    #[test]
+    fn set_policy_withdraws_existing_replicas() {
+        let mut dht = hot_dht(16, 2);
+        let key = RingId::hash_str("reset");
+        dht.put(0, key, vec![1], TrafficCategory::Indexing).unwrap();
+        heat(&mut dht, key, 10);
+        assert_eq!(dht.replication().replicated_keys(), 1);
+        dht.set_replication_policy(Arc::new(NoReplication));
+        assert_eq!(dht.replication().replicated_keys(), 0);
+        assert_eq!(dht.replica_storage_bytes(), 0);
+        assert_eq!(dht.replication().policy().label(), "none");
+    }
+
+    #[test]
+    fn replica_targets_cap_at_population() {
+        let mut dht = hot_dht(3, 8);
+        let key = RingId::hash_str("tiny ring");
+        dht.put(0, key, vec![1], TrafficCategory::Indexing).unwrap();
+        heat(&mut dht, key, 10);
+        let holders = dht.replica_holders(key);
+        assert_eq!(holders.len(), 2, "only n-1 replicas exist on a 3-peer ring");
+    }
+}

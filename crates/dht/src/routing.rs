@@ -85,14 +85,28 @@ impl RoutingTable {
     }
 }
 
-/// Number of successors every peer keeps (fault tolerance and guaranteed progress).
+/// Default number of successors every peer keeps (fault tolerance and guaranteed
+/// progress). Configurable per overlay via
+/// [`crate::network::DhtConfig::successor_list_len`], e.g. to co-tune it with the
+/// replication factor of [`crate::replica::HotKeyReplication`].
 pub const SUCCESSOR_LIST_LEN: usize = 4;
 
 /// Builds the routing table for the peer with identifier `own_id` according to
-/// `strategy`, given the current ring membership.
+/// `strategy`, given the current ring membership, with the default successor-list
+/// length of [`SUCCESSOR_LIST_LEN`].
 ///
 /// Returns an empty table if the peer is not a ring member or is the only member.
 pub fn build_routing_table(own_id: RingId, ring: &Ring, strategy: RoutingStrategy) -> RoutingTable {
+    build_routing_table_with(own_id, ring, strategy, SUCCESSOR_LIST_LEN)
+}
+
+/// Like [`build_routing_table`] but with an explicit successor-list length.
+pub fn build_routing_table_with(
+    own_id: RingId,
+    ring: &Ring,
+    strategy: RoutingStrategy,
+    successor_list_len: usize,
+) -> RoutingTable {
     let Some(rank) = ring.rank_of(own_id) else {
         return RoutingTable::default();
     };
@@ -102,7 +116,7 @@ pub fn build_routing_table(own_id: RingId, ring: &Ring, strategy: RoutingStrateg
     }
 
     let mut successors = Vec::new();
-    for step in 1..=SUCCESSOR_LIST_LEN.min(n - 1) {
+    for step in 1..=successor_list_len.min(n - 1) {
         let (id, peer_index) = ring.at_rank(rank + step);
         successors.push(RoutingEntry { id, peer_index });
     }
@@ -256,6 +270,20 @@ mod tests {
         assert_eq!(t.successors.len(), SUCCESSOR_LIST_LEN);
         // First successor is the next peer clockwise (rank 0, wrapping).
         assert_eq!(t.successors[0].id, ring.at_rank(0).0);
+    }
+
+    #[test]
+    fn successor_list_length_is_configurable() {
+        let ring = uniform_ring(32);
+        let (own, _) = ring.at_rank(5);
+        for len in [1usize, 2, 6, 31, 100] {
+            let t = build_routing_table_with(own, &ring, RoutingStrategy::HopSpace, len);
+            assert_eq!(t.successors.len(), len.min(31), "requested {len}");
+            // Successors stay in clockwise rank order regardless of length.
+            for (step, e) in t.successors.iter().enumerate() {
+                assert_eq!(e.id, ring.at_rank(5 + step + 1).0);
+            }
+        }
     }
 
     #[test]

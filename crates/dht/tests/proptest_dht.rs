@@ -2,11 +2,13 @@
 //! arbitrary churn sequences, key-range handoff and storage reachability.
 
 use alvisp2p_dht::{
-    build_routing_table, Dht, DhtConfig, IdDistribution, Ring, RingId, RoutingStrategy,
+    build_routing_table, build_routing_table_with, Dht, DhtConfig, HotKeyReplication,
+    IdDistribution, Ring, RingId, RoutingStrategy,
 };
 use alvisp2p_netsim::TrafficCategory;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 fn ring_from(ids: &[u64]) -> Ring {
     Ring::from_members(ids.iter().enumerate().map(|(i, id)| (RingId(*id), i)))
@@ -119,6 +121,101 @@ proptest! {
             }
         }
         prop_assert_eq!(stored_total, expected.len());
+    }
+
+    #[test]
+    fn successor_lists_wrap_the_ring_in_clockwise_order(
+        ids in proptest::collection::hash_set(any::<u64>(), 2..200),
+        len in 1usize..40,
+        finger: bool,
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let ring = ring_from(&ids);
+        let strategy = if finger { RoutingStrategy::Finger } else { RoutingStrategy::HopSpace };
+        let n = ring.len();
+        // Check a low rank, a middle rank and the last rank — the last one's
+        // successor list must wrap around the top of the identifier space.
+        for rank in [0usize, n / 2, n - 1] {
+            let (own, own_idx) = ring.at_rank(rank);
+            let table = build_routing_table_with(own, &ring, strategy, len);
+            prop_assert_eq!(table.successors.len(), len.min(n - 1));
+            for (step, entry) in table.successors.iter().enumerate() {
+                let (expect_id, expect_idx) = ring.at_rank((rank + 1 + step) % n);
+                prop_assert_eq!(entry.id, expect_id, "step {} of rank {}", step, rank);
+                prop_assert_eq!(entry.peer_index, expect_idx);
+                prop_assert_ne!(entry.peer_index, own_idx);
+            }
+            // Successors are pairwise distinct (capping at n-1 guarantees the
+            // wrap never re-enters the list).
+            let distinct: BTreeSet<u64> = table.successors.iter().map(|e| e.id.0).collect();
+            prop_assert_eq!(distinct.len(), table.successors.len());
+        }
+    }
+
+    #[test]
+    fn replica_sets_stay_disjoint_and_reconverge_under_churn(
+        initial_peers in 8usize..20,
+        keys in proptest::collection::hash_set("[a-z]{3,10}", 1..10),
+        factor in 1usize..4,
+        churn in proptest::collection::vec((0u8..3, any::<u64>()), 0..12),
+        seed: u64,
+    ) {
+        let keys: Vec<String> = keys.into_iter().collect();
+        let mut dht: Dht<Vec<u8>> = Dht::with_peers(
+            DhtConfig {
+                replication: Arc::new(HotKeyReplication::new(factor)),
+                ..Default::default()
+            },
+            seed,
+            initial_peers,
+        );
+        // Store every key, then probe each one hot enough to replicate.
+        for (i, key) in keys.iter().enumerate() {
+            let ring_key = RingId::hash_str(key);
+            dht.put(i % initial_peers, ring_key, vec![i as u8; (i % 5) + 1], TrafficCategory::Indexing).unwrap();
+            let primary = dht.responsible_for(ring_key).unwrap();
+            for _ in 0..16 {
+                dht.record_probe(ring_key, primary);
+            }
+            prop_assert!(dht.replication().is_replicated(ring_key));
+        }
+
+        // Arbitrary churn; joins, leaves and failures all re-converge the
+        // replica placement internally.
+        for (op, arg) in churn {
+            let live = dht.live_peer_indices();
+            match op {
+                0 => { let _ = dht.join(RingId::hash_u64(arg)); }
+                1 if live.len() > 2 => { dht.leave(live[(arg as usize) % live.len()]).unwrap(); }
+                2 if live.len() > 2 => { let _ = dht.fail(live[(arg as usize) % live.len()]).unwrap(); }
+                _ => {}
+            }
+        }
+
+        let factor = dht.replication().policy().replication_factor();
+        for ring_key in dht.replication().replicated_key_list() {
+            let primary = dht.responsible_for(ring_key).unwrap();
+            let holders = dht.replica_holders(ring_key);
+            // Disjointness: the primary never holds its own replica, and no
+            // peer appears twice.
+            prop_assert!(!holders.contains(&primary));
+            let distinct: BTreeSet<usize> = holders.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), holders.len());
+            // Re-convergence: after any churn the holders are exactly the
+            // key's current ring-successor targets.
+            let mut expected = dht.replica_targets(ring_key, factor);
+            let mut got = holders.clone();
+            expected.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+            // Every holder carries a live copy identical to the primary's
+            // canonical value, in the replica store (never the primary store).
+            let canonical = dht.peer(primary).store.get(&ring_key).cloned();
+            prop_assert!(canonical.is_some());
+            for holder in holders {
+                prop_assert_eq!(dht.peer(holder).replica_store.get(&ring_key), canonical.as_ref());
+            }
+        }
     }
 
     #[test]

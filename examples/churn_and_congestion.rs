@@ -10,6 +10,10 @@
 //!    responsible for a popular key) is run with and without the AIMD congestion
 //!    controller; without it the overlay collapses under overload, with it goodput
 //!    stays near server capacity.
+//! 3. **Hot-key replication** — a Zipf query hotspot pushes the popular keys over the
+//!    replication threshold; their posting lists spread onto the ring successors, the
+//!    probe serve load spreads with them, answers stay byte-identical, and the hot
+//!    keys survive the abrupt failure of their primary.
 //!
 //! Run with:
 //! ```text
@@ -106,7 +110,84 @@ fn congestion_demo() {
     println!("(goodput = completed requests per second of offered load window)");
 }
 
+fn replication_demo() {
+    println!("\n=== hot-key replication demo ===");
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(), 3).generate();
+    let build = |policy: std::sync::Arc<dyn ReplicationPolicy>| {
+        AlvisNetwork::builder()
+            .peers(24)
+            .strategy(Hdk::new(HdkConfig {
+                df_max: 10,
+                truncation_k: 20,
+                ..Default::default()
+            }))
+            .replication(policy)
+            .seed(5)
+            .corpus(&corpus)
+            .build_indexed()
+            .expect("valid configuration")
+    };
+    let mut plain = build(std::sync::Arc::new(NoReplication));
+    let mut net = build(std::sync::Arc::new(HotKeyReplication::new(3)));
+
+    // A Zipf-style hotspot: one popular query dominates the log.
+    let hot_query = format!("{} {}", corpus.vocabulary[60], corpus.vocabulary[61]);
+    let max_served = |net: &AlvisNetwork| {
+        let dht = net.global_index().dht();
+        dht.live_peer_indices()
+            .into_iter()
+            .map(|i| dht.peer(i).served_requests)
+            .max()
+            .unwrap_or(0)
+    };
+    let mut answers_match = true;
+    for i in 0..120 {
+        let request = QueryRequest::new(hot_query.clone()).from_peer(i % 24);
+        let a = plain.execute(&request).unwrap();
+        let b = net.execute(&request).unwrap();
+        answers_match &= a.results.iter().map(|r| r.doc).collect::<Vec<_>>()
+            == b.results.iter().map(|r| r.doc).collect::<Vec<_>>();
+    }
+    let replication = net.global_index().dht().replication();
+    println!(
+        "after 120 hot queries: {} keys replicated, {} probes served by replicas, \
+         answers identical to the unreplicated overlay: {answers_match}",
+        replication.replicated_keys(),
+        replication.stats().replica_serves,
+    );
+    println!(
+        "hottest peer served {} probes without replication vs {} with it",
+        max_served(&plain),
+        max_served(&net),
+    );
+
+    // Fail the hottest key's primary: the replicas recover its posting list.
+    let dht = net.global_index_mut().dht_mut();
+    let hot_key = dht
+        .replication()
+        .replicated_key_list()
+        .into_iter()
+        .max_by(|a, b| {
+            dht.replication()
+                .key_load(*a)
+                .total_cmp(&dht.replication().key_load(*b))
+        })
+        .expect("the hotspot replicated at least one key");
+    let primary = dht.responsible_for(hot_key).unwrap();
+    dht.fail(primary).unwrap();
+    let recovered = dht.replication().stats().recovered;
+    let response = net
+        .execute(&QueryRequest::new(hot_query.clone()).from_peer(0))
+        .unwrap();
+    println!(
+        "failed the hot key's primary (peer {primary}): {recovered} replicated keys \
+         recovered from their holders, hot query still returns {} results",
+        response.results.len()
+    );
+}
+
 fn main() {
     churn_demo();
     congestion_demo();
+    replication_demo();
 }

@@ -118,7 +118,7 @@ pub mod prelude {
     };
     pub use alvisp2p_core::plan::{
         BestEffort, BudgetPolicy, GreedyCost, PlanCtx, PlanDecision, PlanHints, PlanNode, Planner,
-        QueryPlan,
+        QueryPlan, ReplicaAware,
     };
     // The unified error hierarchy.
     pub use alvisp2p_core::error::AlvisError;
@@ -130,7 +130,10 @@ pub mod prelude {
     // Core data types.
     pub use alvisp2p_core::{CentralizedEngine, FetchOutcome, TermKey, TruncatedPostingList};
     // Overlay and simulation.
-    pub use alvisp2p_dht::{Dht, DhtConfig, DhtError, IdDistribution, RingId, RoutingStrategy};
+    pub use alvisp2p_dht::{
+        Dht, DhtConfig, DhtError, HotKeyReplication, IdDistribution, NoReplication,
+        ReplicationPolicy, RingId, RoutingStrategy,
+    };
     pub use alvisp2p_netsim::{SimRng, TrafficCategory};
     // Text substrate.
     pub use alvisp2p_textindex::{

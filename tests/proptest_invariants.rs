@@ -292,6 +292,8 @@ proptest! {
                     postings: entry.map(|(_, complete)| make_list(*complete)),
                     hops: 1,
                     responsible: 0,
+                    served_by: 0,
+                    replica_set: Vec::new(),
                     skipped: false,
                 })
             },
