@@ -21,4 +21,12 @@ fn main() {
     let planned_rows = exp_bandwidth::run_planned(&planned_params);
     exp_bandwidth::print_planned(&planned_rows);
     table::maybe_print_json(&planned_rows);
+
+    // E2c over a long-posting-list corpus (capped vocabulary): the regime
+    // where the threshold arms' floor-based elision has the most bytes to
+    // save.
+    let long_rows = exp_bandwidth::run_planned(&planned_params.long_lists());
+    println!("(long-list corpus: vocabulary capped at 500 terms)");
+    exp_bandwidth::print_planned(&long_rows);
+    table::maybe_print_json(&long_rows);
 }

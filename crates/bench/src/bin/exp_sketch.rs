@@ -1,0 +1,18 @@
+//! P3 — per-key provenance sketches; writes `BENCH_sketch.json`. See `exp_sketch`.
+use alvisp2p_bench::{exp_sketch, quick_mode};
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        exp_sketch::SketchParams::quick()
+    } else {
+        exp_sketch::SketchParams::default()
+    };
+    let mut report = exp_sketch::run(&params);
+    report.quick = quick;
+    exp_sketch::print(&report);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    let path = std::env::var("ALVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_sketch.json".to_string());
+    std::fs::write(&path, json + "\n").expect("write BENCH_sketch.json");
+    println!("wrote {path}");
+}

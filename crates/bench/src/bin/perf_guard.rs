@@ -1,6 +1,8 @@
-//! CI regression guard over `BENCH_perf.json` (and optionally `BENCH_skew.json`).
+//! CI regression guard over `BENCH_perf.json` (and optionally
+//! `BENCH_skew.json` and `BENCH_sketch.json`).
 //!
-//! Usage: `perf_guard <committed.json> <fresh.json> [<committed_skew.json> <fresh_skew.json>]`
+//! Usage: `perf_guard <committed.json> <fresh.json> [<committed_skew.json>
+//! <fresh_skew.json> [<committed_sketch.json> <fresh_sketch.json>]]`
 //!
 //! Compares a fresh `exp_perf --quick` run against the committed perf
 //! trajectory and fails (exit code 1) when any comparable arm regressed by
@@ -13,6 +15,14 @@
 //! deterministic): every arm's top-k answers equal the unreplicated
 //! baseline's, the churn arm recovers the hot key and re-converges the
 //! replica placement, and the p99 per-peer load reduction stays ≥ 2x.
+//!
+//! When the two sketch-report paths are also given, the guard enforces the
+//! sketch subsystem's scale-independent guarantees on both reports: the
+//! cost-based arm's answers equal the sketch-free baseline's, the baseline
+//! never prunes, the cost-based arm prunes at least one probe, every
+//! maintained sketch's upkeep stays within its modeled savings, and the net
+//! bytes-per-query reduction (retrieval savings minus amortized upkeep)
+//! stays ≥ 1%.
 //!
 //! Two measures keep the guard meaningful across machines and
 //! configurations:
@@ -30,8 +40,13 @@
 //!   codec list), so their per-op work is identical at any scale.
 
 use alvisp2p_bench::exp_perf::PerfReport;
+use alvisp2p_bench::exp_sketch::SketchReport;
 use alvisp2p_bench::exp_skew::SkewReport;
 use std::process::ExitCode;
+
+/// The sketch arm must keep at least this fractional net bytes-per-query
+/// reduction (retrieval savings minus amortized sketch upkeep).
+const SKETCH_NET_REDUCTION_FLOOR: f64 = 0.01;
 
 /// Benches whose per-op work does not depend on the `--quick` scaling.
 const GUARDED: &[&str] = &[
@@ -113,15 +128,85 @@ fn check_skew(label: &str, report: &SkewReport, failures: &mut Vec<String>) {
     }
 }
 
+fn load_sketch(path: &str) -> SketchReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_guard: cannot parse {path}: {e:?}"))
+}
+
+/// The sketch-report invariants are scale-independent, so the same bar
+/// applies to the committed full run and a fresh `--quick` run.
+fn check_sketch(label: &str, report: &SketchReport, failures: &mut Vec<String>) {
+    println!(
+        "sketch ({label}): net reduction {:.1}%, pruned {}, sketched {}/{}, topk {}, upkeep {}",
+        report.net_reduction * 100.0,
+        report.rows.iter().map(|r| r.pruned_probes).sum::<u64>(),
+        report.rows.last().map_or(0, |r| r.sketched_keys),
+        report.rows.last().map_or(0, |r| r.considered_keys),
+        if report.rows.iter().all(|r| r.identical_topk) {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        if report.rows.iter().all(|r| r.upkeep_accounted) {
+            "accounted"
+        } else {
+            "UNACCOUNTED"
+        },
+    );
+    let Some((baseline, sketched)) = report
+        .rows
+        .iter()
+        .find(|r| r.arm == "no-sketches")
+        .zip(report.rows.iter().find(|r| r.arm == "cost-based"))
+    else {
+        failures.push(format!("sketch/{label}: missing an expected arm"));
+        return;
+    };
+    if baseline.pruned_probes != 0 {
+        failures.push(format!(
+            "sketch/{label}: the no-sketches baseline pruned {} probes",
+            baseline.pruned_probes
+        ));
+    }
+    if sketched.pruned_probes == 0 {
+        failures.push(format!(
+            "sketch/{label}: the cost-based arm never pruned a probe"
+        ));
+    }
+    if !sketched.identical_topk {
+        failures.push(format!("sketch/{label}: sketch pruning changed answers"));
+    }
+    if !sketched.upkeep_accounted {
+        failures.push(format!(
+            "sketch/{label}: a maintained sketch's upkeep exceeds its modeled savings"
+        ));
+    }
+    if report.net_reduction < SKETCH_NET_REDUCTION_FLOOR {
+        failures.push(format!(
+            "sketch/{label}: net bytes/query reduction {:.2}% below the {:.0}% floor",
+            report.net_reduction * 100.0,
+            SKETCH_NET_REDUCTION_FLOOR * 100.0
+        ));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (committed_path, fresh_path, skew_paths) = match args.as_slice() {
-        [c, f] => (c, f, None),
-        [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone()))),
+    let (committed_path, fresh_path, skew_paths, sketch_paths) = match args.as_slice() {
+        [c, f] => (c, f, None, None),
+        [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone())), None),
+        [c, f, cs, fs, ck, fk] => (
+            c,
+            f,
+            Some((cs.clone(), fs.clone())),
+            Some((ck.clone(), fk.clone())),
+        ),
         _ => {
             eprintln!(
                 "usage: perf_guard <committed.json> <fresh.json> \
-                 [<committed_skew.json> <fresh_skew.json>]"
+                 [<committed_skew.json> <fresh_skew.json> \
+                 [<committed_sketch.json> <fresh_sketch.json>]]"
             );
             return ExitCode::from(2);
         }
@@ -192,6 +277,14 @@ fn main() -> ExitCode {
     if let Some((committed_skew, fresh_skew)) = skew_paths {
         check_skew("committed", &load_skew(&committed_skew), &mut regressions);
         check_skew("fresh", &load_skew(&fresh_skew), &mut regressions);
+    }
+    if let Some((committed_sketch, fresh_sketch)) = sketch_paths {
+        check_sketch(
+            "committed",
+            &load_sketch(&committed_sketch),
+            &mut regressions,
+        );
+        check_sketch("fresh", &load_sketch(&fresh_sketch), &mut regressions);
     }
     println!(
         "perf_guard: {checked} arms checked, {} regressions",

@@ -233,6 +233,12 @@ pub struct PlannedParams {
     pub queries: usize,
     /// Per-query byte budgets to sweep.
     pub budgets: Vec<u64>,
+    /// Cap the corpus vocabulary at this many terms (`None` keeps the
+    /// Heaps-like default). A capped vocabulary concentrates the collection
+    /// on fewer, more frequent terms, so posting lists are longer — the
+    /// regime where the threshold arms' floor-based elision has the most
+    /// bytes to save.
+    pub vocab_cap: Option<usize>,
     /// Seed.
     pub seed: u64,
 }
@@ -244,6 +250,7 @@ impl Default for PlannedParams {
             peers: 32,
             queries: 100,
             budgets: vec![2_000, 4_000, 8_000, 16_000],
+            vocab_cap: None,
             seed: DEFAULT_SEED,
         }
     }
@@ -257,8 +264,16 @@ impl PlannedParams {
             peers: 8,
             queries: 25,
             budgets: vec![1_500, 4_000],
+            vocab_cap: None,
             seed: DEFAULT_SEED,
         }
+    }
+
+    /// The same sweep over a long-posting-list corpus: the vocabulary is
+    /// capped well below the Heaps-like default, so every term is frequent.
+    pub fn long_lists(mut self) -> Self {
+        self.vocab_cap = Some(500);
+        self
     }
 }
 
@@ -266,7 +281,10 @@ impl PlannedParams {
 /// budget, once planned with [`BestEffort`] (PR 1 cutoff semantics) and once
 /// with [`GreedyCost`] (budget-aware admission).
 pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
-    let corpus = workloads::corpus(params.docs, params.seed);
+    let corpus = match params.vocab_cap {
+        Some(vocab) => workloads::dense_corpus(params.docs, vocab, params.seed),
+        None => workloads::corpus(params.docs, params.seed),
+    };
     let log = workloads::query_log(&corpus, params.queries, false, params.seed);
     let texts: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
 
@@ -429,6 +447,38 @@ mod tests {
         assert!(
             base_growth > hdk_growth,
             "baseline growth {base_growth:.2} vs hdk growth {hdk_growth:.2}"
+        );
+    }
+
+    #[test]
+    fn long_list_corpus_keeps_budget_guarantees_and_lengthens_lists() {
+        let params = PlannedParams::quick();
+        let long = params.clone().long_lists();
+        let base_rows = run_planned(&params);
+        let long_rows = run_planned(&long);
+        assert_eq!(base_rows.len(), long_rows.len());
+        // The Reserve guarantee is corpus-independent.
+        for r in long_rows.iter().filter(|r| r.planner == "greedy-cost") {
+            assert_eq!(r.budget_violations, 0);
+            assert!(r.max_bytes <= r.budget);
+        }
+        // A capped vocabulary concentrates the same collection on fewer terms:
+        // the unbudgeted wire cost of a probe grows, which shows up as the
+        // best-effort arm spending at least as much per query at the largest
+        // budget (where the cutoff rarely binds).
+        let spend = |rows: &[PlannedBandwidthRow]| {
+            let max_budget = rows.iter().map(|r| r.budget).max().unwrap();
+            rows.iter()
+                .find(|r| r.planner == "best-effort" && r.budget == max_budget)
+                .unwrap()
+                .mean_bytes
+        };
+        let base_spend = spend(&base_rows);
+        let long_spend = spend(&long_rows);
+        assert!(
+            long_spend >= base_spend,
+            "long-list corpus did not lengthen posting lists \
+             ({long_spend:.0} < {base_spend:.0} bytes/query)"
         );
     }
 

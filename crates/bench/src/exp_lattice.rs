@@ -212,6 +212,7 @@ pub fn run_planned(
         capacity: params.capacity,
         ranking: &ranking,
         global: &index,
+        sketches: None,
         byte_budget: Some(byte_budget),
         hop_budget: None,
     };

@@ -16,6 +16,7 @@
 //! | E8 | posting-list truncation bounds traffic with marginal quality loss | [`exp_truncation`] | `exp_truncation` |
 //! | P1 | key/posting hot-path microbenchmarks (perf trajectory, `BENCH_perf.json`) | [`exp_perf`] | `exp_perf` |
 //! | P2 | hot-key replication under Zipf traffic (per-peer p99 load, `BENCH_skew.json`) | [`exp_skew`] | `exp_skew` |
+//! | P3 | per-key provenance sketches: probe pruning vs upkeep (`BENCH_sketch.json`) | [`exp_sketch`] | `exp_sketch` |
 //!
 //! Each module exposes a `run(...)` function returning typed rows (so integration
 //! tests and Criterion benches reuse the same code) and a `print(...)` helper that
@@ -35,6 +36,7 @@ pub mod exp_perf;
 pub mod exp_qdi;
 pub mod exp_quality;
 pub mod exp_routing;
+pub mod exp_sketch;
 pub mod exp_skew;
 pub mod exp_storage;
 pub mod exp_truncation;

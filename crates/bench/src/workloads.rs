@@ -33,6 +33,23 @@ pub fn corpus(num_docs: usize, seed: u64) -> SyntheticCorpus {
     CorpusGenerator::new(config, seed).generate()
 }
 
+/// Like [`corpus`], but with the vocabulary capped at `vocab` terms: the same
+/// collection concentrated on fewer, more frequent terms, so every posting
+/// list is longer. This is the regime where truncation, threshold-aware
+/// elision and sketch pruning have the most bytes to save.
+pub fn dense_corpus(num_docs: usize, vocab: usize, seed: u64) -> SyntheticCorpus {
+    let config = CorpusConfig {
+        num_docs,
+        vocab_size: vocab,
+        num_topics: (num_docs / 50).clamp(5, 80),
+        topic_vocab: 60.min(vocab / 4).max(10),
+        doc_len_mean: 110,
+        doc_len_spread: 50,
+        ..Default::default()
+    };
+    CorpusGenerator::new(config, seed).generate()
+}
+
 /// Generates a query log of `num_queries` multi-term queries over `corpus`.
 pub fn query_log(corpus: &SyntheticCorpus, num_queries: usize, drift: bool, seed: u64) -> QueryLog {
     let config = QueryLogConfig {

@@ -82,7 +82,7 @@ pub const MAX_ENTRY_LEN: usize = 5 + 5 + 2;
 pub struct CodecError(String);
 
 impl CodecError {
-    fn new(msg: impl Into<String>) -> Self {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         CodecError(msg.into())
     }
 }
@@ -100,7 +100,7 @@ impl std::error::Error for CodecError {}
 // ---------------------------------------------------------------------------
 
 /// Appends `v` as an LEB128 varint.
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
         out.push((v as u8) | 0x80);
         v >>= 7;
@@ -114,7 +114,7 @@ pub fn varint_len(v: u64) -> usize {
 }
 
 /// Reads an LEB128 varint at `*pos`, advancing it.
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+pub(crate) fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -157,11 +157,11 @@ fn get_u16(buf: &[u8], pos: &mut usize) -> Result<u16, CodecError> {
     Ok(u16::from_le_bytes(bytes))
 }
 
-fn put_f32(out: &mut Vec<u8>, v: f32) {
+pub(crate) fn put_f32(out: &mut Vec<u8>, v: f32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn get_f32(buf: &[u8], pos: &mut usize) -> Result<f32, CodecError> {
+pub(crate) fn get_f32(buf: &[u8], pos: &mut usize) -> Result<f32, CodecError> {
     let bytes: [u8; 4] = buf
         .get(*pos..*pos + 4)
         .ok_or_else(|| CodecError::new("truncated f32"))?
@@ -354,7 +354,7 @@ pub fn encode_list(list: &TruncatedPostingList, score_floor: Option<f64>) -> Vec
 
 /// Maps a score into the finite `f32`-representable range (NaN becomes 0) so
 /// the quantization range written to the wire is always finite.
-fn sanitize_score(v: f64) -> f64 {
+pub(crate) fn sanitize_score(v: f64) -> f64 {
     if v.is_nan() {
         0.0
     } else {
@@ -364,7 +364,7 @@ fn sanitize_score(v: f64) -> f64 {
 
 /// Next representable `f32` at or above `v` (so quantization ranges always
 /// contain the `f64` scores they were derived from).
-fn widen_up(v: f64) -> f32 {
+pub(crate) fn widen_up(v: f64) -> f32 {
     let f = v as f32;
     if f64::from(f) < v {
         f32::from_bits(if f >= 0.0 {
@@ -378,7 +378,7 @@ fn widen_up(v: f64) -> f32 {
 }
 
 /// Next representable `f32` at or below `v`.
-fn widen_down(v: f64) -> f32 {
+pub(crate) fn widen_down(v: f64) -> f32 {
     let f = v as f32;
     if f64::from(f) > v {
         f32::from_bits(if f > 0.0 {

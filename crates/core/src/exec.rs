@@ -58,6 +58,12 @@ pub struct ProbeEvent {
     /// Number of live replica holders the key had at probe time (`0` unless
     /// the key is hot-replicated).
     pub replicas: usize,
+    /// Whether the probe was answered from the querier's sketch cache instead
+    /// of the network: a fresh [`crate::sketch::KeySketch`] proved the
+    /// response useless before it was sent, so [`ProbeEvent::bytes`] is `0`
+    /// while budget admission still accounts the bytes the probe would have
+    /// cost (see `AlvisNetwork::sketch_prune`).
+    pub pruned: bool,
     /// The running top-k after merging everything retrieved so far.
     pub top_k: Vec<ScoredDoc>,
 }
@@ -198,6 +204,13 @@ pub struct QueryStream<'n> {
     /// The score floor fed into the next probe, recomputed from the running
     /// top-k after every event (see [`QueryStream::next_event`]).
     score_floor: Option<f64>,
+    /// Bytes the sketch-pruned probes *would* have charged. Budget admission
+    /// runs on `spent + virtual_bytes` so the probe schedule is identical with
+    /// and without pruning — savings never buy extra probes the sketch-free
+    /// execution would not have sent.
+    virtual_bytes: u64,
+    /// Number of probes answered from the sketch cache instead of the wire.
+    pruned: usize,
     error: Option<AlvisError>,
 }
 
@@ -226,6 +239,8 @@ impl<'n> QueryStream<'n> {
             base_messages,
             query_terms,
             score_floor: None,
+            virtual_bytes: 0,
+            pruned: 0,
             error: None,
         }
     }
@@ -286,53 +301,74 @@ impl<'n> QueryStream<'n> {
     /// Executes the next scheduled probe and returns its event, or `None` when
     /// the plan is exhausted (or stopped). The first overlay error is returned
     /// once; subsequent calls return `None`.
+    ///
+    /// Before touching the wire, each probe is offered to the querier's sketch
+    /// cache (`AlvisNetwork::sketch_prune`): when a fresh
+    /// sketch proves the response cannot beat the running score floor, the
+    /// known all-elided response is recorded for zero traffic and the bytes the
+    /// probe would have charged are admitted *virtually* against the byte
+    /// budget, keeping the probe schedule identical with and without sketches.
     pub fn next_event(&mut self) -> Option<Result<ProbeEvent, AlvisError>> {
         if self.error.is_some() {
             return None;
         }
         self.query_key.as_ref()?;
-        let spent = self.spent_bytes();
+        let spent = self.spent_bytes() + self.virtual_bytes;
         match self.cursor.next_key(spent) {
             CursorStep::Done => None,
             CursorStep::Probe(key) => {
                 let before = self.net.retrieval_totals().0;
                 let floor = self.score_floor;
                 let shed = self.cursor.pending_node().map_or(0, |n| n.shed_prefix);
-                match self
-                    .net
-                    .probe_planned(self.request.origin, &key, self.seq, floor, shed)
-                {
-                    Err(e) => {
-                        let err = AlvisError::from(e);
-                        self.error = Some(err.clone());
-                        Some(Err(err))
-                    }
-                    Ok(probe) => {
-                        let hops = probe.hops;
-                        let served_by = probe.served_by;
-                        let replicas = probe.replica_set.len();
-                        let outcome = self.cursor.record(probe);
-                        let bytes = self.net.retrieval_totals().0 - before;
-                        let top_k = merge_retrieved(self.cursor.retrieved(), self.request.top_k);
-                        self.update_floor(&top_k);
-                        let event = ProbeEvent {
-                            index: self.sent,
-                            planned: self.planned,
-                            key,
-                            outcome,
-                            bytes,
-                            hops,
-                            spent_bytes: self.spent_bytes(),
-                            spent_hops: self.cursor.hops_spent(),
-                            score_floor: floor,
-                            served_by,
-                            replicas,
-                            top_k,
-                        };
-                        self.sent += 1;
-                        Some(Ok(event))
-                    }
-                }
+                let (probe, pruned) =
+                    match self
+                        .net
+                        .sketch_prune(self.request.origin, &key, self.seq, floor)
+                    {
+                        Some((probe, virtual_bytes)) => {
+                            self.virtual_bytes += virtual_bytes;
+                            self.pruned += 1;
+                            (probe, true)
+                        }
+                        None => match self.net.probe_planned(
+                            self.request.origin,
+                            &key,
+                            self.seq,
+                            floor,
+                            shed,
+                        ) {
+                            Err(e) => {
+                                let err = AlvisError::from(e);
+                                self.error = Some(err.clone());
+                                return Some(Err(err));
+                            }
+                            Ok(probe) => (probe, false),
+                        },
+                    };
+                let hops = probe.hops;
+                let served_by = probe.served_by;
+                let replicas = probe.replica_set.len();
+                let outcome = self.cursor.record(probe);
+                let bytes = self.net.retrieval_totals().0 - before;
+                let top_k = merge_retrieved(self.cursor.retrieved(), self.request.top_k);
+                self.update_floor(&top_k);
+                let event = ProbeEvent {
+                    index: self.sent,
+                    planned: self.planned,
+                    key,
+                    outcome,
+                    bytes,
+                    hops,
+                    spent_bytes: self.spent_bytes(),
+                    spent_hops: self.cursor.hops_spent(),
+                    score_floor: floor,
+                    served_by,
+                    replicas,
+                    pruned,
+                    top_k,
+                };
+                self.sent += 1;
+                Some(Ok(event))
             }
         }
     }
@@ -371,6 +407,7 @@ impl<'n> QueryStream<'n> {
             bytes: bytes_now - self.base_bytes,
             messages: messages_now - self.base_messages,
             budget_exhausted,
+            pruned_probes: self.pruned,
         })
     }
 }

@@ -16,6 +16,7 @@ use crate::posting::TruncatedPostingList;
 use alvisp2p_dht::{Dht, DhtConfig, DhtError, RingId};
 use alvisp2p_netsim::{TrafficCategory, TrafficStats, WireSize};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Usage statistics of a key, maintained by its responsible peer.
 ///
@@ -122,6 +123,11 @@ pub struct GlobalIndex {
     dht: Dht<KeyIndexEntry>,
     /// Size in bytes of a probe request (key + originator address).
     probe_request_bytes: usize,
+    /// Monotonic per-key publish versions, bumped on every mutation of a
+    /// key's stored entry (publish, on-demand store, deactivation, eviction).
+    /// Cached evidence about an entry — a [`crate::sketch::KeySketch`] — is
+    /// only valid while its recorded version matches the current one.
+    versions: HashMap<RingId, u64>,
 }
 
 impl GlobalIndex {
@@ -130,6 +136,7 @@ impl GlobalIndex {
         GlobalIndex {
             dht: Dht::with_peers(dht_config, seed, n_peers),
             probe_request_bytes: 48,
+            versions: HashMap::new(),
         }
     }
 
@@ -138,6 +145,7 @@ impl GlobalIndex {
         GlobalIndex {
             dht,
             probe_request_bytes: 48,
+            versions: HashMap::new(),
         }
     }
 
@@ -213,6 +221,7 @@ impl GlobalIndex {
         // Keep any replica copies identical to the primary (no-op unless the
         // key is hot-replicated).
         self.dht.sync_replicas(ring_key, TrafficCategory::Indexing);
+        *self.versions.entry(ring_key).or_insert(0) += 1;
         Ok(info.hops)
     }
 
@@ -242,6 +251,7 @@ impl GlobalIndex {
         };
         self.dht.peer_mut(responsible).store.insert(ring_key, entry);
         self.dht.sync_replicas(ring_key, TrafficCategory::Indexing);
+        *self.versions.entry(ring_key).or_insert(0) += 1;
     }
 
     // ------------------------------------------------------------------
@@ -358,6 +368,45 @@ impl GlobalIndex {
         })
     }
 
+    /// The current publish version of `key`: bumped on every mutation of the
+    /// key's stored entry (publish, on-demand store, deactivation, eviction),
+    /// `0` for a never-touched key. A cached [`crate::sketch::KeySketch`]
+    /// built at version `v` is valid evidence exactly while
+    /// `publish_version(key) == v`.
+    pub fn publish_version(&self, key: &TermKey) -> u64 {
+        self.versions.get(&key.ring_id()).copied().unwrap_or(0)
+    }
+
+    /// Records interest in `key` exactly as a probe would — usage statistics
+    /// at the responsible peer (creating a statistics-only entry if the key is
+    /// unknown), with **zero traffic and zero serve load**.
+    ///
+    /// This is the bookkeeping counterpart of a sketch-pruned probe: the
+    /// querier proved the response useless and never sent the request, but
+    /// QDI's decentralized monitoring must still observe the demand, or
+    /// pruning would starve activation/eviction decisions. The update is
+    /// modelled as piggybacked on existing sketch-maintenance traffic.
+    /// Deliberately *not* updated: `served_requests` and the replication
+    /// load tracker — a pruned probe loads nobody, which is the point.
+    pub fn note_interest(&mut self, key: &TermKey, query_seq: u64, stats_capacity: usize) {
+        let ring_key = key.ring_id();
+        let Ok(responsible) = self.dht.responsible_for(ring_key) else {
+            return;
+        };
+        self.dht
+            .peer_mut(responsible)
+            .store
+            .upsert_with(ring_key, |slot| {
+                let entry = slot
+                    .get_or_insert_with(|| KeyIndexEntry::stats_only(key.clone(), stats_capacity));
+                entry.usage.probes += 1;
+                entry.usage.last_probe = query_seq;
+                if entry.activated {
+                    entry.usage.hits += 1;
+                }
+            });
+    }
+
     /// Estimates the overlay hops a probe for `key` from peer `from` would take,
     /// without sending anything (see [`Dht::estimate_hops`]). Planners use this to
     /// cost-annotate probe schedules before spending bandwidth.
@@ -391,6 +440,26 @@ impl GlobalIndex {
         (routing + request + response) as u64
     }
 
+    /// The peer currently responsible for `key` (no routing, no traffic) —
+    /// where a probe for it would land.
+    pub fn responsible_for(&self, key: &TermKey) -> Result<usize, DhtError> {
+        self.dht.responsible_for(key.ring_id())
+    }
+
+    /// Exact bytes a probe for `key` would have charged had it been sent and
+    /// answered with a `response_bytes`-byte frame: per-hop routing messages,
+    /// the routed probe request and the response, each with its wire envelope.
+    /// Unlike [`GlobalIndex::estimate_probe_bytes`] (which bounds the response
+    /// by the codec's worst case) this mirrors [`GlobalIndex::probe`]'s
+    /// accounting to the byte, so a sketch-pruned probe can report the traffic
+    /// it avoided without perturbing budget admission.
+    pub fn virtual_probe_bytes(&self, key: &TermKey, hops: usize, response_bytes: usize) -> u64 {
+        use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
+        let routing = hops * (self.dht.config().lookup_request_bytes + ENVELOPE_OVERHEAD);
+        let request = self.probe_request_bytes + key.wire_size() + ENVELOPE_OVERHEAD;
+        (routing + request + response_bytes + ENVELOPE_OVERHEAD) as u64
+    }
+
     /// Reads a key's entry without routing or traffic (ground truth for tests and
     /// experiment verification).
     pub fn peek(&self, key: &TermKey) -> Option<&KeyIndexEntry> {
@@ -410,11 +479,16 @@ impl GlobalIndex {
             return false;
         };
         self.dht.withdraw_replicas(ring_key);
-        self.dht
+        let removed = self
+            .dht
             .peer_mut(responsible)
             .store
             .remove(&ring_key)
-            .is_some()
+            .is_some();
+        if removed {
+            *self.versions.entry(ring_key).or_insert(0) += 1;
+        }
+        removed
     }
 
     /// Deactivates a key but keeps its usage statistics (QDI's "remove obsolete key"
@@ -426,14 +500,18 @@ impl GlobalIndex {
         };
         self.dht.withdraw_replicas(ring_key);
         let peer = self.dht.peer_mut(responsible);
-        match peer.store.get_mut(&ring_key) {
+        let deactivated = match peer.store.get_mut(&ring_key) {
             Some(entry) if entry.activated => {
                 entry.activated = false;
                 entry.postings = TruncatedPostingList::new(entry.postings.capacity());
                 true
             }
             _ => false,
+        };
+        if deactivated {
+            *self.versions.entry(ring_key).or_insert(0) += 1;
         }
+        deactivated
     }
 
     // ------------------------------------------------------------------
@@ -866,6 +944,50 @@ mod tests {
         assert!(gi.peer_probe_load(primary) > 0.0);
         // Usage statistics stay canonical at the primary.
         assert_eq!(gi.usage(&key).unwrap().probes, 60);
+    }
+
+    #[test]
+    fn publish_versions_track_every_entry_mutation() {
+        let mut gi = index(16);
+        let key = TermKey::new(["version", "track"]);
+        assert_eq!(gi.publish_version(&key), 0);
+        gi.publish_postings(0, &key, &refs(3), 100).unwrap();
+        assert_eq!(gi.publish_version(&key), 1);
+        gi.publish_postings(1, &key, &refs(2), 100).unwrap();
+        assert_eq!(gi.publish_version(&key), 2);
+        // Probes are reads: no version change.
+        gi.probe(2, &key, 1, 100, None).unwrap();
+        assert_eq!(gi.publish_version(&key), 2);
+        assert!(gi.deactivate(&key));
+        assert_eq!(gi.publish_version(&key), 3);
+        assert!(!gi.deactivate(&key), "no-op deactivation does not bump");
+        assert_eq!(gi.publish_version(&key), 3);
+        let responsible = gi.dht().responsible_for(key.ring_id()).unwrap();
+        gi.store_acquired(responsible, &key, refs(4));
+        assert_eq!(gi.publish_version(&key), 4);
+        assert!(gi.evict(&key));
+        assert_eq!(gi.publish_version(&key), 5);
+        assert!(!gi.evict(&key), "no-op eviction does not bump");
+        assert_eq!(gi.publish_version(&key), 5);
+    }
+
+    #[test]
+    fn note_interest_matches_probe_statistics_without_traffic() {
+        let mut gi = index(16);
+        let known = TermKey::new(["noted", "key"]);
+        gi.publish_postings(0, &known, &refs(3), 100).unwrap();
+        let before = gi.stats_snapshot();
+        gi.note_interest(&known, 5, 100);
+        gi.note_interest(&TermKey::single("unknown"), 6, 100);
+        let delta = gi.stats_snapshot().since(&before);
+        assert_eq!(delta.category(TrafficCategory::Retrieval).bytes, 0);
+        assert_eq!(delta.category(TrafficCategory::Overlay).bytes, 0);
+        // Statistics advanced exactly as a probe would have advanced them.
+        let usage = gi.usage(&known).unwrap();
+        assert_eq!((usage.probes, usage.hits, usage.last_probe), (1, 1, 5));
+        let usage = gi.usage(&TermKey::single("unknown")).unwrap();
+        assert_eq!((usage.probes, usage.hits, usage.last_probe), (1, 0, 6));
+        assert_eq!(gi.total_entries(), 2, "stats-only entry was created");
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //!   strategy, and run [`QueryRequest`]s — in one shot via `execute`, or as an
 //!   explicit plan → run pipeline — with full traffic accounting;
 //! * [`request`] — the [`QueryRequest`]/[`QueryResponse`] pair;
+//! * [`sketch`] — per-key provenance sketches ([`KeySketch`]: doc-id
+//!   Bloom/range filters and quantized score histograms) with cost-based
+//!   selection ([`SketchPolicy`]), plus the Alvis document digest
+//!   ([`DocumentDigest`]) for plugging external local engines into a peer;
 //! * [`error`] — the unified [`AlvisError`] hierarchy;
 //! * [`baseline`] — the centralized reference engine;
 //! * [`stats`] — retrieval-quality metrics used by the experiments.
@@ -78,6 +82,7 @@ pub mod posting;
 pub mod qdi;
 pub mod ranking;
 pub mod request;
+pub mod sketch;
 pub mod stats;
 pub mod strategy;
 
@@ -100,11 +105,15 @@ pub use network::{
 pub use peer::{AlvisPeer, FetchOutcome};
 pub use plan::{
     BestEffort, BudgetPolicy, GreedyCost, PlanCtx, PlanCursor, PlanDecision, PlanHints, PlanNode,
-    Planner, QueryPlan, ReplicaAware,
+    Planner, QueryPlan, ReplicaAware, SketchAware,
 };
 pub use posting::{ScoredRef, TruncatedPostingList};
 pub use qdi::{ActivationDecision, QdiConfig, QdiReport};
 pub use ranking::{merge_retrieved, score_local_postings, GlobalRankingStats};
 pub use request::{QueryRequest, QueryResponse, ThresholdMode};
+pub use sketch::{
+    DigestDocument, DigestTerm, DocumentDigest, KeySketch, SketchBuildReport, SketchCache,
+    SketchCostModel, SketchDecision, SketchKinds, SketchPolicy,
+};
 pub use stats::{overlap_at_k, precision_at_k, recall_at_k, QualityAccumulator, QualitySummary};
 pub use strategy::{Hdk, IndexerCtx, Qdi, QueryCtx, SingleTermFull, Strategy};

@@ -29,6 +29,7 @@ use crate::plan::{BestEffort, PlanCtx, Planner, QueryPlan};
 use crate::qdi::QdiReport;
 use crate::ranking::GlobalRankingStats;
 use crate::request::{QueryRequest, QueryResponse};
+use crate::sketch::{SketchBuildReport, SketchCache, SketchDecision, SketchPolicy};
 use crate::strategy::{Hdk, IndexerCtx, QueryCtx, Strategy};
 use alvisp2p_dht::{DhtConfig, DhtError, ReplicationPolicy};
 use alvisp2p_netsim::{TrafficCategory, TrafficStats};
@@ -55,6 +56,10 @@ pub struct NetworkConfig {
     pub bm25: Bm25Params,
     /// Query-lattice exploration parameters.
     pub lattice: LatticeConfig,
+    /// Per-key sketch publication policy (see [`crate::sketch`]). The default,
+    /// [`SketchPolicy::NoSketches`], keeps every byte of the query path
+    /// identical to a sketch-free network.
+    pub sketch_policy: SketchPolicy,
     /// Master seed for all randomness.
     pub seed: u64,
 }
@@ -68,6 +73,7 @@ impl Default for NetworkConfig {
             planner: Arc::new(BestEffort),
             bm25: Bm25Params::default(),
             lattice: LatticeConfig::default(),
+            sketch_policy: SketchPolicy::default(),
             seed: 42,
         }
     }
@@ -169,6 +175,14 @@ impl AlvisNetworkBuilder {
         self
     }
 
+    /// Sets the per-key sketch publication policy (see [`crate::sketch`]).
+    /// Defaults to [`SketchPolicy::NoSketches`], which keeps the query path
+    /// byte-identical to a sketch-free network.
+    pub fn sketch_policy(mut self, policy: SketchPolicy) -> Self {
+        self.config.sketch_policy = policy;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -265,6 +279,8 @@ pub struct AlvisNetwork {
     peers: Vec<AlvisPeer>,
     global: GlobalIndex,
     ranking: GlobalRankingStats,
+    sketches: SketchCache,
+    sketch_report: SketchBuildReport,
     centralized: CentralizedEngine,
     analyzer: Analyzer,
     query_seq: u64,
@@ -310,6 +326,8 @@ impl AlvisNetwork {
             peers,
             global,
             ranking: GlobalRankingStats::new(),
+            sketches: SketchCache::new(),
+            sketch_report: SketchBuildReport::default(),
             centralized,
             analyzer: Analyzer::default(),
             query_seq: 0,
@@ -370,6 +388,17 @@ impl AlvisNetwork {
     /// The aggregated global ranking statistics.
     pub fn ranking_stats(&self) -> &GlobalRankingStats {
         &self.ranking
+    }
+
+    /// The querier-side cache of per-key sketches published by the most recent
+    /// index build (empty under [`SketchPolicy::NoSketches`]).
+    pub fn sketch_cache(&self) -> &SketchCache {
+        &self.sketches
+    }
+
+    /// The cost-based sketch selection report of the most recent index build.
+    pub fn sketch_report(&self) -> &SketchBuildReport {
+        &self.sketch_report
     }
 
     /// The centralized reference engine over the same collection.
@@ -473,6 +502,7 @@ impl AlvisNetwork {
             self.config.bm25,
         );
         self.level_reports = strategy.build_index(&mut ctx);
+        self.publish_key_evidence();
         self.index_built = true;
 
         let after = self.traffic_snapshot();
@@ -488,6 +518,79 @@ impl AlvisNetwork {
         };
         self.last_build = Some(report.clone());
         report
+    }
+
+    /// Publishes the querier-facing evidence derived from the freshly built
+    /// index: per-key maximum scores into the ranking statistics (the
+    /// rank-safety bound shared by `ThresholdMode` floors and sketch score
+    /// pruning, charged to [`TrafficCategory::Ranking`]) and — under a
+    /// cost-based [`SketchPolicy`] — the per-key sketches whose modeled
+    /// probe-byte savings cover their measured upkeep (charged to
+    /// [`TrafficCategory::Overlay`], cached at the querier).
+    fn publish_key_evidence(&mut self) {
+        let capacity = self.config.strategy.truncation_k();
+        let model = match self.config.sketch_policy {
+            SketchPolicy::NoSketches => None,
+            SketchPolicy::CostBased(model) => Some(model),
+        };
+        // Demand estimate: on a cold index (no probe ever observed) every key
+        // gets the model's uniform prior; once usage statistics exist, each
+        // key's own observed probe count is projected forward instead, so
+        // sketch upkeep concentrates on the keys queries actually hit.
+        let demand_known = self.global.entries().any(|e| e.usage.probes > 0);
+        let mut maxima: Vec<(TermKey, f64)> = Vec::new();
+        let mut planned = Vec::new();
+        let mut considered = 0usize;
+        for entry in self.global.entries().filter(|e| e.activated) {
+            if let Some(best) = entry.postings.best_score() {
+                maxima.push((entry.key.clone(), best));
+            }
+            let Some(model) = model else { continue };
+            considered += 1;
+            let hops = self.global.estimate_hops(0, &entry.key).unwrap_or(0);
+            let bound = entry.postings.len().min(capacity);
+            let probe_cost = self.global.estimate_probe_bytes(&entry.key, hops, bound);
+            let version = self.global.publish_version(&entry.key);
+            let expected = if demand_known {
+                entry.usage.probes as f64
+            } else {
+                model.expected_probes
+            };
+            if let Some(p) = model.plan(version, &entry.postings, probe_cost, expected) {
+                planned.push((entry.key.clone(), p));
+            }
+        }
+        maxima.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, best) in maxima {
+            self.global.charge(
+                TrafficCategory::Ranking,
+                GlobalRankingStats::key_max_wire_size(&key),
+            );
+            self.ranking.record_key_max(&key, best);
+        }
+        planned.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut report = SketchBuildReport {
+            considered_keys: considered,
+            ..SketchBuildReport::default()
+        };
+        self.sketches.clear();
+        for (key, p) in planned {
+            // `charge` adds the wire envelope, so the recorded Overlay bytes
+            // equal the measured `upkeep_bytes` (frame + envelope).
+            self.global.charge(TrafficCategory::Overlay, p.frame.len());
+            report.sketched_keys += 1;
+            report.upkeep_bytes += p.upkeep_bytes as u64;
+            report.modeled_savings += p.modeled_savings;
+            report.decisions.push(SketchDecision {
+                key: key.canonical(),
+                scores: p.sketch.scores().is_some(),
+                membership: p.sketch.membership().is_some(),
+                upkeep_bytes: p.upkeep_bytes as u64,
+                modeled_savings: p.modeled_savings,
+            });
+            self.sketches.insert(key, p.sketch);
+        }
+        self.sketch_report = report;
     }
 
     /// Whether [`AlvisNetwork::build_index`] has run.
@@ -551,6 +654,11 @@ impl AlvisNetwork {
             capacity: strategy.truncation_k(),
             ranking: &self.ranking,
             global: &self.global,
+            sketches: self
+                .config
+                .sketch_policy
+                .enabled()
+                .then_some(&self.sketches),
             byte_budget: request.byte_budget,
             hop_budget: request.hop_budget,
         };
@@ -681,6 +789,52 @@ impl AlvisNetwork {
         };
         self.global
             .probe_with(origin, key, seq, capacity, score_floor, shed)
+    }
+
+    /// Attempts to answer one planned probe from the querier's sketch cache
+    /// instead of the network: when a fresh sketch for `key` proves every
+    /// stored posting scores below `score_floor`, the wire response is known
+    /// in advance (the all-elided frame), so the probe is synthesized locally
+    /// for **zero traffic**. Interest still reaches the responsible peer's
+    /// usage statistics via [`GlobalIndex::note_interest`] so QDI keeps
+    /// observing demand. Returns the synthesized result plus the exact bytes
+    /// the probe would have charged — the executor admits those *virtual*
+    /// bytes against byte budgets so probe scheduling stays identical with and
+    /// without pruning.
+    pub(crate) fn sketch_prune(
+        &mut self,
+        origin: usize,
+        key: &TermKey,
+        seq: u64,
+        score_floor: Option<f64>,
+    ) -> Option<(ProbeResult, u64)> {
+        if !self.config.sketch_policy.enabled() {
+            return None;
+        }
+        let version = self.global.publish_version(key);
+        let sketch = self.sketches.fresh(key, version)?;
+        if !sketch.prunes_all_below(score_floor) {
+            return None;
+        }
+        let postings = sketch.pruned_response();
+        let response_len = sketch.pruned_response_len();
+        let hops = self.global.estimate_hops(origin, key).ok()?;
+        let responsible = self.global.responsible_for(key).ok()?;
+        let virtual_bytes = self.global.virtual_probe_bytes(key, hops, response_len);
+        let capacity = self.config.strategy.truncation_k();
+        self.global.note_interest(key, seq, capacity);
+        Some((
+            ProbeResult {
+                key: key.clone(),
+                postings: Some(postings),
+                hops,
+                responsible,
+                served_by: responsible,
+                replica_set: Vec::new(),
+                skipped: false,
+            },
+            virtual_bytes,
+        ))
     }
 
     /// Lets the strategy observe a finished query (QDI activation/eviction) and

@@ -6,10 +6,11 @@
 //! the peer also enforces per-document access rights when another peer fetches a
 //! result, and serves the "second step" query refinement against its local engine.
 
+use crate::sketch::DocumentDigest;
 use alvisp2p_textindex::bm25::{Bm25Searcher, ScoredDoc};
 use alvisp2p_textindex::{
-    AccessDecision, Analyzer, CollectionStats, Credentials, DocId, Document, DocumentDigest,
-    DocumentStore, InvertedIndex,
+    AccessDecision, Analyzer, CollectionStats, Credentials, DocId, Document, DocumentStore,
+    InvertedIndex,
 };
 use serde::{Deserialize, Serialize};
 

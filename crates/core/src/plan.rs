@@ -33,6 +33,7 @@ use crate::key::TermKey;
 use crate::lattice::{LatticeConfig, LatticeResult, LatticeTrace, NodeOutcome};
 use crate::posting::TruncatedPostingList;
 use crate::ranking::GlobalRankingStats;
+use crate::sketch::{KeySketch, SketchCache};
 use serde::{Deserialize, Serialize};
 
 // ---------------------------------------------------------------------------
@@ -210,6 +211,11 @@ pub struct PlanCtx<'a> {
     pub byte_budget: Option<u64>,
     /// The request's hop budget, if any.
     pub hop_budget: Option<usize>,
+    /// The querier's cached per-key sketches (see [`crate::sketch`]), or
+    /// `None` when the network maintains none
+    /// ([`crate::sketch::SketchPolicy::NoSketches`]). Only [`SketchAware`]
+    /// consults this; every other planner ignores it.
+    pub sketches: Option<&'a SketchCache>,
 }
 
 impl PlanCtx<'_> {
@@ -580,6 +586,148 @@ impl Planner for ReplicaAware {
     }
 }
 
+/// Sketch-aware planner wrapper: delegates scheduling to an inner planner,
+/// then sharpens the schedule with the querier's cached per-key sketches
+/// ([`crate::sketch::SketchCache`], via [`PlanCtx::sketches`]).
+///
+/// For every scheduled probe with fresh sketch evidence (the cached sketch's
+/// version matches the key's current
+/// [`GlobalIndex::publish_version`]), the wrapper
+///
+/// 1. **replaces independence estimates with real histogram mass** — a
+///    single-term key's priority becomes its sketch's quantized score mass
+///    per estimated byte; a multi-term key whose singleton sketches are all
+///    fresh, complete and membership-bearing gets its intersection benefit
+///    from the Bloom-filter intersection estimate instead of the
+///    `N · Π df/N` independence model [`GreedyCost`] uses;
+/// 2. **zeroes provably-empty intersections** — if any two of those singleton
+///    sketches are *proven* disjoint ([`KeySketch::may_intersect`] is
+///    `false`, sound because complete lists witness all matching documents),
+///    the multi-term key cannot hold any document and its priority drops to
+///    zero, so under a budget its slot goes to a probe that can still buy
+///    something.
+///
+/// Like [`ReplicaAware`], the wrapper only ever adjusts `priority`:
+/// decisions, `est_hops` and `est_bytes` stay the inner planner's, so
+/// [`BudgetPolicy::Reserve`]'s never-exceed-the-budget guarantee and the
+/// trace shape are untouched. Wrapping a planner with no cached sketches
+/// (the [`crate::sketch::SketchPolicy::NoSketches`] default) changes nothing
+/// but the plan's label. The *pre-send proof* that drops probes outright
+/// lives in the executor ([`crate::exec::QueryStream`]), where the running
+/// score floor is known — the planner seam only re-ranks.
+#[derive(Clone, Debug)]
+pub struct SketchAware {
+    inner: std::sync::Arc<dyn Planner>,
+    label: String,
+}
+
+impl SketchAware {
+    /// Wraps `inner` with sketch-aware priority sharpening.
+    pub fn new(inner: impl Planner + 'static) -> Self {
+        Self::from_arc(std::sync::Arc::new(inner))
+    }
+
+    /// Wraps an already-shared planner.
+    pub fn from_arc(inner: std::sync::Arc<dyn Planner>) -> Self {
+        let label = format!("sketch-aware+{}", inner.label());
+        SketchAware { inner, label }
+    }
+
+    /// The fresh singleton-subset sketches of `key`, provided **every**
+    /// single-term subset has one that can witness membership (complete, and
+    /// either empty or Bloom-bearing). `None` as soon as one is missing or
+    /// stale — partial evidence proves nothing about an intersection.
+    fn singleton_witnesses<'s>(
+        ctx: &PlanCtx<'_>,
+        cache: &'s SketchCache,
+        key: &TermKey,
+    ) -> Option<Vec<&'s KeySketch>> {
+        key.term_ids()
+            .iter()
+            .map(|t| {
+                let single = TermKey::from_term_ids([*t]);
+                cache
+                    .fresh(&single, ctx.global.publish_version(&single))
+                    .filter(|s| s.is_complete() && (s.is_empty() || s.membership().is_some()))
+            })
+            .collect()
+    }
+}
+
+impl Planner for SketchAware {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn plan(&self, ctx: &PlanCtx<'_>) -> QueryPlan {
+        let mut plan = self.inner.plan(ctx);
+        plan.planner = self.label.clone();
+        let Some(cache) = ctx.sketches.filter(|c| !c.is_empty()) else {
+            return plan;
+        };
+        let mut reranked = false;
+        for node in &mut plan.nodes {
+            if node.decision != PlanDecision::Probe {
+                continue;
+            }
+            let sharpened = if node.key.is_single() {
+                cache
+                    .fresh(&node.key, ctx.global.publish_version(&node.key))
+                    .and_then(KeySketch::score_mass)
+                    .map(|mass| mass / node.est_bytes.max(1) as f64)
+            } else if let Some(singles) = Self::singleton_witnesses(ctx, cache, &node.key) {
+                let disjoint = singles
+                    .iter()
+                    .enumerate()
+                    .any(|(i, a)| singles[i + 1..].iter().any(|b| !a.may_intersect(b)));
+                if disjoint {
+                    // Proven empty: the probe cannot return any document.
+                    Some(0.0)
+                } else {
+                    // Real intersection benefit: the tightest pairwise Bloom
+                    // estimate times the summed per-document score mass of
+                    // the member terms, per estimated byte.
+                    let est_inter = singles
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(i, a)| {
+                            singles[i + 1..]
+                                .iter()
+                                .filter_map(|b| a.estimate_intersection(b))
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    let per_doc: Option<f64> = singles
+                        .iter()
+                        .map(|s| Some(s.score_mass()? / s.len().max(1) as f64))
+                        .sum::<Option<f64>>();
+                    match per_doc {
+                        Some(per_doc) if est_inter.is_finite() => {
+                            Some(est_inter * per_doc / node.est_bytes.max(1) as f64)
+                        }
+                        _ => None,
+                    }
+                }
+            } else {
+                None
+            };
+            if let Some(p) = sharpened {
+                if p != node.priority {
+                    node.priority = p;
+                    reranked = true;
+                }
+            }
+        }
+        // Same re-rank discipline as ReplicaAware: only budgeted Reserve
+        // plans are priority-ordered; Cutoff planners keep their fixed order.
+        let budgeted = ctx.byte_budget.is_some() || ctx.hop_budget.is_some();
+        if reranked && budgeted && plan.budget_policy == BudgetPolicy::Reserve {
+            plan.nodes
+                .sort_by(|a, b| b.priority.total_cmp(&a.priority).then(a.key.cmp(&b.key)));
+        }
+        plan
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Plan execution state machine
 // ---------------------------------------------------------------------------
@@ -804,6 +952,7 @@ mod tests {
             global,
             byte_budget: None,
             hop_budget: None,
+            sketches: None,
         }
     }
 
@@ -1160,6 +1309,7 @@ mod tests {
             global: &global,
             byte_budget: None,
             hop_budget: None,
+            sketches: None,
         };
         let plain = GreedyCost::default().plan(&c);
         let wrapped = ReplicaAware::new(GreedyCost::default()).plan(&c);
@@ -1181,6 +1331,145 @@ mod tests {
         }
         assert_eq!(plain.est_total_bytes, wrapped.est_total_bytes);
         assert_eq!(plain.est_total_hops, wrapped.est_total_hops);
+    }
+
+    #[test]
+    fn sketch_aware_is_a_pure_relabel_without_sketches() {
+        let query = TermKey::new(["a", "b"]);
+        let ranking = stats(&[("a", 3), ("b", 4)]);
+        let global = GlobalIndex::new(DhtConfig::default(), 1, 8);
+        let empty_cache = crate::sketch::SketchCache::new();
+        for cache in [None, Some(&empty_cache)] {
+            let mut c = ctx(
+                &query,
+                &ranking,
+                &global,
+                LatticeConfig::default(),
+                PlanHints::default(),
+            );
+            c.sketches = cache;
+            let plain = GreedyCost::default().plan(&c);
+            let wrapped = SketchAware::new(GreedyCost::default()).plan(&c);
+            assert_eq!(wrapped.planner, "sketch-aware+greedy-cost");
+            assert_eq!(plain.nodes.len(), wrapped.nodes.len());
+            for (a, b) in plain.nodes.iter().zip(&wrapped.nodes) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.decision, b.decision);
+                assert_eq!(a.priority, b.priority);
+                assert_eq!(a.est_hops, b.est_hops);
+                assert_eq!(a.est_bytes, b.est_bytes);
+            }
+        }
+    }
+
+    /// A cache with fresh, complete singleton sketches for `a` (docs 0..4 of
+    /// peer 1) and `b` (given docs), built at the keys' current (never
+    /// published → 0) versions.
+    fn sketch_cache_for(b_docs: &[DocId]) -> crate::sketch::SketchCache {
+        use crate::sketch::{KeySketch, SketchKinds};
+        let mut cache = crate::sketch::SketchCache::new();
+        let a_list = TruncatedPostingList::from_refs(
+            (0..4u32).map(|i| ScoredRef {
+                doc: DocId::new(1, i),
+                score: f64::from(4 - i),
+            }),
+            10,
+        );
+        let b_list = TruncatedPostingList::from_refs(
+            b_docs.iter().enumerate().map(|(i, d)| ScoredRef {
+                doc: *d,
+                score: (b_docs.len() - i) as f64 * 0.5,
+            }),
+            10,
+        );
+        cache.insert(
+            TermKey::single("a"),
+            KeySketch::build(0, &a_list, SketchKinds::all()),
+        );
+        cache.insert(
+            TermKey::single("b"),
+            KeySketch::build(0, &b_list, SketchKinds::all()),
+        );
+        cache
+    }
+
+    #[test]
+    fn sketch_aware_zeroes_provably_empty_intersections() {
+        let query = TermKey::new(["a", "b"]);
+        let ranking = stats(&[("a", 4), ("b", 4)]);
+        let global = GlobalIndex::new(DhtConfig::default(), 1, 8);
+        // b's docs live on peer 2: provably disjoint from a's (peer 1).
+        let disjoint: Vec<DocId> = (0..4u32).map(|i| DocId::new(2, i)).collect();
+        let cache = sketch_cache_for(&disjoint);
+        let mut c = ctx(
+            &query,
+            &ranking,
+            &global,
+            LatticeConfig::default(),
+            PlanHints::default(),
+        );
+        c.sketches = Some(&cache);
+        let plan = SketchAware::new(GreedyCost::default()).plan(&c);
+        let pair = plan.nodes.iter().find(|n| n.key == query).unwrap();
+        assert_eq!(pair.priority, 0.0, "proven-empty intersection ranks last");
+        // The probe is still scheduled (the trace shape never changes) and its
+        // admission bounds are untouched.
+        assert_eq!(pair.decision, PlanDecision::Probe);
+        assert!(pair.est_bytes > 0);
+        // Overlapping doc sets are not zeroed.
+        let overlapping: Vec<DocId> = (2..6u32).map(|i| DocId::new(1, i)).collect();
+        let cache = sketch_cache_for(&overlapping);
+        c.sketches = Some(&cache);
+        let plan = SketchAware::new(GreedyCost::default()).plan(&c);
+        let pair = plan.nodes.iter().find(|n| n.key == query).unwrap();
+        assert!(pair.priority > 0.0);
+    }
+
+    #[test]
+    fn sketch_aware_reranks_budgeted_reserve_plans() {
+        let query = TermKey::new(["a", "b"]);
+        let ranking = stats(&[("a", 4), ("b", 4)]);
+        let global = GlobalIndex::new(DhtConfig::default(), 1, 8);
+        let disjoint: Vec<DocId> = (0..4u32).map(|i| DocId::new(2, i)).collect();
+        let cache = sketch_cache_for(&disjoint);
+        let mut c = ctx(
+            &query,
+            &ranking,
+            &global,
+            LatticeConfig::default(),
+            PlanHints::default(),
+        );
+        c.byte_budget = Some(10_000);
+        c.sketches = Some(&cache);
+        let plan = SketchAware::new(GreedyCost::default()).plan(&c);
+        // Under a budget the zeroed pair drops behind the single-term probes,
+        // whose priorities now carry real sketch mass.
+        let probe_order: Vec<String> = plan.probes().map(|n| n.key.canonical()).collect();
+        assert_eq!(probe_order.last().unwrap(), "a+b");
+        assert!(plan.probes().take(2).all(|n| n.priority > 0.0));
+        // Stale sketches are ignored: at a bumped publish version the wrapper
+        // keeps the inner plan untouched.
+        let mut bumped = GlobalIndex::new(DhtConfig::default(), 1, 8);
+        let delta = TruncatedPostingList::from_refs(
+            [ScoredRef {
+                doc: DocId::new(1, 0),
+                score: 1.0,
+            }],
+            10,
+        );
+        bumped
+            .publish_postings(0, &TermKey::single("a"), &delta, 10)
+            .unwrap();
+        bumped
+            .publish_postings(0, &TermKey::single("b"), &delta, 10)
+            .unwrap();
+        c.global = &bumped;
+        let plain = GreedyCost::default().plan(&c);
+        let wrapped = SketchAware::new(GreedyCost::default()).plan(&c);
+        for (a, b) in plain.nodes.iter().zip(&wrapped.nodes) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.priority, b.priority, "stale evidence must not rerank");
+        }
     }
 
     #[test]

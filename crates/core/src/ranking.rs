@@ -17,6 +17,7 @@
 
 use crate::key::TermKey;
 use crate::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_netsim::WireSize;
 use alvisp2p_textindex::bm25::{bm25_term_score, top_k, Bm25Params, ScoredDoc};
 use alvisp2p_textindex::{CollectionStats, DocId, InvertedIndex, TermId};
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -32,6 +33,14 @@ pub struct GlobalRankingStats {
     stats: CollectionStats,
     /// Interned mirror of `stats.doc_frequencies`, rebuilt as fragments merge.
     df_by_id: HashMap<TermId, u64>,
+    /// Per-key maximum published contribution score (the rank-safety bound of
+    /// ROADMAP item 1): each peer publishes the max score of its delta for a
+    /// key, and the aggregate keeps the max over all publishers. Because every
+    /// document is scored by exactly one owner, this upper-bounds every score
+    /// the key's stored posting list can ever return — [`crate::request::ThresholdMode`]
+    /// floors and sketch score-histogram pruning share it as one provably-safe
+    /// bound.
+    key_max: HashMap<TermKey, f64>,
 }
 
 impl GlobalRankingStats {
@@ -84,6 +93,32 @@ impl GlobalRankingStats {
         self.stats.vocabulary_size()
     }
 
+    /// Records a published per-key maximum contribution score, keeping the max
+    /// over all publishers. Called on the publish path for every key a peer
+    /// contributes postings to.
+    pub fn record_key_max(&mut self, key: &TermKey, max_score: f64) {
+        let slot = self.key_max.entry(key.clone()).or_insert(f64::MIN);
+        if max_score > *slot {
+            *slot = max_score;
+        }
+    }
+
+    /// The maximum score any stored posting of `key` can carry (the max over
+    /// all published contributions), or `None` if nothing was recorded.
+    pub fn key_max_score(&self, key: &TermKey) -> Option<f64> {
+        self.key_max.get(key).copied()
+    }
+
+    /// Number of keys with a recorded maximum score.
+    pub fn key_max_count(&self) -> usize {
+        self.key_max.len()
+    }
+
+    /// Approximate wire size of one published `(key, max score)` record.
+    pub fn key_max_wire_size(key: &TermKey) -> usize {
+        key.wire_size() + 8
+    }
+
     /// Approximate wire size of one peer's statistics fragment (what publishing it to
     /// the ranking layer costs). Proportional to the peer's vocabulary.
     pub fn fragment_wire_size(fragment: &CollectionStats) -> usize {
@@ -98,8 +133,18 @@ impl GlobalRankingStats {
 impl Serialize for GlobalRankingStats {
     fn to_value(&self) -> Value {
         // Only the mergeable string-keyed statistics cross process boundaries;
-        // the id table is process-local and rebuilt on deserialization.
-        Value::Obj(vec![("stats".to_string(), self.stats.to_value())])
+        // the id table is process-local and rebuilt on deserialization. The
+        // per-key maxima travel keyed by canonical form, sorted for stability.
+        let mut maxima: Vec<(String, Value)> = self
+            .key_max
+            .iter()
+            .map(|(k, v)| (k.canonical(), Value::Float(*v)))
+            .collect();
+        maxima.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(vec![
+            ("stats".to_string(), self.stats.to_value()),
+            ("key_max".to_string(), Value::Obj(maxima)),
+        ])
     }
 }
 
@@ -108,6 +153,19 @@ impl Deserialize for GlobalRankingStats {
         let stats: CollectionStats = serde::field(v, "stats")?;
         let mut out = GlobalRankingStats::default();
         out.merge_fragment(&stats);
+        // Absent in frames from before the rank-safety bound existed.
+        let maxima = match v {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == "key_max").map(|(_, m)| m),
+            _ => None,
+        };
+        if let Some(Value::Obj(maxima)) = maxima {
+            for (canonical, value) in maxima {
+                let Value::Float(max) = value else {
+                    return Err(DeError::new("key_max values must be floats"));
+                };
+                out.record_key_max(&TermKey::new(canonical.split('+')), *max);
+            }
+        }
         Ok(out)
     }
 }
@@ -391,5 +449,61 @@ mod tests {
     #[test]
     fn merge_retrieved_empty_input() {
         assert!(merge_retrieved(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn key_max_keeps_the_max_over_publishers() {
+        let mut global = GlobalRankingStats::new();
+        let key = TermKey::new(["peer", "retriev"]);
+        assert!(global.key_max_score(&key).is_none());
+        global.record_key_max(&key, 2.5);
+        global.record_key_max(&key, 1.0);
+        global.record_key_max(&key, 3.75);
+        assert_eq!(global.key_max_score(&key), Some(3.75));
+        assert_eq!(global.key_max_count(), 1);
+        assert!(GlobalRankingStats::key_max_wire_size(&key) > 8);
+    }
+
+    #[test]
+    fn key_max_survives_the_serde_round_trip() {
+        let idx = local_index(0, &["peer retrieval systems"]);
+        let mut global = global_from(&[&idx]);
+        global.record_key_max(&TermKey::single("peer"), 1.25);
+        global.record_key_max(&TermKey::new(["peer", "retriev"]), 2.5);
+        let back = GlobalRankingStats::from_value(&global.to_value()).unwrap();
+        assert_eq!(back.doc_count(), global.doc_count());
+        assert_eq!(back.key_max_score(&TermKey::single("peer")), Some(1.25));
+        assert_eq!(
+            back.key_max_score(&TermKey::new(["peer", "retriev"])),
+            Some(2.5)
+        );
+        assert_eq!(back.key_max_count(), 2);
+        // Frames without the field (pre-bound peers) still parse.
+        let legacy = Value::Obj(vec![(
+            "stats".to_string(),
+            idx.collection_stats().to_value(),
+        )]);
+        let parsed = GlobalRankingStats::from_value(&legacy).unwrap();
+        assert_eq!(parsed.key_max_count(), 0);
+    }
+
+    #[test]
+    fn key_max_bounds_every_published_contribution() {
+        let a = local_index(0, &["peer retrieval peer systems", "peer protocols"]);
+        let b = local_index(1, &["peer networks", "text retrieval quality"]);
+        let mut global = global_from(&[&a, &b]);
+        let key = TermKey::single("peer");
+        // Each peer publishes its delta and records the delta's max score.
+        let mut all_scores = Vec::new();
+        for idx in [&a, &b] {
+            let delta = score_local_postings(idx, &key, &global, Bm25Params::default(), 100);
+            if let Some(best) = delta.best_score() {
+                global.record_key_max(&key, best);
+            }
+            all_scores.extend(delta.refs().iter().map(|r| r.score));
+        }
+        let bound = global.key_max_score(&key).unwrap();
+        assert!(all_scores.iter().all(|s| *s <= bound));
+        assert!(all_scores.contains(&bound), "the bound is tight");
     }
 }

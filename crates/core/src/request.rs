@@ -180,6 +180,13 @@ pub struct QueryResponse {
     /// [`crate::plan::BudgetPolicy`] (`Cutoff` may overshoot by one probe,
     /// `Reserve` never exceeds the budget).
     pub budget_exhausted: bool,
+    /// Number of scheduled probes answered from the querier's sketch cache
+    /// instead of the network: a fresh [`crate::sketch::KeySketch`] proved the
+    /// response useless before it was sent, so the probe charged zero traffic
+    /// (its would-have-been bytes were still admitted against any byte budget,
+    /// keeping the schedule identical with and without sketches). Always `0`
+    /// under [`crate::sketch::SketchPolicy::NoSketches`].
+    pub pruned_probes: usize,
 }
 
 impl QueryResponse {

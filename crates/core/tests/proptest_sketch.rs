@@ -1,0 +1,121 @@
+//! Property tests for the per-key sketch subsystem: the pinned wire frame
+//! round-trips exactly for every kind combination, a sketch's floor-pruning
+//! verdict always agrees with what the posting-list codec would actually ship,
+//! the synthesized pruned response is byte-for-byte what the wire would have
+//! carried, and the Bloom membership section never produces false negatives.
+
+use alvisp2p_core::codec::{decode_list, encode_list};
+use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
+use alvisp2p_core::sketch::{KeySketch, SketchKinds};
+use alvisp2p_textindex::DocId;
+use proptest::prelude::*;
+
+fn scored_refs(max: usize) -> impl Strategy<Value = Vec<ScoredRef>> {
+    proptest::collection::vec(
+        (0u32..40, 0u32..500, 0u64..4_000).prop_map(|(peer, local, s)| ScoredRef {
+            doc: DocId::new(peer, local),
+            score: s as f64 / 16.0,
+        }),
+        0..max,
+    )
+}
+
+fn kinds() -> impl Strategy<Value = SketchKinds> {
+    (any::<bool>(), any::<bool>())
+        .prop_map(|(scores, membership)| SketchKinds { scores, membership })
+}
+
+proptest! {
+    /// `decode(encode(sketch))` is the identity for every postings shape and
+    /// kind combination, and `encoded_len` is the exact frame length.
+    #[test]
+    fn wire_frame_round_trips_exactly(
+        refs in scored_refs(80),
+        capacity in 1usize..64,
+        version in 0u64..1_000,
+        kinds in kinds(),
+    ) {
+        let list = TruncatedPostingList::from_refs(refs, capacity);
+        let sketch = KeySketch::build(version, &list, kinds);
+        let frame = sketch.encode();
+        prop_assert_eq!(frame.len(), sketch.encoded_len());
+        let back = KeySketch::decode(&frame).unwrap();
+        prop_assert_eq!(back, sketch);
+    }
+
+    /// Whenever the sketch claims a floor elides everything, the codec agrees:
+    /// the floored encoding keeps zero entries, and the synthesized pruned
+    /// response matches the decoded wire frame field for field — same length
+    /// in bytes, same `full_df`, capacity and truncation status. The sketch
+    /// never prunes a probe whose response would have carried an entry.
+    #[test]
+    fn floor_pruning_always_agrees_with_the_codec(
+        refs in scored_refs(80),
+        capacity in 1usize..64,
+        floor_per_mille in 0u32..1_500,
+    ) {
+        let list = TruncatedPostingList::from_refs(refs, capacity);
+        let sketch = KeySketch::build(3, &list, SketchKinds::all());
+        let hi = list.best_score().unwrap_or(0.0);
+        let floor = hi * f64::from(floor_per_mille) / 1_000.0 + 1e-9;
+        let frame = encode_list(&list, Some(floor));
+        let shipped = decode_list(&frame).unwrap();
+        if sketch.prunes_all_below(Some(floor)) {
+            prop_assert_eq!(shipped.len(), 0,
+                "sketch pruned a probe whose response carried {} entries", shipped.len());
+            let synthesized = sketch.pruned_response();
+            prop_assert_eq!(frame.len(), sketch.pruned_response_len());
+            prop_assert_eq!(synthesized.len(), shipped.len());
+            prop_assert_eq!(synthesized.full_df(), shipped.full_df());
+            prop_assert_eq!(synthesized.capacity(), shipped.capacity());
+            prop_assert_eq!(synthesized.is_truncated(), shipped.is_truncated());
+        }
+        // The converse need not hold (the f32 max is widened upward), but the
+        // slack is at most one ULP: a floor above the widened max must prune.
+        if !list.refs().is_empty() {
+            let above = sketch.scores().map(|_| f64::from(hi as f32) * 1.01 + 1.0);
+            if let Some(above) = above {
+                prop_assert!(sketch.prunes_all_below(Some(above)));
+            }
+        }
+    }
+
+    /// No false negatives: a complete sketch sees every document its list
+    /// holds, so two complete sketches sharing at least one document can never
+    /// be proven disjoint.
+    #[test]
+    fn membership_never_denies_a_shared_document(
+        refs in scored_refs(40),
+        split in 0usize..40,
+    ) {
+        // Capacity above the ref count keeps both lists complete (untruncated).
+        let a_list = TruncatedPostingList::from_refs(refs.clone(), 64);
+        let split = split.min(refs.len());
+        let b_list = TruncatedPostingList::from_refs(refs[..split].to_vec(), 64);
+        prop_assume!(!b_list.refs().is_empty());
+        let a = KeySketch::build(0, &a_list, SketchKinds::all());
+        let b = KeySketch::build(0, &b_list, SketchKinds::all());
+        prop_assert!(a.is_complete() && b.is_complete());
+        // b's documents are a subset of a's, so the intersection is non-empty.
+        prop_assert!(a.may_intersect(&b),
+            "disjointness proof fired on sets sharing {} documents", b_list.len());
+        // The intersection estimate stays within its clamp.
+        if let Some(est) = a.estimate_intersection(&b) {
+            prop_assert!(est >= 0.0);
+            prop_assert!(est <= a_list.len().min(b_list.len()) as f64 + 1e-9);
+        }
+    }
+
+    /// Version gating is exact: a rebuilt sketch at a new version never passes
+    /// for the old one.
+    #[test]
+    fn versions_are_preserved_through_the_wire(
+        refs in scored_refs(30),
+        version in 0u64..u64::MAX / 2,
+    ) {
+        let list = TruncatedPostingList::from_refs(refs, 32);
+        let sketch = KeySketch::build(version, &list, SketchKinds::all());
+        let back = KeySketch::decode(&sketch.encode()).unwrap();
+        prop_assert_eq!(back.version(), version);
+    }
+}

@@ -13,10 +13,12 @@
 //! * [`access`] — per-document access rights (public / password-protected / private);
 //! * [`index`] — the positional inverted index and mergeable collection statistics;
 //! * [`bm25`] — BM25 scoring and local top-k search;
-//! * [`digest`] — the *Alvis document digest*, the interchange format used to plug
-//!   external search engines into a peer;
 //! * [`corpus`], [`querylog`] — seeded synthetic corpora and Zipfian query logs used
 //!   by every experiment.
+//!
+//! The *Alvis document digest* (the interchange format for plugging external
+//! search engines into a peer) lives upstream in `alvisp2p-core`'s sketch
+//! module, alongside the other compact per-collection summaries.
 //!
 //! ```
 //! use alvisp2p_textindex::{Analyzer, Bm25Searcher, DocId, InvertedIndex};
@@ -38,7 +40,6 @@ pub mod access;
 pub mod analyze;
 pub mod bm25;
 pub mod corpus;
-pub mod digest;
 pub mod doc;
 pub mod index;
 pub mod intern;
@@ -53,7 +54,6 @@ pub use bm25::{bm25_term_score, idf, top_k, Bm25Params, Bm25Searcher, ScoredDoc}
 pub use corpus::{
     build_vocabulary, demo_corpus, CorpusConfig, CorpusGenerator, GeneratedDoc, SyntheticCorpus,
 };
-pub use digest::{DigestDocument, DigestTerm, DocumentDigest};
 pub use doc::{DocId, Document, DocumentFormat, DocumentStore};
 pub use index::{CollectionStats, InvertedIndex, Posting, PostingList};
 pub use intern::{interned_terms, resolver, Resolver, TermId};

@@ -18,7 +18,7 @@
 //! ```
 
 use alvisp2p::prelude::*;
-use alvisp2p::textindex::{AccessRights, DocumentDigest};
+use alvisp2p::textindex::AccessRights;
 
 fn library_documents() -> Vec<(&'static str, &'static str, AccessRights)> {
     vec![

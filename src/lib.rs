@@ -118,7 +118,11 @@ pub mod prelude {
     };
     pub use alvisp2p_core::plan::{
         BestEffort, BudgetPolicy, GreedyCost, PlanCtx, PlanDecision, PlanHints, PlanNode, Planner,
-        QueryPlan, ReplicaAware,
+        QueryPlan, ReplicaAware, SketchAware,
+    };
+    // Per-key provenance sketches and the document digest.
+    pub use alvisp2p_core::sketch::{
+        DocumentDigest, KeySketch, SketchBuildReport, SketchCache, SketchKinds, SketchPolicy,
     };
     // The unified error hierarchy.
     pub use alvisp2p_core::error::AlvisError;
@@ -128,7 +132,9 @@ pub mod prelude {
     pub use alvisp2p_core::qdi::QdiConfig;
     pub use alvisp2p_core::strategy::{Hdk, IndexerCtx, Qdi, QueryCtx, SingleTermFull, Strategy};
     // Core data types.
-    pub use alvisp2p_core::{CentralizedEngine, FetchOutcome, TermKey, TruncatedPostingList};
+    pub use alvisp2p_core::{
+        CentralizedEngine, FetchOutcome, ScoredRef, TermKey, TruncatedPostingList,
+    };
     // Overlay and simulation.
     pub use alvisp2p_dht::{
         Dht, DhtConfig, DhtError, HotKeyReplication, IdDistribution, NoReplication,

@@ -36,7 +36,7 @@ fn imported_digest_collections_are_globally_searchable() {
     );
     let digest = library.export_digest();
     let json = digest.to_json().unwrap();
-    let digest_back = alvisp2p::textindex::DocumentDigest::from_json(&json).unwrap();
+    let digest_back = alvisp2p::core::DocumentDigest::from_json(&json).unwrap();
     assert_eq!(digest, digest_back);
 
     // Peer 2 imports the digest, then the distributed index is (re)built.

@@ -6,12 +6,10 @@
 //! analyzer/stemmer behaviour and digest round-trips.
 
 use alvisp2p::core::lattice::{explore_lattice, LatticeConfig, NodeOutcome};
-use alvisp2p::core::{ProbeResult, ScoredRef, TermKey, TruncatedPostingList};
+use alvisp2p::core::{DocumentDigest, ProbeResult, ScoredRef, TermKey, TruncatedPostingList};
 use alvisp2p::dht::{lookup, Dht, DhtConfig, IdDistribution, Peer, Ring, RingId, RoutingStrategy};
 use alvisp2p::netsim::{SimRng, TrafficCategory, WireSize, Zipf};
-use alvisp2p::textindex::{
-    stem, tokenize, Analyzer, DocId, DocumentDigest, DocumentStore, InvertedIndex,
-};
+use alvisp2p::textindex::{stem, tokenize, Analyzer, DocId, DocumentStore, InvertedIndex};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
