@@ -1,0 +1,18 @@
+//! P4 — fault injection and fault-tolerant probes; writes `BENCH_faults.json`. See `exp_faults`.
+use alvisp2p_bench::{exp_faults, quick_mode};
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        exp_faults::FaultsParams::quick()
+    } else {
+        exp_faults::FaultsParams::default()
+    };
+    let mut report = exp_faults::run(&params);
+    report.quick = quick;
+    exp_faults::print(&report);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    let path = std::env::var("ALVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_faults.json".to_string());
+    std::fs::write(&path, json + "\n").expect("write BENCH_faults.json");
+    println!("wrote {path}");
+}

@@ -1,8 +1,9 @@
 //! CI regression guard over `BENCH_perf.json` (and optionally
-//! `BENCH_skew.json` and `BENCH_sketch.json`).
+//! `BENCH_skew.json`, `BENCH_sketch.json` and `BENCH_faults.json`).
 //!
 //! Usage: `perf_guard <committed.json> <fresh.json> [<committed_skew.json>
-//! <fresh_skew.json> [<committed_sketch.json> <fresh_sketch.json>]]`
+//! <fresh_skew.json> [<committed_sketch.json> <fresh_sketch.json>
+//! [<committed_faults.json> <fresh_faults.json>]]]`
 //!
 //! Compares a fresh `exp_perf --quick` run against the committed perf
 //! trajectory and fails (exit code 1) when any comparable arm regressed by
@@ -24,6 +25,13 @@
 //! bytes-per-query reduction (retrieval savings minus amortized upkeep)
 //! stays ≥ 1%.
 //!
+//! When the two faults-report paths are also given, the guard enforces the
+//! fault-tolerance acceptance bar on both reports: at the headline cell (10%
+//! message loss + 2 crashed peers) the retry+failover arm keeps recall@10 at
+//! ≥ 0.95 of the fault-free answers at ≤ 1.5x its bytes/query, the no-retry
+//! arm is measurably worse, and the injected faults demonstrably fired
+//! (retries observed, no-retry probes failed).
+//!
 //! Two measures keep the guard meaningful across machines and
 //! configurations:
 //!
@@ -39,6 +47,7 @@
 //!   benches operate on fixed-shape inputs (2–3 term keys, the 100-entry
 //!   codec list), so their per-op work is identical at any scale.
 
+use alvisp2p_bench::exp_faults::FaultsReport;
 use alvisp2p_bench::exp_perf::PerfReport;
 use alvisp2p_bench::exp_sketch::SketchReport;
 use alvisp2p_bench::exp_skew::SkewReport;
@@ -47,6 +56,17 @@ use std::process::ExitCode;
 /// The sketch arm must keep at least this fractional net bytes-per-query
 /// reduction (retrieval savings minus amortized sketch upkeep).
 const SKETCH_NET_REDUCTION_FLOOR: f64 = 0.01;
+
+/// The retry+failover arm must keep at least this recall@10 against the
+/// fault-free answers at the headline fault cell.
+const FAULTS_RECALL_FLOOR: f64 = 0.95;
+
+/// The no-retry arm must trail retry+failover by at least this much recall at
+/// the headline cell ("measurably degrades").
+const FAULTS_DEGRADATION_GAP: f64 = 0.02;
+
+/// The retry+failover arm's headline bytes/query over the fault-free run's.
+const FAULTS_BYTE_OVERHEAD_CEILING: f64 = 1.5;
 
 /// Benches whose per-op work does not depend on the `--quick` scaling.
 const GUARDED: &[&str] = &[
@@ -191,22 +211,94 @@ fn check_sketch(label: &str, report: &SketchReport, failures: &mut Vec<String>) 
     }
 }
 
+fn load_faults(path: &str) -> FaultsReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_guard: cannot parse {path}: {e:?}"))
+}
+
+/// The faults-report invariants are scale-independent (the quick
+/// configuration keeps the same headline cell), so the same bar applies to
+/// the committed full run and a fresh `--quick` run.
+fn check_faults(label: &str, report: &FaultsReport, failures: &mut Vec<String>) {
+    println!(
+        "faults ({label}): headline recall@10 no-retry {:.3} / retry {:.3} / failover {:.3} \
+         at {:.2}x fault-free bytes/query",
+        report.headline_no_retry_recall,
+        report.headline_retry_recall,
+        report.headline_failover_recall,
+        report.headline_byte_overhead,
+    );
+    let headline = |arm: &str| {
+        report.rows.iter().find(|r| {
+            r.arm == arm
+                && r.loss == report.params.headline_loss
+                && r.crashes == report.params.headline_crashes
+        })
+    };
+    let Some((no_retry, failover)) = headline("no-retry").zip(headline("retry+failover")) else {
+        failures.push(format!("faults/{label}: missing a headline arm"));
+        return;
+    };
+    if report.headline_failover_recall < FAULTS_RECALL_FLOOR {
+        failures.push(format!(
+            "faults/{label}: retry+failover recall {:.3} below the {FAULTS_RECALL_FLOOR} floor",
+            report.headline_failover_recall
+        ));
+    }
+    if report.headline_no_retry_recall > report.headline_failover_recall - FAULTS_DEGRADATION_GAP {
+        failures.push(format!(
+            "faults/{label}: no-retry recall {:.3} not measurably below failover {:.3}",
+            report.headline_no_retry_recall, report.headline_failover_recall
+        ));
+    }
+    if report.headline_byte_overhead > FAULTS_BYTE_OVERHEAD_CEILING {
+        failures.push(format!(
+            "faults/{label}: byte overhead {:.2}x exceeds the {FAULTS_BYTE_OVERHEAD_CEILING}x \
+             ceiling",
+            report.headline_byte_overhead
+        ));
+    }
+    if no_retry.robustness.failed_probes == 0 {
+        failures.push(format!(
+            "faults/{label}: no probe ever failed under no-retry — the injected faults \
+             never fired and every recall bar is vacuous"
+        ));
+    }
+    if failover.robustness.retries == 0 {
+        failures.push(format!(
+            "faults/{label}: the retry+failover arm never retried — the injected faults \
+             never fired and every recall bar is vacuous"
+        ));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (committed_path, fresh_path, skew_paths, sketch_paths) = match args.as_slice() {
-        [c, f] => (c, f, None, None),
-        [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone())), None),
+    let (committed_path, fresh_path, skew_paths, sketch_paths, faults_paths) = match args.as_slice()
+    {
+        [c, f] => (c, f, None, None, None),
+        [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone())), None, None),
         [c, f, cs, fs, ck, fk] => (
             c,
             f,
             Some((cs.clone(), fs.clone())),
             Some((ck.clone(), fk.clone())),
+            None,
+        ),
+        [c, f, cs, fs, ck, fk, cl, fl] => (
+            c,
+            f,
+            Some((cs.clone(), fs.clone())),
+            Some((ck.clone(), fk.clone())),
+            Some((cl.clone(), fl.clone())),
         ),
         _ => {
             eprintln!(
                 "usage: perf_guard <committed.json> <fresh.json> \
-                 [<committed_skew.json> <fresh_skew.json> \
-                 [<committed_sketch.json> <fresh_sketch.json>]]"
+                     [<committed_skew.json> <fresh_skew.json> \
+                     [<committed_sketch.json> <fresh_sketch.json> \
+                     [<committed_faults.json> <fresh_faults.json>]]]"
             );
             return ExitCode::from(2);
         }
@@ -285,6 +377,14 @@ fn main() -> ExitCode {
             &mut regressions,
         );
         check_sketch("fresh", &load_sketch(&fresh_sketch), &mut regressions);
+    }
+    if let Some((committed_faults, fresh_faults)) = faults_paths {
+        check_faults(
+            "committed",
+            &load_faults(&committed_faults),
+            &mut regressions,
+        );
+        check_faults("fresh", &load_faults(&fresh_faults), &mut regressions);
     }
     println!(
         "perf_guard: {checked} arms checked, {} regressions",

@@ -22,7 +22,7 @@ use serde::Serialize;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use crate::table::{fmt_bytes, fmt_f, Table};
+use crate::table::{fmt_bytes, fmt_f, Robustness, Table};
 use crate::workloads::{self, DEFAULT_SEED};
 
 /// One row of the E2 output.
@@ -42,6 +42,8 @@ pub struct BandwidthRow {
     pub mean_messages: f64,
     /// Mean probes (keys requested) per query.
     pub mean_probes: f64,
+    /// Aggregated robustness counters (all zeros under `NoFaults`).
+    pub robustness: Robustness,
 }
 
 /// Parameters of the bandwidth experiment.
@@ -95,12 +97,14 @@ pub fn measure(
     let mut bytes = Vec::with_capacity(queries.len());
     let mut messages = Vec::with_capacity(queries.len());
     let mut probes = Vec::with_capacity(queries.len());
+    let mut robustness = Robustness::default();
     for (i, q) in queries.iter().enumerate() {
         let request = QueryRequest::new(q.clone()).from_peer(i % peers).top_k(20);
         let outcome = net.execute(&request).expect("query succeeds");
         bytes.push(outcome.bytes as f64);
         messages.push(outcome.messages as f64);
         probes.push(outcome.trace.probes as f64);
+        robustness.observe(&outcome);
     }
     BandwidthRow {
         docs,
@@ -110,6 +114,7 @@ pub fn measure(
         p95_bytes: percentile(&bytes, 95.0),
         mean_messages: mean(&messages),
         mean_probes: mean(&probes),
+        robustness,
     }
 }
 
@@ -194,6 +199,11 @@ pub fn print(params: &BandwidthParams, rows: &[BandwidthRow]) {
     if !t2.is_empty() {
         t2.print();
     }
+    let mut robustness = Robustness::default();
+    for r in rows {
+        robustness.absorb(&r.robustness);
+    }
+    robustness.print();
 }
 
 // ---------------------------------------------------------------------------
@@ -220,6 +230,8 @@ pub struct PlannedBandwidthRow {
     pub mean_recall: f64,
     /// Mean probes per query.
     pub mean_probes: f64,
+    /// Aggregated robustness counters (all zeros under `NoFaults`).
+    pub robustness: Robustness,
 }
 
 /// Parameters of the E2c planned-vs-best-effort sweep.
@@ -336,6 +348,7 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
             let mut recalls = Vec::with_capacity(texts.len());
             let mut max_bytes = 0u64;
             let mut violations = 0usize;
+            let mut robustness = Robustness::default();
             for (i, text) in texts.iter().enumerate() {
                 let request = QueryRequest::new(text.clone())
                     .from_peer(i % params.peers)
@@ -344,6 +357,7 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
                     .threshold_mode(threshold);
                 let plan = net.plan_with(planner, &request).expect("plan succeeds");
                 let outcome = net.run(&plan, &request).expect("query succeeds");
+                robustness.observe(&outcome);
                 recalls.push(recall_at_k(&outcome.results, &references[i], 10));
                 bytes.push(outcome.bytes as f64);
                 probes.push(outcome.trace.probes as f64);
@@ -366,6 +380,7 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
                 budget_violations: violations,
                 mean_recall: mean(&recalls),
                 mean_probes: mean(&probes),
+                robustness,
             });
         }
     }
@@ -401,6 +416,11 @@ pub fn print_planned(rows: &[PlannedBandwidthRow]) {
         ]);
     }
     t.print();
+    let mut robustness = Robustness::default();
+    for r in rows {
+        robustness.absorb(&r.robustness);
+    }
+    robustness.print();
 }
 
 #[cfg(test)]

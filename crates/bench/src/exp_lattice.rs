@@ -125,6 +125,7 @@ pub fn run(params: &LatticeParams) -> Vec<LatticeRow> {
                 NodeOutcome::Missing => "missing".to_string(),
                 NodeOutcome::Skipped => "skipped".to_string(),
                 NodeOutcome::TooLong => "not probed (too long)".to_string(),
+                NodeOutcome::Failed { cause } => format!("failed ({cause})"),
             },
             in_result: retrieved.contains(&key.canonical()),
         })
@@ -257,6 +258,7 @@ pub fn run_planned(
                     NodeOutcome::Missing => "missing".to_string(),
                     NodeOutcome::Skipped => "skipped".to_string(),
                     NodeOutcome::TooLong => "not probed (too long)".to_string(),
+                    NodeOutcome::Failed { cause } => format!("failed ({cause})"),
                 })
                 .unwrap_or_default(),
         })

@@ -20,7 +20,7 @@ use alvisp2p_core::strategy::Qdi;
 use serde::Serialize;
 use std::sync::Arc;
 
-use crate::table::{fmt_bytes, fmt_f, Table};
+use crate::table::{fmt_bytes, fmt_f, Robustness, Table};
 use crate::workloads::{self, DEFAULT_SEED};
 
 /// One row (one query window) of the E7 output.
@@ -40,6 +40,9 @@ pub struct QdiRow {
     pub evictions: u64,
     /// Whether the popularity drift has already happened at this point.
     pub after_drift: bool,
+    /// Aggregated robustness counters inside the window (all zeros under
+    /// `NoFaults`).
+    pub robustness: Robustness,
 }
 
 /// Parameters of the QDI adaptivity experiment.
@@ -108,11 +111,13 @@ pub fn run(params: &QdiParams) -> Vec<QdiRow> {
     let mut rows = Vec::new();
     let mut window_overlap = Vec::new();
     let mut window_bytes = Vec::new();
+    let mut window_robustness = Robustness::default();
     let drift_point = params.queries / 2;
     for (i, q) in log.queries.iter().enumerate() {
         let outcome = net
             .execute(&QueryRequest::new(q.text.clone()).from_peer(i % params.peers))
             .expect("query succeeds");
+        window_robustness.observe(&outcome);
         let reference = net.reference_search(&q.text, 10);
         window_overlap.push(overlap_at_k(&outcome.results, &reference, 10));
         window_bytes.push(outcome.bytes as f64);
@@ -132,9 +137,11 @@ pub fn run(params: &QdiParams) -> Vec<QdiRow> {
                 activations: report.activations,
                 evictions: report.evictions,
                 after_drift: params.drift && (i + 1) > drift_point,
+                robustness: window_robustness,
             });
             window_overlap.clear();
             window_bytes.clear();
+            window_robustness = Robustness::default();
         }
     }
     rows
@@ -171,6 +178,11 @@ pub fn print(rows: &[QdiRow]) {
         ]);
     }
     t.print();
+    let mut robustness = Robustness::default();
+    for r in rows {
+        robustness.absorb(&r.robustness);
+    }
+    robustness.print();
 }
 
 #[cfg(test)]

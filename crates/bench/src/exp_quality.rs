@@ -15,7 +15,7 @@ use alvisp2p_core::strategy::{Hdk, Qdi, SingleTermFull, Strategy};
 use serde::Serialize;
 use std::sync::Arc;
 
-use crate::table::{fmt_f, Table};
+use crate::table::{fmt_f, Robustness, Table};
 use crate::workloads::{self, DEFAULT_SEED};
 
 /// One row of the E4 output.
@@ -33,6 +33,8 @@ pub struct QualityRow {
     pub overlap_at_20: f64,
     /// Number of evaluated queries.
     pub queries: usize,
+    /// Aggregated robustness counters (all zeros under `NoFaults`).
+    pub robustness: Robustness,
 }
 
 /// Parameters of the quality experiment.
@@ -95,10 +97,12 @@ pub fn evaluate(
     }
     let mut acc10 = QualityAccumulator::new();
     let mut acc20 = QualityAccumulator::new();
+    let mut robustness = Robustness::default();
     for (i, q) in queries.iter().enumerate() {
         let outcome = net
             .execute(&QueryRequest::new(q.clone()).from_peer(i % peers).top_k(20))
             .expect("query succeeds");
+        robustness.observe(&outcome);
         let reference = net.reference_search(q, 20);
         acc10.add(&outcome.results, &reference, 10);
         acc20.add(&outcome.results, &reference, 20);
@@ -112,6 +116,7 @@ pub fn evaluate(
         recall_at_10: s10.mean_recall,
         overlap_at_20: s20.mean_overlap,
         queries: s10.queries,
+        robustness,
     }
 }
 
@@ -195,6 +200,11 @@ pub fn print(rows: &[QualityRow]) {
         ]);
     }
     t.print();
+    let mut robustness = Robustness::default();
+    for r in rows {
+        robustness.absorb(&r.robustness);
+    }
+    robustness.print();
 }
 
 #[cfg(test)]

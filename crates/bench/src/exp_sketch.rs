@@ -39,7 +39,7 @@ use alvisp2p_netsim::TrafficCategory;
 use alvisp2p_textindex::{CorpusConfig, CorpusGenerator, DocId, SyntheticCorpus};
 use serde::{Deserialize, Serialize};
 
-use crate::table::{fmt_bytes, fmt_f, Table};
+use crate::table::{fmt_bytes, fmt_f, Robustness, Table};
 use crate::workloads::DEFAULT_SEED;
 
 /// Parameters of the sketch experiment.
@@ -108,6 +108,11 @@ pub struct SketchArmRow {
     pub upkeep_accounted: bool,
     /// Whether every measured query's answer equals the `no-sketches` arm's.
     pub identical_topk: bool,
+    /// Aggregated robustness counters over the measured half (all zeros under
+    /// `NoFaults`; defaulted when reading reports written before the field
+    /// existed).
+    #[serde(default)]
+    pub robustness: Robustness,
 }
 
 /// The `BENCH_sketch.json` document.
@@ -220,12 +225,14 @@ fn run_arm(
     let mut answers = Vec::with_capacity(measured.len());
     let mut pruned = 0u64;
     let mut probes = 0u64;
+    let mut robustness = Robustness::default();
     for (i, text) in measured.iter().enumerate() {
         let request = QueryRequest::new(text.clone())
             .from_peer(i % params.peers)
             .top_k(params.top_k)
             .threshold_mode(ThresholdMode::Aggressive);
         let response = net.execute(&request).expect("query succeeds");
+        robustness.observe(&response);
         pruned += response.pruned_probes as u64;
         probes += response.trace.probes as u64;
         answers.push(
@@ -256,6 +263,7 @@ fn run_arm(
         modeled_savings: report.modeled_savings,
         upkeep_accounted: report.upkeep_accounted(),
         identical_topk: true, // filled in by the caller for the non-baseline arm
+        robustness,
     };
     (row, answers)
 }
@@ -323,6 +331,11 @@ pub fn print(report: &SketchReport) {
         report.net_reduction * 100.0,
         report.rows.iter().all(|r| r.upkeep_accounted),
     );
+    let mut robustness = Robustness::default();
+    for r in &report.rows {
+        robustness.absorb(&r.robustness);
+    }
+    robustness.print();
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ use alvisp2p_textindex::{DocId, SyntheticCorpus};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-use crate::table::{fmt_f, Table};
+use crate::table::{fmt_f, Robustness, Table};
 use crate::workloads::{self, DEFAULT_SEED};
 
 /// Parameters of the skew experiment.
@@ -118,6 +118,10 @@ pub struct SkewRow {
     pub replica_serves: u64,
     /// Whether every query's top-k equals the `none` arm's answer.
     pub identical_topk: bool,
+    /// Aggregated robustness counters (all zeros under `NoFaults`; defaulted
+    /// when reading reports written before the field existed).
+    #[serde(default)]
+    pub robustness: Robustness,
 }
 
 /// The churn arm: fail the hottest key's primary, then re-grow the ring.
@@ -197,6 +201,7 @@ fn run_arm(
     let mut queue = vec![0.0f64; slots];
     let mut latencies = Vec::with_capacity(queries.len());
     let mut answers = Vec::with_capacity(queries.len());
+    let mut robustness = Robustness::default();
     for (i, text) in queries.iter().enumerate() {
         let request = QueryRequest::new(text.clone())
             .from_peer(i % params.peers)
@@ -210,6 +215,7 @@ fn run_arm(
             queue[event.served_by] += 1.0;
         }
         let response = stream.finish().expect("query succeeds");
+        robustness.observe(&response);
         latencies.push(latency);
         answers.push(
             response
@@ -247,6 +253,7 @@ fn run_arm(
         replications: stats.replications,
         replica_serves: stats.replica_serves,
         identical_topk: true, // filled in by the caller for the non-baseline arm
+        robustness,
     };
     (row, answers, net)
 }
@@ -374,6 +381,11 @@ pub fn print(report: &SkewReport) {
         report.churn.hot_key_survived,
         report.churn.reconverged,
     );
+    let mut robustness = Robustness::default();
+    for r in &report.rows {
+        robustness.absorb(&r.robustness);
+    }
+    robustness.print();
 }
 
 #[cfg(test)]

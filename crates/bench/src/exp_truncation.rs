@@ -18,7 +18,7 @@ use alvisp2p_dht::DhtConfig;
 use alvisp2p_netsim::WireSize;
 use serde::Serialize;
 
-use crate::table::{fmt_bytes, fmt_f, Table};
+use crate::table::{fmt_bytes, fmt_f, Robustness, Table};
 use crate::workloads::{self, DEFAULT_SEED};
 
 /// One row of the E8 output.
@@ -38,6 +38,8 @@ pub struct TruncationRow {
     pub precision_at_10: f64,
     /// Mean overlap@10 with the reference ranking.
     pub overlap_at_10: f64,
+    /// Aggregated robustness counters (all zeros under `NoFaults`).
+    pub robustness: Robustness,
 }
 
 /// Parameters of the truncation experiment.
@@ -124,10 +126,12 @@ pub fn measure(
     let mut bytes = Vec::new();
     let mut probes = Vec::new();
     let mut acc = QualityAccumulator::new();
+    let mut robustness = Robustness::default();
     for (i, q) in queries.iter().enumerate() {
         let outcome = net
             .execute(&QueryRequest::new(q.clone()).from_peer(i % peers))
             .expect("query succeeds");
+        robustness.observe(&outcome);
         bytes.push(outcome.bytes as f64);
         probes.push(outcome.trace.probes as f64);
         let reference = net.reference_search(q, 10);
@@ -142,6 +146,7 @@ pub fn measure(
         mean_probes: mean(&probes),
         precision_at_10: summary.mean_precision,
         overlap_at_10: summary.mean_overlap,
+        robustness,
     }
 }
 
@@ -202,6 +207,11 @@ pub fn print(rows: &[TruncationRow]) {
         ]);
     }
     t.print();
+    let mut robustness = Robustness::default();
+    for r in rows {
+        robustness.absorb(&r.robustness);
+    }
+    robustness.print();
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@
 //! | P1 | key/posting hot-path microbenchmarks (perf trajectory, `BENCH_perf.json`) | [`exp_perf`] | `exp_perf` |
 //! | P2 | hot-key replication under Zipf traffic (per-peer p99 load, `BENCH_skew.json`) | [`exp_skew`] | `exp_skew` |
 //! | P3 | per-key provenance sketches: probe pruning vs upkeep (`BENCH_sketch.json`) | [`exp_sketch`] | `exp_sketch` |
+//! | P4 | fault injection: recall@10 and bytes/query under loss + crashes, by retry policy (`BENCH_faults.json`) | [`exp_faults`] | `exp_faults` |
 //!
 //! Each module exposes a `run(...)` function returning typed rows (so integration
 //! tests and Criterion benches reuse the same code) and a `print(...)` helper that
@@ -31,6 +32,7 @@
 
 pub mod exp_bandwidth;
 pub mod exp_congestion;
+pub mod exp_faults;
 pub mod exp_lattice;
 pub mod exp_perf;
 pub mod exp_qdi;

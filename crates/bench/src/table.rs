@@ -4,7 +4,76 @@
 //! helper keeps the formatting consistent and also offers a JSON dump so results can
 //! be post-processed (e.g. plotted) without re-running the experiment.
 
-use serde::Serialize;
+use alvisp2p_core::request::QueryResponse;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated robustness counters over a batch of query responses.
+///
+/// Every experiment that executes queries feeds its responses through
+/// [`Robustness::observe`] and prints the [`Robustness::summary`] line after
+/// its table, so fault-tolerance activity (or its absence — all zeros under
+/// `NoFaults`) is visible in every experiment's output, not only in
+/// `exp_faults`.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Robustness {
+    /// Queries observed.
+    pub queries: u64,
+    /// Probe attempts beyond the first, summed over all queries.
+    pub retries: u64,
+    /// Probes that exhausted their retry budget and were recorded as failed.
+    pub failed_probes: u64,
+    /// Probes served by a non-primary holder after failover.
+    pub hedged: u64,
+    /// Sum of per-query completeness fractions (divide by `queries`).
+    pub completeness_sum: f64,
+}
+
+impl Robustness {
+    /// Folds one query response into the counters.
+    pub fn observe(&mut self, response: &QueryResponse) {
+        self.queries += 1;
+        self.retries += response.retries as u64;
+        self.failed_probes += response.failed_probes as u64;
+        self.hedged += response.hedged as u64;
+        self.completeness_sum += response.completeness.fraction();
+    }
+
+    /// Folds another accumulator in (for summarising across arms/rows).
+    pub fn absorb(&mut self, other: &Robustness) {
+        self.queries += other.queries;
+        self.retries += other.retries;
+        self.failed_probes += other.failed_probes;
+        self.hedged += other.hedged;
+        self.completeness_sum += other.completeness_sum;
+    }
+
+    /// Mean completeness fraction over the observed queries (1.0 if none).
+    pub fn mean_completeness(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.completeness_sum / self.queries as f64
+        }
+    }
+
+    /// The one-line summary the experiments print after their tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "robustness: {} retries, {} failed probes, {} hedged serves, \
+             mean completeness {:.3} over {} queries",
+            self.retries,
+            self.failed_probes,
+            self.hedged,
+            self.mean_completeness(),
+            self.queries
+        )
+    }
+
+    /// Prints the summary line to stdout.
+    pub fn print(&self) {
+        println!("{}", self.summary());
+    }
+}
 
 /// A simple fixed-width table builder.
 #[derive(Clone, Debug, Default)]

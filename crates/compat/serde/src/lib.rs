@@ -9,7 +9,9 @@
 //! strings, arrays, objects). [`Serialize`] renders a type into a `Value`;
 //! [`Deserialize`] rebuilds the type from one. The derive macros live in the
 //! `serde_derive` proc-macro crate and generate straightforward field-by-field
-//! implementations.
+//! implementations. Fields marked `#[serde(default)]` fall back to
+//! `Default::default()` when absent, so newer row structs still read reports
+//! written before a field existed.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -77,6 +79,23 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
         Value::Obj(pairs) => match pairs.iter().find(|(k, _)| k == name) {
             Some((_, val)) => T::from_value(val),
             None => Err(DeError::new(format!("missing field `{name}`"))),
+        },
+        other => Err(DeError::new(format!(
+            "expected object with field `{name}`, got {other:?}"
+        ))),
+    }
+}
+
+/// Looks up `name` in an object value and deserializes it, substituting the
+/// type's `Default` when the field is absent.
+///
+/// Backs `#[serde(default)]`: reports written before a field existed still
+/// deserialize, with the new field zero-initialized.
+pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Obj(pairs) => match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, val)) => T::from_value(val),
+            None => Ok(T::default()),
         },
         other => Err(DeError::new(format!(
             "expected object with field `{name}`, got {other:?}"

@@ -6,14 +6,16 @@
 //!
 //! Supported shapes: structs with named fields, tuple structs, unit structs,
 //! and enums whose variants are unit, tuple or struct-like. Generic types are
-//! not supported (nothing in the workspace derives on a generic type).
+//! not supported (nothing in the workspace derives on a generic type). The
+//! only recognized field attribute is `#[serde(default)]`, which substitutes
+//! `Default::default()` when the field is absent during deserialization.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
 
 #[derive(Debug)]
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
     Enum(Vec<(String, VariantShape)>),
@@ -21,9 +23,16 @@ enum Shape {
 
 #[derive(Debug)]
 enum VariantShape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
+}
+
+/// A named field plus whether it carries `#[serde(default)]`.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
 }
 
 /// Derives `serde::Serialize`.
@@ -104,16 +113,37 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
     Ok((name, shape))
 }
 
+/// Recognizes the body of a `#[serde(default)]` attribute (the `#` is already
+/// consumed; `body` is the bracketed group's stream).
+fn attr_is_serde_default(body: TokenStream) -> bool {
+    let mut iter = body.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
 /// Collects field names from the body of a braced struct (or struct variant).
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Skip attributes (doc comments included) and visibility.
+        // Skip attributes (doc comments included) and visibility, noting
+        // whether any attribute is `#[serde(default)]`.
+        let mut default = false;
         let name = loop {
             match iter.next() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        default |= attr_is_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if let Some(TokenTree::Group(g)) = iter.peek() {
@@ -131,7 +161,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
         }
-        fields.push(name);
+        fields.push(Field { name, default });
         // Skip the type: consume until a comma outside of any `<...>` nesting.
         let mut angle_depth = 0i32;
         for tok in iter.by_ref() {
@@ -227,6 +257,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
         Shape::Named(fields) => {
             let mut s = String::from("let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
             for f in fields {
+                let f = &f.name;
                 let _ = writeln!(
                     s,
                     "obj.push((String::from({f:?}), ::serde::Serialize::to_value(&self.{f})));"
@@ -254,11 +285,16 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                         );
                     }
                     VariantShape::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = String::from(
                             "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n",
                         );
                         for f in fields {
+                            let f = &f.name;
                             let _ = writeln!(
                                 inner,
                                 "obj.push((String::from({f:?}), ::serde::Serialize::to_value({f})));"
@@ -299,13 +335,21 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
     )
 }
 
+/// Emits the deserializer expression for one named field of `src` (an object
+/// value binding in scope), honoring `#[serde(default)]`.
+fn field_init(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!("{name}: ::serde::field_or_default({src}, {name:?})?")
+    } else {
+        format!("{name}: ::serde::field({src}, {name:?})?")
+    }
+}
+
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::Named(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::field(v, {f:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "v")).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
@@ -328,10 +372,8 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                         let _ = writeln!(s, "{vname:?} => Ok({name}::{vname}),");
                     }
                     VariantShape::Named(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| format!("{f}: ::serde::field(p, {f:?})?"))
-                            .collect();
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| field_init(f, "p")).collect();
                         let _ = writeln!(
                             s,
                             "{vname:?} => {{ let p = payload.ok_or_else(|| ::serde::DeError::new(\

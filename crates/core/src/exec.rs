@@ -19,12 +19,15 @@
 //! [`crate::strategy::Strategy::post_query`].
 
 use crate::error::AlvisError;
+use crate::fault::{Completeness, FailureCause, ProbeOutcome};
+use crate::global_index::ProbeResult;
 use crate::key::TermKey;
 use crate::lattice::NodeOutcome;
 use crate::network::AlvisNetwork;
 use crate::plan::{CursorStep, PlanCursor, QueryPlan};
 use crate::ranking::merge_retrieved;
 use crate::request::{QueryRequest, QueryResponse, ThresholdMode};
+use alvisp2p_dht::DhtError;
 use alvisp2p_textindex::bm25::ScoredDoc;
 use alvisp2p_textindex::DocId;
 
@@ -64,6 +67,12 @@ pub struct ProbeEvent {
     /// while budget admission still accounts the bytes the probe would have
     /// cost (see `AlvisNetwork::sketch_prune`).
     pub pruned: bool,
+    /// Number of re-sent attempts this probe needed (always `0` under
+    /// [`crate::fault::FaultPlane::NoFaults`]). A probe with outcome
+    /// [`NodeOutcome::Failed`] exhausted its [`crate::fault::RetryPolicy`];
+    /// its [`ProbeEvent::bytes`] and [`ProbeEvent::hops`] are what the failed
+    /// attempts really spent.
+    pub retries: usize,
     /// The running top-k after merging everything retrieved so far.
     pub top_k: Vec<ScoredDoc>,
 }
@@ -211,7 +220,34 @@ pub struct QueryStream<'n> {
     virtual_bytes: u64,
     /// Number of probes answered from the sketch cache instead of the wire.
     pruned: usize,
+    /// Total re-sent probe attempts across the query (fault plane active).
+    retries: usize,
+    /// Probes whose every attempt failed (recorded in the trace, schedule
+    /// continued).
+    failed: usize,
+    /// Probes whose serve was re-routed to a replica holder by failover.
+    hedged: usize,
     error: Option<AlvisError>,
+}
+
+/// What [`QueryStream::acquire_probe`] got back from the network for one
+/// scheduled probe: a served result, or an exhausted retry policy.
+enum ProbeAcquisition {
+    /// Some attempt succeeded (after `retries` re-sends; `hedged` when
+    /// failover moved the serve off the key's primary).
+    Served {
+        probe: ProbeResult,
+        retries: usize,
+        hedged: bool,
+    },
+    /// Every attempt failed; the probe is recorded and the schedule
+    /// continues.
+    Failed {
+        cause: FailureCause,
+        hops: usize,
+        retries: usize,
+        served_by: usize,
+    },
 }
 
 impl<'n> QueryStream<'n> {
@@ -241,6 +277,9 @@ impl<'n> QueryStream<'n> {
             score_floor: None,
             virtual_bytes: 0,
             pruned: 0,
+            retries: 0,
+            failed: 0,
+            hedged: 0,
             error: None,
         }
     }
@@ -298,6 +337,145 @@ impl<'n> QueryStream<'n> {
         };
     }
 
+    /// Acquires one scheduled probe from the network, surviving faults.
+    ///
+    /// With an inactive [`crate::fault::FaultPlane`] this is a single
+    /// [`AlvisNetwork::probe_planned`] call — the exact pre-fault-plane code
+    /// path, so the default configuration stays byte-identical. With an
+    /// active plane, the attempt loop applies the network's
+    /// [`crate::fault::RetryPolicy`]: bounded re-sends with exponential
+    /// backoff and deterministic jitter in simulated time, a per-probe
+    /// deadline, and — after an unresponsive peer — failover of the serve to
+    /// the next live holder in the key's replica set. Every failed attempt's
+    /// traffic is really charged, so retries compete against the query's
+    /// byte/hop budgets like any other spend.
+    ///
+    /// A routing-level [`DhtError::LookupFailed`] (the responsible peer is
+    /// dead or the routing state is stale) is downgraded to a recorded
+    /// per-probe failure on both paths: one dead peer must not zero out an
+    /// otherwise-answerable query. `BadOrigin` and `EmptyNetwork` stay fatal
+    /// — they mean the *querier* is in no state to run anything.
+    fn acquire_probe(
+        &mut self,
+        key: &TermKey,
+        floor: Option<f64>,
+        shed: usize,
+    ) -> Result<ProbeAcquisition, AlvisError> {
+        let origin = self.request.origin;
+        if !self.net.fault_plane().is_active() {
+            return match self.net.probe_planned(origin, key, self.seq, floor, shed) {
+                Ok(probe) => Ok(ProbeAcquisition::Served {
+                    probe,
+                    retries: 0,
+                    hedged: false,
+                }),
+                Err(DhtError::LookupFailed) => Ok(ProbeAcquisition::Failed {
+                    cause: FailureCause::PeerDown,
+                    hops: 0,
+                    retries: 0,
+                    served_by: origin,
+                }),
+                Err(e) => Err(AlvisError::from(e)),
+            };
+        }
+        let policy = self.net.retry_policy();
+        let ring = key.ring_id();
+        let mut retries = 0usize;
+        let mut hedged = false;
+        let mut failed_hops = 0usize;
+        let mut elapsed_us = 0u64;
+        let mut downed: Vec<usize> = Vec::new();
+        let mut serve_override: Option<usize> = None;
+        // Assigned by every match arm that falls through to the retry logic.
+        let mut last_cause;
+        let mut last_server = origin;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.net.probe_attempt(
+                origin,
+                key,
+                self.seq,
+                floor,
+                shed,
+                attempt,
+                serve_override,
+            ) {
+                // Routing exhausted without reaching a responsible peer:
+                // lookups are deterministic, so re-sending cannot help.
+                Err(DhtError::LookupFailed) => {
+                    last_cause = FailureCause::PeerDown;
+                    break;
+                }
+                Err(e) => return Err(AlvisError::from(e)),
+                Ok(ProbeOutcome::Ok(mut probe)) => {
+                    // Hops the failed attempts spent are part of this probe's
+                    // real cost: charge them against the hop budget and the
+                    // trace alongside the successful round trip.
+                    probe.hops += failed_hops;
+                    return Ok(ProbeAcquisition::Served {
+                        probe,
+                        retries,
+                        hedged,
+                    });
+                }
+                Ok(ProbeOutcome::Lost { hops }) => {
+                    failed_hops += hops;
+                    last_cause = FailureCause::Lost;
+                }
+                Ok(ProbeOutcome::TimedOut { hops }) => {
+                    failed_hops += hops;
+                    last_cause = FailureCause::TimedOut;
+                }
+                Ok(ProbeOutcome::PeerDown { peer, hops }) => {
+                    failed_hops += hops;
+                    last_cause = FailureCause::PeerDown;
+                    last_server = peer;
+                    if !downed.contains(&peer) {
+                        downed.push(peer);
+                    }
+                }
+            }
+            if attempt as usize >= policy.max_retries {
+                break;
+            }
+            let backoff = policy.backoff_us(attempt)
+                + self
+                    .net
+                    .fault_plane()
+                    .jitter_us(ring, self.seq, attempt, policy.jitter_us);
+            elapsed_us += backoff;
+            if policy.deadline_us > 0 && elapsed_us > policy.deadline_us {
+                break;
+            }
+            if policy.failover && last_cause == FailureCause::PeerDown {
+                // Re-serve from the next live, not-yet-tried holder of the
+                // key (primary first, then its replica set).
+                let candidates = self.net.global_index().serving_candidates(key);
+                let next = candidates.iter().copied().find(|c| {
+                    !downed.contains(c) && !self.net.fault_plane().peer_down(*c, self.seq)
+                });
+                match next {
+                    Some(c) => {
+                        serve_override = Some(c);
+                        if candidates.first() != Some(&c) {
+                            hedged = true;
+                        }
+                    }
+                    // Every holder of the key is down: retrying is futile.
+                    None => break,
+                }
+            }
+            attempt += 1;
+            retries += 1;
+        }
+        Ok(ProbeAcquisition::Failed {
+            cause: last_cause,
+            hops: failed_hops,
+            retries,
+            served_by: last_server,
+        })
+    }
+
     /// Executes the next scheduled probe and returns its event, or `None` when
     /// the plan is exhausted (or stopped). The first overlay error is returned
     /// once; subsequent calls return `None`.
@@ -308,6 +486,12 @@ impl<'n> QueryStream<'n> {
     /// known all-elided response is recorded for zero traffic and the bytes the
     /// probe would have charged are admitted *virtually* against the byte
     /// budget, keeping the probe schedule identical with and without sketches.
+    ///
+    /// A probe that exhausts the [`crate::fault::RetryPolicy`] yields an event
+    /// with outcome [`NodeOutcome::Failed`] instead of an error: the failure
+    /// is recorded in the trace, the key is *not* entered into the excluder
+    /// set (so its subset keys stay probeable — the degraded substitution),
+    /// and the schedule continues.
     pub fn next_event(&mut self) -> Option<Result<ProbeEvent, AlvisError>> {
         if self.error.is_some() {
             return None;
@@ -320,7 +504,7 @@ impl<'n> QueryStream<'n> {
                 let before = self.net.retrieval_totals().0;
                 let floor = self.score_floor;
                 let shed = self.cursor.pending_node().map_or(0, |n| n.shed_prefix);
-                let (probe, pruned) =
+                let (probe, pruned, probe_retries) =
                     match self
                         .net
                         .sketch_prune(self.request.origin, &key, self.seq, floor)
@@ -328,21 +512,56 @@ impl<'n> QueryStream<'n> {
                         Some((probe, virtual_bytes)) => {
                             self.virtual_bytes += virtual_bytes;
                             self.pruned += 1;
-                            (probe, true)
+                            (probe, true, 0)
                         }
-                        None => match self.net.probe_planned(
-                            self.request.origin,
-                            &key,
-                            self.seq,
-                            floor,
-                            shed,
-                        ) {
-                            Err(e) => {
-                                let err = AlvisError::from(e);
+                        None => match self.acquire_probe(&key, floor, shed) {
+                            Err(err) => {
                                 self.error = Some(err.clone());
                                 return Some(Err(err));
                             }
-                            Ok(probe) => (probe, false),
+                            Ok(ProbeAcquisition::Served {
+                                probe,
+                                retries,
+                                hedged,
+                            }) => {
+                                self.retries += retries;
+                                if hedged {
+                                    self.hedged += 1;
+                                }
+                                (probe, false, retries)
+                            }
+                            Ok(ProbeAcquisition::Failed {
+                                cause,
+                                hops,
+                                retries,
+                                served_by,
+                            }) => {
+                                self.retries += retries;
+                                self.failed += 1;
+                                let replicas = self.net.global_index().replica_holders_of(&key);
+                                self.cursor.record_failure(key.clone(), cause, hops);
+                                let bytes = self.net.retrieval_totals().0 - before;
+                                let top_k =
+                                    merge_retrieved(self.cursor.retrieved(), self.request.top_k);
+                                let event = ProbeEvent {
+                                    index: self.sent,
+                                    planned: self.planned,
+                                    key,
+                                    outcome: NodeOutcome::Failed { cause },
+                                    bytes,
+                                    hops,
+                                    spent_bytes: self.spent_bytes(),
+                                    spent_hops: self.cursor.hops_spent(),
+                                    score_floor: floor,
+                                    served_by,
+                                    replicas: replicas.len(),
+                                    pruned: false,
+                                    retries,
+                                    top_k,
+                                };
+                                self.sent += 1;
+                                return Some(Ok(event));
+                            }
                         },
                     };
                 let hops = probe.hops;
@@ -365,6 +584,7 @@ impl<'n> QueryStream<'n> {
                     served_by,
                     replicas,
                     pruned,
+                    retries: probe_retries,
                     top_k,
                 };
                 self.sent += 1;
@@ -374,8 +594,9 @@ impl<'n> QueryStream<'n> {
     }
 
     /// Drains any remaining probes and assembles the final [`QueryResponse`]
-    /// (merged ranking, optional refinement, traffic accounting, trace). Runs
-    /// the strategy's [`crate::strategy::Strategy::post_query`] hook.
+    /// (merged ranking, optional refinement, traffic accounting, trace,
+    /// completeness report). Runs the strategy's
+    /// [`crate::strategy::Strategy::post_query`] hook.
     pub fn finish(mut self) -> Result<QueryResponse, AlvisError> {
         while let Some(event) = self.next_event() {
             event?;
@@ -386,7 +607,40 @@ impl<'n> QueryStream<'n> {
         let Some(query_key) = self.query_key.take() else {
             return Ok(QueryResponse::default());
         };
+        // Planned document-frequency mass per scheduled probe, snapshotted
+        // before `finish()` consumes the plan. Completeness compares the DF
+        // mass actually served against this plan-time total; budget
+        // truncation does not reduce it — only recorded probe failures do.
+        let plan_df: Vec<(TermKey, u64)> = self
+            .cursor
+            .plan()
+            .probes()
+            .map(|node| (node.key.clone(), node.est_entries as u64))
+            .collect();
         let (result, budget_exhausted) = self.cursor.finish();
+        let failures: Vec<(String, FailureCause)> = result
+            .trace
+            .failed_probes()
+            .into_iter()
+            .map(|(key, cause)| (key.canonical(), cause))
+            .collect();
+        let planned_df: u64 = plan_df.iter().map(|(_, df)| df).sum();
+        let failed_df: u64 = plan_df
+            .iter()
+            .filter(|(key, _)| {
+                result
+                    .trace
+                    .failed_probes()
+                    .iter()
+                    .any(|(failed, _)| *failed == key)
+            })
+            .map(|(_, df)| df)
+            .sum();
+        let completeness = Completeness {
+            planned_df,
+            covered_df: planned_df - failed_df,
+            failures,
+        };
         self.net.post_query_hook(&query_key, &result, self.seq);
         let results = merge_retrieved(&result.retrieved, self.request.top_k);
         // Snapshot the first-step retrieval spend before refinement so
@@ -408,6 +662,10 @@ impl<'n> QueryStream<'n> {
             messages: messages_now - self.base_messages,
             budget_exhausted,
             pruned_probes: self.pruned,
+            retries: self.retries,
+            failed_probes: self.failed,
+            hedged: self.hedged,
+            completeness,
         })
     }
 }

@@ -368,6 +368,120 @@ impl GlobalIndex {
         })
     }
 
+    /// One attempt of a fault-aware probe: like [`GlobalIndex::probe_with`],
+    /// but consults a [`crate::fault::FaultPlane`] before the serve and may
+    /// fail with a non-fatal [`crate::fault::ProbeOutcome`] instead of an
+    /// answer. This path is only taken when the plane is active (or a
+    /// failover `serve_override` is in play) — the executor keeps calling
+    /// [`GlobalIndex::probe_with`] under
+    /// [`crate::fault::FaultPlane::NoFaults`], so the default query path is
+    /// *structurally* byte-identical to a fault-free network.
+    ///
+    /// Per-attempt accounting mirrors what would really cross the wire:
+    ///
+    /// * routing + request bytes are charged on **every** attempt (the
+    ///   querier cannot know in advance that the serve will fail);
+    /// * [`crate::fault::ProbeOutcome::Lost`] /
+    ///   [`crate::fault::ProbeOutcome::PeerDown`] charge **no** response
+    ///   bytes and leave the serving side untouched — the request never
+    ///   reached a live peer (or vanished with its response);
+    /// * [`crate::fault::ProbeOutcome::TimedOut`] charges the full round
+    ///   trip and advances
+    ///   the serving side's statistics — the response crossed the wire but
+    ///   arrived past the deadline.
+    ///
+    /// `serve_override` re-routes the serve to an explicit peer (the
+    /// executor's failover target, a live holder in the key's replica set).
+    /// An override that is not the primary serves from its synchronized
+    /// replica copy (see [`alvisp2p_dht::Dht::sync_replicas`]); when the
+    /// primary itself is down, its canonical usage statistics cannot advance
+    /// — exactly as in a real deployment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_attempt(
+        &mut self,
+        from: usize,
+        key: &TermKey,
+        query_seq: u64,
+        stats_capacity: usize,
+        score_floor: Option<f64>,
+        shed_prefix: Option<usize>,
+        plane: &crate::fault::FaultPlane,
+        attempt: u32,
+        serve_override: Option<usize>,
+    ) -> Result<crate::fault::ProbeOutcome, DhtError> {
+        use crate::fault::ProbeOutcome;
+        let ring_key = key.ring_id();
+        let info = self.dht.route(from, ring_key, TrafficCategory::Retrieval)?;
+        let primary = info.responsible;
+        self.dht.charge_external(
+            TrafficCategory::Retrieval,
+            self.probe_request_bytes + key.wire_size(),
+        );
+        let replica_set = self.dht.replica_holders(ring_key);
+        let served_by = match serve_override {
+            Some(s) => s,
+            None if replica_set.is_empty() => primary,
+            None => self.dht.least_loaded_holder(ring_key).unwrap_or(primary),
+        };
+        if plane.peer_down(served_by, query_seq) {
+            return Ok(ProbeOutcome::PeerDown {
+                peer: served_by,
+                hops: info.hops,
+            });
+        }
+        if plane.message_lost(ring_key, query_seq, attempt) {
+            return Ok(ProbeOutcome::Lost { hops: info.hops });
+        }
+        let mut encoded: Option<Vec<u8>> = None;
+        if served_by == primary || !plane.peer_down(primary, query_seq) {
+            // The primary is reachable: canonical statistics and response
+            // encoding happen there, exactly as in `probe_with`.
+            let encoded_ref = &mut encoded;
+            self.dht
+                .peer_mut(primary)
+                .store
+                .upsert_with(ring_key, |slot| {
+                    let entry = slot.get_or_insert_with(|| {
+                        KeyIndexEntry::stats_only(key.clone(), stats_capacity)
+                    });
+                    entry.usage.probes += 1;
+                    entry.usage.last_probe = query_seq;
+                    if entry.activated {
+                        entry.usage.hits += 1;
+                        let floor = shed_floor(&entry.postings, score_floor, shed_prefix);
+                        *encoded_ref = Some(crate::codec::encode_list(&entry.postings, floor));
+                    }
+                });
+        } else if let Some(entry) = self.dht.peer(served_by).replica_store.get(&ring_key) {
+            // Failover serve: the primary is down, so the holder answers from
+            // its replica copy — kept byte-identical to the primary's list by
+            // `sync_replicas`, so the degraded path never changes the answer.
+            if entry.activated {
+                let floor = shed_floor(&entry.postings, score_floor, shed_prefix);
+                encoded = Some(crate::codec::encode_list(&entry.postings, floor));
+            }
+        }
+        self.dht.peer_mut(served_by).served_requests += 1;
+        self.dht.record_probe(ring_key, served_by);
+        let response_bytes = encoded.as_ref().map(Vec::len).unwrap_or(1);
+        self.charge(TrafficCategory::Retrieval, response_bytes);
+        if plane.reply_timed_out(ring_key, query_seq, attempt) {
+            return Ok(ProbeOutcome::TimedOut { hops: info.hops });
+        }
+        let postings = encoded.map(|bytes| {
+            crate::codec::decode_list(&bytes).expect("probe response frames are well-formed")
+        });
+        Ok(ProbeOutcome::Ok(ProbeResult {
+            key: key.clone(),
+            postings,
+            hops: info.hops,
+            responsible: primary,
+            served_by,
+            replica_set,
+            skipped: false,
+        }))
+    }
+
     /// The current publish version of `key`: bumped on every mutation of the
     /// key's stored entry (publish, on-demand store, deactivation, eviction),
     /// `0` for a never-touched key. A cached [`crate::sketch::KeySketch`]

@@ -52,6 +52,14 @@ pub enum NodeOutcome {
     Skipped,
     /// The key was not probed because it exceeds the probe-length bound.
     TooLong,
+    /// The key was probed but every attempt failed (loss, timeout or an
+    /// unresponsive peer — see [`crate::fault`]); the retry policy was
+    /// exhausted and the schedule continued without it. Never recorded under
+    /// [`crate::fault::FaultPlane::NoFaults`].
+    Failed {
+        /// Why the final attempt failed.
+        cause: crate::fault::FailureCause,
+    },
 }
 
 /// The trace of a lattice exploration: every node of the query lattice together with
@@ -92,6 +100,18 @@ impl LatticeTrace {
             .iter()
             .filter(|(_, o)| matches!(o, NodeOutcome::Found { .. }))
             .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Keys whose probe was exhausted by faults, with the final failure
+    /// cause (empty under [`crate::fault::FaultPlane::NoFaults`]).
+    pub fn failed_probes(&self) -> Vec<(&TermKey, crate::fault::FailureCause)> {
+        self.nodes
+            .iter()
+            .filter_map(|(k, o)| match o {
+                NodeOutcome::Failed { cause } => Some((k, *cause)),
+                _ => None,
+            })
             .collect()
     }
 

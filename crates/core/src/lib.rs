@@ -26,6 +26,10 @@
 //! * [`exec`] — plan execution with streaming results: [`QueryExecutor`],
 //!   pull-style [`QueryStream`]s and push-style [`ExecutionObserver`]s with
 //!   per-probe events and early termination;
+//! * [`fault`] — the deterministic fault-injection plane ([`FaultPlane`]:
+//!   seeded per-probe message loss, crashed/stalled peers, slow replies) and
+//!   the [`RetryPolicy`] (bounded retries, backoff, replica failover) that
+//!   lets queries degrade gracefully instead of aborting;
 //! * [`ranking`] — the distributed BM25 ranking layer (global statistics, result
 //!   merging);
 //! * [`peer`] — an AlvisP2P participant: shared documents, local engine, access
@@ -71,6 +75,7 @@ pub mod baseline;
 pub mod codec;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod global_index;
 pub mod hdk;
 pub mod key;
@@ -95,6 +100,7 @@ pub use error::AlvisError;
 pub use exec::{
     ExecutionControl, ExecutionObserver, ProbeEvent, QueryExecutor, QueryStream, StableTopK,
 };
+pub use fault::{Completeness, FailureCause, FaultConfig, FaultPlane, ProbeOutcome, RetryPolicy};
 pub use global_index::{GlobalIndex, KeyIndexEntry, KeyUsageStats, ProbeResult};
 pub use hdk::{HdkConfig, HdkLevelReport};
 pub use key::TermKey;

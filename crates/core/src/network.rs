@@ -20,6 +20,7 @@
 use crate::baseline::CentralizedEngine;
 use crate::error::AlvisError;
 use crate::exec::{ExecutionObserver, QueryExecutor, QueryStream};
+use crate::fault::{FaultPlane, ProbeOutcome, RetryPolicy};
 use crate::global_index::{GlobalIndex, ProbeResult};
 use crate::hdk::HdkLevelReport;
 use crate::key::TermKey;
@@ -60,6 +61,13 @@ pub struct NetworkConfig {
     /// [`SketchPolicy::NoSketches`], keeps every byte of the query path
     /// identical to a sketch-free network.
     pub sketch_policy: SketchPolicy,
+    /// Fault-injection plane for the probe path (see [`crate::fault`]). The
+    /// default, [`FaultPlane::NoFaults`], keeps the query path byte-identical
+    /// to a fault-free network.
+    pub faults: FaultPlane,
+    /// How the executor responds to failed probe attempts (retries, backoff,
+    /// replica failover). Inert while the fault plane is inactive.
+    pub retry_policy: RetryPolicy,
     /// Master seed for all randomness.
     pub seed: u64,
 }
@@ -74,6 +82,8 @@ impl Default for NetworkConfig {
             bm25: Bm25Params::default(),
             lattice: LatticeConfig::default(),
             sketch_policy: SketchPolicy::default(),
+            faults: FaultPlane::default(),
+            retry_policy: RetryPolicy::default(),
             seed: 42,
         }
     }
@@ -180,6 +190,22 @@ impl AlvisNetworkBuilder {
     /// byte-identical to a sketch-free network.
     pub fn sketch_policy(mut self, policy: SketchPolicy) -> Self {
         self.config.sketch_policy = policy;
+        self
+    }
+
+    /// Sets the fault-injection plane (see [`crate::fault`]). Defaults to
+    /// [`FaultPlane::NoFaults`], which keeps the query path byte-identical to
+    /// a fault-free network.
+    pub fn faults(mut self, plane: FaultPlane) -> Self {
+        self.config.faults = plane;
+        self
+    }
+
+    /// Sets the probe retry policy (see [`crate::fault::RetryPolicy`]).
+    /// Defaults to bounded retries with replica failover; inert while the
+    /// fault plane is inactive.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry_policy = policy;
         self
     }
 
@@ -429,6 +455,23 @@ impl AlvisNetwork {
     /// The global query sequence number (number of queries processed).
     pub fn queries_processed(&self) -> u64 {
         self.query_seq
+    }
+
+    /// The fault-injection plane (see [`crate::fault`]).
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.config.faults
+    }
+
+    /// Mutable access to the fault plane — lets tests and experiments crash,
+    /// stall or restore peers between (or during) queries.
+    pub fn fault_plane_mut(&mut self) -> &mut FaultPlane {
+        &mut self.config.faults
+    }
+
+    /// The probe retry policy the executor applies under an active fault
+    /// plane.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.config.retry_policy
     }
 
     // ------------------------------------------------------------------
@@ -789,6 +832,40 @@ impl AlvisNetwork {
         };
         self.global
             .probe_with(origin, key, seq, capacity, score_floor, shed)
+    }
+
+    /// One attempt of a fault-aware planned probe (see
+    /// [`GlobalIndex::probe_attempt`]). Only called by the executor when the
+    /// fault plane is active — the inactive-plane fast path stays on
+    /// [`AlvisNetwork::probe_planned`], keeping the default byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_attempt(
+        &mut self,
+        origin: usize,
+        key: &TermKey,
+        seq: u64,
+        score_floor: Option<f64>,
+        shed_prefix: usize,
+        attempt: u32,
+        serve_override: Option<usize>,
+    ) -> Result<ProbeOutcome, DhtError> {
+        let capacity = self.config.strategy.truncation_k();
+        let shed = if shed_prefix > 0 {
+            Some(shed_prefix)
+        } else {
+            None
+        };
+        self.global.probe_attempt(
+            origin,
+            key,
+            seq,
+            capacity,
+            score_floor,
+            shed,
+            &self.config.faults,
+            attempt,
+            serve_override,
+        )
     }
 
     /// Attempts to answer one planned probe from the querier's sketch cache

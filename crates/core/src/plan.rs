@@ -900,6 +900,26 @@ impl PlanCursor {
         outcome
     }
 
+    /// Records a probe whose every attempt failed (see [`crate::fault`]): the
+    /// node enters the trace as [`NodeOutcome::Failed`] and the hops its
+    /// attempts spent are charged against the hop budget, but the key is
+    /// **not** pushed onto the excluder set — so [`PlanCursor::next_key`]'s
+    /// runtime domination check still hands out the failed key's subset keys,
+    /// which is exactly the degraded-substitution behaviour the lattice gives
+    /// for free.
+    pub fn record_failure(&mut self, key: TermKey, cause: crate::fault::FailureCause, hops: usize) {
+        let node = &self.plan.nodes[self.index];
+        debug_assert_eq!(key, node.key);
+        self.index += 1;
+        self.result.trace.probes += 1;
+        self.result.trace.hops += hops;
+        self.hops_spent += hops;
+        self.result
+            .trace
+            .nodes
+            .push((key, NodeOutcome::Failed { cause }));
+    }
+
     /// Finishes the execution: drains any remaining nodes as skipped and returns
     /// the accumulated result plus whether a budget truncated the plan.
     pub fn finish(mut self) -> (LatticeResult, bool) {

@@ -6,6 +6,7 @@
 //! budgets bounding how much the exploration may spend. Requests compose into
 //! batches via [`crate::network::AlvisNetwork::query_batch`].
 
+use crate::fault::Completeness;
 use crate::lattice::LatticeTrace;
 use crate::network::RefinedResult;
 use alvisp2p_textindex::bm25::ScoredDoc;
@@ -187,6 +188,22 @@ pub struct QueryResponse {
     /// keeping the schedule identical with and without sketches). Always `0`
     /// under [`crate::sketch::SketchPolicy::NoSketches`].
     pub pruned_probes: usize,
+    /// Total probe re-sends across the query (each failed attempt that the
+    /// [`crate::fault::RetryPolicy`] followed up on counts once). Always `0`
+    /// under [`crate::fault::FaultPlane::NoFaults`].
+    pub retries: usize,
+    /// Number of scheduled probes that exhausted the retry policy and were
+    /// recorded as failed instead of aborting the query. Always `0` under
+    /// [`crate::fault::FaultPlane::NoFaults`].
+    pub failed_probes: usize,
+    /// Number of probes whose serve was failed over to a non-primary replica
+    /// holder after the primary proved unresponsive. Always `0` under
+    /// [`crate::fault::FaultPlane::NoFaults`].
+    pub hedged: usize,
+    /// How much of the planned document-frequency mass the answer actually
+    /// covers, with per-key failure causes — the "gracefully degraded answer"
+    /// report. [`Completeness::fraction`] is `1.0` on a fault-free run.
+    pub completeness: Completeness,
 }
 
 impl QueryResponse {

@@ -59,6 +59,6 @@ pub use event::{Event, EventQueue};
 pub use link::{LatencyModel, LossModel};
 pub use rng::SimRng;
 pub use sim::{Context, Node, NodeId, SimConfig, Simulator};
-pub use stats::{TrafficCategory, TrafficStats};
+pub use stats::{DropKind, TrafficCategory, TrafficStats};
 pub use time::{SimDuration, SimTime};
 pub use wire::WireSize;

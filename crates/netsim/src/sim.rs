@@ -9,7 +9,7 @@
 use crate::event::EventQueue;
 use crate::link::{LatencyModel, LossModel};
 use crate::rng::SimRng;
-use crate::stats::{TrafficCategory, TrafficStats};
+use crate::stats::{DropKind, TrafficCategory, TrafficStats};
 use crate::time::{SimDuration, SimTime};
 use crate::wire::{WireSize, ENVELOPE_OVERHEAD};
 use std::collections::VecDeque;
@@ -250,7 +250,7 @@ impl<N: Node> Simulator<N> {
         let bytes = msg.wire_size() + ENVELOPE_OVERHEAD;
         self.stats.record(category, bytes);
         if self.config.loss.drops(&mut self.rng) {
-            self.stats.record_drop(bytes);
+            self.stats.record_drop(DropKind::Loss, bytes);
             return;
         }
         let delay = self.config.latency.sample(&mut self.rng);
@@ -324,13 +324,13 @@ impl<N: Node> Simulator<N> {
     fn handle_arrival(&mut self, from: NodeId, to: NodeId, msg: N::Msg, bytes: usize) {
         if to.0 >= self.nodes.len() {
             // Destination disappeared (e.g. churn); drop silently but account it.
-            self.stats.record_drop(bytes);
+            self.stats.record_drop(DropKind::DeadDestination, bytes);
             return;
         }
         let state = &mut self.states[to.0];
         if state.inbox.len() >= self.config.inbox_capacity {
             // Congestion drop: the receiving peer's queue is full.
-            self.stats.record_drop(bytes);
+            self.stats.record_drop(DropKind::Congestion, bytes);
             return;
         }
         self.delivered += 1;

@@ -14,6 +14,11 @@
 //!    replication threshold; their posting lists spread onto the ring successors, the
 //!    probe serve load spreads with them, answers stay byte-identical, and the hot
 //!    keys survive the abrupt failure of their primary.
+//! 4. **Fault injection and failover** — a seeded fault plane drops 15% of probe
+//!    messages and crashes the replica currently serving the hottest key; without
+//!    retries the answer silently degrades (and says so in its completeness report),
+//!    while the default retry + replica-failover policy recovers the fault-free
+//!    answer at a modest byte overhead.
 //!
 //! Run with:
 //! ```text
@@ -186,8 +191,99 @@ fn replication_demo() {
     );
 }
 
+fn fault_tolerance_demo() {
+    println!("\n=== fault-injection and failover demo ===");
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(), 3).generate();
+    let build = |policy: RetryPolicy| {
+        AlvisNetwork::builder()
+            .peers(24)
+            .strategy(Hdk::new(HdkConfig {
+                df_max: 10,
+                truncation_k: 20,
+                ..Default::default()
+            }))
+            .replication(std::sync::Arc::new(HotKeyReplication::new(3)))
+            .retry_policy(policy)
+            .seed(5)
+            .corpus(&corpus)
+            .build_indexed()
+            .expect("valid configuration")
+    };
+    let mut fragile = build(RetryPolicy::none());
+    let mut robust = build(RetryPolicy::default());
+
+    // Warm the hotspot fault-free so replication heats identically in both
+    // overlays, and record the fault-free answer as the reference.
+    let hot_query = format!("{} {}", corpus.vocabulary[60], corpus.vocabulary[61]);
+    let mut reference: Vec<DocId> = Vec::new();
+    for i in 0..120 {
+        let request = QueryRequest::new(hot_query.clone()).from_peer(i % 24);
+        let _ = fragile.execute(&request).unwrap();
+        reference = robust
+            .execute(&request)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.doc)
+            .collect();
+    }
+
+    // Crash the replica currently serving the hottest key (serve selection is
+    // fault-unaware, so probes keep landing on it — failover is the only
+    // escape) and drop 15% of probe messages on top.
+    let victim = {
+        let dht = robust.global_index().dht();
+        let hot_key = dht
+            .replication()
+            .replicated_key_list()
+            .into_iter()
+            .max_by(|a, b| {
+                dht.replication()
+                    .key_load(*a)
+                    .total_cmp(&dht.replication().key_load(*b))
+            })
+            .expect("the hotspot replicated at least one key");
+        dht.least_loaded_holder(hot_key)
+            .unwrap_or_else(|| dht.responsible_for(hot_key).unwrap())
+    };
+    let plane = || {
+        let mut plane = FaultPlane::seeded(7).with_loss(0.15);
+        plane.crash(victim);
+        plane
+    };
+    *fragile.fault_plane_mut() = plane();
+    *robust.fault_plane_mut() = plane();
+    println!("crashed the hot key's serving replica (peer {victim}) and injected 15% loss");
+
+    let report = |label: &str, net: &mut AlvisNetwork| {
+        let (mut overlap, mut retries, mut failed, mut completeness) = (0.0, 0, 0, 0.0);
+        let rounds = 60;
+        for i in 0..rounds {
+            let origin = (i % 24 + usize::from(i % 24 == victim)) % 24;
+            let request = QueryRequest::new(hot_query.clone()).from_peer(origin);
+            let response = net.execute(&request).unwrap();
+            let got: Vec<DocId> = response.results.iter().map(|r| r.doc).collect();
+            let hits = reference.iter().filter(|d| got.contains(d)).count();
+            overlap += hits as f64 / reference.len().max(1) as f64;
+            retries += response.retries;
+            failed += response.failed_probes;
+            completeness += response.completeness.fraction();
+        }
+        let n = rounds as f64;
+        println!(
+            "{label:>24}: answer overlap vs fault-free {:.2}, {retries} retries, \
+             {failed} failed probes, mean completeness {:.2}",
+            overlap / n,
+            completeness / n,
+        );
+    };
+    report("no-retry", &mut fragile);
+    report("retry+failover (default)", &mut robust);
+}
+
 fn main() {
     churn_demo();
     congestion_demo();
     replication_demo();
+    fault_tolerance_demo();
 }

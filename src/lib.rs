@@ -124,6 +124,10 @@ pub mod prelude {
     pub use alvisp2p_core::sketch::{
         DocumentDigest, KeySketch, SketchBuildReport, SketchCache, SketchKinds, SketchPolicy,
     };
+    // Fault injection and the policy that survives it.
+    pub use alvisp2p_core::fault::{
+        Completeness, FailureCause, FaultConfig, FaultPlane, ProbeOutcome, RetryPolicy,
+    };
     // The unified error hierarchy.
     pub use alvisp2p_core::error::AlvisError;
     // The pluggable indexing strategies and their configurations.

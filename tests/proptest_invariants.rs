@@ -500,6 +500,92 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Fault plane defaults
+// ---------------------------------------------------------------------------
+
+/// `demo_net` with an explicit fault configuration. With `phantom_active` the
+/// plane is *active* (a nonexistent peer is crashed, so every probe runs
+/// through the retry loop) but no fault can ever fire.
+fn demo_net_with_faults(
+    strategy_pick: u8,
+    seed: u64,
+    phantom_active: bool,
+) -> alvisp2p::core::AlvisNetwork {
+    use alvisp2p::prelude::*;
+    let faults = if phantom_active {
+        let mut f = FaultPlane::seeded(seed);
+        f.crash(9_999);
+        f
+    } else {
+        FaultPlane::NoFaults
+    };
+    let builder = AlvisNetwork::builder()
+        .peers(4)
+        .seed(seed)
+        .faults(faults)
+        .retry_policy(RetryPolicy::default())
+        .documents(demo_corpus());
+    let builder = match strategy_pick % 3 {
+        0 => builder.strategy(SingleTermFull),
+        1 => builder.strategy(Hdk::new(alvisp2p::core::HdkConfig {
+            df_max: 2,
+            truncation_k: 4,
+            ..Default::default()
+        })),
+        _ => builder.strategy(Qdi::new(alvisp2p::core::QdiConfig {
+            activation_threshold: 2,
+            truncation_k: 3,
+            ..Default::default()
+        })),
+    };
+    builder.build_indexed().expect("valid configuration")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `NoFaults` plus the default `RetryPolicy` is byte-identical to a
+    /// network built without any fault configuration — same documents and
+    /// score bits, same trace, same bytes and hops — and so is an *active*
+    /// plane whose faults never fire (pinning the retry loop's per-attempt
+    /// accounting). Robustness counters stay at zero either way.
+    #[test]
+    fn fault_plane_defaults_are_byte_identical(
+        strategy_pick: u8,
+        picks in proptest::collection::vec(0usize..QUERY_POOL.len(), 1..5),
+        origin in 0usize..4,
+        seed in 1u64..64,
+        phantom_active: bool,
+    ) {
+        use alvisp2p::prelude::*;
+        let text = pool_query(&picks);
+        let mut plain = demo_net(strategy_pick, seed);
+        let mut observed = demo_net_with_faults(strategy_pick, seed, phantom_active);
+        let request = QueryRequest::new(text).from_peer(origin).top_k(10);
+        let a = plain.execute(&request).unwrap();
+        let b = observed.execute(&request).unwrap();
+        let docs = |r: &QueryResponse| {
+            r.results
+                .iter()
+                .map(|d| (d.doc, d.score.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(docs(&a), docs(&b));
+        prop_assert_eq!(&a.trace.nodes, &b.trace.nodes);
+        prop_assert_eq!(a.hops, b.hops);
+        prop_assert_eq!(a.bytes, b.bytes);
+        prop_assert_eq!(a.messages, b.messages);
+        for r in [&a, &b] {
+            prop_assert_eq!(r.retries, 0);
+            prop_assert_eq!(r.failed_probes, 0);
+            prop_assert_eq!(r.hedged, 0);
+            prop_assert_eq!(r.completeness.fraction(), 1.0);
+            prop_assert!(!r.completeness.is_degraded());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Text analysis, index and digest
 // ---------------------------------------------------------------------------
 
