@@ -1,0 +1,18 @@
+//! P5 — control-plane chaos and recovery; writes `BENCH_chaos.json`. See `exp_chaos`.
+use alvisp2p_bench::{exp_chaos, quick_mode};
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        exp_chaos::ChaosParams::quick()
+    } else {
+        exp_chaos::ChaosParams::default()
+    };
+    let mut report = exp_chaos::run(&params);
+    report.quick = quick;
+    exp_chaos::print(&report);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    let path = std::env::var("ALVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_chaos.json".to_string());
+    std::fs::write(&path, json + "\n").expect("write BENCH_chaos.json");
+    println!("wrote {path}");
+}

@@ -1,9 +1,11 @@
 //! CI regression guard over `BENCH_perf.json` (and optionally
-//! `BENCH_skew.json`, `BENCH_sketch.json` and `BENCH_faults.json`).
+//! `BENCH_skew.json`, `BENCH_sketch.json`, `BENCH_faults.json` and
+//! `BENCH_chaos.json`).
 //!
 //! Usage: `perf_guard <committed.json> <fresh.json> [<committed_skew.json>
 //! <fresh_skew.json> [<committed_sketch.json> <fresh_sketch.json>
-//! [<committed_faults.json> <fresh_faults.json>]]]`
+//! [<committed_faults.json> <fresh_faults.json>
+//! [<committed_chaos.json> <fresh_chaos.json>]]]]`
 //!
 //! Compares a fresh `exp_perf --quick` run against the committed perf
 //! trajectory and fails (exit code 1) when any comparable arm regressed by
@@ -32,6 +34,14 @@
 //! arm is measurably worse, and the injected faults demonstrably fired
 //! (retries observed, no-retry probes failed).
 //!
+//! When the two chaos-report paths are also given, the guard enforces the
+//! control-plane recovery bar on both reports: the repair arm drains every
+//! un-acked publication, restores replica consistency to 1.0 and keeps
+//! recall@10 ≥ 0.95 of fault-free at ≤ 2x its bytes/query, while the
+//! no-repair arm under the identical plane stays divergent (pending
+//! publications, consistency < 1.0, a non-vacuous recall gap) and the frame
+//! corruption demonstrably fired (corrupt frames counted).
+//!
 //! Two measures keep the guard meaningful across machines and
 //! configurations:
 //!
@@ -47,6 +57,7 @@
 //!   benches operate on fixed-shape inputs (2–3 term keys, the 100-entry
 //!   codec list), so their per-op work is identical at any scale.
 
+use alvisp2p_bench::exp_chaos::ChaosReport;
 use alvisp2p_bench::exp_faults::FaultsReport;
 use alvisp2p_bench::exp_perf::PerfReport;
 use alvisp2p_bench::exp_sketch::SketchReport;
@@ -67,6 +78,18 @@ const FAULTS_DEGRADATION_GAP: f64 = 0.02;
 
 /// The retry+failover arm's headline bytes/query over the fault-free run's.
 const FAULTS_BYTE_OVERHEAD_CEILING: f64 = 1.5;
+
+/// The chaos repair arm must keep at least this recall@10 against the
+/// fault-free answers under the combined control-plane fault mix.
+const CHAOS_RECALL_FLOOR: f64 = 0.95;
+
+/// The no-repair arm must trail the repair arm by at least this much recall
+/// ("the degradation the repair machinery prevents is non-vacuous").
+const CHAOS_DEGRADATION_GAP: f64 = 0.02;
+
+/// The repair arm's bytes/query over the fault-free run's (repair traffic is
+/// Overlay, but retries on lost/corrupt probes inflate Retrieval too).
+const CHAOS_BYTE_OVERHEAD_CEILING: f64 = 2.0;
 
 /// Benches whose per-op work does not depend on the `--quick` scaling.
 const GUARDED: &[&str] = &[
@@ -273,36 +296,125 @@ fn check_faults(label: &str, report: &FaultsReport, failures: &mut Vec<String>) 
     }
 }
 
+fn load_chaos(path: &str) -> ChaosReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_guard: cannot parse {path}: {e:?}"))
+}
+
+/// The chaos-report invariants are scale-independent (the quick configuration
+/// keeps the full fault mix), so the same bar applies to the committed full
+/// run and a fresh `--quick` run.
+fn check_chaos(label: &str, report: &ChaosReport, failures: &mut Vec<String>) {
+    println!(
+        "chaos ({label}): repair recall {:.3} / consistency {:.3} / {} pending vs \
+         no-repair recall {:.3} / consistency {:.3} / {} pending at {:.2}x bytes/query",
+        report.repair_recall,
+        report.repair_consistency,
+        report.repair_pending,
+        report.no_repair_recall,
+        report.no_repair_consistency,
+        report.no_repair_pending,
+        report.repair_byte_overhead,
+    );
+    if report.repair_recall < CHAOS_RECALL_FLOOR {
+        failures.push(format!(
+            "chaos/{label}: repair recall {:.3} below the {CHAOS_RECALL_FLOOR} floor",
+            report.repair_recall
+        ));
+    }
+    if report.no_repair_recall > report.repair_recall - CHAOS_DEGRADATION_GAP {
+        failures.push(format!(
+            "chaos/{label}: no-repair recall {:.3} not measurably below repair {:.3}",
+            report.no_repair_recall, report.repair_recall
+        ));
+    }
+    if report.repair_consistency < 0.999 {
+        failures.push(format!(
+            "chaos/{label}: repair left replica consistency at {:.3}",
+            report.repair_consistency
+        ));
+    }
+    if report.no_repair_consistency >= 1.0 {
+        failures.push(format!(
+            "chaos/{label}: the no-repair arm stayed fully consistent — the injected \
+             divergence never fired and the consistency bar is vacuous"
+        ));
+    }
+    if report.repair_pending != 0 {
+        failures.push(format!(
+            "chaos/{label}: {} publications still un-acked after repair",
+            report.repair_pending
+        ));
+    }
+    if report.no_repair_pending == 0 {
+        failures.push(format!(
+            "chaos/{label}: the no-repair arm has no pending publications — the injected \
+             publish loss never fired and the recall bar is vacuous"
+        ));
+    }
+    if report.repair_byte_overhead > CHAOS_BYTE_OVERHEAD_CEILING {
+        failures.push(format!(
+            "chaos/{label}: byte overhead {:.2}x exceeds the {CHAOS_BYTE_OVERHEAD_CEILING}x \
+             ceiling",
+            report.repair_byte_overhead
+        ));
+    }
+    if report
+        .rows
+        .iter()
+        .map(|r| r.robustness.corrupt_probes)
+        .sum::<u64>()
+        == 0
+    {
+        failures.push(format!(
+            "chaos/{label}: no corrupt frame was ever counted — the injected bit flips \
+             never fired"
+        ));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (committed_path, fresh_path, skew_paths, sketch_paths, faults_paths) = match args.as_slice()
-    {
-        [c, f] => (c, f, None, None, None),
-        [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone())), None, None),
-        [c, f, cs, fs, ck, fk] => (
-            c,
-            f,
-            Some((cs.clone(), fs.clone())),
-            Some((ck.clone(), fk.clone())),
-            None,
-        ),
-        [c, f, cs, fs, ck, fk, cl, fl] => (
-            c,
-            f,
-            Some((cs.clone(), fs.clone())),
-            Some((ck.clone(), fk.clone())),
-            Some((cl.clone(), fl.clone())),
-        ),
-        _ => {
-            eprintln!(
-                "usage: perf_guard <committed.json> <fresh.json> \
+    let (committed_path, fresh_path, skew_paths, sketch_paths, faults_paths, chaos_paths) =
+        match args.as_slice() {
+            [c, f] => (c, f, None, None, None, None),
+            [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone())), None, None, None),
+            [c, f, cs, fs, ck, fk] => (
+                c,
+                f,
+                Some((cs.clone(), fs.clone())),
+                Some((ck.clone(), fk.clone())),
+                None,
+                None,
+            ),
+            [c, f, cs, fs, ck, fk, cl, fl] => (
+                c,
+                f,
+                Some((cs.clone(), fs.clone())),
+                Some((ck.clone(), fk.clone())),
+                Some((cl.clone(), fl.clone())),
+                None,
+            ),
+            [c, f, cs, fs, ck, fk, cl, fl, ch, fh] => (
+                c,
+                f,
+                Some((cs.clone(), fs.clone())),
+                Some((ck.clone(), fk.clone())),
+                Some((cl.clone(), fl.clone())),
+                Some((ch.clone(), fh.clone())),
+            ),
+            _ => {
+                eprintln!(
+                    "usage: perf_guard <committed.json> <fresh.json> \
                      [<committed_skew.json> <fresh_skew.json> \
                      [<committed_sketch.json> <fresh_sketch.json> \
-                     [<committed_faults.json> <fresh_faults.json>]]]"
-            );
-            return ExitCode::from(2);
-        }
-    };
+                     [<committed_faults.json> <fresh_faults.json> \
+                     [<committed_chaos.json> <fresh_chaos.json>]]]]"
+                );
+                return ExitCode::from(2);
+            }
+        };
     let tolerance: f64 = std::env::var("ALVIS_PERF_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -385,6 +497,10 @@ fn main() -> ExitCode {
             &mut regressions,
         );
         check_faults("fresh", &load_faults(&fresh_faults), &mut regressions);
+    }
+    if let Some((committed_chaos, fresh_chaos)) = chaos_paths {
+        check_chaos("committed", &load_chaos(&committed_chaos), &mut regressions);
+        check_chaos("fresh", &load_chaos(&fresh_chaos), &mut regressions);
     }
     println!(
         "perf_guard: {checked} arms checked, {} regressions",

@@ -184,7 +184,7 @@ fn warm(net: &mut AlvisNetwork, queries: &[String], params: &FaultsParams) {
 /// replicated keys, subject to every picked key keeping at least one live
 /// replica holder (so failover has somewhere to go). Deterministic — the
 /// warmed state is identical across arms.
-fn crash_targets(net: &AlvisNetwork, count: usize) -> Vec<usize> {
+pub(crate) fn crash_targets(net: &AlvisNetwork, count: usize) -> Vec<usize> {
     if count == 0 {
         return Vec::new();
     }

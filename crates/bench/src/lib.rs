@@ -18,6 +18,7 @@
 //! | P2 | hot-key replication under Zipf traffic (per-peer p99 load, `BENCH_skew.json`) | [`exp_skew`] | `exp_skew` |
 //! | P3 | per-key provenance sketches: probe pruning vs upkeep (`BENCH_sketch.json`) | [`exp_sketch`] | `exp_sketch` |
 //! | P4 | fault injection: recall@10 and bytes/query under loss + crashes, by retry policy (`BENCH_faults.json`) | [`exp_faults`] | `exp_faults` |
+//! | P5 | control-plane chaos: versioned publications, anti-entropy repair, frame integrity (`BENCH_chaos.json`) | [`exp_chaos`] | `exp_chaos` |
 //!
 //! Each module exposes a `run(...)` function returning typed rows (so integration
 //! tests and Criterion benches reuse the same code) and a `print(...)` helper that
@@ -31,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod exp_bandwidth;
+pub mod exp_chaos;
 pub mod exp_congestion;
 pub mod exp_faults;
 pub mod exp_lattice;

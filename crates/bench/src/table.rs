@@ -24,6 +24,11 @@ pub struct Robustness {
     pub failed_probes: u64,
     /// Probes served by a non-primary holder after failover.
     pub hedged: u64,
+    /// Probe responses discarded because their frame failed checksum
+    /// verification (`#[serde(default)]` so reports committed before the
+    /// counter existed still parse).
+    #[serde(default)]
+    pub corrupt_probes: u64,
     /// Sum of per-query completeness fractions (divide by `queries`).
     pub completeness_sum: f64,
 }
@@ -35,6 +40,7 @@ impl Robustness {
         self.retries += response.retries as u64;
         self.failed_probes += response.failed_probes as u64;
         self.hedged += response.hedged as u64;
+        self.corrupt_probes += response.corrupt_probes as u64;
         self.completeness_sum += response.completeness.fraction();
     }
 
@@ -44,6 +50,7 @@ impl Robustness {
         self.retries += other.retries;
         self.failed_probes += other.failed_probes;
         self.hedged += other.hedged;
+        self.corrupt_probes += other.corrupt_probes;
         self.completeness_sum += other.completeness_sum;
     }
 
@@ -60,10 +67,11 @@ impl Robustness {
     pub fn summary(&self) -> String {
         format!(
             "robustness: {} retries, {} failed probes, {} hedged serves, \
-             mean completeness {:.3} over {} queries",
+             {} corrupt frames, mean completeness {:.3} over {} queries",
             self.retries,
             self.failed_probes,
             self.hedged,
+            self.corrupt_probes,
             self.mean_completeness(),
             self.queries
         )

@@ -30,7 +30,18 @@
 //!   payload, entries in descending score order:
 //!     first entry: varint peer, varint local, u16 q
 //!     later ones:  zigzag-varint Δpeer, zigzag-varint Δlocal, u16 q
+//! checksum         u32 LE   [`frame_checksum`] over every preceding byte
 //! ```
+//!
+//! # Frame integrity
+//!
+//! Every list and key frame ends in a 4-byte checksum trailer
+//! ([`frame_checksum`] over the frame body). Decoders verify the trailer
+//! before parsing a single body byte, so a corrupted frame — any single-bit
+//! flip is guaranteed to be caught — surfaces as a typed
+//! [`CodecError::ChecksumMismatch`] instead of a silently wrong (or
+//! panicking) decode. The probe path maps that error onto the retryable
+//! [`crate::fault::ProbeOutcome::Corrupt`].
 //!
 //! Because blocks are score-descending and each block leads with `max_q` and
 //! its payload length, a decoder given a score floor stops at the first block
@@ -62,8 +73,13 @@ use crate::posting::{ScoredRef, TruncatedPostingList};
 use alvisp2p_textindex::DocId;
 use std::fmt;
 
-/// Version byte leading every list frame.
-pub const FORMAT_VERSION: u8 = 1;
+/// Version byte leading every list frame. Version 2 added the checksum
+/// trailer ending every list and key frame.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Length of the integrity trailer ending every list and key frame: the
+/// [`frame_checksum`] of the frame body as a `u32` LE.
+pub const FRAME_TRAILER_LEN: usize = 4;
 
 /// Entries per block. Small enough that a floor rarely pays for more than a
 /// fraction of a block, large enough that per-block headers stay under half a
@@ -77,23 +93,100 @@ pub const SCORE_LEVELS: u16 = u16::MAX;
 /// absolute or zigzag delta) plus the 2-byte quantized score.
 pub const MAX_ENTRY_LEN: usize = 5 + 5 + 2;
 
-/// A malformed frame (truncated buffer, bad version, overflowing varint).
+/// A frame the decoder rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CodecError(String);
+pub enum CodecError {
+    /// A structurally malformed frame (truncated buffer, bad version,
+    /// overflowing varint, inconsistent headers).
+    Malformed(String),
+    /// The frame's checksum trailer disagrees with its body: the bytes were
+    /// corrupted in flight (or at rest). The probe path treats this as the
+    /// retryable [`crate::fault::ProbeOutcome::Corrupt`].
+    ChecksumMismatch {
+        /// The checksum carried in the frame's trailer.
+        stored: u32,
+        /// The checksum recomputed over the received frame body.
+        computed: u32,
+    },
+}
 
 impl CodecError {
     pub(crate) fn new(msg: impl Into<String>) -> Self {
-        CodecError(msg.into())
+        CodecError::Malformed(msg.into())
+    }
+
+    /// Whether this error means the frame failed integrity verification (as
+    /// opposed to being structurally malformed).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, CodecError::ChecksumMismatch { .. })
     }
 }
 
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "codec error: {}", self.0)
+        match self {
+            CodecError::Malformed(msg) => write!(f, "codec error: {msg}"),
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "codec error: frame checksum mismatch (stored {stored:#010x}, \
+                 computed {computed:#010x})"
+            ),
+        }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Frame integrity trailer
+// ---------------------------------------------------------------------------
+
+/// Modulus of the [`frame_checksum`] running sums (the largest prime below
+/// `2^16`, as in Adler-32).
+const CHECKSUM_MOD: u32 = 65_521;
+
+/// Bytes between modular reductions; keeps the deferred sums below `u32`
+/// overflow for any byte values.
+const CHECKSUM_BATCH: usize = 3_800;
+
+/// The frame integrity checksum (Adler-32). Both running sums enter the
+/// result, and a single-bit flip changes the low sum by a nonzero delta
+/// strictly smaller than the modulus, so **any single-bit corruption of a
+/// frame body is guaranteed to be detected** — the property the bit-flip
+/// fault-injection tests rely on.
+pub fn frame_checksum(bytes: &[u8]) -> u32 {
+    let mut s1: u32 = 1;
+    let mut s2: u32 = 0;
+    for chunk in bytes.chunks(CHECKSUM_BATCH) {
+        for &b in chunk {
+            s1 += u32::from(b);
+            s2 += s1;
+        }
+        s1 %= CHECKSUM_MOD;
+        s2 %= CHECKSUM_MOD;
+    }
+    (s2 << 16) | s1
+}
+
+/// Appends the [`frame_checksum`] trailer over `out[start..]`.
+fn append_trailer(out: &mut Vec<u8>, start: usize) {
+    let sum = frame_checksum(&out[start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Splits a frame into its body after verifying the checksum trailer.
+fn verify_trailer(buf: &[u8]) -> Result<&[u8], CodecError> {
+    if buf.len() < FRAME_TRAILER_LEN {
+        return Err(CodecError::new("frame shorter than its checksum trailer"));
+    }
+    let (body, trailer) = buf.split_at(buf.len() - FRAME_TRAILER_LEN);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let computed = frame_checksum(body);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(body)
+}
 
 // ---------------------------------------------------------------------------
 // varint / zigzag primitives
@@ -215,18 +308,22 @@ pub fn entry_wire_size(r: &ScoredRef) -> usize {
 }
 
 /// Appends the key frame: `varint n_terms`, then per term `varint len` +
-/// UTF-8 bytes. `TermKey::wire_size` equals this frame's length (cached at
-/// key construction).
+/// UTF-8 bytes, ending in the [`frame_checksum`] trailer over the appended
+/// body. `TermKey::wire_size` equals this frame's length (cached at key
+/// construction).
 pub fn encode_key(out: &mut Vec<u8>, key: &TermKey) {
+    let start = out.len();
     let terms = key.terms();
     put_varint(out, terms.len() as u64);
     for term in terms {
         put_varint(out, term.len() as u64);
         out.extend_from_slice(term.as_bytes());
     }
+    append_trailer(out, start);
 }
 
-/// Length of the [`encode_key`] frame, computable from term lengths alone.
+/// Length of the [`encode_key`] frame (checksum trailer included),
+/// computable from term lengths alone.
 pub fn key_frame_len(term_lens: impl IntoIterator<Item = usize>) -> usize {
     let mut n = 0usize;
     let mut total = 0usize;
@@ -234,11 +331,13 @@ pub fn key_frame_len(term_lens: impl IntoIterator<Item = usize>) -> usize {
         n += 1;
         total += varint_len(len as u64) + len;
     }
-    varint_len(n as u64) + total
+    varint_len(n as u64) + total + FRAME_TRAILER_LEN
 }
 
-/// Decodes an [`encode_key`] frame back into its terms.
-pub fn decode_key(buf: &[u8]) -> Result<Vec<String>, CodecError> {
+/// Decodes an [`encode_key`] frame back into its terms, verifying the
+/// checksum trailer first.
+pub fn decode_key(frame: &[u8]) -> Result<Vec<String>, CodecError> {
+    let buf = verify_trailer(frame)?;
     let mut pos = 0usize;
     let n = get_varint(buf, &mut pos)? as usize;
     let mut terms = Vec::with_capacity(n.min(64));
@@ -304,6 +403,7 @@ pub fn encode_list(list: &TruncatedPostingList, score_floor: Option<f64>) -> Vec
     put_varint(&mut out, list.len() as u64);
     put_varint(&mut out, kept as u64);
     if kept == 0 {
+        append_trailer(&mut out, 0);
         return out;
     }
     // The quantization range spans exactly the kept scores; `as f32` rounding
@@ -349,6 +449,7 @@ pub fn encode_list(list: &TruncatedPostingList, score_floor: Option<f64>) -> Vec
             prev = Some(r.doc);
         }
     }
+    append_trailer(&mut out, 0);
     out
 }
 
@@ -399,7 +500,8 @@ pub fn encoded_list_len(list: &TruncatedPostingList) -> usize {
 }
 
 fn encoded_list_len_for(list: &TruncatedPostingList, kept: usize) -> usize {
-    let mut len = 1
+    let mut len = FRAME_TRAILER_LEN
+        + 1
         + varint_len(list.full_df())
         + varint_len(list.capacity() as u64)
         + varint_len(list.len() as u64)
@@ -428,9 +530,9 @@ fn encoded_list_len_for(list: &TruncatedPostingList, kept: usize) -> usize {
 /// and the planners reserve against. Holds for any document ids, scores,
 /// `full_df` and capacity.
 pub fn max_encoded_list_len(entries: usize) -> usize {
-    // version + full_df/capacity varints at their 10-byte u64 worst case +
-    // total/kept varints for `entries`.
-    let mut len = 1 + 10 + 10 + 2 * varint_len(entries as u64);
+    // trailer + version + full_df/capacity varints at their 10-byte u64 worst
+    // case + total/kept varints for `entries`.
+    let mut len = FRAME_TRAILER_LEN + 1 + 10 + 10 + 2 * varint_len(entries as u64);
     if entries == 0 {
         return len;
     }
@@ -455,7 +557,11 @@ pub fn decode_list_above(buf: &[u8], score_floor: f64) -> Result<TruncatedPostin
     decode_list_inner(buf, Some(score_floor))
 }
 
-fn decode_list_inner(buf: &[u8], floor: Option<f64>) -> Result<TruncatedPostingList, CodecError> {
+fn decode_list_inner(frame: &[u8], floor: Option<f64>) -> Result<TruncatedPostingList, CodecError> {
+    // Integrity first: the whole frame is in hand, so the trailer is verified
+    // before a single body byte is parsed — a floored decode's legitimate
+    // early block termination never skips the check.
+    let buf = verify_trailer(frame)?;
     let mut pos = 0usize;
     let version = *buf
         .get(pos)
@@ -570,6 +676,40 @@ mod tests {
         )
     }
 
+    /// Appends the checksum trailer to a hand-built frame body.
+    fn seal(mut body: Vec<u8>) -> Vec<u8> {
+        let sum = frame_checksum(&body);
+        body.extend_from_slice(&sum.to_le_bytes());
+        body
+    }
+
+    #[test]
+    fn frame_checksum_golden_values() {
+        // Pins the checksum definition itself (Adler-32): the trailer bytes of
+        // every golden frame below derive from these.
+        assert_eq!(frame_checksum(b""), 0x0000_0001);
+        assert_eq!(frame_checksum(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(frame_checksum(&[0u8]), 0x0001_0001);
+    }
+
+    #[test]
+    fn single_bit_flips_always_change_the_checksum() {
+        let frames = [
+            encode_list(&list(&[(1, 5, 3.0), (1, 6, 1.0)], 4), None),
+            encode_list(&TruncatedPostingList::new(10), None),
+        ];
+        for frame in frames {
+            for bit in 0..frame.len() * 8 {
+                let mut flipped = frame.clone();
+                flipped[bit / 8] ^= 1 << (bit % 8);
+                assert!(
+                    decode_list(&flipped).is_err(),
+                    "bit {bit} flip decoded silently"
+                );
+            }
+        }
+    }
+
     #[test]
     fn varint_round_trips() {
         for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX] {
@@ -602,10 +742,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_list_is_a_five_byte_frame() {
+    fn empty_list_is_a_nine_byte_frame() {
         let empty = TruncatedPostingList::new(10);
         let bytes = encode_list(&empty, None);
-        assert_eq!(bytes, vec![FORMAT_VERSION, 0, 10, 0, 0]);
+        assert_eq!(bytes, seal(vec![FORMAT_VERSION, 0, 10, 0, 0]));
+        assert_eq!(bytes.len(), 5 + FRAME_TRAILER_LEN);
         assert_eq!(encoded_list_len(&empty), bytes.len());
         let back = decode_list(&bytes).unwrap();
         assert_eq!(back, empty);
@@ -647,7 +788,7 @@ mod tests {
             0x00,
             0x00, // q(1.0) = 0
         ];
-        assert_eq!(bytes, expected);
+        assert_eq!(bytes, seal(expected));
         assert_eq!(encoded_list_len(&l), bytes.len());
         let back = decode_list(&bytes).unwrap();
         assert_eq!(back.len(), 2);
@@ -763,29 +904,45 @@ mod tests {
         let key = TermKey::new(["cde", "ab"]);
         let mut buf = Vec::new();
         encode_key(&mut buf, &key);
-        assert_eq!(buf, vec![2, 2, b'a', b'b', 3, b'c', b'd', b'e']);
+        assert_eq!(buf, seal(vec![2, 2, b'a', b'b', 3, b'c', b'd', b'e']));
         assert_eq!(key_frame_len([2usize, 3]), buf.len());
         assert_eq!(decode_key(&buf).unwrap(), vec!["ab", "cde"]);
+        // A flipped key-frame bit is detected just like a list-frame one.
+        let mut flipped = buf.clone();
+        flipped[2] ^= 0x01;
+        assert!(decode_key(&flipped).unwrap_err().is_corrupt());
     }
 
     #[test]
     fn decode_rejects_malformed_frames() {
         assert!(decode_list(&[]).is_err());
-        assert!(decode_list(&[99, 0, 0, 0, 0]).is_err(), "bad version");
+        assert!(
+            decode_list(&seal(vec![99, 0, 0, 0, 0])).is_err(),
+            "bad version"
+        );
         let l = list(&[(0, 0, 1.0)], 2);
         let bytes = encode_list(&l, None);
         assert!(decode_list(&bytes[..bytes.len() - 1]).is_err(), "truncated");
-        let mut trailing = bytes;
+        // Structural checks still fire behind a *valid* trailer: re-seal the
+        // tampered bodies so the failure is the body check, not the checksum.
+        let body_of = |frame: &[u8]| frame[..frame.len() - FRAME_TRAILER_LEN].to_vec();
+        let mut trailing = body_of(&bytes);
         trailing.push(0xAB);
-        assert!(decode_list(&trailing).is_err(), "trailing bytes");
+        assert_eq!(
+            decode_list(&seal(trailing)),
+            Err(CodecError::new("trailing bytes after list frame"))
+        );
         // Blocks declaring more entries than the header's kept_refs must
         // error, not overflow the elided-count arithmetic.
         let two = encode_list(&list(&[(0, 0, 2.0), (0, 1, 1.0)], 4), None);
-        let mut lying = two;
+        let mut lying = body_of(&two);
         lying[4] = 1; // kept_refs: 2 -> 1, blocks still carry 2 entries
-        assert!(decode_list(&lying).is_err(), "over-full blocks");
+        assert!(decode_list(&seal(lying)).is_err(), "over-full blocks");
         // A key frame declaring an absurd term length must error, not overflow.
-        assert!(decode_key(&[1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1]).is_err());
+        assert!(decode_key(&seal(vec![
+            1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1
+        ]))
+        .is_err());
         // A delta entry whose zigzag delta overflows i64 addition must error,
         // not overflow: first entry peer=u32::MAX, then Δpeer = i64::MAX.
         let mut frame = vec![FORMAT_VERSION, 2, 4, 2, 2];
@@ -803,7 +960,7 @@ mod tests {
         put_u16(&mut payload, 0);
         put_varint(&mut frame, payload.len() as u64);
         frame.extend_from_slice(&payload);
-        assert!(decode_list(&frame).is_err(), "delta overflow");
+        assert!(decode_list(&seal(frame)).is_err(), "delta overflow");
     }
 
     #[test]

@@ -225,6 +225,10 @@ pub struct QueryStream<'n> {
     /// Probes whose every attempt failed (recorded in the trace, schedule
     /// continued).
     failed: usize,
+    /// Probe responses discarded because their frame failed checksum
+    /// verification (each one also counts as a failed attempt and is
+    /// retryable).
+    corrupt: usize,
     /// Probes whose serve was re-routed to a replica holder by failover.
     hedged: usize,
     error: Option<AlvisError>,
@@ -279,6 +283,7 @@ impl<'n> QueryStream<'n> {
             pruned: 0,
             retries: 0,
             failed: 0,
+            corrupt: 0,
             hedged: 0,
             error: None,
         }
@@ -425,6 +430,14 @@ impl<'n> QueryStream<'n> {
                 Ok(ProbeOutcome::TimedOut { hops }) => {
                     failed_hops += hops;
                     last_cause = FailureCause::TimedOut;
+                }
+                // A bit-flipped response caught by the codec's checksum
+                // trailer: the full round trip was charged, the payload is
+                // unusable, and re-sending may well succeed.
+                Ok(ProbeOutcome::Corrupt { hops }) => {
+                    failed_hops += hops;
+                    last_cause = FailureCause::Corrupt;
+                    self.corrupt += 1;
                 }
                 Ok(ProbeOutcome::PeerDown { peer, hops }) => {
                     failed_hops += hops;
@@ -664,6 +677,7 @@ impl<'n> QueryStream<'n> {
             pruned_probes: self.pruned,
             retries: self.retries,
             failed_probes: self.failed,
+            corrupt_probes: self.corrupt,
             hedged: self.hedged,
             completeness,
         })

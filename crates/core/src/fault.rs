@@ -5,11 +5,13 @@
 //! failure are the normal case. This module makes those events a first-class
 //! *input* to query execution:
 //!
-//! * [`FaultPlane`] — a seeded, deterministic source of per-probe fault
-//!   decisions (message loss, slow replies past the deadline, crashed or
-//!   stalled peers). The default, [`FaultPlane::NoFaults`], keeps every byte
-//!   of the query path identical to a fault-free network — pinned by the
-//!   `fault_equivalence` suite.
+//! * [`FaultPlane`] — a seeded, deterministic source of per-operation fault
+//!   decisions: message loss, slow replies past the deadline, crashed or
+//!   stalled peers, response bit-flip corruption (caught by the codec's
+//!   checksum trailer), lost posting publications, and lost replica-sync /
+//!   stats-publication messages. The default, [`FaultPlane::NoFaults`], keeps
+//!   every byte of the query path identical to a fault-free network — pinned
+//!   by the `fault_equivalence` suite.
 //! * [`RetryPolicy`] — how the executor responds: bounded retries with
 //!   exponential backoff and deterministic jitter in simulated time, a
 //!   per-probe deadline, and failover to a live replica holder of the key
@@ -43,6 +45,10 @@ pub enum FailureCause {
     /// The peer that would have served the probe is crashed or stalled (or
     /// overlay routing could not reach a responsible peer at all).
     PeerDown,
+    /// The response arrived but failed frame-integrity verification (its
+    /// checksum trailer disagreed with its bytes); the full round trip was
+    /// charged and the payload discarded.
+    Corrupt,
 }
 
 impl std::fmt::Display for FailureCause {
@@ -51,6 +57,7 @@ impl std::fmt::Display for FailureCause {
             FailureCause::Lost => write!(f, "lost"),
             FailureCause::TimedOut => write!(f, "timed-out"),
             FailureCause::PeerDown => write!(f, "peer-down"),
+            FailureCause::Corrupt => write!(f, "corrupt"),
         }
     }
 }
@@ -86,6 +93,13 @@ pub enum ProbeOutcome {
         /// Overlay hops the attempt spent.
         hops: usize,
     },
+    /// The response arrived but its frame failed checksum verification (a
+    /// bit-flip in flight): the full round trip was charged, the payload is
+    /// unusable, and the attempt is retryable like a lost message.
+    Corrupt {
+        /// Overlay hops the attempt spent.
+        hops: usize,
+    },
 }
 
 /// A window of query sequence numbers during which a peer is unresponsive
@@ -110,6 +124,22 @@ pub struct FaultConfig {
     /// Probability that a served response arrives past the per-probe
     /// deadline.
     pub slow_rate: f64,
+    /// Probability that a served response frame suffers a bit-flip in flight
+    /// (caught by the codec's checksum trailer and surfaced as the retryable
+    /// [`ProbeOutcome::Corrupt`]).
+    #[serde(default)]
+    pub corrupt_rate: f64,
+    /// Probability that a posting-publication message is dropped in flight:
+    /// the traffic is charged but the responsible peer never applies the
+    /// update, leaving the publication un-acked (see
+    /// [`crate::global_index::GlobalIndex::republish_round`]).
+    #[serde(default)]
+    pub publish_loss_rate: f64,
+    /// Probability that one replica-sync (or stats/sketch-publication)
+    /// message is dropped in flight, leaving that holder's copy stale until
+    /// anti-entropy repair pulls a fresh one.
+    #[serde(default)]
+    pub sync_loss_rate: f64,
     /// Peers that have crashed abruptly: still present in the overlay's
     /// routing state (no graceful departure ran), but unresponsive.
     pub crashed: BTreeSet<usize>,
@@ -124,6 +154,9 @@ impl FaultConfig {
             seed,
             loss_rate: 0.0,
             slow_rate: 0.0,
+            corrupt_rate: 0.0,
+            publish_loss_rate: 0.0,
+            sync_loss_rate: 0.0,
             crashed: BTreeSet::new(),
             stalls: Vec::new(),
         }
@@ -150,6 +183,14 @@ const SALT_LOSS: u64 = 0x6c6f_7373; // "loss"
 const SALT_SLOW: u64 = 0x736c_6f77; // "slow"
 /// Salt of the backoff-jitter draw.
 const SALT_JITTER: u64 = 0x6a69_7474; // "jitt"
+/// Salt of the response-corruption draw.
+const SALT_CORRUPT: u64 = 0x636f_7272; // "corr"
+/// Salt of the corrupted-bit-position draw.
+const SALT_CORRUPT_BIT: u64 = 0x666c_6970; // "flip"
+/// Salt of the publish-loss draw.
+const SALT_PUBLISH: u64 = 0x7075_626c; // "publ"
+/// Salt of the replica-sync / stats-publication loss draw.
+const SALT_SYNC: u64 = 0x7379_6e63; // "sync"
 
 /// Mixes the decision coordinates into one seed (splitmix64-style finalizer
 /// over the xor-folded inputs).
@@ -185,6 +226,28 @@ impl FaultPlane {
     /// Sets the probability that a served response misses the deadline.
     pub fn with_slow(mut self, rate: f64) -> Self {
         self.config_mut().slow_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the probability that a served response frame suffers a bit-flip
+    /// in flight (detected by the codec checksum trailer).
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.config_mut().corrupt_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the probability that a posting-publication message is dropped in
+    /// flight (the publication stays un-acked and is re-sent by
+    /// [`crate::global_index::GlobalIndex::republish_round`]).
+    pub fn with_publish_loss(mut self, rate: f64) -> Self {
+        self.config_mut().publish_loss_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the probability that one replica-sync (or stats/sketch
+    /// publication) message is dropped in flight.
+    pub fn with_sync_loss(mut self, rate: f64) -> Self {
+        self.config_mut().sync_loss_rate = rate.clamp(0.0, 1.0);
         self
     }
 
@@ -238,9 +301,31 @@ impl FaultPlane {
             FaultPlane::Seeded(cfg) => {
                 cfg.loss_rate > 0.0
                     || cfg.slow_rate > 0.0
+                    || cfg.corrupt_rate > 0.0
+                    || cfg.publish_loss_rate > 0.0
+                    || cfg.sync_loss_rate > 0.0
                     || !cfg.crashed.is_empty()
                     || !cfg.stalls.is_empty()
             }
+        }
+    }
+
+    /// The seed of the plane's stateless decision hash (`None` under
+    /// [`FaultPlane::NoFaults`]). Used to wire the replica-sync loss draws
+    /// into the dht layer with the same determinism guarantees.
+    pub fn seed(&self) -> Option<u64> {
+        match self {
+            FaultPlane::NoFaults => None,
+            FaultPlane::Seeded(cfg) => Some(cfg.seed),
+        }
+    }
+
+    /// The replica-sync loss probability (`0.0` under
+    /// [`FaultPlane::NoFaults`]).
+    pub fn sync_loss_rate(&self) -> f64 {
+        match self {
+            FaultPlane::NoFaults => 0.0,
+            FaultPlane::Seeded(cfg) => cfg.sync_loss_rate,
         }
     }
 
@@ -274,6 +359,58 @@ impl FaultPlane {
             FaultPlane::NoFaults => false,
             FaultPlane::Seeded(cfg) => {
                 cfg.slow_rate > 0.0 && draw(cfg.seed, SALT_SLOW, ring, seq, attempt) < cfg.slow_rate
+            }
+        }
+    }
+
+    /// Whether the attempt's served response suffers a bit-flip in flight; if
+    /// so, returns the (deterministically drawn) bit index to flip in the
+    /// `frame_len`-byte response frame. `None` when the fault does not fire
+    /// (or the frame is empty, or under [`FaultPlane::NoFaults`]).
+    pub fn response_corrupt_bit(
+        &self,
+        ring: RingId,
+        seq: u64,
+        attempt: u32,
+        frame_len: usize,
+    ) -> Option<usize> {
+        match self {
+            FaultPlane::NoFaults => None,
+            FaultPlane::Seeded(cfg) => {
+                if frame_len == 0
+                    || cfg.corrupt_rate == 0.0
+                    || draw(cfg.seed, SALT_CORRUPT, ring, seq, attempt) >= cfg.corrupt_rate
+                {
+                    return None;
+                }
+                let bits = frame_len * 8;
+                Some((mix(cfg.seed, SALT_CORRUPT_BIT, ring, seq, attempt) % bits as u64) as usize)
+            }
+        }
+    }
+
+    /// Whether a posting-publication message is dropped in flight.
+    /// `seq` is the publisher's publish sequence number; `attempt` counts
+    /// re-publications of the same pending publication.
+    pub fn publish_lost(&self, ring: RingId, seq: u64, attempt: u32) -> bool {
+        match self {
+            FaultPlane::NoFaults => false,
+            FaultPlane::Seeded(cfg) => {
+                cfg.publish_loss_rate > 0.0
+                    && draw(cfg.seed, SALT_PUBLISH, ring, seq, attempt) < cfg.publish_loss_rate
+            }
+        }
+    }
+
+    /// Whether one replica-sync or stats/sketch-publication message is
+    /// dropped in flight. `seq` identifies the sync operation and `attempt`
+    /// the recipient within it.
+    pub fn sync_lost(&self, ring: RingId, seq: u64, attempt: u32) -> bool {
+        match self {
+            FaultPlane::NoFaults => false,
+            FaultPlane::Seeded(cfg) => {
+                cfg.sync_loss_rate > 0.0
+                    && draw(cfg.seed, SALT_SYNC, ring, seq, attempt) < cfg.sync_loss_rate
             }
         }
     }
@@ -411,7 +548,52 @@ mod tests {
         assert!(!plane.peer_down(0, 1));
         assert!(!plane.message_lost(ring(42), 1, 0));
         assert!(!plane.reply_timed_out(ring(42), 1, 0));
+        assert!(plane.response_corrupt_bit(ring(42), 1, 0, 64).is_none());
+        assert!(!plane.publish_lost(ring(42), 1, 0));
+        assert!(!plane.sync_lost(ring(42), 1, 0));
+        assert_eq!(plane.seed(), None);
+        assert_eq!(plane.sync_loss_rate(), 0.0);
         assert_eq!(plane.jitter_us(ring(42), 1, 0, 1000), 0);
+    }
+
+    #[test]
+    fn control_plane_rates_activate_the_plane() {
+        assert!(FaultPlane::seeded(1).with_corruption(0.1).is_active());
+        assert!(FaultPlane::seeded(1).with_publish_loss(0.1).is_active());
+        assert!(FaultPlane::seeded(1).with_sync_loss(0.1).is_active());
+        assert!(!FaultPlane::seeded(1).is_active());
+    }
+
+    #[test]
+    fn corruption_draw_is_deterministic_and_in_range() {
+        let plane = FaultPlane::seeded(13).with_corruption(0.5);
+        let mut fired = 0usize;
+        for seq in 0..512u64 {
+            let bit = plane.response_corrupt_bit(ring(4), seq, 0, 100);
+            assert_eq!(plane.response_corrupt_bit(ring(4), seq, 0, 100), bit);
+            if let Some(b) = bit {
+                assert!(b < 800, "bit index within the 100-byte frame");
+                fired += 1;
+            }
+        }
+        assert!((150..360).contains(&fired), "~50% of 512, got {fired}");
+        // Empty frames are never corrupted even when the draw fires.
+        assert!(plane.response_corrupt_bit(ring(4), 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn publish_and_sync_loss_are_independent_salted_draws() {
+        let plane = FaultPlane::seeded(21)
+            .with_publish_loss(0.5)
+            .with_sync_loss(0.5);
+        let disagree = (0..512u64)
+            .filter(|s| plane.publish_lost(ring(9), *s, 0) != plane.sync_lost(ring(9), *s, 0))
+            .count();
+        assert!(disagree > 100, "salted draws should frequently disagree");
+        let lost = (0..10_000u64)
+            .filter(|s| plane.publish_lost(ring(5), *s, 0))
+            .count();
+        assert!((4600..5400).contains(&lost), "~50% of 10k, got {lost}");
     }
 
     #[test]

@@ -73,6 +73,29 @@ impl WireSize for KeyIndexEntry {
     fn wire_size(&self) -> usize {
         self.key.wire_size() + self.postings.wire_size() + 1 + 24
     }
+
+    /// FNV-1a over the entry's *replicated content*: the key identity, the
+    /// activation flag, and every posting reference. Usage statistics are
+    /// deliberately excluded — they advance at the primary on every probe
+    /// without bumping the publish version, so including them would make
+    /// perfectly healthy replica copies look corrupt to anti-entropy repair.
+    fn content_digest(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        put(self.key.ring_id().0);
+        put(u64::from(self.activated));
+        put(self.postings.full_df());
+        for r in self.postings.refs() {
+            put(r.doc.as_u64());
+            put(r.score.to_bits());
+        }
+        h
+    }
 }
 
 /// The result of probing the global index for a key.
@@ -118,6 +141,28 @@ impl ProbeResult {
     }
 }
 
+/// One un-acked publication: its publish message was dropped in flight, the
+/// delta never applied at the responsible peer, and the publisher retries it
+/// on a bounded-backoff schedule (see [`GlobalIndex::republish_round`]).
+#[derive(Clone, Debug)]
+struct PendingPublish {
+    from: usize,
+    key: TermKey,
+    delta: TruncatedPostingList,
+    capacity: usize,
+    /// The publish sequence number the original publication carried (the
+    /// coordinates of its deterministic loss draws).
+    seq: u64,
+    /// Re-publication attempts so far (the original send is attempt `0`).
+    attempts: u32,
+    /// First [`GlobalIndex::republish_round`] round allowed to retry this
+    /// entry (exponential backoff, capped).
+    due_round: u64,
+}
+
+/// Cap of the exponential re-publication backoff, in rounds.
+const MAX_REPUBLISH_BACKOFF_ROUNDS: u64 = 8;
+
 /// A typed, traffic-accounted view of the distributed index.
 pub struct GlobalIndex {
     dht: Dht<KeyIndexEntry>,
@@ -128,6 +173,15 @@ pub struct GlobalIndex {
     /// Cached evidence about an entry — a [`crate::sketch::KeySketch`] — is
     /// only valid while its recorded version matches the current one.
     versions: HashMap<RingId, u64>,
+    /// Publications whose application at the responsible peer has not been
+    /// acknowledged, awaiting re-publication. Always empty under
+    /// [`crate::fault::FaultPlane::NoFaults`].
+    pending: Vec<PendingPublish>,
+    /// Monotonic sequence number carried by every publication (versioned,
+    /// acknowledged publications — the coordinates of loss draws).
+    publish_seq: u64,
+    /// Logical round counter of the bounded-backoff re-publication schedule.
+    republish_rounds: u64,
 }
 
 impl GlobalIndex {
@@ -137,6 +191,9 @@ impl GlobalIndex {
             dht: Dht::with_peers(dht_config, seed, n_peers),
             probe_request_bytes: 48,
             versions: HashMap::new(),
+            pending: Vec::new(),
+            publish_seq: 0,
+            republish_rounds: 0,
         }
     }
 
@@ -146,6 +203,9 @@ impl GlobalIndex {
             dht,
             probe_request_bytes: 48,
             versions: HashMap::new(),
+            pending: Vec::new(),
+            publish_seq: 0,
+            republish_rounds: 0,
         }
     }
 
@@ -223,6 +283,133 @@ impl GlobalIndex {
         self.dht.sync_replicas(ring_key, TrafficCategory::Indexing);
         *self.versions.entry(ring_key).or_insert(0) += 1;
         Ok(info.hops)
+    }
+
+    /// Like [`GlobalIndex::publish_postings`], but the publication crosses a
+    /// faulty wire: with the plane's `publish_loss_rate` probability the
+    /// message is dropped in flight. A lost publish still charges its routing
+    /// and request bytes (the publisher cannot know in advance), the
+    /// responsible peer never applies the delta, the publish version does not
+    /// advance, and the publication is queued un-acked for
+    /// [`GlobalIndex::republish_round`]. Every publication — lost or not —
+    /// consumes one monotonic publish sequence number, the coordinates of its
+    /// deterministic loss draws.
+    ///
+    /// Under [`crate::fault::FaultPlane::NoFaults`] (or a zero
+    /// `publish_loss_rate`) this is exactly `publish_postings`.
+    pub fn publish_postings_faulty(
+        &mut self,
+        from: usize,
+        key: &TermKey,
+        delta: &TruncatedPostingList,
+        capacity: usize,
+        plane: &crate::fault::FaultPlane,
+    ) -> Result<usize, DhtError> {
+        let seq = self.publish_seq;
+        self.publish_seq += 1;
+        let ring_key = key.ring_id();
+        if plane.publish_lost(ring_key, seq, 0) {
+            let info = self.dht.route(from, ring_key, TrafficCategory::Indexing)?;
+            self.dht.charge_external(
+                TrafficCategory::Indexing,
+                key.wire_size() + delta.wire_size(),
+            );
+            self.pending.push(PendingPublish {
+                from,
+                key: key.clone(),
+                delta: delta.clone(),
+                capacity,
+                seq,
+                attempts: 0,
+                due_round: self.republish_rounds + 1,
+            });
+            return Ok(info.hops);
+        }
+        self.publish_postings(from, key, delta, capacity)
+    }
+
+    /// Number of publications still awaiting acknowledgement (`0` unless
+    /// publish loss is being injected).
+    pub fn pending_publishes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// One round of the bounded-backoff re-publication schedule: every due
+    /// un-acked publication is re-sent; a re-send that survives the loss draw
+    /// is applied at the responsible peer (merging the delta, syncing
+    /// replicas, bumping the publish version) and acknowledged, one that is
+    /// lost again backs off exponentially (capped at
+    /// 2⁸ rounds). All re-publication traffic is charged to
+    /// [`TrafficCategory::Overlay`] — control-plane repair, never Retrieval
+    /// or first-publication Indexing.
+    ///
+    /// Returns `(resent, applied)`. A no-op (both zero) when nothing is
+    /// pending — in particular always under
+    /// [`crate::fault::FaultPlane::NoFaults`].
+    pub fn republish_round(&mut self, plane: &crate::fault::FaultPlane) -> (usize, usize) {
+        self.republish_rounds += 1;
+        let round = self.republish_rounds;
+        let mut resent = 0usize;
+        let mut applied = 0usize;
+        let mut still_pending = Vec::new();
+        for mut p in std::mem::take(&mut self.pending) {
+            if p.due_round > round {
+                still_pending.push(p);
+                continue;
+            }
+            p.attempts += 1;
+            resent += 1;
+            let ring_key = p.key.ring_id();
+            let backoff = (1u64 << p.attempts.min(8)).min(MAX_REPUBLISH_BACKOFF_ROUNDS);
+            if plane.publish_lost(ring_key, p.seq, p.attempts) {
+                // Lost again: the failed re-send still crossed part of the
+                // wire, so its routing and request bytes are charged.
+                if self
+                    .dht
+                    .route(p.from, ring_key, TrafficCategory::Overlay)
+                    .is_ok()
+                {
+                    self.dht.charge_external(
+                        TrafficCategory::Overlay,
+                        p.key.wire_size() + p.delta.wire_size(),
+                    );
+                }
+                p.due_round = round + backoff;
+                still_pending.push(p);
+                continue;
+            }
+            let request_bytes = p.key.wire_size() + p.delta.wire_size();
+            let key = p.key.clone();
+            let capacity = p.capacity;
+            let delta = &p.delta;
+            let result = self.dht.update(
+                p.from,
+                ring_key,
+                request_bytes,
+                TrafficCategory::Overlay,
+                |slot| {
+                    let entry = slot
+                        .get_or_insert_with(|| KeyIndexEntry::stats_only(key.clone(), capacity));
+                    entry.postings.merge(delta);
+                    entry.activated = true;
+                },
+            );
+            match result {
+                Ok(_) => {
+                    self.dht.sync_replicas(ring_key, TrafficCategory::Overlay);
+                    *self.versions.entry(ring_key).or_insert(0) += 1;
+                    applied += 1;
+                }
+                Err(_) => {
+                    // Routing failed (overlay churn): keep the publication
+                    // pending and try again after the backoff.
+                    p.due_round = round + backoff;
+                    still_pending.push(p);
+                }
+            }
+        }
+        self.pending = still_pending;
+        (resent, applied)
     }
 
     /// Stores a complete, already-merged posting list for `key` (used by the
@@ -388,7 +575,11 @@ impl GlobalIndex {
     /// * [`crate::fault::ProbeOutcome::TimedOut`] charges the full round
     ///   trip and advances
     ///   the serving side's statistics — the response crossed the wire but
-    ///   arrived past the deadline.
+    ///   arrived past the deadline;
+    /// * [`crate::fault::ProbeOutcome::Corrupt`] charges the full round trip
+    ///   and advances the serving side's statistics — the response crossed
+    ///   the wire with a flipped bit, the codec's checksum trailer rejected
+    ///   the frame at the querier, and the payload is discarded.
     ///
     /// `serve_override` re-routes the serve to an explicit peer (the
     /// executor's failover target, a live holder in the key's replica set).
@@ -468,9 +659,21 @@ impl GlobalIndex {
         if plane.reply_timed_out(ring_key, query_seq, attempt) {
             return Ok(ProbeOutcome::TimedOut { hops: info.hops });
         }
-        let postings = encoded.map(|bytes| {
-            crate::codec::decode_list(&bytes).expect("probe response frames are well-formed")
-        });
+        if let Some(bytes) = encoded.as_mut() {
+            if let Some(bit) = plane.response_corrupt_bit(ring_key, query_seq, attempt, bytes.len())
+            {
+                // A bit flips in flight; the codec's checksum trailer catches
+                // it at decode below.
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        let postings = match encoded {
+            None => None,
+            Some(bytes) => match crate::codec::decode_list(&bytes) {
+                Ok(list) => Some(list),
+                Err(_) => return Ok(ProbeOutcome::Corrupt { hops: info.hops }),
+            },
+        };
         Ok(ProbeOutcome::Ok(ProbeResult {
             key: key.clone(),
             postings,
@@ -1102,6 +1305,111 @@ mod tests {
         let usage = gi.usage(&TermKey::single("unknown")).unwrap();
         assert_eq!((usage.probes, usage.hits, usage.last_probe), (1, 0, 6));
         assert_eq!(gi.total_entries(), 2, "stats-only entry was created");
+    }
+
+    #[test]
+    fn lost_publishes_stay_pending_until_republished() {
+        use crate::fault::FaultPlane;
+        let mut gi = index(16);
+        let plane = FaultPlane::seeded(7).with_publish_loss(1.0);
+        let key = TermKey::new(["lost", "publish"]);
+        let before = gi.stats_snapshot();
+        gi.publish_postings_faulty(0, &key, &refs(5), 100, &plane)
+            .unwrap();
+        // The message crossed (part of) the wire: Indexing bytes charged,
+        // but nothing applied and no version bump.
+        let delta = gi.stats_snapshot().since(&before);
+        assert!(delta.category(TrafficCategory::Indexing).bytes > 0);
+        assert_eq!(gi.activated_keys(), 0);
+        assert_eq!(gi.publish_version(&key), 0);
+        assert_eq!(gi.pending_publishes(), 1);
+        // Re-publication under a now-clean wire applies and acknowledges.
+        let clean = FaultPlane::seeded(7);
+        let before = gi.stats_snapshot();
+        let (resent, applied) = gi.republish_round(&clean);
+        assert_eq!((resent, applied), (1, 1));
+        assert_eq!(gi.pending_publishes(), 0);
+        assert_eq!(gi.activated_keys(), 1);
+        assert_eq!(gi.publish_version(&key), 1);
+        assert_eq!(gi.peek(&key).unwrap().postings.len(), 5);
+        // Re-publication traffic is Overlay, never Retrieval/Indexing.
+        let delta = gi.stats_snapshot().since(&before);
+        assert!(delta.category(TrafficCategory::Overlay).bytes > 0);
+        assert_eq!(delta.category(TrafficCategory::Indexing).bytes, 0);
+        assert_eq!(delta.category(TrafficCategory::Retrieval).bytes, 0);
+    }
+
+    #[test]
+    fn republish_backs_off_while_the_wire_stays_lossy() {
+        use crate::fault::FaultPlane;
+        let mut gi = index(16);
+        let lossy = FaultPlane::seeded(3).with_publish_loss(1.0);
+        let key = TermKey::single("unlucky");
+        gi.publish_postings_faulty(0, &key, &refs(2), 10, &lossy)
+            .unwrap();
+        let mut resent_total = 0;
+        for _ in 0..20 {
+            let (resent, applied) = gi.republish_round(&lossy);
+            assert_eq!(applied, 0);
+            resent_total += resent;
+        }
+        // Exponential backoff: far fewer re-sends than rounds, but retries
+        // never stop entirely.
+        assert!((3..10).contains(&resent_total), "got {resent_total}");
+        assert_eq!(gi.pending_publishes(), 1);
+    }
+
+    #[test]
+    fn faultless_publish_path_matches_publish_postings() {
+        use crate::fault::FaultPlane;
+        let mut gi = index(16);
+        let key = TermKey::new(["clean", "publish"]);
+        gi.publish_postings_faulty(0, &key, &refs(4), 100, &FaultPlane::NoFaults)
+            .unwrap();
+        assert_eq!(gi.pending_publishes(), 0);
+        assert_eq!(gi.publish_version(&key), 1);
+        assert_eq!(gi.peek(&key).unwrap().postings.len(), 4);
+        assert_eq!(gi.republish_round(&FaultPlane::NoFaults), (0, 0));
+    }
+
+    #[test]
+    fn corrupted_probe_responses_are_rejected_not_decoded() {
+        use crate::fault::{FaultPlane, ProbeOutcome};
+        let mut gi = index(16);
+        let key = TermKey::new(["bit", "flip"]);
+        gi.publish_postings(0, &key, &refs(10), 100).unwrap();
+        let plane = FaultPlane::seeded(5).with_corruption(1.0);
+        let outcome = gi
+            .probe_attempt(2, &key, 1, 100, None, None, &plane, 0, None)
+            .unwrap();
+        assert!(
+            matches!(outcome, ProbeOutcome::Corrupt { .. }),
+            "single-bit flips are always caught by the trailer: {outcome:?}"
+        );
+        // The serve happened (full round trip): statistics advanced.
+        assert_eq!(gi.usage(&key).unwrap().probes, 1);
+        // A clean attempt at other coordinates still answers.
+        let clean = FaultPlane::seeded(5).with_corruption(0.0).with_loss(0.0);
+        let mut active = clean;
+        active.crash(usize::MAX); // keep the plane active without touching live peers
+        let outcome = gi
+            .probe_attempt(2, &key, 2, 100, None, None, &active, 0, None)
+            .unwrap();
+        assert!(matches!(outcome, ProbeOutcome::Ok(_)));
+    }
+
+    #[test]
+    fn content_digest_tracks_postings_not_usage() {
+        let mut gi = index(16);
+        let key = TermKey::new(["digest", "key"]);
+        gi.publish_postings(0, &key, &refs(5), 100).unwrap();
+        let d1 = gi.peek(&key).unwrap().content_digest();
+        // Probes advance usage but not the replicated content.
+        gi.probe(1, &key, 1, 100, None).unwrap();
+        assert_eq!(gi.peek(&key).unwrap().content_digest(), d1);
+        // Publishing more postings changes the digest.
+        gi.publish_postings(1, &key, &refs(7), 100).unwrap();
+        assert_ne!(gi.peek(&key).unwrap().content_digest(), d1);
     }
 
     #[test]

@@ -686,8 +686,12 @@ mod tests {
     #[test]
     fn wire_size_is_the_codec_key_frame_length() {
         let k = TermKey::new(["ab", "cde"]);
-        // varint(2 terms) + (varint(2) + "ab") + (varint(3) + "cde").
-        assert_eq!(k.wire_size(), 1 + (1 + 2) + (1 + 3));
+        // varint(2 terms) + (varint(2) + "ab") + (varint(3) + "cde") + the
+        // 4-byte checksum trailer.
+        assert_eq!(
+            k.wire_size(),
+            1 + (1 + 2) + (1 + 3) + crate::codec::FRAME_TRAILER_LEN
+        );
         let mut frame = Vec::new();
         crate::codec::encode_key(&mut frame, &k);
         assert_eq!(k.wire_size(), frame.len());

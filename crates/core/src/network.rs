@@ -32,7 +32,7 @@ use crate::ranking::GlobalRankingStats;
 use crate::request::{QueryRequest, QueryResponse};
 use crate::sketch::{SketchBuildReport, SketchCache, SketchDecision, SketchPolicy};
 use crate::strategy::{Hdk, IndexerCtx, QueryCtx, Strategy};
-use alvisp2p_dht::{DhtConfig, DhtError, ReplicationPolicy};
+use alvisp2p_dht::{DhtConfig, DhtError, RepairReport, ReplicationPolicy, RingId};
 use alvisp2p_netsim::{TrafficCategory, TrafficStats};
 use alvisp2p_textindex::bm25::{Bm25Params, ScoredDoc};
 use alvisp2p_textindex::{Analyzer, Credentials, SyntheticCorpus};
@@ -310,6 +310,7 @@ pub struct AlvisNetwork {
     centralized: CentralizedEngine,
     analyzer: Analyzer,
     query_seq: u64,
+    control_seq: u64,
     qdi_report: QdiReport,
     level_reports: Vec<HdkLevelReport>,
     index_built: bool,
@@ -348,7 +349,7 @@ impl AlvisNetwork {
             .map(|i| AlvisPeer::new(i as u32))
             .collect();
         let centralized = CentralizedEngine::new(config.bm25);
-        AlvisNetwork {
+        let mut net = AlvisNetwork {
             peers,
             global,
             ranking: GlobalRankingStats::new(),
@@ -357,12 +358,15 @@ impl AlvisNetwork {
             centralized,
             analyzer: Analyzer::default(),
             query_seq: 0,
+            control_seq: 0,
             qdi_report: QdiReport::default(),
             level_reports: Vec::new(),
             index_built: false,
             last_build: None,
             config,
-        }
+        };
+        net.wire_replica_faults();
+        net
     }
 
     /// Starts assembling a network.
@@ -464,8 +468,70 @@ impl AlvisNetwork {
 
     /// Mutable access to the fault plane — lets tests and experiments crash,
     /// stall or restore peers between (or during) queries.
+    ///
+    /// Use [`AlvisNetwork::set_fault_plane`] to *replace* the plane: replacing
+    /// it through this accessor does not re-wire the overlay's replica
+    /// sync-loss knobs.
     pub fn fault_plane_mut(&mut self) -> &mut FaultPlane {
         &mut self.config.faults
+    }
+
+    /// Replaces the fault plane and pushes its control-plane knobs (the
+    /// replica sync-loss seed and rate) down into the overlay's replication
+    /// subsystem, so replica synchronisation messages start failing under the
+    /// same deterministic plane as probes and publications.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.config.faults = plane;
+        self.wire_replica_faults();
+    }
+
+    /// Pushes the current plane's seed and sync-loss rate into the DHT's
+    /// replication subsystem (the DHT crate cannot depend on this crate, so
+    /// the plane itself cannot cross the boundary).
+    fn wire_replica_faults(&mut self) {
+        let (seed, rate) = match self.config.faults.seed() {
+            Some(seed) => (seed, self.config.faults.sync_loss_rate()),
+            None => (0, 0.0),
+        };
+        self.global.dht_mut().set_replica_faults(seed, rate);
+    }
+
+    /// Enables or disables anti-entropy replica repair in the overlay (see
+    /// [`alvisp2p_dht::ReplicaManager`]). Disabled by default — the default
+    /// network stays byte-identical to a repair-free one.
+    pub fn set_repair_enabled(&mut self, enabled: bool) {
+        self.global.dht_mut().set_repair_enabled(enabled);
+    }
+
+    /// One anti-entropy repair round over every replicated key, skipping
+    /// peers the fault plane has crashed (they cannot answer digest
+    /// requests). Digest exchanges and repair pulls are charged to
+    /// [`TrafficCategory::Overlay`].
+    pub fn repair_round(&mut self) -> RepairReport {
+        let crashed = self.config.faults.crashed().cloned().unwrap_or_default();
+        self.global.dht_mut().repair_round_excluding(&crashed)
+    }
+
+    /// Fraction of replica copies on live, un-crashed holders that are
+    /// byte-consistent with their key's canonical content (`1.0` when nothing
+    /// is replicated). The convergence metric of the chaos experiments.
+    pub fn replica_consistency(&self) -> f64 {
+        let crashed = self.config.faults.crashed().cloned().unwrap_or_default();
+        self.global.dht().replica_consistency_excluding(&crashed)
+    }
+
+    /// Number of publications whose acknowledgement is still outstanding
+    /// (they were dropped by the plane and await re-publication). Always `0`
+    /// under [`FaultPlane::NoFaults`].
+    pub fn pending_publishes(&self) -> usize {
+        self.global.pending_publishes()
+    }
+
+    /// One round of the publisher-side re-publication schedule: every pending
+    /// (un-acked) publication whose backoff has elapsed is re-sent, charged to
+    /// [`TrafficCategory::Overlay`]. Returns `(resent, applied)`.
+    pub fn republish_round(&mut self) -> (usize, usize) {
+        self.global.republish_round(&self.config.faults)
     }
 
     /// The probe retry policy the executor applies under an active fault
@@ -516,15 +582,47 @@ impl AlvisNetwork {
     // Distributed index construction
     // ------------------------------------------------------------------
 
+    /// How many times a lost control-plane publication (a ranking-statistics
+    /// fragment or a sketch frame) is immediately re-sent before the publisher
+    /// gives up for this build. With a per-message loss rate `p` the chance of
+    /// losing all sends is `p^3` — negligible at realistic rates, but honest:
+    /// a fragment or sketch that loses every send is genuinely absent.
+    const CONTROL_PUBLISH_ATTEMPTS: u32 = 3;
+
     /// Publishes every peer's collection statistics to the ranking layer (L4) and
     /// aggregates them into the global statistics used for scoring.
+    ///
+    /// Under an active fault plane each fragment publication is subject to
+    /// the plane's sync-loss rate: a dropped send is still charged (the bytes
+    /// crossed the wire before vanishing) and immediately re-sent up to
+    /// [`AlvisNetwork::CONTROL_PUBLISH_ATTEMPTS`] times; a fragment that loses
+    /// every send is left out of the aggregate. Inactive planes keep the path
+    /// byte-identical to the fault-free one.
     fn publish_ranking_stats(&mut self) {
         self.ranking = GlobalRankingStats::new();
-        for peer in &self.peers {
+        let plane = self.config.faults.clone();
+        for (i, peer) in self.peers.iter().enumerate() {
             let fragment = peer.collection_stats();
             let bytes = GlobalRankingStats::fragment_wire_size(&fragment);
-            self.global.charge(TrafficCategory::Ranking, bytes);
-            self.ranking.merge_fragment(&fragment);
+            let delivered = if plane.is_active() {
+                self.control_seq += 1;
+                let seq = self.control_seq;
+                let mut delivered = false;
+                for attempt in 0..Self::CONTROL_PUBLISH_ATTEMPTS {
+                    self.global.charge(TrafficCategory::Ranking, bytes);
+                    if !plane.sync_lost(RingId(i as u64), seq, attempt) {
+                        delivered = true;
+                        break;
+                    }
+                }
+                delivered
+            } else {
+                self.global.charge(TrafficCategory::Ranking, bytes);
+                true
+            };
+            if delivered {
+                self.ranking.merge_fragment(&fragment);
+            }
         }
         // Every peer fetches the aggregated summary (doc count + average length).
         for _ in &self.peers {
@@ -543,7 +641,8 @@ impl AlvisNetwork {
             &mut self.global,
             &self.ranking,
             self.config.bm25,
-        );
+        )
+        .with_faults(self.config.faults.clone());
         self.level_reports = strategy.build_index(&mut ctx);
         self.publish_key_evidence();
         self.index_built = true;
@@ -617,10 +716,31 @@ impl AlvisNetwork {
             ..SketchBuildReport::default()
         };
         self.sketches.clear();
+        let plane = self.config.faults.clone();
         for (key, p) in planned {
-            // `charge` adds the wire envelope, so the recorded Overlay bytes
-            // equal the measured `upkeep_bytes` (frame + envelope).
-            self.global.charge(TrafficCategory::Overlay, p.frame.len());
+            // Sketch frames are control-plane traffic too: under an active
+            // plane each send may be lost (charged, then re-sent up to the
+            // bound); a sketch losing every send never reaches the querier's
+            // cache.
+            if plane.is_active() {
+                self.control_seq += 1;
+                let seq = self.control_seq;
+                let mut delivered = false;
+                for attempt in 0..Self::CONTROL_PUBLISH_ATTEMPTS {
+                    self.global.charge(TrafficCategory::Overlay, p.frame.len());
+                    if !plane.sync_lost(key.ring_id(), seq, attempt) {
+                        delivered = true;
+                        break;
+                    }
+                }
+                if !delivered {
+                    continue;
+                }
+            } else {
+                // `charge` adds the wire envelope, so the recorded Overlay
+                // bytes equal the measured `upkeep_bytes` (frame + envelope).
+                self.global.charge(TrafficCategory::Overlay, p.frame.len());
+            }
             report.sketched_keys += 1;
             report.upkeep_bytes += p.upkeep_bytes as u64;
             report.modeled_savings += p.modeled_savings;
@@ -1467,6 +1587,62 @@ mod tests {
         let observed = net.run_observed(&plan, &request, &mut stable).unwrap();
         assert!(!observed.results.is_empty());
         assert!(observed.trace.probes <= unbounded.trace.probes);
+    }
+
+    #[test]
+    fn lost_publications_are_republished_until_the_index_converges() {
+        let mut reference = demo_network(Hdk::default(), 4);
+        reference.build_index();
+        let request = QueryRequest::new("peer to peer retrieval");
+        let want: Vec<_> = reference
+            .execute(&request)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.doc)
+            .collect();
+
+        let mut net = demo_network(Hdk::default(), 4);
+        net.set_fault_plane(FaultPlane::seeded(9).with_publish_loss(0.4));
+        net.build_index();
+        let dropped = net.pending_publishes();
+        assert!(dropped > 0, "a 40% publish-loss build should drop some");
+        // The bounded-backoff re-publication schedule drains the pending set.
+        let mut rounds = 0;
+        while net.pending_publishes() > 0 {
+            net.republish_round();
+            rounds += 1;
+            assert!(rounds < 200, "re-publication did not converge");
+        }
+        // Re-publication traffic is Overlay, never Retrieval.
+        assert!(
+            net.traffic_snapshot()
+                .category(TrafficCategory::Overlay)
+                .bytes
+                > 0
+        );
+        // Once every publication landed, the index answers like the
+        // fault-free build.
+        let got: Vec<_> = net
+            .execute(&request)
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.doc)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn repair_api_is_inert_without_replication() {
+        let mut net = demo_network(Hdk::default(), 4);
+        net.build_index();
+        assert_eq!(net.replica_consistency(), 1.0);
+        net.set_repair_enabled(true);
+        let report = net.repair_round();
+        assert_eq!(report.keys_checked, 0);
+        assert_eq!(report.digests_exchanged, 0);
+        assert_eq!(net.pending_publishes(), 0);
     }
 
     #[test]

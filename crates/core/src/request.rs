@@ -196,6 +196,11 @@ pub struct QueryResponse {
     /// recorded as failed instead of aborting the query. Always `0` under
     /// [`crate::fault::FaultPlane::NoFaults`].
     pub failed_probes: usize,
+    /// Number of probe responses discarded because their frame failed the
+    /// codec's checksum verification (a bit-flip in flight). Each corrupt
+    /// response also counts as a failed attempt the retry policy may follow
+    /// up on. Always `0` under [`crate::fault::FaultPlane::NoFaults`].
+    pub corrupt_probes: usize,
     /// Number of probes whose serve was failed over to a non-primary replica
     /// holder after the primary proved unresponsive. Always `0` under
     /// [`crate::fault::FaultPlane::NoFaults`].

@@ -336,7 +336,11 @@ impl KeySketch {
     /// carried (an all-elided [`crate::codec::encode_list`] frame), used to
     /// keep budget admission byte-identical with and without pruning.
     pub fn pruned_response_len(&self) -> usize {
-        1 + varint_len(self.full_df) + varint_len(self.capacity) + varint_len(self.len) + 1
+        1 + varint_len(self.full_df)
+            + varint_len(self.capacity)
+            + varint_len(self.len)
+            + 1
+            + crate::codec::FRAME_TRAILER_LEN
     }
 
     /// Total score mass of the summarised list (sum of bucket counts times

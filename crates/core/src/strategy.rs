@@ -17,6 +17,7 @@
 //!
 //! The built-in implementations are [`SingleTermFull`], [`Hdk`] and [`Qdi`].
 
+use crate::fault::FaultPlane;
 use crate::global_index::{GlobalIndex, KeyIndexEntry, KeyUsageStats};
 use crate::hdk::{self, HdkConfig, HdkLevelReport};
 use crate::key::TermKey;
@@ -95,6 +96,7 @@ pub struct IndexerCtx<'a> {
     global: &'a mut GlobalIndex,
     ranking: &'a GlobalRankingStats,
     bm25: Bm25Params,
+    faults: FaultPlane,
 }
 
 impl<'a> IndexerCtx<'a> {
@@ -110,7 +112,19 @@ impl<'a> IndexerCtx<'a> {
             global,
             ranking,
             bm25,
+            faults: FaultPlane::NoFaults,
         }
+    }
+
+    /// Routes every publication of this construction run through the given
+    /// fault plane: a publication the plane drops is charged but not applied,
+    /// queued for acknowledgement-driven re-publication instead (see
+    /// [`GlobalIndex::publish_postings_faulty`]). A no-op under
+    /// [`FaultPlane::NoFaults`] — publications stay byte-identical to the
+    /// fault-free path.
+    pub fn with_faults(mut self, plane: FaultPlane) -> Self {
+        self.faults = plane;
+        self
     }
 
     /// The participating peers.
@@ -157,9 +171,13 @@ impl<'a> IndexerCtx<'a> {
         if list.is_empty() {
             return false;
         }
-        let _ = self
-            .global
-            .publish_postings(peer_index, key, &list, capacity);
+        let _ = if self.faults.is_active() {
+            self.global
+                .publish_postings_faulty(peer_index, key, &list, capacity, &self.faults)
+        } else {
+            self.global
+                .publish_postings(peer_index, key, &list, capacity)
+        };
         true
     }
 
@@ -175,7 +193,12 @@ impl<'a> IndexerCtx<'a> {
     pub fn publish_single_term_level(&mut self, capacity: usize, df_max: u64) -> HdkLevelReport {
         let mut candidates = 0usize;
         for peer_index in 0..self.peers.len() {
-            let vocabulary: Vec<TermId> = self.peers[peer_index].index().vocabulary_ids().collect();
+            // Sorted so the publication sequence (and therefore which
+            // publications a seeded fault plane drops) is deterministic —
+            // the vocabulary map itself iterates in per-process random order.
+            let mut vocabulary: Vec<TermId> =
+                self.peers[peer_index].index().vocabulary_ids().collect();
+            vocabulary.sort_unstable();
             for term in vocabulary {
                 let key = TermKey::from_term_ids([term]);
                 // A peer publishes from its own overlay node.

@@ -132,6 +132,39 @@ proptest! {
         }
         prop_assert_eq!(back.is_truncated(), list.is_truncated());
     }
+
+    /// End-to-end frame integrity: flipping any single bit of a valid frame
+    /// is either detected (`decode_list` returns an error — in practice the
+    /// checksum trailer catches it, occasionally a structural check does) or
+    /// harmless (the decode is byte-for-byte identical to the unflipped one,
+    /// possible only when the flip lands in bytes the decoder never reads).
+    /// A silently different answer is the one forbidden outcome.
+    #[test]
+    fn single_bit_flips_never_change_a_decoded_answer_silently(
+        refs in scored_refs(40),
+        capacity in 1usize..64,
+        flip_pick in any::<u64>(),
+    ) {
+        let list = TruncatedPostingList::from_refs(refs, capacity);
+        let bytes = encode_list(&list, None);
+        let reference = decode_list(&bytes).unwrap();
+        let bit = (flip_pick as usize) % (bytes.len() * 8);
+        let mut flipped = bytes.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        match decode_list(&flipped) {
+            Err(_) => {} // detected: the retryable path the executor takes
+            Ok(got) => {
+                prop_assert_eq!(got.len(), reference.len(),
+                    "bit {} flipped silently changed the entry count", bit);
+                prop_assert_eq!(got.full_df(), reference.full_df());
+                prop_assert_eq!(got.capacity(), reference.capacity());
+                for (a, b) in got.refs().iter().zip(reference.refs()) {
+                    prop_assert_eq!(a.doc, b.doc, "bit {} changed a doc silently", bit);
+                    prop_assert_eq!(a.score, b.score, "bit {} changed a score silently", bit);
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

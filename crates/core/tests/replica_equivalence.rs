@@ -173,3 +173,67 @@ fn replication_is_result_invisible_under_byte_budgets() {
     assert_equivalent("hdk+reserve", Arc::new(Hdk::default()), Some(6_000));
     assert_equivalent_with("hdk+tight", Arc::new(Hdk::default()), Some(1_500), false);
 }
+
+#[test]
+fn repair_disabled_default_never_exchanges_a_digest_and_answers_identically() {
+    // Anti-entropy repair is opt-in: with the default (disabled) setting, a
+    // replicated network — churn included — must never exchange a repair
+    // digest or pull a copy, and its answers must be byte-identical to an
+    // identical network running with repair enabled. Repair activity may
+    // only ever add Overlay upkeep, never change what a query returns.
+    let seed = 11u64;
+    let c = corpus(250, seed);
+    let qs = queries(&c);
+    let strategy: Arc<dyn Strategy> = Arc::new(Hdk::default());
+    let mut dormant = network(
+        &c,
+        Arc::clone(&strategy),
+        Arc::new(HotKeyReplication::new(3)),
+        false,
+        seed,
+    );
+    let mut repairing = network(
+        &c,
+        Arc::clone(&strategy),
+        Arc::new(HotKeyReplication::new(3)),
+        false,
+        seed,
+    );
+    repairing.set_repair_enabled(true);
+
+    // Warm both past the replication threshold, then churn one peer in — the
+    // churn path triggers a repair round only where repair is enabled.
+    let baseline = run(&mut dormant, &qs, None);
+    let observed = run(&mut repairing, &qs, None);
+    for (i, (a, b)) in baseline.iter().zip(&observed).enumerate() {
+        assert_eq!(a, b, "query {i}: repair activity changed the answer");
+    }
+    dormant
+        .global_index_mut()
+        .dht_mut()
+        .join(alvisp2p_dht::RingId::hash_u64(0xC0FFEE))
+        .expect("join");
+    repairing
+        .global_index_mut()
+        .dht_mut()
+        .join(alvisp2p_dht::RingId::hash_u64(0xC0FFEE))
+        .expect("join");
+
+    let dormant_stats = dormant.global_index().dht().replication().stats();
+    assert_eq!(
+        dormant_stats.digests_exchanged, 0,
+        "repair-disabled default exchanged digests"
+    );
+    assert_eq!(dormant_stats.repairs_pulled, 0);
+    // The enabled arm's churn-time repair round really ran (non-vacuous).
+    assert!(
+        repairing
+            .global_index()
+            .dht()
+            .replication()
+            .stats()
+            .digests_exchanged
+            > 0,
+        "the repair-enabled arm never exchanged a digest — the comparison is vacuous"
+    );
+}

@@ -55,6 +55,7 @@ impl<V: Clone + WireSize> Dht<V> {
         // Replica sets re-target onto the changed successor lists (a no-op
         // under NoReplication).
         self.reconverge_replicas();
+        self.maybe_repair_after_churn();
         Some(new_index)
     }
 
@@ -84,6 +85,7 @@ impl<V: Clone + WireSize> Dht<V> {
         self.record_overlay(48 + ENVELOPE_OVERHEAD);
         self.mark_departed(index, id);
         self.reconverge_replicas();
+        self.maybe_repair_after_churn();
         Ok(())
     }
 
@@ -99,7 +101,21 @@ impl<V: Clone + WireSize> Dht<V> {
         let lost = self.peer_mut(index).store.drain_all().len();
         self.mark_departed(index, id);
         let report = self.reconverge_replicas();
+        self.maybe_repair_after_churn();
         Ok(lost.saturating_sub(report.recovered))
+    }
+
+    /// When anti-entropy repair is enabled, every churn event is followed by
+    /// one repair round so copies that went stale while the membership was in
+    /// flux (e.g. syncs dropped towards a peer mid-departure) reconverge
+    /// immediately instead of waiting for the next explicit
+    /// [`Dht::repair_round`]. A no-op (zero traffic) when repair is disabled —
+    /// the default — which keeps the pre-repair churn byte accounting
+    /// byte-identical.
+    fn maybe_repair_after_churn(&mut self) {
+        if self.replication().repair_enabled() {
+            self.repair_round();
+        }
     }
 
     fn mark_departed(&mut self, index: usize, id: RingId) {
@@ -263,6 +279,32 @@ mod tests {
             let (_, v) = d.get(origins[0], key, TrafficCategory::Retrieval).unwrap();
             assert_eq!(v, Some(vec![1, 2]));
         }
+    }
+
+    #[test]
+    fn churn_triggers_a_repair_round_when_enabled() {
+        use crate::replica::HotKeyReplication;
+        use std::sync::Arc;
+
+        let mut d = dht(24);
+        d.set_replication_policy(Arc::new(HotKeyReplication::new(2)));
+        d.set_repair_enabled(true);
+        d.set_replica_faults(3, 1.0); // every sync message is dropped
+        let key = RingId::hash_str("churny hot key");
+        d.put(0, key, vec![5], TrafficCategory::Indexing).unwrap();
+        let primary = d.responsible_for(key).unwrap();
+        for _ in 0..10 {
+            d.record_probe(key, primary);
+        }
+        assert!(!d.replica_holders(key).is_empty());
+        // An update whose syncs all vanish leaves the holders stale...
+        d.put_replicated(0, key, vec![6, 6], TrafficCategory::Indexing)
+            .unwrap();
+        assert!(d.replica_consistency() < 1.0);
+        // ...and the next churn event repairs them as a side effect.
+        d.join(RingId::hash_u64(0xC0FFEE)).expect("fresh id");
+        assert_eq!(d.replica_consistency(), 1.0);
+        assert!(d.replication().stats().repairs_pulled > 0);
     }
 
     #[test]

@@ -34,13 +34,28 @@
 //! ([`Dht::reconverge_replicas`], called by join/leave/fail), and a failed
 //! primary's value is recovered from a surviving replica instead of being
 //! lost.
+//!
+//! # Anti-entropy repair
+//!
+//! On a faulty wire the "copies stay byte-identical" invariant breaks: a
+//! sync message dropped in flight leaves a holder's copy **stale**, and bit
+//! rot leaves it **corrupt**. The manager therefore tracks a monotonic
+//! content version per replicated key and the version each holder last
+//! received; [`Dht::repair_round`] — driven periodically from the churn loop
+//! once [`Dht::set_repair_enabled`] turns it on — exchanges compact per-key
+//! [`CopyDigest`]s (`(version, checksum)`), detects stale/missing/corrupt
+//! copies, and pulls a fresh copy from the freshest live holder (the primary
+//! when reachable). All repair traffic is charged to
+//! [`TrafficCategory::Overlay`]. Repair is off by default and injecting
+//! nothing, so the repair-disabled overlay stays byte-identical to the
+//! pre-repair one.
 
 use crate::id::RingId;
 use crate::network::Dht;
 use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
-use alvisp2p_netsim::{TrafficCategory, WireSize};
+use alvisp2p_netsim::{SimRng, TrafficCategory, WireSize};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -308,6 +323,59 @@ pub struct ReplicaStats {
     pub syncs: u64,
     /// Primary values recovered from a replica after an abrupt failure.
     pub recovered: u64,
+    /// Per-holder `(version, checksum)` digest exchanges performed by
+    /// anti-entropy repair rounds (see [`Dht::repair_round`]).
+    #[serde(default)]
+    pub digests_exchanged: u64,
+    /// Stale, missing or corrupt replica copies refreshed from the freshest
+    /// live holder by anti-entropy repair.
+    #[serde(default)]
+    pub repairs_pulled: u64,
+}
+
+/// The compact per-key metadata holders exchange during an anti-entropy
+/// repair round: which content version a copy corresponds to and a checksum
+/// of its replicated bytes (see
+/// [`alvisp2p_netsim::WireSize::content_digest`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyDigest {
+    /// Monotonic content version of the copy, bumped on every publish-path
+    /// sync of the key.
+    pub version: u64,
+    /// Content checksum of the copy's bytes.
+    pub checksum: u64,
+}
+
+impl CopyDigest {
+    /// Wire bytes of one [`CopyDigest`] message: the key identifier plus the
+    /// version and checksum words.
+    pub const WIRE_BYTES: usize = 24;
+}
+
+const DIGEST_BYTES: usize = CopyDigest::WIRE_BYTES;
+
+/// Salt of the deterministic replica-sync loss draw. Mirrors the core fault
+/// plane's stateless-draw construction (seeded splitmix finalizer, one
+/// [`SimRng`] draw per decision) — the dht crate cannot depend on the core
+/// crate, so the layer above wires `(seed, rate)` in via
+/// [`Dht::set_replica_faults`].
+const SALT_REPLICA_SYNC: u64 = 0x7273_796e; // "rsyn"
+
+/// Whether one replica-sync message is dropped in flight, at these
+/// deterministic coordinates.
+fn sync_message_lost(seed: u64, rate: f64, key: RingId, seq: u64, recipient: u64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    let mut z = seed
+        ^ SALT_REPLICA_SYNC.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ key.0.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ seq.wrapping_mul(0x94d0_49bb_1331_11eb)
+        ^ recipient.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    SimRng::new(z).gen_f64() < rate
 }
 
 /// The replication bookkeeping carried by a [`Dht`]: the active policy, the
@@ -318,6 +386,25 @@ pub struct ReplicaManager {
     tracker: LoadTracker,
     directory: BTreeMap<RingId, Vec<usize>>,
     stats: ReplicaStats,
+    /// Whether the churn loop drives periodic [`Dht::repair_round`]s.
+    /// Default `false`: the repair-disabled overlay is byte-identical to the
+    /// pre-repair one.
+    repair_enabled: bool,
+    /// Monotonic content version of each replicated key's canonical (primary)
+    /// copy; bumped on every publish-path sync.
+    versions: HashMap<RingId, u64>,
+    /// Content version each holder's copy corresponds to — stale when it
+    /// lags the key's canonical version.
+    holder_versions: HashMap<(RingId, usize), u64>,
+    /// Replica copies marked bit-rotted by fault injection; their digest no
+    /// longer matches their recorded version.
+    corrupt: BTreeSet<(RingId, usize)>,
+    /// Deterministic sync-loss injection wired in by the layer above:
+    /// `(seed, loss rate)`.
+    sync_faults: Option<(u64, f64)>,
+    /// Sequence number of the next replica-sync operation (the coordinates of
+    /// its loss draws).
+    sync_seq: u64,
 }
 
 impl ReplicaManager {
@@ -328,7 +415,49 @@ impl ReplicaManager {
             tracker: LoadTracker::new(half_life),
             directory: BTreeMap::new(),
             stats: ReplicaStats::default(),
+            repair_enabled: false,
+            versions: HashMap::new(),
+            holder_versions: HashMap::new(),
+            corrupt: BTreeSet::new(),
+            sync_faults: None,
+            sync_seq: 0,
         }
+    }
+
+    /// Whether periodic anti-entropy repair is driven from the churn loop.
+    pub fn repair_enabled(&self) -> bool {
+        self.repair_enabled
+    }
+
+    /// The canonical content version of a replicated key (`0` for a key that
+    /// has never been replicated or synced).
+    pub fn content_version(&self, key: RingId) -> u64 {
+        self.versions.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The content version `holder`'s copy of `key` corresponds to.
+    pub fn holder_version(&self, key: RingId, holder: usize) -> u64 {
+        self.holder_versions
+            .get(&(key, holder))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `holder`'s copy of `key` is marked bit-rotted.
+    pub fn is_copy_corrupt(&self, key: RingId, holder: usize) -> bool {
+        self.corrupt.contains(&(key, holder))
+    }
+
+    /// Records that `holder` received a fresh copy of `key` at `version`.
+    fn note_copy(&mut self, key: RingId, holder: usize, version: u64) {
+        self.holder_versions.insert((key, holder), version);
+        self.corrupt.remove(&(key, holder));
+    }
+
+    /// Drops the per-holder metadata of `holder`'s copy of `key`.
+    fn drop_copy_meta(&mut self, key: RingId, holder: usize) {
+        self.holder_versions.remove(&(key, holder));
+        self.corrupt.remove(&(key, holder));
     }
 
     /// The active replication policy.
@@ -403,6 +532,30 @@ pub struct ReconvergeReport {
     pub lost: usize,
 }
 
+/// What one [`Dht::repair_round`] anti-entropy pass found and fixed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Replicated keys whose holder set was checked.
+    pub keys_checked: usize,
+    /// Per-holder `(version, checksum)` digest exchanges performed.
+    pub digests_exchanged: usize,
+    /// Copies found lagging the canonical content version.
+    pub stale: usize,
+    /// Holders found without any copy of a key they should hold.
+    pub missing: usize,
+    /// Copies whose checksum disagreed with their recorded version (bit rot).
+    pub corrupt: usize,
+    /// Fresh copies pulled from the freshest live holder.
+    pub repaired: usize,
+}
+
+impl RepairReport {
+    /// Total divergent copies the pass detected.
+    pub fn divergent(&self) -> usize {
+        self.stale + self.missing + self.corrupt
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Replica-aware overlay operations
 // ---------------------------------------------------------------------------
@@ -414,7 +567,44 @@ impl<V: Clone + WireSize> Dht<V> {
         for key in self.replication().replicated_key_list() {
             self.withdraw_replicas(key);
         }
+        // Fault wiring and the repair switch outlive policy swaps: they
+        // describe the wire, not the policy.
+        let repair_enabled = self.replication().repair_enabled;
+        let sync_faults = self.replication().sync_faults;
         *self.replicas_mut() = ReplicaManager::new(policy);
+        self.replicas_mut().repair_enabled = repair_enabled;
+        self.replicas_mut().sync_faults = sync_faults;
+    }
+
+    /// Wires deterministic replica-sync loss into the overlay: each sync
+    /// message is dropped with probability `sync_loss_rate`, decided by a
+    /// stateless seeded draw (the same construction as the core fault plane,
+    /// which pushes its seed and rate down through this call). A zero rate
+    /// disables injection entirely.
+    pub fn set_replica_faults(&mut self, seed: u64, sync_loss_rate: f64) {
+        self.replicas_mut().sync_faults = if sync_loss_rate > 0.0 {
+            Some((seed, sync_loss_rate.clamp(0.0, 1.0)))
+        } else {
+            None
+        };
+    }
+
+    /// Turns the churn-driven anti-entropy repair loop on or off (off by
+    /// default; see [`Dht::repair_round`]).
+    pub fn set_repair_enabled(&mut self, enabled: bool) {
+        self.replicas_mut().repair_enabled = enabled;
+    }
+
+    /// Marks `holder`'s replica copy of `key` bit-rotted (fault injection):
+    /// its digest no longer matches its content, which the next repair round
+    /// detects and fixes. Returns whether the holder actually held a copy.
+    pub fn corrupt_replica_copy(&mut self, key: RingId, holder: usize) -> bool {
+        if holder < self.peer_slots() && self.peer(holder).replica_store.contains(&key) {
+            self.replicas_mut().corrupt.insert((key, holder));
+            true
+        } else {
+            false
+        }
     }
 
     /// The first `factor` live ring successors of `key`'s responsible peer —
@@ -516,9 +706,18 @@ impl<V: Clone + WireSize> Dht<V> {
         if targets.is_empty() {
             return;
         }
+        let version = {
+            let m = self.replicas_mut();
+            let v = m.versions.entry(key).or_insert(0);
+            if *v == 0 {
+                *v = 1;
+            }
+            *v
+        };
         let bytes_per_copy = 8 + value.wire_size() + ENVELOPE_OVERHEAD;
         for &t in &targets {
             self.peer_mut(t).replica_store.insert(key, value.clone());
+            self.replicas_mut().note_copy(key, t, version);
             self.record_overlay(bytes_per_copy);
         }
         self.replicas_mut().set_holders(key, targets);
@@ -536,6 +735,7 @@ impl<V: Clone + WireSize> Dht<V> {
             if h < self.peer_slots() {
                 self.peer_mut(h).replica_store.remove(&key);
             }
+            self.replicas_mut().drop_copy_meta(key, h);
             self.record_overlay(16 + ENVELOPE_OVERHEAD);
         }
         self.replicas_mut().stats_mut().withdrawals += 1;
@@ -546,6 +746,12 @@ impl<V: Clone + WireSize> Dht<V> {
     /// (called by the layer above after mutating the primary, so copies stay
     /// byte-identical and any holder can serve). Transfer bytes are charged to
     /// `category`. No-op if the key is not replicated.
+    ///
+    /// Each per-holder refresh bumps the key's canonical content version and
+    /// crosses the (possibly faulty) wire independently: a message dropped by
+    /// the [`Dht::set_replica_faults`] loss draw still charges its bytes but
+    /// leaves that holder's copy — and its recorded version — **stale**,
+    /// until anti-entropy repair pulls a fresh one.
     pub fn sync_replicas(&mut self, key: RingId, category: TrafficCategory) {
         let holders = self.replication().holders_raw(key);
         if holders.is_empty() {
@@ -559,11 +765,27 @@ impl<V: Clone + WireSize> Dht<V> {
             self.withdraw_replicas(key);
             return;
         };
+        let (version, seq, faults) = {
+            let m = self.replicas_mut();
+            let v = m.versions.entry(key).or_insert(0);
+            *v += 1;
+            let version = *v;
+            let seq = m.sync_seq;
+            m.sync_seq += 1;
+            (version, seq, m.sync_faults)
+        };
         let bytes = 8 + value.wire_size();
-        for h in holders {
+        for (recipient, h) in holders.into_iter().enumerate() {
             if h < self.peer_slots() && self.peer(h).alive {
-                self.peer_mut(h).replica_store.insert(key, value.clone());
                 self.charge_external(category, bytes);
+                if let Some((seed, rate)) = faults {
+                    if sync_message_lost(seed, rate, key, seq, recipient as u64) {
+                        // Dropped in flight: the holder keeps its stale copy.
+                        continue;
+                    }
+                }
+                self.peer_mut(h).replica_store.insert(key, value.clone());
+                self.replicas_mut().note_copy(key, h, version);
             }
         }
         self.replicas_mut().stats_mut().syncs += 1;
@@ -608,6 +830,7 @@ impl<V: Clone + WireSize> Dht<V> {
             if !self.peer(primary).store.contains(&key) {
                 if let Some(v) = self.peer_mut(primary).replica_store.remove(&key) {
                     self.peer_mut(primary).store.insert(key, v);
+                    self.replicas_mut().drop_copy_meta(key, primary);
                     report.recovered += 1;
                 } else {
                     let copy = self
@@ -632,6 +855,7 @@ impl<V: Clone + WireSize> Dht<V> {
                         if h < self.peer_slots() {
                             self.peer_mut(h).replica_store.remove(&key);
                         }
+                        self.replicas_mut().drop_copy_meta(key, h);
                     }
                 }
                 report.lost += 1;
@@ -643,6 +867,7 @@ impl<V: Clone + WireSize> Dht<V> {
             for h in old {
                 if !targets.contains(&h) && h < self.peer_slots() {
                     self.peer_mut(h).replica_store.remove(&key);
+                    self.replicas_mut().drop_copy_meta(key, h);
                 }
             }
             if targets.is_empty() {
@@ -655,10 +880,12 @@ impl<V: Clone + WireSize> Dht<V> {
                 .get(&key)
                 .cloned()
                 .expect("checked above");
+            let version = self.replication().content_version(key).max(1);
             let bytes_per_copy = 8 + value.wire_size() + ENVELOPE_OVERHEAD;
             for &t in &targets {
                 if !self.peer(t).replica_store.contains(&key) {
                     self.peer_mut(t).replica_store.insert(key, value.clone());
+                    self.replicas_mut().note_copy(key, t, version);
                     self.record_overlay(bytes_per_copy);
                     report.refreshed += 1;
                 }
@@ -667,6 +894,161 @@ impl<V: Clone + WireSize> Dht<V> {
         }
         self.replicas_mut().stats_mut().recovered += report.recovered as u64;
         report
+    }
+
+    /// One anti-entropy repair pass over every replicated key (see
+    /// [`Dht::repair_round_excluding`] for the variant that skips known
+    /// unresponsive peers).
+    pub fn repair_round(&mut self) -> RepairReport {
+        self.repair_round_excluding(&BTreeSet::new())
+    }
+
+    /// One anti-entropy repair pass over every replicated key, skipping
+    /// `unresponsive` peers (crashed-but-not-departed peers the layer above
+    /// knows about; digest exchanges with them would go unanswered).
+    ///
+    /// For each key, the pass picks the freshest live holder — the primary
+    /// when reachable (its copy is canonical by construction), otherwise the
+    /// responsive holder with the highest received version and an unrotted
+    /// copy — then exchanges a compact [`CopyDigest`] with every other
+    /// responsive holder. A holder whose digest is missing, lags the source's
+    /// version, or disagrees with its checksum pulls a fresh copy from the
+    /// source. Digest and transfer bytes are charged to
+    /// [`TrafficCategory::Overlay`] — repair is control-plane traffic, never
+    /// Retrieval.
+    pub fn repair_round_excluding(&mut self, unresponsive: &BTreeSet<usize>) -> RepairReport {
+        let mut report = RepairReport::default();
+        for key in self.replication().replicated_key_list() {
+            let holders = self.replication().holders_raw(key);
+            if holders.is_empty() {
+                continue;
+            }
+            let responsive = |dht: &Self, p: usize| {
+                p < dht.peer_slots() && dht.peer(p).alive && !unresponsive.contains(&p)
+            };
+            // The freshest live source of the key's content.
+            let primary = self.responsible_for(key).ok();
+            let source = match primary {
+                Some(p) if responsive(self, p) && self.peer(p).store.contains(&key) => Some(p),
+                _ => holders
+                    .iter()
+                    .copied()
+                    .filter(|&h| {
+                        responsive(self, h)
+                            && self.peer(h).replica_store.contains(&key)
+                            && !self.replication().is_copy_corrupt(key, h)
+                    })
+                    .max_by_key(|&h| self.replication().holder_version(key, h)),
+            };
+            let Some(source) = source else {
+                // No responsive holder with a trustworthy copy: nothing to
+                // repair from this round.
+                continue;
+            };
+            let from_primary = primary == Some(source);
+            let value = if from_primary {
+                self.peer(source).store.get(&key).cloned()
+            } else {
+                self.peer(source).replica_store.get(&key).cloned()
+            };
+            let Some(value) = value else { continue };
+            let src_digest = CopyDigest {
+                version: self.replication().content_version(key).max(1),
+                checksum: value.content_digest(),
+            };
+            report.keys_checked += 1;
+            let transfer_bytes = 8 + value.wire_size() + ENVELOPE_OVERHEAD;
+            for h in holders {
+                if h == source || !responsive(self, h) {
+                    continue;
+                }
+                // The digest exchange: one request, one response.
+                self.record_overlay(2 * (DIGEST_BYTES + ENVELOPE_OVERHEAD));
+                report.digests_exchanged += 1;
+                self.replicas_mut().stats_mut().digests_exchanged += 1;
+                let holder_digest = self.peer(h).replica_store.get(&key).map(|copy| CopyDigest {
+                    version: self.replication().holder_version(key, h),
+                    checksum: if self.replication().is_copy_corrupt(key, h) {
+                        // Bit rot: the stored bytes no longer hash to what
+                        // the holder's metadata claims.
+                        !copy.content_digest()
+                    } else {
+                        copy.content_digest()
+                    },
+                });
+                let divergent = match holder_digest {
+                    None => {
+                        report.missing += 1;
+                        true
+                    }
+                    Some(d) if d.version != src_digest.version => {
+                        report.stale += 1;
+                        true
+                    }
+                    Some(d) if d.checksum != src_digest.checksum => {
+                        report.corrupt += 1;
+                        true
+                    }
+                    Some(_) => false,
+                };
+                if divergent {
+                    self.peer_mut(h).replica_store.insert(key, value.clone());
+                    self.replicas_mut().note_copy(key, h, src_digest.version);
+                    self.record_overlay(transfer_bytes);
+                    report.repaired += 1;
+                    self.replicas_mut().stats_mut().repairs_pulled += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Fraction of live replica copies byte-identical to their key's
+    /// canonical (primary) content, `1.0` when nothing is replicated — the
+    /// consistency figure the chaos benchmark tracks. See
+    /// [`Dht::replica_consistency_excluding`].
+    pub fn replica_consistency(&self) -> f64 {
+        self.replica_consistency_excluding(&BTreeSet::new())
+    }
+
+    /// Like [`Dht::replica_consistency`], but ignores copies held by
+    /// `unresponsive` peers (a crashed holder's copy can neither serve nor be
+    /// repaired until it recovers or departs).
+    pub fn replica_consistency_excluding(&self, unresponsive: &BTreeSet<usize>) -> f64 {
+        let mut total = 0usize;
+        let mut consistent = 0usize;
+        for key in self.replication().replicated_key_list() {
+            let Ok(primary) = self.responsible_for(key) else {
+                continue;
+            };
+            if unresponsive.contains(&primary) {
+                continue;
+            }
+            let Some(canonical) = self.peer(primary).store.get(&key) else {
+                continue;
+            };
+            let canon_digest = canonical.content_digest();
+            for h in self.replication().holders_raw(key) {
+                if h >= self.peer_slots() || !self.peer(h).alive || unresponsive.contains(&h) {
+                    continue;
+                }
+                total += 1;
+                let ok = !self.replication().is_copy_corrupt(key, h)
+                    && self
+                        .peer(h)
+                        .replica_store
+                        .get(&key)
+                        .is_some_and(|copy| copy.content_digest() == canon_digest);
+                if ok {
+                    consistent += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            consistent as f64 / total as f64
+        }
     }
 
     /// Replica-aware fetch: routes the request for `key` as usual (same hops
@@ -917,6 +1299,126 @@ mod tests {
         assert_eq!(dht.replication().replicated_keys(), 0);
         assert_eq!(dht.replica_storage_bytes(), 0);
         assert_eq!(dht.replication().policy().label(), "none");
+    }
+
+    #[test]
+    fn lost_syncs_leave_stale_copies_and_repair_pulls_them_fresh() {
+        let mut dht = hot_dht(24, 3);
+        dht.set_replica_faults(99, 1.0); // every sync message is dropped
+        let key = RingId::hash_str("stale prone");
+        dht.put(0, key, vec![1], TrafficCategory::Indexing).unwrap();
+        heat(&mut dht, key, 10);
+        assert_eq!(dht.replica_holders(key).len(), 3);
+        assert_eq!(dht.replica_consistency(), 1.0, "placement itself is clean");
+        // An update whose syncs are all dropped: holders keep the old copy.
+        dht.put_replicated(0, key, vec![9, 9, 9], TrafficCategory::Indexing)
+            .unwrap();
+        assert!(dht.replica_consistency() < 1.0);
+        for h in dht.replica_holders(key) {
+            assert_eq!(dht.peer(h).replica_store.get(&key), Some(&vec![1]));
+        }
+        // Repair detects the stale copies via the version digests and pulls
+        // fresh ones from the primary, charging Overlay only.
+        let before = dht.stats_snapshot();
+        let report = dht.repair_round();
+        assert_eq!(report.stale, 3);
+        assert_eq!(report.repaired, 3);
+        assert_eq!(dht.replica_consistency(), 1.0);
+        for h in dht.replica_holders(key) {
+            assert_eq!(dht.peer(h).replica_store.get(&key), Some(&vec![9, 9, 9]));
+        }
+        let delta = dht.stats_snapshot().since(&before);
+        assert!(delta.category(TrafficCategory::Overlay).bytes > 0);
+        assert_eq!(delta.category(TrafficCategory::Retrieval).bytes, 0);
+        let stats = dht.replication().stats();
+        assert_eq!(stats.digests_exchanged, 3);
+        assert_eq!(stats.repairs_pulled, 3);
+        // A second round finds nothing to do (convergence).
+        let report = dht.repair_round();
+        assert_eq!(report.divergent(), 0);
+        assert_eq!(report.repaired, 0);
+    }
+
+    #[test]
+    fn corrupt_copies_are_detected_and_repaired() {
+        let mut dht = hot_dht(24, 2);
+        let key = RingId::hash_str("bit rot");
+        dht.put(0, key, vec![7; 16], TrafficCategory::Indexing)
+            .unwrap();
+        heat(&mut dht, key, 10);
+        let holders = dht.replica_holders(key);
+        assert!(dht.corrupt_replica_copy(key, holders[0]));
+        assert!(dht.replication().is_copy_corrupt(key, holders[0]));
+        assert!(dht.replica_consistency() < 1.0);
+        let report = dht.repair_round();
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.repaired, 1);
+        assert!(!dht.replication().is_copy_corrupt(key, holders[0]));
+        assert_eq!(dht.replica_consistency(), 1.0);
+        // Corrupting a non-holder is a no-op.
+        let primary = dht.responsible_for(key).unwrap();
+        assert!(!dht.corrupt_replica_copy(key, primary));
+    }
+
+    #[test]
+    fn repair_skips_unresponsive_peers_and_sources_from_the_freshest() {
+        let mut dht = hot_dht(24, 3);
+        dht.set_replica_faults(5, 1.0);
+        let key = RingId::hash_str("partial repair");
+        dht.put(0, key, vec![1], TrafficCategory::Indexing).unwrap();
+        heat(&mut dht, key, 10);
+        dht.put_replicated(0, key, vec![2, 2], TrafficCategory::Indexing)
+            .unwrap();
+        let holders = dht.replica_holders(key);
+        let down: BTreeSet<usize> = [holders[0]].into();
+        let report = dht.repair_round_excluding(&down);
+        // Only the responsive holders were checked and fixed.
+        assert_eq!(report.digests_exchanged, 2);
+        assert_eq!(report.repaired, 2);
+        assert_eq!(dht.peer(holders[0]).replica_store.get(&key), Some(&vec![1]));
+        assert!(dht.replica_consistency_excluding(&down) >= 1.0);
+        assert!(dht.replica_consistency() < 1.0, "the down holder is stale");
+        // Once responsive again, the next round fixes the last copy.
+        let report = dht.repair_round();
+        assert_eq!(report.repaired, 1);
+        assert_eq!(dht.replica_consistency(), 1.0);
+    }
+
+    #[test]
+    fn sync_loss_draws_are_deterministic_and_rate_bounded() {
+        let key = RingId(42);
+        let a: Vec<bool> = (0..512)
+            .map(|s| sync_message_lost(7, 0.3, key, s, 0))
+            .collect();
+        let b: Vec<bool> = (0..512)
+            .map(|s| sync_message_lost(7, 0.3, key, s, 0))
+            .collect();
+        assert_eq!(a, b);
+        let lost = a.iter().filter(|l| **l).count();
+        assert!((100..210).contains(&lost), "~30% of 512, got {lost}");
+        assert!(
+            !sync_message_lost(7, 0.0, key, 1, 0),
+            "zero rate never fires"
+        );
+    }
+
+    #[test]
+    fn repair_disabled_overlay_stays_clean_without_faults() {
+        let mut dht = hot_dht(16, 2);
+        assert!(!dht.replication().repair_enabled());
+        let key = RingId::hash_str("healthy");
+        dht.put(0, key, vec![3; 8], TrafficCategory::Indexing)
+            .unwrap();
+        heat(&mut dht, key, 10);
+        dht.put_replicated(0, key, vec![4; 8], TrafficCategory::Indexing)
+            .unwrap();
+        assert_eq!(dht.replica_consistency(), 1.0);
+        // A repair round on a healthy overlay exchanges digests but moves no
+        // bytes of content.
+        let report = dht.repair_round();
+        assert_eq!(report.divergent(), 0);
+        assert_eq!(report.repaired, 0);
+        assert!(report.digests_exchanged > 0);
     }
 
     #[test]

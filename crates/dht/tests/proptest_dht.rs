@@ -219,6 +219,81 @@ proptest! {
     }
 
     #[test]
+    fn anti_entropy_repair_converges_from_arbitrary_divergence(
+        initial_peers in 10usize..24,
+        keys in proptest::collection::hash_set("[a-z]{3,10}", 1..8),
+        factor in 1usize..4,
+        // Per-key divergence script: whether the key gets an update whose
+        // replica syncs are all dropped, and which holders to bit-rot.
+        update_mask in proptest::collection::vec(any::<bool>(), 8),
+        rot in proptest::collection::vec((0usize..8, any::<u64>()), 0..6),
+        seed: u64,
+    ) {
+        let keys: Vec<String> = keys.into_iter().collect();
+        let mut dht: Dht<Vec<u8>> = Dht::with_peers(
+            DhtConfig {
+                replication: Arc::new(HotKeyReplication::new(factor)),
+                ..Default::default()
+            },
+            seed,
+            initial_peers,
+        );
+        let ring_keys: Vec<RingId> = keys.iter().map(|k| RingId::hash_str(k)).collect();
+        for (i, ring_key) in ring_keys.iter().enumerate() {
+            dht.put(i % initial_peers, *ring_key, vec![i as u8; (i % 5) + 1], TrafficCategory::Indexing).unwrap();
+            let primary = dht.responsible_for(*ring_key).unwrap();
+            for _ in 0..16 {
+                dht.record_probe(*ring_key, primary);
+            }
+            prop_assert!(dht.replication().is_replicated(*ring_key));
+        }
+
+        // Diverge: updates whose syncs are all dropped leave stale copies...
+        dht.set_replica_faults(seed ^ 0xA5A5, 1.0);
+        for (i, ring_key) in ring_keys.iter().enumerate() {
+            if update_mask[i % update_mask.len()] {
+                dht.put_replicated(i % initial_peers, *ring_key, vec![0xFE; (i % 5) + 2], TrafficCategory::Indexing).unwrap();
+            }
+        }
+        // ...and arbitrary holders suffer bit rot.
+        for (key_pick, holder_pick) in rot {
+            let ring_key = ring_keys[key_pick % ring_keys.len()];
+            let holders = dht.replica_holders(ring_key);
+            if !holders.is_empty() {
+                dht.corrupt_replica_copy(ring_key, holders[(holder_pick as usize) % holders.len()]);
+            }
+        }
+
+        // Repeated repair rounds converge within a bounded number of passes:
+        // each round sources every key from its freshest live holder, so one
+        // clean round (no divergence detected) must arrive quickly.
+        let mut clean = false;
+        for _ in 0..4 {
+            let report = dht.repair_round();
+            if report.divergent() == 0 {
+                prop_assert_eq!(report.repaired, 0);
+                clean = true;
+                break;
+            }
+            prop_assert_eq!(report.divergent(), report.repaired,
+                "every divergent copy found is repaired in the same round");
+        }
+        prop_assert!(clean, "repair did not converge within the round bound");
+        prop_assert_eq!(dht.replica_consistency(), 1.0);
+        // Every holder's copy is byte-identical to the primary's canonical
+        // value, and no corruption marker survives.
+        for ring_key in &ring_keys {
+            let primary = dht.responsible_for(*ring_key).unwrap();
+            let canonical = dht.peer(primary).store.get(ring_key).cloned();
+            prop_assert!(canonical.is_some());
+            for holder in dht.replica_holders(*ring_key) {
+                prop_assert!(!dht.replication().is_copy_corrupt(*ring_key, holder));
+                prop_assert_eq!(dht.peer(holder).replica_store.get(ring_key), canonical.as_ref());
+            }
+        }
+    }
+
+    #[test]
     fn lookups_are_logarithmic_for_every_origin(
         n in 2usize..128,
         seed: u64,

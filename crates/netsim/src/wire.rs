@@ -18,6 +18,15 @@ pub const ENVELOPE_OVERHEAD: usize = 32;
 pub trait WireSize {
     /// Estimated serialized size in bytes (excluding the message envelope).
     fn wire_size(&self) -> usize;
+
+    /// A stable digest of the value's replicated content, used by
+    /// anti-entropy repair to compare copies across holders without shipping
+    /// the value itself. The default (the wire size) is a weak stand-in
+    /// sufficient for toy payloads; types whose replica copies must be
+    /// integrity-checked override it with a real content hash.
+    fn content_digest(&self) -> u64 {
+        self.wire_size() as u64
+    }
 }
 
 impl WireSize for () {

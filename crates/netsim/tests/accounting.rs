@@ -1,7 +1,9 @@
 //! Accounting reconciliation: every message the simulator accepts is either
-//! processed or attributed to exactly one [`DropKind`].
+//! processed or attributed to exactly one [`DropKind`], and every byte the
+//! upper layers charge against the [`TrafficCategory`] ledger is attributed
+//! to the category that caused it.
 //!
-//! The invariant under test, after the event queue drains:
+//! The simulator invariant under test, after the event queue drains:
 //!
 //! ```text
 //! messages_sent = processed + drops(Loss) + drops(Congestion) + drops(DeadDestination)
@@ -11,6 +13,14 @@
 //! wide-area configuration's 0.001 loss model was previously exercised by no
 //! integration test — a leak on the loss path (or one drop kind silently
 //! cancelling another) would have gone unnoticed.
+//!
+//! The ledger invariant: control-plane recovery traffic — anti-entropy
+//! replica repair and lost-publication re-sends — lands in
+//! [`TrafficCategory::Overlay`] byte-for-byte, and never leaks into the
+//! `Retrieval` (or, for re-publication, `Indexing`) books that the paper's
+//! per-query traffic figures are computed from. The dht and core crates are
+//! dev-dependencies here (a cycle cargo permits) precisely so this crate can
+//! audit what its ledger is told from above.
 
 use alvisp2p_netsim::sim::{Context, Node, SimConfig, Simulator};
 use alvisp2p_netsim::stats::DropKind;
@@ -135,4 +145,110 @@ fn all_drop_kinds_at_once_reconcile() {
     assert!(sim.stats().drops(DropKind::Congestion).messages > 0);
     assert_eq!(sim.stats().drops(DropKind::DeadDestination).messages, 20);
     assert_reconciled(&sim);
+}
+
+mod control_plane_ledger {
+    //! Repair and re-publication bytes reconcile against the traffic ledger.
+
+    use std::sync::Arc;
+
+    use alvisp2p_core::fault::FaultPlane;
+    use alvisp2p_core::{AlvisNetwork, Hdk};
+    use alvisp2p_dht::{CopyDigest, Dht, DhtConfig, HotKeyReplication, RingId};
+    use alvisp2p_netsim::wire::ENVELOPE_OVERHEAD;
+    use alvisp2p_netsim::{TrafficCategory, WireSize};
+
+    /// Anti-entropy repair traffic reconciles byte-exactly: the Overlay delta
+    /// of one repair round equals the digest exchanges plus the repair pulls
+    /// the round reports, and not a single repair byte lands in Retrieval.
+    #[test]
+    fn repair_round_bytes_reconcile_exactly_and_stay_out_of_retrieval() {
+        let mut dht: Dht<Vec<u8>> = Dht::with_peers(DhtConfig::default(), 11, 24);
+        dht.set_replication_policy(Arc::new(HotKeyReplication::new(3)));
+        dht.set_replica_faults(99, 1.0); // every sync message is dropped
+        let key = RingId::hash_str("audited key");
+        let stale = vec![1u8; 40];
+        let fresh = vec![9u8; 40];
+        dht.put(0, key, stale, TrafficCategory::Indexing).unwrap();
+        let primary = dht.responsible_for(key).unwrap();
+        for _ in 0..10 {
+            dht.record_probe(key, primary);
+        }
+        assert_eq!(dht.replica_holders(key).len(), 3);
+        // An update whose replica syncs are all dropped: the three holders
+        // keep the stale copy, and the next repair round must pull three.
+        dht.put_replicated(0, key, fresh.clone(), TrafficCategory::Indexing)
+            .unwrap();
+
+        let before = dht.stats_snapshot();
+        let report = dht.repair_round();
+        let delta = dht.stats_snapshot().since(&before);
+
+        assert_eq!(report.stale, 3);
+        assert_eq!(report.repaired, 3);
+        let digest_bytes =
+            report.digests_exchanged * 2 * (CopyDigest::WIRE_BYTES + ENVELOPE_OVERHEAD);
+        let pull_bytes = report.repaired * (8 + fresh.wire_size() + ENVELOPE_OVERHEAD);
+        assert_eq!(
+            delta.category(TrafficCategory::Overlay).bytes,
+            (digest_bytes + pull_bytes) as u64,
+            "every Overlay byte of the round is a digest exchange or a pull"
+        );
+        assert_eq!(delta.category(TrafficCategory::Retrieval).bytes, 0);
+        assert_eq!(delta.category(TrafficCategory::Indexing).bytes, 0);
+
+        // A converged ring still pays for its digest exchanges — and for
+        // nothing else.
+        let before = dht.stats_snapshot();
+        let report = dht.repair_round();
+        let delta = dht.stats_snapshot().since(&before);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(
+            delta.category(TrafficCategory::Overlay).bytes,
+            (report.digests_exchanged * 2 * (CopyDigest::WIRE_BYTES + ENVELOPE_OVERHEAD)) as u64
+        );
+        assert_eq!(delta.category(TrafficCategory::Retrieval).bytes, 0);
+    }
+
+    /// Draining the re-publication queue after a lossy index build charges
+    /// Overlay only: no re-send byte is booked as first-time Indexing traffic
+    /// and none leaks into the Retrieval books.
+    #[test]
+    fn republish_traffic_is_overlay_never_retrieval_or_indexing() {
+        let docs = (0..12).map(|i| {
+            (
+                format!("doc{i}"),
+                format!("peer to peer retrieval of distributed document {i} index"),
+            )
+        });
+        let mut net = AlvisNetwork::builder()
+            .peers(4)
+            .strategy(Hdk::default())
+            .seed(7)
+            .documents(docs)
+            .build()
+            .expect("valid configuration");
+        net.set_fault_plane(FaultPlane::seeded(9).with_publish_loss(0.4));
+        net.build_index();
+        assert!(
+            net.pending_publishes() > 0,
+            "the lossy build must drop some"
+        );
+
+        let before = net.traffic_snapshot();
+        let mut rounds = 0;
+        while net.pending_publishes() > 0 {
+            net.republish_round();
+            rounds += 1;
+            assert!(rounds < 200, "re-publication did not converge");
+        }
+        let delta = net.traffic_snapshot().since(&before);
+        assert!(delta.category(TrafficCategory::Overlay).bytes > 0);
+        assert_eq!(delta.category(TrafficCategory::Retrieval).bytes, 0);
+        assert_eq!(
+            delta.category(TrafficCategory::Indexing).bytes,
+            0,
+            "a re-send is control-plane traffic, not a fresh publication"
+        );
+    }
 }

@@ -19,6 +19,11 @@
 //!    retries the answer silently degrades (and says so in its completeness report),
 //!    while the default retry + replica-failover policy recovers the fault-free
 //!    answer at a modest byte overhead.
+//! 5. **Lost publications and anti-entropy repair** — a third of the index-build
+//!    publications are dropped in flight, leaving the global index incomplete; the
+//!    bounded-backoff re-publication schedule drains the un-acked set until queries
+//!    match the fault-free build, and a repair round heals a bit-rotted replica
+//!    copy that silent corruption left behind.
 //!
 //! Run with:
 //! ```text
@@ -281,9 +286,101 @@ fn fault_tolerance_demo() {
     report("retry+failover (default)", &mut robust);
 }
 
+fn control_plane_repair_demo() {
+    println!("\n=== lost-publication re-publish and anti-entropy repair demo ===");
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(), 3).generate();
+    let build = |plane: FaultPlane| {
+        AlvisNetwork::builder()
+            .peers(24)
+            .strategy(Hdk::new(HdkConfig {
+                df_max: 10,
+                truncation_k: 20,
+                ..Default::default()
+            }))
+            .replication(std::sync::Arc::new(HotKeyReplication::new(3)))
+            .faults(plane)
+            .seed(5)
+            .corpus(&corpus)
+            .build_indexed()
+            .expect("valid configuration")
+    };
+    let hot_query = format!("{} {}", corpus.vocabulary[60], corpus.vocabulary[61]);
+    let reference: Vec<DocId> = build(FaultPlane::NoFaults)
+        .execute(&QueryRequest::new(hot_query.clone()).from_peer(0))
+        .unwrap()
+        .results
+        .iter()
+        .map(|r| r.doc)
+        .collect();
+
+    // A third of the build's publications are lost in flight: the publisher
+    // keeps them pending, and queries run on an incomplete global index.
+    let mut net = build(FaultPlane::seeded(21).with_publish_loss(0.35));
+    let overlap = |net: &mut AlvisNetwork| {
+        let got: Vec<DocId> = net
+            .execute(&QueryRequest::new(hot_query.clone()).from_peer(0))
+            .unwrap()
+            .results
+            .iter()
+            .map(|r| r.doc)
+            .collect();
+        reference.iter().filter(|d| got.contains(d)).count() as f64 / reference.len().max(1) as f64
+    };
+    println!(
+        "lossy build: {} publications un-acked, hot-query overlap vs fault-free {:.2}",
+        net.pending_publishes(),
+        overlap(&mut net),
+    );
+
+    // The bounded-backoff schedule re-sends every pending publication (the
+    // re-sends are charged to Overlay, not Indexing) until all are acked.
+    let mut rounds = 0;
+    while net.pending_publishes() > 0 {
+        net.republish_round();
+        rounds += 1;
+    }
+    println!(
+        "after {rounds} re-publication rounds: 0 pending, overlap {:.2}",
+        overlap(&mut net),
+    );
+
+    // Heat the hot keys over the replication threshold, bit-rot one replica
+    // copy, and let an anti-entropy round find and heal it via checksums.
+    for i in 0..120 {
+        let _ = net
+            .execute(&QueryRequest::new(hot_query.clone()).from_peer(i % 24))
+            .unwrap();
+    }
+    {
+        let dht = net.global_index_mut().dht_mut();
+        let key = dht
+            .replication()
+            .replicated_key_list()
+            .into_iter()
+            .next()
+            .expect("the hotspot replicated at least one key");
+        let holder = dht.replica_holders(key)[0];
+        dht.corrupt_replica_copy(key, holder);
+    }
+    println!(
+        "bit-rotted one replica copy: consistency {:.3}",
+        net.replica_consistency()
+    );
+    let report = net.repair_round();
+    println!(
+        "one repair round: {} digests exchanged, {} corrupt found, {} repaired, \
+         consistency {:.3}",
+        report.digests_exchanged,
+        report.corrupt,
+        report.repaired,
+        net.replica_consistency()
+    );
+}
+
 fn main() {
     churn_demo();
     congestion_demo();
     replication_demo();
     fault_tolerance_demo();
+    control_plane_repair_demo();
 }
