@@ -1,8 +1,10 @@
-//! E2 — retrieval bandwidth: single-term baseline vs HDK vs QDI. See `EXPERIMENTS.md`.
+//! E2 — retrieval bandwidth: single-term baseline vs HDK vs QDI, plus the E2c
+//! planned/threshold sweep; writes `BENCH_bandwidth.json`. See `EXPERIMENTS.md`.
 use alvisp2p_bench::{exp_bandwidth, quick_mode, table};
 
 fn main() {
-    let params = if quick_mode() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let params = if quick {
         exp_bandwidth::BandwidthParams::quick()
     } else {
         exp_bandwidth::BandwidthParams::default()
@@ -13,7 +15,7 @@ fn main() {
 
     // E2c: the planned-vs-best-effort arm — same workload under per-query byte
     // budgets, planned with the cost-based planner vs the PR 1 cutoff.
-    let planned_params = if quick_mode() {
+    let planned_params = if quick {
         exp_bandwidth::PlannedParams::quick()
     } else {
         exp_bandwidth::PlannedParams::default()
@@ -29,4 +31,15 @@ fn main() {
     println!("(long-list corpus: vocabulary capped at 500 terms)");
     exp_bandwidth::print_planned(&long_rows);
     table::maybe_print_json(&long_rows);
+
+    let report = exp_bandwidth::BandwidthReport {
+        quick,
+        planned: planned_rows,
+        long_lists: long_rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    let path =
+        std::env::var("ALVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_bandwidth.json".to_string());
+    std::fs::write(&path, json + "\n").expect("write BENCH_bandwidth.json");
+    println!("wrote {path}");
 }

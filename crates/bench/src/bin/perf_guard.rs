@@ -1,11 +1,12 @@
 //! CI regression guard over `BENCH_perf.json` (and optionally
-//! `BENCH_skew.json`, `BENCH_sketch.json`, `BENCH_faults.json` and
-//! `BENCH_chaos.json`).
+//! `BENCH_skew.json`, `BENCH_sketch.json`, `BENCH_faults.json`,
+//! `BENCH_chaos.json` and `BENCH_bandwidth.json`).
 //!
 //! Usage: `perf_guard <committed.json> <fresh.json> [<committed_skew.json>
 //! <fresh_skew.json> [<committed_sketch.json> <fresh_sketch.json>
 //! [<committed_faults.json> <fresh_faults.json>
-//! [<committed_chaos.json> <fresh_chaos.json>]]]]`
+//! [<committed_chaos.json> <fresh_chaos.json>
+//! [<committed_bandwidth.json> <fresh_bandwidth.json>]]]]]`
 //!
 //! Compares a fresh `exp_perf --quick` run against the committed perf
 //! trajectory and fails (exit code 1) when any comparable arm regressed by
@@ -42,6 +43,14 @@
 //! publications, consistency < 1.0, a non-vacuous recall gap) and the frame
 //! corruption demonstrably fired (corrupt frames counted).
 //!
+//! When the two bandwidth-report paths are also given, the guard enforces the
+//! rank-safe threshold mode's bar on both reports: top-k answers (docs, ranks
+//! and score bits) identical to the `greedy-cost`/`off` reference at every
+//! budget, bytes/query never above the off arm's, and — on the long-lists
+//! corpus — bytes/query at or below `Conservative`'s with the floors
+//! demonstrably firing (whole blocks skipped, strictly fewer bytes than
+//! Conservative at some budget).
+//!
 //! Two measures keep the guard meaningful across machines and
 //! configurations:
 //!
@@ -57,6 +66,7 @@
 //!   benches operate on fixed-shape inputs (2–3 term keys, the 100-entry
 //!   codec list), so their per-op work is identical at any scale.
 
+use alvisp2p_bench::exp_bandwidth::{BandwidthReport, PlannedBandwidthRow};
 use alvisp2p_bench::exp_chaos::ChaosReport;
 use alvisp2p_bench::exp_faults::FaultsReport;
 use alvisp2p_bench::exp_perf::PerfReport;
@@ -374,47 +384,130 @@ fn check_chaos(label: &str, report: &ChaosReport, failures: &mut Vec<String>) {
     }
 }
 
+fn load_bandwidth(path: &str) -> BandwidthReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_guard: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_guard: cannot parse {path}: {e:?}"))
+}
+
+/// The bandwidth-report invariants are scale-independent, so the same bar
+/// applies to the committed full run and a fresh `--quick` run: the rank-safe
+/// arm's answers are bit-identical to `greedy-cost`/`off` at every budget and
+/// its bytes/query never exceed the off arm's (elision only shrinks
+/// responses) nor, on the long-lists corpus, the Conservative arm's — where
+/// the rank-safe floors must also demonstrably fire (whole blocks skipped,
+/// strictly fewer bytes than Conservative on some budget).
+fn check_bandwidth(label: &str, report: &BandwidthReport, failures: &mut Vec<String>) {
+    let arm = |rows: &'_ [PlannedBandwidthRow], budget: u64, threshold: &str| {
+        rows.iter()
+            .find(|r| r.budget == budget && r.planner == "greedy-cost" && r.threshold == threshold)
+            .cloned()
+    };
+    for (sweep, rows) in [
+        ("planned", &report.planned),
+        ("long-lists", &report.long_lists),
+    ] {
+        let budgets: Vec<u64> = {
+            let mut b: Vec<u64> = rows.iter().map(|r| r.budget).collect();
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+        let mut skipped = 0u64;
+        let mut beats_conservative = false;
+        for &budget in &budgets {
+            let Some(((off, safe), conservative)) = arm(rows, budget, "off")
+                .zip(arm(rows, budget, "rank-safe"))
+                .zip(arm(rows, budget, "conservative"))
+            else {
+                failures.push(format!(
+                    "bandwidth/{label}: {sweep} budget {budget} is missing a threshold arm"
+                ));
+                continue;
+            };
+            println!(
+                "bandwidth ({label}): {sweep} budget {budget}: rank-safe {:.0} B/query \
+                 ({} blocks, {} B elided) vs off {:.0} / conservative {:.0}, topk {}",
+                safe.mean_bytes,
+                safe.skipped_blocks,
+                safe.elided_bytes,
+                off.mean_bytes,
+                conservative.mean_bytes,
+                if safe.identical_topk {
+                    "identical"
+                } else {
+                    "DIVERGED"
+                },
+            );
+            if !safe.identical_topk {
+                failures.push(format!(
+                    "bandwidth/{label}: {sweep} budget {budget}: rank-safe answers diverged \
+                     from off"
+                ));
+            }
+            if safe.mean_bytes > off.mean_bytes + 1e-6 {
+                failures.push(format!(
+                    "bandwidth/{label}: {sweep} budget {budget}: rank-safe {:.1} B/query \
+                     exceeds off {:.1}",
+                    safe.mean_bytes, off.mean_bytes
+                ));
+            }
+            if sweep == "long-lists" {
+                if safe.mean_bytes > conservative.mean_bytes + 1e-6 {
+                    failures.push(format!(
+                        "bandwidth/{label}: long-lists budget {budget}: rank-safe {:.1} B/query \
+                         exceeds conservative {:.1}",
+                        safe.mean_bytes, conservative.mean_bytes
+                    ));
+                }
+                skipped += safe.skipped_blocks;
+                if safe.mean_bytes < conservative.mean_bytes - 1e-6 {
+                    beats_conservative = true;
+                }
+            }
+        }
+        if sweep == "long-lists" {
+            if skipped == 0 {
+                failures.push(format!(
+                    "bandwidth/{label}: rank-safe never skipped a block on the long-lists \
+                     corpus — the floors never fired and every byte bar is vacuous"
+                ));
+            }
+            if !beats_conservative {
+                failures.push(format!(
+                    "bandwidth/{label}: rank-safe never ships strictly fewer bytes/query than \
+                     conservative on the long-lists corpus"
+                ));
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (committed_path, fresh_path, skew_paths, sketch_paths, faults_paths, chaos_paths) =
-        match args.as_slice() {
-            [c, f] => (c, f, None, None, None, None),
-            [c, f, cs, fs] => (c, f, Some((cs.clone(), fs.clone())), None, None, None),
-            [c, f, cs, fs, ck, fk] => (
-                c,
-                f,
-                Some((cs.clone(), fs.clone())),
-                Some((ck.clone(), fk.clone())),
-                None,
-                None,
-            ),
-            [c, f, cs, fs, ck, fk, cl, fl] => (
-                c,
-                f,
-                Some((cs.clone(), fs.clone())),
-                Some((ck.clone(), fk.clone())),
-                Some((cl.clone(), fl.clone())),
-                None,
-            ),
-            [c, f, cs, fs, ck, fk, cl, fl, ch, fh] => (
-                c,
-                f,
-                Some((cs.clone(), fs.clone())),
-                Some((ck.clone(), fk.clone())),
-                Some((cl.clone(), fl.clone())),
-                Some((ch.clone(), fh.clone())),
-            ),
-            _ => {
-                eprintln!(
-                    "usage: perf_guard <committed.json> <fresh.json> \
-                     [<committed_skew.json> <fresh_skew.json> \
-                     [<committed_sketch.json> <fresh_sketch.json> \
-                     [<committed_faults.json> <fresh_faults.json> \
-                     [<committed_chaos.json> <fresh_chaos.json>]]]]"
-                );
-                return ExitCode::from(2);
-            }
-        };
+    if args.len() < 2 || args.len() > 12 || !args.len().is_multiple_of(2) {
+        eprintln!(
+            "usage: perf_guard <committed.json> <fresh.json> \
+             [<committed_skew.json> <fresh_skew.json> \
+             [<committed_sketch.json> <fresh_sketch.json> \
+             [<committed_faults.json> <fresh_faults.json> \
+             [<committed_chaos.json> <fresh_chaos.json> \
+             [<committed_bandwidth.json> <fresh_bandwidth.json>]]]]]"
+        );
+        return ExitCode::from(2);
+    }
+    // Positional (committed, fresh) pairs, outermost first.
+    let pair = |i: usize| -> Option<(String, String)> {
+        args.get(2 * i)
+            .zip(args.get(2 * i + 1))
+            .map(|(c, f)| (c.clone(), f.clone()))
+    };
+    let (committed_path, fresh_path) = (&args[0], &args[1]);
+    let skew_paths = pair(1);
+    let sketch_paths = pair(2);
+    let faults_paths = pair(3);
+    let chaos_paths = pair(4);
+    let bandwidth_paths = pair(5);
     let tolerance: f64 = std::env::var("ALVIS_PERF_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -501,6 +594,14 @@ fn main() -> ExitCode {
     if let Some((committed_chaos, fresh_chaos)) = chaos_paths {
         check_chaos("committed", &load_chaos(&committed_chaos), &mut regressions);
         check_chaos("fresh", &load_chaos(&fresh_chaos), &mut regressions);
+    }
+    if let Some((committed_bw, fresh_bw)) = bandwidth_paths {
+        check_bandwidth(
+            "committed",
+            &load_bandwidth(&committed_bw),
+            &mut regressions,
+        );
+        check_bandwidth("fresh", &load_bandwidth(&fresh_bw), &mut regressions);
     }
     println!(
         "perf_guard: {checked} arms checked, {} regressions",

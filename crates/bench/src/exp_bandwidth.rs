@@ -18,7 +18,7 @@ use alvisp2p_core::request::{QueryRequest, ThresholdMode};
 use alvisp2p_core::stats::{mean, percentile, recall_at_k};
 use alvisp2p_core::strategy::Hdk;
 use alvisp2p_textindex::DocId;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -211,13 +211,14 @@ pub fn print(params: &BandwidthParams, rows: &[BandwidthRow]) {
 // ---------------------------------------------------------------------------
 
 /// One row of the E2c output: one planner/threshold arm at one byte budget.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PlannedBandwidthRow {
     /// The per-query byte budget.
     pub budget: u64,
     /// Planner label.
     pub planner: String,
-    /// Threshold-aware probing mode (`off`, `conservative`, `aggressive`).
+    /// Threshold-aware probing mode (`off`, `rank-safe`, `conservative`,
+    /// `aggressive`).
     pub threshold: String,
     /// Mean retrieval bytes per query.
     pub mean_bytes: f64,
@@ -230,8 +231,41 @@ pub struct PlannedBandwidthRow {
     pub mean_recall: f64,
     /// Mean probes per query.
     pub mean_probes: f64,
+    /// Whether every query's top-k — document ids, ranks AND score bits —
+    /// matched the `greedy-cost`/`off` reference arm at the same budget. The
+    /// rank-safe mode's contract is that this is always `true`.
+    #[serde(default)]
+    pub identical_topk: bool,
+    /// Posting blocks the probe floors let responsible peers elide whole,
+    /// summed over the arm's queries.
+    #[serde(default)]
+    pub skipped_blocks: u64,
+    /// Posting bytes elided below the probe floors, summed over the arm's
+    /// queries.
+    #[serde(default)]
+    pub elided_bytes: u64,
+    /// Rank-safe probes that fell back to the Conservative floor because a
+    /// published per-key maximum was stale (always 0 for the other arms).
+    #[serde(default)]
+    pub rank_safe_fallbacks: u64,
     /// Aggregated robustness counters (all zeros under `NoFaults`).
     pub robustness: Robustness,
+}
+
+/// The E2c report committed as `BENCH_bandwidth.json` and guarded by
+/// `perf_guard`: the planned sweep over the default corpus and over the
+/// long-posting-list corpus (capped vocabulary), where floor-based elision
+/// has the most bytes to save.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BandwidthReport {
+    /// Whether the report came from a `--quick` run.
+    #[serde(default)]
+    pub quick: bool,
+    /// The E2c sweep over the default corpus.
+    pub planned: Vec<PlannedBandwidthRow>,
+    /// The same sweep over the capped-vocabulary corpus
+    /// ([`PlannedParams::long_lists`]).
+    pub long_lists: Vec<PlannedBandwidthRow>,
 }
 
 /// Parameters of the E2c planned-vs-best-effort sweep.
@@ -251,6 +285,11 @@ pub struct PlannedParams {
     /// regime where the threshold arms' floor-based elision has the most
     /// bytes to save.
     pub vocab_cap: Option<usize>,
+    /// Use the head-term pair-query log ([`workloads::head_query_log`])
+    /// instead of the generic log: every query's terms are frequent and
+    /// co-occur within the HDK proximity window, so its pair key is activated
+    /// and its posting lists are the long ones floors can actually elide.
+    pub head_queries: bool,
     /// Seed.
     pub seed: u64,
 }
@@ -263,6 +302,7 @@ impl Default for PlannedParams {
             queries: 100,
             budgets: vec![2_000, 4_000, 8_000, 16_000],
             vocab_cap: None,
+            head_queries: false,
             seed: DEFAULT_SEED,
         }
     }
@@ -277,6 +317,7 @@ impl PlannedParams {
             queries: 25,
             budgets: vec![1_500, 4_000],
             vocab_cap: None,
+            head_queries: false,
             seed: DEFAULT_SEED,
         }
     }
@@ -285,6 +326,7 @@ impl PlannedParams {
     /// capped well below the Heaps-like default, so every term is frequent.
     pub fn long_lists(mut self) -> Self {
         self.vocab_cap = Some(500);
+        self.head_queries = true;
         self
     }
 }
@@ -297,7 +339,11 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
         Some(vocab) => workloads::dense_corpus(params.docs, vocab, params.seed),
         None => workloads::corpus(params.docs, params.seed),
     };
-    let log = workloads::query_log(&corpus, params.queries, false, params.seed);
+    let log = if params.head_queries {
+        workloads::head_query_log(&corpus, params.queries, params.seed)
+    } else {
+        workloads::query_log(&corpus, params.queries, false, params.seed)
+    };
     let texts: Vec<String> = log.queries.iter().map(|q| q.text.clone()).collect();
 
     // HDK is non-adaptive (no post-query index changes) and every metric below
@@ -326,11 +372,19 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
     for &budget in &params.budgets {
         // The two planners are compared threshold-off (the planning story),
         // then the cost-based planner carries the threshold-probe arms (the
-        // wire-codec story): the conservative mode's bytes curve at identical
-        // results, and the aggressive mode's deeper elision.
-        let arms: [(&str, &dyn Planner, ThresholdMode); 4] = [
-            ("best-effort", &BestEffort, ThresholdMode::Off),
+        // wire-codec story): the rank-safe mode's bytes curve at provably
+        // identical rankings, the conservative mode's heuristic curve, and
+        // the aggressive mode's deeper elision. The greedy/off arm runs
+        // first: it is the answer reference every other arm's `identical_topk`
+        // is measured against.
+        let arms: [(&str, &dyn Planner, ThresholdMode); 5] = [
             ("greedy-cost", &GreedyCost::default(), ThresholdMode::Off),
+            ("best-effort", &BestEffort, ThresholdMode::Off),
+            (
+                "greedy-cost",
+                &GreedyCost::default(),
+                ThresholdMode::RankSafe,
+            ),
             (
                 "greedy-cost",
                 &GreedyCost::default(),
@@ -342,12 +396,17 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
                 ThresholdMode::Aggressive,
             ),
         ];
+        let mut reference_answers: Option<Vec<Vec<(DocId, u64)>>> = None;
         for (label, planner, threshold) in arms {
             let mut bytes = Vec::with_capacity(texts.len());
             let mut probes = Vec::with_capacity(texts.len());
             let mut recalls = Vec::with_capacity(texts.len());
+            let mut answers = Vec::with_capacity(texts.len());
             let mut max_bytes = 0u64;
             let mut violations = 0usize;
+            let mut skipped_blocks = 0u64;
+            let mut elided_bytes = 0u64;
+            let mut rank_safe_fallbacks = 0u64;
             let mut robustness = Robustness::default();
             for (i, text) in texts.iter().enumerate() {
                 let request = QueryRequest::new(text.clone())
@@ -359,18 +418,36 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
                 let outcome = net.run(&plan, &request).expect("query succeeds");
                 robustness.observe(&outcome);
                 recalls.push(recall_at_k(&outcome.results, &references[i], 10));
+                answers.push(
+                    outcome
+                        .results
+                        .iter()
+                        .map(|r| (r.doc, r.score.to_bits()))
+                        .collect::<Vec<_>>(),
+                );
                 bytes.push(outcome.bytes as f64);
                 probes.push(outcome.trace.probes as f64);
+                skipped_blocks += outcome.trace.skipped_blocks as u64;
+                elided_bytes += outcome.trace.elided_bytes;
+                rank_safe_fallbacks += outcome.rank_safe_fallbacks as u64;
                 max_bytes = max_bytes.max(outcome.bytes);
                 if outcome.bytes > budget {
                     violations += 1;
                 }
             }
+            let identical_topk = match &reference_answers {
+                Some(reference) => *reference == answers,
+                None => {
+                    reference_answers = Some(answers);
+                    true
+                }
+            };
             rows.push(PlannedBandwidthRow {
                 budget,
                 planner: label.to_string(),
                 threshold: match threshold {
                     ThresholdMode::Off => "off",
+                    ThresholdMode::RankSafe => "rank-safe",
                     ThresholdMode::Conservative => "conservative",
                     ThresholdMode::Aggressive => "aggressive",
                 }
@@ -380,6 +457,10 @@ pub fn run_planned(params: &PlannedParams) -> Vec<PlannedBandwidthRow> {
                 budget_violations: violations,
                 mean_recall: mean(&recalls),
                 mean_probes: mean(&probes),
+                identical_topk,
+                skipped_blocks,
+                elided_bytes,
+                rank_safe_fallbacks,
                 robustness,
             });
         }
@@ -401,6 +482,10 @@ pub fn print_planned(rows: &[PlannedBandwidthRow]) {
             "over budget",
             "recall@10",
             "probes/query",
+            "topk",
+            "blocks skipped",
+            "bytes elided",
+            "fallbacks",
         ],
     );
     for r in rows {
@@ -413,6 +498,15 @@ pub fn print_planned(rows: &[PlannedBandwidthRow]) {
             r.budget_violations.to_string(),
             fmt_f(r.mean_recall, 3),
             fmt_f(r.mean_probes, 1),
+            if r.identical_topk {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+            .to_string(),
+            r.skipped_blocks.to_string(),
+            fmt_bytes(r.elided_bytes),
+            r.rank_safe_fallbacks.to_string(),
         ]);
     }
     t.print();
@@ -473,7 +567,12 @@ mod tests {
     #[test]
     fn long_list_corpus_keeps_budget_guarantees_and_lengthens_lists() {
         let params = PlannedParams::quick();
-        let long = params.clone().long_lists();
+        // Compare on the generic workload: the production long-lists arm
+        // also switches to head-term pair queries, whose pair keys HDK
+        // serves from shorter multi-term lists — that workload effect
+        // would mask the corpus effect this test isolates.
+        let mut long = params.clone().long_lists();
+        long.head_queries = params.head_queries;
         let base_rows = run_planned(&params);
         let long_rows = run_planned(&long);
         assert_eq!(base_rows.len(), long_rows.len());

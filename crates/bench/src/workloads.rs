@@ -74,8 +74,32 @@ pub fn zipf_query_log(corpus: &SyntheticCorpus, num_queries: usize, s: f64, seed
         min_terms: 2,
         max_terms: 3,
         popularity_drift: false,
+        min_term_df: None,
+        cooccurrence_window: None,
     };
     QueryLogGenerator::new(config, seed ^ 0x5ca1e).generate(corpus)
+}
+
+/// Generates a head-term query log: pair queries whose terms are globally
+/// *frequent* (document frequency above [`default_hdk`]'s `df_max`) and
+/// co-occur within its proximity window in some document — so each query's own
+/// pair key is exactly the kind of multi-term key HDK activates. This is the
+/// long-posting-list regime of the bandwidth experiment's threshold arms: the
+/// lists behind these queries are the ones floor-based elision can shorten.
+/// Pair (rather than triple) queries keep every probe family laminar, the
+/// regime where the rank-safe floors certify.
+pub fn head_query_log(corpus: &SyntheticCorpus, num_queries: usize, seed: u64) -> QueryLog {
+    let hdk = default_hdk();
+    let config = QueryLogConfig {
+        num_queries,
+        distinct_queries: (num_queries / 8).clamp(20, 400),
+        min_terms: 2,
+        max_terms: 2,
+        min_term_df: Some(hdk.df_max),
+        cooccurrence_window: Some(hdk.proximity_window),
+        ..Default::default()
+    };
+    QueryLogGenerator::new(config, seed ^ 0x4ead).generate(corpus)
 }
 
 /// The HDK configuration used by the experiments unless a sweep overrides it.

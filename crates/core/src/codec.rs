@@ -406,15 +406,21 @@ pub fn encode_list(list: &TruncatedPostingList, score_floor: Option<f64>) -> Vec
         append_trailer(&mut out, 0);
         return out;
     }
-    // The quantization range spans exactly the kept scores; `as f32` rounding
-    // can land hi slightly below the true best (or lo slightly above the true
-    // worst), so widen to the next representable f32 to keep every kept score
-    // inside the range. Scores outside the finite f32 range (or NaN) are
-    // clamped first so the frame always stays decodable — quantization of
-    // such degenerate scores is then arbitrary, but the probe path can never
-    // produce a frame its own querier rejects.
+    // The quantization range spans the *full* list's scores — not just the
+    // kept prefix — so a floored frame quantizes every kept entry on exactly
+    // the grid the unfloored frame would use. This is what makes
+    // threshold-aware elision rank-exact: the querier decodes byte-identical
+    // scores for every entry the floor kept, so merged rankings cannot drift
+    // between floored and unfloored executions. `as f32` rounding can land hi
+    // slightly below the true best (or lo slightly above the true worst), so
+    // widen to the next representable f32 to keep every score inside the
+    // range. Scores outside the finite f32 range (or NaN) are clamped first
+    // so the frame always stays decodable — quantization of such degenerate
+    // scores is then arbitrary, but the probe path can never produce a frame
+    // its own querier rejects.
+    let all = list.refs();
     let hi = widen_up(sanitize_score(refs[0].score));
-    let lo = widen_down(sanitize_score(refs[kept - 1].score));
+    let lo = widen_down(sanitize_score(all[all.len() - 1].score));
     put_f32(&mut out, hi);
     put_f32(&mut out, lo);
     let blocks = refs.chunks(BLOCK_ENTRIES);
@@ -523,6 +529,36 @@ fn encoded_list_len_for(list: &TruncatedPostingList, kept: usize) -> usize {
         len += 2 + varint_len(block.len() as u64) + varint_len(payload_len as u64) + payload_len;
     }
     len
+}
+
+/// What a score floor elided from one list frame, measured at encode time.
+///
+/// The encoder drops the sub-floor suffix outright, so "skipped" here means
+/// the whole 16-entry blocks that never reach the wire — exactly the blocks
+/// whose per-block max-score header would let [`decode_list_above`] skip them
+/// without touching their bytes if a full frame were floored at the decoder
+/// instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElisionStats {
+    /// Whole [`BLOCK_ENTRIES`]-entry blocks the floor elided end to end. A
+    /// partially-kept boundary block counts zero: its bytes still ship.
+    pub skipped_blocks: usize,
+    /// Bytes the floored frame saves over encoding the full list.
+    pub elided_bytes: usize,
+}
+
+/// Exact elision accounting for [`encode_list`]`(list, score_floor)` — pure
+/// arithmetic, no allocation, consistent with [`encoded_list_len`] to the
+/// byte.
+pub fn elision_stats(list: &TruncatedPostingList, score_floor: Option<f64>) -> ElisionStats {
+    let kept = kept_under(list, score_floor);
+    if kept == list.len() {
+        return ElisionStats::default();
+    }
+    ElisionStats {
+        skipped_blocks: list.len().div_ceil(BLOCK_ENTRIES) - kept.div_ceil(BLOCK_ENTRIES),
+        elided_bytes: encoded_list_len(list) - encoded_list_len_for(list, kept),
+    }
 }
 
 /// Worst-case length of a list frame carrying at most `entries` references —
@@ -980,6 +1016,78 @@ mod tests {
                 assert!(r.score.is_finite(), "decoded score {:?}", r.score);
             }
         }
+    }
+
+    #[test]
+    fn block_max_equal_to_floor_still_decodes() {
+        // Regression: the block skip must use strict `<` — a block whose
+        // max-score header *equals* the floor still holds entries at the
+        // floor, and skipping it would silently drop them (a rank inversion
+        // at the boundary). Floor on the dequantized grid so equality is
+        // exact.
+        let entries: Vec<(u32, u32, f64)> = (0..40u32)
+            .map(|i| (1, i, 10.0 - 0.2 * f64::from(i)))
+            .collect();
+        let l = list(&entries, 64);
+        let frame = encode_list(&l, None);
+        let full = decode_list(&frame).unwrap();
+        // The second block's max (entry 16) — exactly a block-max boundary.
+        let boundary = full.refs()[BLOCK_ENTRIES].score;
+        let above = decode_list_above(&frame, boundary).unwrap();
+        let expected = full.refs().partition_point(|r| r.score >= boundary);
+        assert!(
+            expected > BLOCK_ENTRIES,
+            "boundary entry itself must qualify"
+        );
+        assert_eq!(above.len(), expected, "entries at the floor were dropped");
+        assert_eq!(
+            above.refs()[BLOCK_ENTRIES].doc,
+            full.refs()[BLOCK_ENTRIES].doc
+        );
+        assert_eq!(above.refs()[BLOCK_ENTRIES].score, boundary);
+    }
+
+    #[test]
+    fn kth_score_on_block_max_boundary_keeps_rank_k() {
+        // The k-th best score ties with a block's max: with k = 17 the k-th
+        // entry opens the second block, and two more entries tie with it.
+        // Every tied entry must survive a floored decode, and the encode-side
+        // floor (applied to raw scores) must keep the same set.
+        let tie = 6.5f64;
+        let entries: Vec<(u32, u32, f64)> = (0..BLOCK_ENTRIES as u32)
+            .map(|i| (1, i, 10.0 - 0.1 * f64::from(i)))
+            .chain((0..3u32).map(|i| (2, i, tie)))
+            .chain((0..13u32).map(|i| (3, i, 2.0 - 0.1 * f64::from(i))))
+            .collect();
+        let l = list(&entries, 64);
+        let frame = encode_list(&l, None);
+        let full = decode_list(&frame).unwrap();
+        let k = BLOCK_ENTRIES + 1;
+        let kth = full.refs()[k - 1].score;
+        assert_eq!(
+            kth,
+            full.refs()[BLOCK_ENTRIES].score,
+            "k-th entry must be the second block's max for this regression"
+        );
+        let above = decode_list_above(&frame, kth).unwrap();
+        assert_eq!(
+            above.len(),
+            BLOCK_ENTRIES + 3,
+            "all entries tied with the k-th score must decode"
+        );
+        for (a, b) in above.refs().iter().zip(full.refs()) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score, b.score);
+        }
+        // Encode-side elision at the raw tie score keeps the same prefix.
+        let floored_frame = encode_list(&l, Some(tie));
+        let floored = decode_list(&floored_frame).unwrap();
+        assert_eq!(floored.len(), BLOCK_ENTRIES + 3);
+        // Encode-side elision subtracts the elided entries from `full_df`.
+        assert_eq!(
+            floored.full_df() + (l.len() - floored.len()) as u64,
+            full.full_df()
+        );
     }
 
     #[test]

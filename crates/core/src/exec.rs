@@ -25,8 +25,8 @@ use crate::key::TermKey;
 use crate::lattice::NodeOutcome;
 use crate::network::AlvisNetwork;
 use crate::plan::{CursorStep, PlanCursor, QueryPlan};
-use crate::ranking::merge_retrieved;
-use crate::request::{QueryRequest, QueryResponse, ThresholdMode};
+use crate::ranking::{keys_are_laminar, merge_retrieved};
+use crate::request::{rank_safe_floor, QueryRequest, QueryResponse, ThresholdMode};
 use alvisp2p_dht::DhtError;
 use alvisp2p_textindex::bm25::ScoredDoc;
 use alvisp2p_textindex::DocId;
@@ -211,8 +211,21 @@ pub struct QueryStream<'n> {
     /// Number of terms in the analyzed query (the `m` of the threshold bound).
     query_terms: usize,
     /// The score floor fed into the next probe, recomputed from the running
-    /// top-k after every event (see [`QueryStream::next_event`]).
+    /// top-k after every event (see [`QueryStream::next_event`]). Under
+    /// [`ThresholdMode::RankSafe`] this is the Conservative-style floor kept
+    /// only for stale-cap fallback probes; certified probes derive their own
+    /// per-key floor from `rank_safe` and `theta_lb` instead.
     score_floor: Option<f64>,
+    /// Rank-safe floor ingredients, present exactly when the request runs
+    /// [`ThresholdMode::RankSafe`].
+    rank_safe: Option<RankSafePlan>,
+    /// Monotone lower bound on the final k-th merged score: the largest
+    /// running k-th merged score seen so far, maintained only while the
+    /// rank-safe algebra is certified (see [`QueryStream::update_floor`]).
+    theta_lb: Option<f64>,
+    /// RankSafe only: probes that carried the Conservative fallback floor
+    /// because a published maximum they depend on was stale.
+    rank_safe_fallbacks: usize,
     /// Bytes the sketch-pruned probes *would* have charged. Budget admission
     /// runs on `spent + virtual_bytes` so the probe schedule is identical with
     /// and without pruning — savings never buy extra probes the sketch-free
@@ -232,6 +245,34 @@ pub struct QueryStream<'n> {
     /// Probes whose serve was re-routed to a replica holder by failover.
     hedged: usize,
     error: Option<AlvisError>,
+}
+
+/// Pre-computed ingredients of the rank-safe floor algebra, snapshotted from
+/// the plan at stream construction (see [`QueryStream::probe_floor`]).
+///
+/// `caps` holds, per scheduled probe key, the key's own published maximum
+/// score and the summed maxima of the plan's probe keys *disjoint* from it —
+/// the `Σ_{j≠i} max_score(j)` of the floor `θ − Σ_{j≠i} max_score(j)`,
+/// sharpened to disjoint keys only (under a laminar family, a document's
+/// other maximal covering keys are always disjoint from the probed one, so
+/// nested keys never need to be charged). A key's entry is `None` when the
+/// algebra could not be certified for it: its own cached maximum, or that of
+/// a disjoint key, is stale against the list's publish version (lossy
+/// publications, on-demand activation), so the recorded bound may undershoot
+/// the real list and eliding against it would be unsound.
+///
+/// `laminar` is the structural gate: the coverage-weighted merge is only
+/// additive — and per-document merged scores only monotone — when the probed
+/// key family is laminar (pairwise disjoint or nested, see
+/// [`keys_are_laminar`]). Non-laminar families dilute overlapped terms by
+/// coverage fractions, which can shrink a merged score mid-stream and breaks
+/// both the θ lower bound and the per-key charging argument; the stream then
+/// sends every probe floor-free, keeping RankSafe byte-identical to
+/// [`ThresholdMode::Off`] rather than silently approximate.
+#[derive(Debug)]
+struct RankSafePlan {
+    caps: Vec<(TermKey, Option<(f64, f64)>)>,
+    laminar: bool,
 }
 
 /// What [`QueryStream::acquire_probe`] got back from the network for one
@@ -267,6 +308,8 @@ impl<'n> QueryStream<'n> {
         let planned = plan.scheduled_probes();
         let query_terms = query_key.as_ref().map_or(0, TermKey::len);
         let cursor = PlanCursor::new(plan, &lattice, request.byte_budget, request.hop_budget);
+        let rank_safe = (request.threshold == ThresholdMode::RankSafe)
+            .then(|| Self::rank_safe_plan(net, cursor.plan()));
         QueryStream {
             net,
             request,
@@ -279,6 +322,9 @@ impl<'n> QueryStream<'n> {
             base_messages,
             query_terms,
             score_floor: None,
+            rank_safe,
+            theta_lb: None,
+            rank_safe_fallbacks: 0,
             virtual_bytes: 0,
             pruned: 0,
             retries: 0,
@@ -304,9 +350,105 @@ impl<'n> QueryStream<'n> {
         self.cursor.stop();
     }
 
-    /// The score floor the next probe will carry, if any.
+    /// The score floor the next probe will carry, if any. Under
+    /// [`ThresholdMode::RankSafe`] this is only the stale-cap fallback floor —
+    /// certified probes compute a sharper per-key floor at send time.
     pub fn score_floor(&self) -> Option<f64> {
         self.score_floor
+    }
+
+    /// Number of probes that fell back to the Conservative floor because a
+    /// published maximum the rank-safe algebra depends on was stale.
+    pub fn rank_safe_fallbacks(&self) -> usize {
+        self.rank_safe_fallbacks
+    }
+
+    /// Snapshots the rank-safe floor ingredients from the plan's scheduled
+    /// probes (see [`RankSafePlan`]).
+    ///
+    /// A key's cap is its published maximum from
+    /// [`crate::ranking::GlobalRankingStats::key_max_fresh`], accepted only
+    /// when the recorded publish version matches the list's current one — a
+    /// stale maximum may undershoot the list that will actually answer the
+    /// probe (lossy publications can drop the re-publication that raised it),
+    /// and a floor built on an undershooting cap elides entries it has no
+    /// right to. A key nothing was ever published under (publish version
+    /// still 0 and no recorded maximum) is provably absent from the index:
+    /// its probe will miss, it contributes nothing to any merge, and its cap
+    /// is exactly 0.
+    fn rank_safe_plan(net: &AlvisNetwork, plan: &QueryPlan) -> RankSafePlan {
+        let keys: Vec<TermKey> = plan.probes().map(|node| node.key.clone()).collect();
+        let laminar = keys_are_laminar(&keys);
+        let fresh: Vec<Option<f64>> = keys
+            .iter()
+            .map(|key| {
+                let version = net.global_index().publish_version(key);
+                net.ranking_stats().key_max_fresh(key, version).or_else(|| {
+                    (version == 0 && net.ranking_stats().key_max_score(key).is_none())
+                        .then_some(0.0)
+                })
+            })
+            .collect();
+        let disjoint =
+            |a: &TermKey, b: &TermKey| a.term_ids().iter().all(|t| !b.term_ids().contains(t));
+        let caps = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let cap = fresh[i].and_then(|own| {
+                    keys.iter()
+                        .enumerate()
+                        .filter(|(j, other)| *j != i && disjoint(key, other))
+                        .map(|(j, _)| fresh[j])
+                        .sum::<Option<f64>>()
+                        .map(|disjoint_sum| (own, disjoint_sum))
+                });
+                (key.clone(), cap)
+            })
+            .collect();
+        RankSafePlan { caps, laminar }
+    }
+
+    /// The floor the next probe for `key` will carry.
+    ///
+    /// Outside [`ThresholdMode::RankSafe`] this is just the running
+    /// Conservative/Aggressive floor. Under RankSafe, a certified key `i`
+    /// (laminar plan, fresh own and disjoint caps) gets the provably
+    /// rank-safe floor `θ_LB − Σ_{j disjoint from i} max_score(j)` minus one
+    /// quantization step ([`rank_safe_floor`]): any document of the final
+    /// top-k with merged score `≥ θ_LB` can lose at most the disjoint keys'
+    /// maxima to its other covering lists, so its entry in list `i` scores at
+    /// least the floor and survives elision — making the response
+    /// byte-identical in ranking to [`ThresholdMode::Off`] at fewer posting
+    /// bytes. A stale-cap key degrades to the Conservative fallback floor for
+    /// this probe (counted in `rank_safe_fallbacks`, per-key as published
+    /// maxima go stale independently); a non-laminar plan sends every probe
+    /// floor-free because no per-key floor can be certified at all.
+    fn probe_floor(&mut self, key: &TermKey) -> Option<f64> {
+        let Some(rank_safe) = &self.rank_safe else {
+            return self.score_floor;
+        };
+        if !rank_safe.laminar {
+            return None;
+        }
+        let cap = rank_safe
+            .caps
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, cap)| *cap);
+        match cap {
+            Some((own, disjoint_sum)) => {
+                let theta = self.theta_lb?;
+                rank_safe_floor(theta, own + disjoint_sum, own)
+            }
+            None => {
+                let floor = self.score_floor;
+                if floor.is_some() {
+                    self.rank_safe_fallbacks += 1;
+                }
+                floor
+            }
+        }
     }
 
     /// Recomputes the threshold fed into subsequent probes from the running
@@ -328,6 +470,28 @@ impl<'n> QueryStream<'n> {
         let scale = match self.request.threshold {
             ThresholdMode::Off => return,
             ThresholdMode::Conservative => 0.5,
+            ThresholdMode::RankSafe => {
+                // Maintain the θ lower bound the per-key rank-safe floors are
+                // built on; the Conservative-style floor computed below only
+                // serves stale-cap fallback probes. Over a *laminar* retrieval
+                // (the structural gate) the coverage-weighted merge is exactly
+                // additive over each document's maximal covering keys, so
+                // per-document merged scores — and with them the running k-th
+                // merged score — only grow as lists arrive: the running θ is
+                // itself a sound lower bound on the final θ. (For general
+                // non-laminar families it is not, which is one of the two
+                // reasons the gate exists.) The ratchet keeps the bound
+                // monotone against top-k ties resorting below `k`.
+                if self.rank_safe.as_ref().is_some_and(|rs| rs.laminar)
+                    && top_k.len() >= self.request.top_k
+                {
+                    if let Some(worst) = top_k.last() {
+                        let lb = worst.score;
+                        self.theta_lb = Some(self.theta_lb.map_or(lb, |t| t.max(lb)));
+                    }
+                }
+                0.5
+            }
             ThresholdMode::Aggressive => 1.0,
         };
         if self.query_terms == 0 {
@@ -515,7 +679,7 @@ impl<'n> QueryStream<'n> {
             CursorStep::Done => None,
             CursorStep::Probe(key) => {
                 let before = self.net.retrieval_totals().0;
-                let floor = self.score_floor;
+                let floor = self.probe_floor(&key);
                 let shed = self.cursor.pending_node().map_or(0, |n| n.shed_prefix);
                 let (probe, pruned, probe_retries) =
                     match self
@@ -580,6 +744,15 @@ impl<'n> QueryStream<'n> {
                 let hops = probe.hops;
                 let served_by = probe.served_by;
                 let replicas = probe.replica_set.len();
+                if self.rank_safe.is_some() {
+                    // Budget admission must see what the probe would have
+                    // cost without elision, so rank-safe savings never buy
+                    // extra probes the Off execution would not have sent —
+                    // the same counterfactual accounting sketch pruning uses
+                    // (a pruned probe reports zero elision for exactly that
+                    // reason: its full cost is already virtual).
+                    self.virtual_bytes += probe.elided_bytes as u64;
+                }
                 let outcome = self.cursor.record(probe);
                 let bytes = self.net.retrieval_totals().0 - before;
                 let top_k = merge_retrieved(self.cursor.retrieved(), self.request.top_k);
@@ -679,6 +852,7 @@ impl<'n> QueryStream<'n> {
             failed_probes: self.failed,
             corrupt_probes: self.corrupt,
             hedged: self.hedged,
+            rank_safe_fallbacks: self.rank_safe_fallbacks,
             completeness,
         })
     }

@@ -119,6 +119,12 @@ pub struct ProbeResult {
     /// multi-term keys, or an exhausted byte/hop budget). Recorded as
     /// [`crate::lattice::NodeOutcome::Skipped`] and excluded from probe counts.
     pub skipped: bool,
+    /// Whole codec blocks the probe's score floor elided from the response
+    /// frame (see [`crate::codec::ElisionStats`]). `0` for unfloored probes.
+    pub skipped_blocks: usize,
+    /// Response-frame bytes the probe's score floor saved versus shipping the
+    /// full stored list. `0` for unfloored probes.
+    pub elided_bytes: usize,
 }
 
 impl ProbeResult {
@@ -132,6 +138,8 @@ impl ProbeResult {
             served_by: 0,
             replica_set: Vec::new(),
             skipped: true,
+            skipped_blocks: 0,
+            elided_bytes: 0,
         }
     }
 
@@ -511,8 +519,10 @@ impl GlobalIndex {
         // Usage statistics and response encoding happen at the primary's
         // canonical copy, whoever ends up serving.
         let mut encoded: Option<Vec<u8>> = None;
+        let mut elision = crate::codec::ElisionStats::default();
         {
             let encoded_ref = &mut encoded;
+            let elision_ref = &mut elision;
             self.dht
                 .peer_mut(primary)
                 .store
@@ -525,6 +535,7 @@ impl GlobalIndex {
                     if entry.activated {
                         entry.usage.hits += 1;
                         let floor = shed_floor(&entry.postings, score_floor, shed_prefix);
+                        *elision_ref = crate::codec::elision_stats(&entry.postings, floor);
                         *encoded_ref = Some(crate::codec::encode_list(&entry.postings, floor));
                     }
                 });
@@ -552,6 +563,8 @@ impl GlobalIndex {
             served_by,
             replica_set,
             skipped: false,
+            skipped_blocks: elision.skipped_blocks,
+            elided_bytes: elision.elided_bytes,
         })
     }
 
@@ -624,10 +637,12 @@ impl GlobalIndex {
             return Ok(ProbeOutcome::Lost { hops: info.hops });
         }
         let mut encoded: Option<Vec<u8>> = None;
+        let mut elision = crate::codec::ElisionStats::default();
         if served_by == primary || !plane.peer_down(primary, query_seq) {
             // The primary is reachable: canonical statistics and response
             // encoding happen there, exactly as in `probe_with`.
             let encoded_ref = &mut encoded;
+            let elision_ref = &mut elision;
             self.dht
                 .peer_mut(primary)
                 .store
@@ -640,6 +655,7 @@ impl GlobalIndex {
                     if entry.activated {
                         entry.usage.hits += 1;
                         let floor = shed_floor(&entry.postings, score_floor, shed_prefix);
+                        *elision_ref = crate::codec::elision_stats(&entry.postings, floor);
                         *encoded_ref = Some(crate::codec::encode_list(&entry.postings, floor));
                     }
                 });
@@ -649,6 +665,7 @@ impl GlobalIndex {
             // `sync_replicas`, so the degraded path never changes the answer.
             if entry.activated {
                 let floor = shed_floor(&entry.postings, score_floor, shed_prefix);
+                elision = crate::codec::elision_stats(&entry.postings, floor);
                 encoded = Some(crate::codec::encode_list(&entry.postings, floor));
             }
         }
@@ -682,6 +699,8 @@ impl GlobalIndex {
             served_by,
             replica_set,
             skipped: false,
+            skipped_blocks: elision.skipped_blocks,
+            elided_bytes: elision.elided_bytes,
         }))
     }
 

@@ -73,6 +73,15 @@ pub struct LatticeTrace {
     pub probes: usize,
     /// Total overlay hops across all probes.
     pub hops: usize,
+    /// Whole codec blocks score floors elided from response frames across all
+    /// probes (see [`crate::codec::ElisionStats`]); `0` when no floors were
+    /// sent. Absent in traces serialized before floor accounting existed.
+    #[serde(default)]
+    pub skipped_blocks: usize,
+    /// Response-frame bytes score floors saved across all probes versus
+    /// shipping the full stored lists.
+    #[serde(default)]
+    pub elided_bytes: u64,
 }
 
 impl LatticeTrace {
@@ -166,6 +175,8 @@ pub fn explore_lattice<E>(
         }
         result.trace.probes += 1;
         result.trace.hops += probe_result.hops;
+        result.trace.skipped_blocks += probe_result.skipped_blocks;
+        result.trace.elided_bytes += probe_result.elided_bytes as u64;
         match probe_result.postings {
             Some(list) => {
                 let truncated = list.is_truncated();
@@ -230,6 +241,8 @@ mod tests {
                 served_by: 0,
                 replica_set: Vec::new(),
                 skipped: false,
+                skipped_blocks: 0,
+                elided_bytes: 0,
             })
         }
     }

@@ -680,19 +680,24 @@ impl AlvisNetwork {
         // key's own observed probe count is projected forward instead, so
         // sketch upkeep concentrates on the keys queries actually hit.
         let demand_known = self.global.entries().any(|e| e.usage.probes > 0);
-        let mut maxima: Vec<(TermKey, f64)> = Vec::new();
+        let mut maxima: Vec<(TermKey, f64, u64)> = Vec::new();
         let mut planned = Vec::new();
         let mut considered = 0usize;
         for entry in self.global.entries().filter(|e| e.activated) {
+            let version = self.global.publish_version(&entry.key);
             if let Some(best) = entry.postings.best_score() {
-                maxima.push((entry.key.clone(), best));
+                // Stamped with the key's publish version at recording time:
+                // the bound is only sound while the stored list is still at
+                // this version (later mutations — re-publications recovering
+                // lost updates, post-query indexing — leave it stale, and the
+                // rank-safe floor path checks exactly that before trusting it).
+                maxima.push((entry.key.clone(), best, version));
             }
             let Some(model) = model else { continue };
             considered += 1;
             let hops = self.global.estimate_hops(0, &entry.key).unwrap_or(0);
             let bound = entry.postings.len().min(capacity);
             let probe_cost = self.global.estimate_probe_bytes(&entry.key, hops, bound);
-            let version = self.global.publish_version(&entry.key);
             let expected = if demand_known {
                 entry.usage.probes as f64
             } else {
@@ -703,12 +708,12 @@ impl AlvisNetwork {
             }
         }
         maxima.sort_by(|a, b| a.0.cmp(&b.0));
-        for (key, best) in maxima {
+        for (key, best, version) in maxima {
             self.global.charge(
                 TrafficCategory::Ranking,
                 GlobalRankingStats::key_max_wire_size(&key),
             );
-            self.ranking.record_key_max(&key, best);
+            self.ranking.record_key_max(&key, best, version);
         }
         planned.sort_by(|a, b| a.0.cmp(&b.0));
         let mut report = SketchBuildReport {
@@ -1029,6 +1034,11 @@ impl AlvisNetwork {
                 served_by: responsible,
                 replica_set: Vec::new(),
                 skipped: false,
+                // A pruned probe's savings are already captured whole by
+                // `virtual_bytes`; attributing elision here too would
+                // double-count against byte budgets.
+                skipped_blocks: 0,
+                elided_bytes: 0,
             },
             virtual_bytes,
         ))
@@ -1169,6 +1179,7 @@ mod tests {
     use super::*;
     use crate::hdk::HdkConfig;
     use crate::qdi::QdiConfig;
+    use crate::request::ThresholdMode;
     use crate::strategy::{Qdi, SingleTermFull};
     use alvisp2p_textindex::demo_corpus;
 
@@ -1631,6 +1642,70 @@ mod tests {
             .map(|r| r.doc)
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stale_key_maxima_fall_back_to_conservative_floors() {
+        // Lossy build: key-max evidence is recorded against the partially
+        // published lists, then re-publication completes the lists and bumps
+        // their versions — leaving the cached maxima stale (the true maximum
+        // may now exceed them). Rank-safe execution must refuse to build
+        // floors from those caps and fall back per probe, counted in
+        // `rank_safe_fallbacks`.
+        let mut net = demo_network(Hdk::default(), 4);
+        net.set_fault_plane(FaultPlane::seeded(9).with_publish_loss(0.4));
+        net.build_index();
+        while net.pending_publishes() > 0 {
+            net.republish_round();
+        }
+        let stale: Vec<TermKey> = net
+            .global
+            .entries()
+            .filter(|e| e.activated)
+            .map(|e| e.key.clone())
+            .filter(|key| {
+                let version = net.global.publish_version(key);
+                net.ranking.key_max_score(key).is_some()
+                    && net.ranking.key_max_fresh(key, version).is_none()
+            })
+            .collect();
+        assert!(
+            !stale.is_empty(),
+            "drained re-publication should leave some cached maxima stale"
+        );
+
+        // The same lossy build is deterministic, so a second network is an
+        // exact replica to run the Off reference against.
+        let mut off_net = demo_network(Hdk::default(), 4);
+        off_net.set_fault_plane(FaultPlane::seeded(9).with_publish_loss(0.4));
+        off_net.build_index();
+        while off_net.pending_publishes() > 0 {
+            off_net.republish_round();
+        }
+
+        let queries = [
+            "peer to peer retrieval",
+            "distributed hash table",
+            "posting list index",
+            "query driven indexing",
+            "network peers index",
+        ];
+        let mut fallbacks = 0usize;
+        for (i, text) in queries.iter().enumerate() {
+            let base = QueryRequest::new(*text).from_peer(i % 4).top_k(3);
+            let safe = net
+                .execute(&base.clone().threshold_mode(ThresholdMode::RankSafe))
+                .unwrap();
+            let off = off_net.execute(&base.threshold_probes(false)).unwrap();
+            let safe_docs: Vec<_> = safe.results.iter().map(|r| r.doc).collect();
+            let off_docs: Vec<_> = off.results.iter().map(|r| r.doc).collect();
+            assert_eq!(safe_docs, off_docs, "query {text:?} diverged");
+            fallbacks += safe.rank_safe_fallbacks;
+        }
+        assert!(
+            fallbacks > 0,
+            "no probe took the stale-cap Conservative fallback"
+        );
     }
 
     #[test]

@@ -370,22 +370,34 @@ impl GreedyCost {
         expected.min(entries_upper_bound as f64)
     }
 
-    /// The planner's benefit estimate for probing `key`: expected retrieved score
-    /// mass, approximated as (expected posting count) × (summed idf of the key's
-    /// terms) × (probability the key is indexed).
+    /// The planner's benefit estimate for probing `key`: expected retrieved
+    /// score mass, approximated as (expected posting count) × (per-entry score
+    /// estimate) × (probability the key is indexed).
+    ///
+    /// The per-entry estimate prefers the key's published maximum score when
+    /// one is cached (the same `GlobalRankingStats` maxima the rank-safe
+    /// floors are derived from): an actual bound on what the key's entries
+    /// score, measured over the real stored list. Only keys never published —
+    /// where no measurement exists — fall back to the original DF-and-
+    /// independence proxy (summed idf of the key's terms). Staleness is
+    /// irrelevant here: a somewhat-outdated measurement still beats the
+    /// blind proxy, and planning priorities need no soundness guarantee.
     fn benefit(&self, ctx: &PlanCtx<'_>, key: &TermKey, entries_upper_bound: usize) -> f64 {
         let n = ctx.ranking.doc_count() as f64;
-        let idf_sum: f64 = key
-            .term_ids()
-            .iter()
-            .map(|t| (1.0 + n / (1.0 + ctx.ranking.df_id(*t) as f64)).ln())
-            .sum();
+        let per_entry = match ctx.ranking.key_max_score(key) {
+            Some(max) if max > 0.0 => max,
+            _ => key
+                .term_ids()
+                .iter()
+                .map(|t| (1.0 + n / (1.0 + ctx.ranking.df_id(*t) as f64)).ln())
+                .sum(),
+        };
         let p_indexed = if key.is_single() {
             1.0
         } else {
             (ctx.hints.multi_term_prior * self.risk_aversion).clamp(0.0, 1.0)
         };
-        Self::expected_entries(ctx, key, entries_upper_bound) * idf_sum * p_indexed
+        Self::expected_entries(ctx, key, entries_upper_bound) * per_entry * p_indexed
     }
 }
 
@@ -883,6 +895,8 @@ impl PlanCursor {
         self.index += 1;
         self.result.trace.probes += 1;
         self.result.trace.hops += probe.hops;
+        self.result.trace.skipped_blocks += probe.skipped_blocks;
+        self.result.trace.elided_bytes += probe.elided_bytes as u64;
         self.hops_spent += probe.hops;
         let key = probe.key;
         let outcome = match probe.postings {
@@ -1159,6 +1173,8 @@ mod tests {
             served_by: 0,
             replica_set: Vec::new(),
             skipped: false,
+            skipped_blocks: 0,
+            elided_bytes: 0,
         }
     }
 
@@ -1195,6 +1211,8 @@ mod tests {
                             served_by: 0,
                             replica_set: Vec::new(),
                             skipped: false,
+                            skipped_blocks: 0,
+                            elided_bytes: 0,
                         });
                     }
                 }

@@ -34,13 +34,19 @@ pub struct GlobalRankingStats {
     /// Interned mirror of `stats.doc_frequencies`, rebuilt as fragments merge.
     df_by_id: HashMap<TermId, u64>,
     /// Per-key maximum published contribution score (the rank-safety bound of
-    /// ROADMAP item 1): each peer publishes the max score of its delta for a
-    /// key, and the aggregate keeps the max over all publishers. Because every
-    /// document is scored by exactly one owner, this upper-bounds every score
-    /// the key's stored posting list can ever return — [`crate::request::ThresholdMode`]
-    /// floors and sketch score-histogram pruning share it as one provably-safe
-    /// bound.
-    key_max: HashMap<TermKey, f64>,
+    /// ROADMAP item 1), versioned by the key's publish version at recording
+    /// time: each publication records the stored list's best score, and the
+    /// aggregate keeps the newest version (taking the max among same-version
+    /// records). Because every document is scored by exactly one owner, a
+    /// *fresh* record — one whose version still matches the key's current
+    /// publish version — upper-bounds every score the key's stored posting
+    /// list can return; [`crate::request::ThresholdMode::RankSafe`] floors and
+    /// sketch score-histogram pruning share it as one provably-safe bound. A
+    /// stale record (lossy publications can leave the cache behind the list)
+    /// bounds nothing, which is why the rank-safe path checks
+    /// [`GlobalRankingStats::key_max_fresh`] and falls back rather than trust
+    /// it.
+    key_max: HashMap<TermKey, (f64, u64)>,
 }
 
 impl GlobalRankingStats {
@@ -93,20 +99,46 @@ impl GlobalRankingStats {
         self.stats.vocabulary_size()
     }
 
-    /// Records a published per-key maximum contribution score, keeping the max
-    /// over all publishers. Called on the publish path for every key a peer
+    /// Records a published per-key maximum contribution score together with
+    /// the key's publish `version` at recording time. A newer version
+    /// replaces the stored record outright (each publication reports the
+    /// *stored list's* best score, which already subsumes every earlier
+    /// contribution); among same-version records the max wins; an older
+    /// version is ignored. Called on the publish path for every key a peer
     /// contributes postings to.
-    pub fn record_key_max(&mut self, key: &TermKey, max_score: f64) {
-        let slot = self.key_max.entry(key.clone()).or_insert(f64::MIN);
-        if max_score > *slot {
-            *slot = max_score;
+    pub fn record_key_max(&mut self, key: &TermKey, max_score: f64, version: u64) {
+        use std::collections::hash_map::Entry;
+        match self.key_max.entry(key.clone()) {
+            Entry::Vacant(slot) => {
+                slot.insert((max_score, version));
+            }
+            Entry::Occupied(mut slot) => {
+                let (score, recorded) = *slot.get();
+                if version > recorded || (version == recorded && max_score > score) {
+                    slot.insert((max_score, version));
+                }
+            }
         }
     }
 
-    /// The maximum score any stored posting of `key` can carry (the max over
-    /// all published contributions), or `None` if nothing was recorded.
+    /// The maximum score any stored posting of `key` was known to carry when
+    /// the record was made, or `None` if nothing was recorded. Freshness is
+    /// *not* checked here — callers needing a sound bound (rather than a
+    /// planning estimate) must use [`GlobalRankingStats::key_max_fresh`].
     pub fn key_max_score(&self, key: &TermKey) -> Option<f64> {
-        self.key_max.get(key).copied()
+        self.key_max.get(key).map(|(score, _)| *score)
+    }
+
+    /// The recorded maximum for `key` **iff** it is fresh: recorded at
+    /// exactly the key's `current_version` publish version. A record from an
+    /// older version may predate stored postings with higher scores (lossy
+    /// publications drop the updates that would have refreshed it), so it is
+    /// unusable as a rank-safety bound and this returns `None`.
+    pub fn key_max_fresh(&self, key: &TermKey, current_version: u64) -> Option<f64> {
+        match self.key_max.get(key) {
+            Some((score, recorded)) if *recorded == current_version => Some(*score),
+            _ => None,
+        }
     }
 
     /// Number of keys with a recorded maximum score.
@@ -138,12 +170,21 @@ impl Serialize for GlobalRankingStats {
         let mut maxima: Vec<(String, Value)> = self
             .key_max
             .iter()
-            .map(|(k, v)| (k.canonical(), Value::Float(*v)))
+            .map(|(k, (score, _))| (k.canonical(), Value::Float(*score)))
             .collect();
         maxima.sort_by(|a, b| a.0.cmp(&b.0));
+        // Versions travel in a parallel table (same sorted canonical keys) so
+        // pre-versioning frames — which carry `key_max` alone — still parse.
+        let mut versions: Vec<(String, Value)> = self
+            .key_max
+            .iter()
+            .map(|(k, (_, version))| (k.canonical(), Value::UInt(*version)))
+            .collect();
+        versions.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Obj(vec![
             ("stats".to_string(), self.stats.to_value()),
             ("key_max".to_string(), Value::Obj(maxima)),
+            ("key_max_versions".to_string(), Value::Obj(versions)),
         ])
     }
 }
@@ -154,16 +195,32 @@ impl Deserialize for GlobalRankingStats {
         let mut out = GlobalRankingStats::default();
         out.merge_fragment(&stats);
         // Absent in frames from before the rank-safety bound existed.
-        let maxima = match v {
-            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == "key_max").map(|(_, m)| m),
+        let lookup = |field: &str| match v {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == field).map(|(_, m)| m),
             _ => None,
         };
-        if let Some(Value::Obj(maxima)) = maxima {
+        if let Some(Value::Obj(maxima)) = lookup("key_max") {
+            // Frames from before versioning carry no `key_max_versions`
+            // table; their records default to version 0, which is always
+            // stale against a live index (every publication bumps past 0) —
+            // the safe reading of an unversioned bound.
+            let versions = match lookup("key_max_versions") {
+                Some(Value::Obj(versions)) => Some(versions),
+                _ => None,
+            };
             for (canonical, value) in maxima {
                 let Value::Float(max) = value else {
                     return Err(DeError::new("key_max values must be floats"));
                 };
-                out.record_key_max(&TermKey::new(canonical.split('+')), *max);
+                let version = versions
+                    .and_then(|vs| vs.iter().find(|(k, _)| k == canonical))
+                    .map(|(_, v)| match v {
+                        Value::UInt(n) => Ok(*n),
+                        _ => Err(DeError::new("key_max_versions values must be unsigned")),
+                    })
+                    .transpose()?
+                    .unwrap_or(0);
+                out.record_key_max(&TermKey::new(canonical.split('+')), *max, version);
             }
         }
         Ok(out)
@@ -243,6 +300,29 @@ pub fn merge_retrieved(retrieved: &[(TermKey, TruncatedPostingList)], k: usize) 
             .collect(),
         k,
     )
+}
+
+/// Whether a set of probeable keys forms a *laminar* family: every pair is
+/// either disjoint or nested. This is the structural condition under which
+/// the coverage-weighted merge is exactly additive over each document's
+/// maximal covering keys — subsets of an already-counted key are skipped
+/// whole (`new_terms == 0`) rather than fraction-diluted, so per-document
+/// merged scores can only grow as more lists arrive. Non-laminar covers
+/// (two overlapping keys, neither containing the other, e.g. `a+b` and
+/// `b+c`) re-spread an overlapped term's weight and can *shrink* a merged
+/// score mid-stream, which is why the rank-safe executor refuses to derive
+/// floors from them.
+pub fn keys_are_laminar(keys: &[TermKey]) -> bool {
+    keys.iter().enumerate().all(|(i, a)| {
+        keys[..i].iter().all(|b| {
+            let shared = a
+                .term_ids()
+                .iter()
+                .filter(|&t| b.term_ids().contains(t))
+                .count();
+            shared == 0 || shared == a.len().min(b.len())
+        })
+    })
 }
 
 #[cfg(test)]
@@ -452,24 +532,58 @@ mod tests {
     }
 
     #[test]
-    fn key_max_keeps_the_max_over_publishers() {
+    fn key_max_keeps_the_max_over_same_version_publishers() {
         let mut global = GlobalRankingStats::new();
         let key = TermKey::new(["peer", "retriev"]);
         assert!(global.key_max_score(&key).is_none());
-        global.record_key_max(&key, 2.5);
-        global.record_key_max(&key, 1.0);
-        global.record_key_max(&key, 3.75);
+        global.record_key_max(&key, 2.5, 1);
+        global.record_key_max(&key, 1.0, 1);
+        global.record_key_max(&key, 3.75, 1);
         assert_eq!(global.key_max_score(&key), Some(3.75));
         assert_eq!(global.key_max_count(), 1);
         assert!(GlobalRankingStats::key_max_wire_size(&key) > 8);
     }
 
     #[test]
+    fn key_max_newer_version_replaces_older_records_outright() {
+        let mut global = GlobalRankingStats::new();
+        let key = TermKey::single("peer");
+        global.record_key_max(&key, 9.0, 1);
+        // A later publication reports the stored list's best, which may be
+        // lower (the old top entries were truncated away): it must replace,
+        // not max with, the stale record.
+        global.record_key_max(&key, 4.0, 2);
+        assert_eq!(global.key_max_score(&key), Some(4.0));
+        // An out-of-order older record never clobbers a newer one.
+        global.record_key_max(&key, 100.0, 1);
+        assert_eq!(global.key_max_score(&key), Some(4.0));
+    }
+
+    #[test]
+    fn key_max_fresh_requires_an_exact_version_match() {
+        let mut global = GlobalRankingStats::new();
+        let key = TermKey::single("peer");
+        assert_eq!(global.key_max_fresh(&key, 0), None, "nothing recorded");
+        global.record_key_max(&key, 2.0, 3);
+        assert_eq!(global.key_max_fresh(&key, 3), Some(2.0));
+        assert_eq!(
+            global.key_max_fresh(&key, 4),
+            None,
+            "a record behind the list's publish version bounds nothing"
+        );
+        assert_eq!(
+            global.key_max_score(&key),
+            Some(2.0),
+            "planning estimate survives"
+        );
+    }
+
+    #[test]
     fn key_max_survives_the_serde_round_trip() {
         let idx = local_index(0, &["peer retrieval systems"]);
         let mut global = global_from(&[&idx]);
-        global.record_key_max(&TermKey::single("peer"), 1.25);
-        global.record_key_max(&TermKey::new(["peer", "retriev"]), 2.5);
+        global.record_key_max(&TermKey::single("peer"), 1.25, 7);
+        global.record_key_max(&TermKey::new(["peer", "retriev"]), 2.5, 2);
         let back = GlobalRankingStats::from_value(&global.to_value()).unwrap();
         assert_eq!(back.doc_count(), global.doc_count());
         assert_eq!(back.key_max_score(&TermKey::single("peer")), Some(1.25));
@@ -477,6 +591,10 @@ mod tests {
             back.key_max_score(&TermKey::new(["peer", "retriev"])),
             Some(2.5)
         );
+        // Versions ride along: the round-tripped records stay fresh at the
+        // versions they were recorded at, and at no other.
+        assert_eq!(back.key_max_fresh(&TermKey::single("peer"), 7), Some(1.25));
+        assert_eq!(back.key_max_fresh(&TermKey::single("peer"), 8), None);
         assert_eq!(back.key_max_count(), 2);
         // Frames without the field (pre-bound peers) still parse.
         let legacy = Value::Obj(vec![(
@@ -485,6 +603,19 @@ mod tests {
         )]);
         let parsed = GlobalRankingStats::from_value(&legacy).unwrap();
         assert_eq!(parsed.key_max_count(), 0);
+        // Frames with maxima but no version table (pre-versioning peers)
+        // parse with version 0 — always stale against a live index.
+        let unversioned = Value::Obj(vec![
+            ("stats".to_string(), idx.collection_stats().to_value()),
+            (
+                "key_max".to_string(),
+                Value::Obj(vec![("peer".to_string(), Value::Float(1.5))]),
+            ),
+        ]);
+        let parsed = GlobalRankingStats::from_value(&unversioned).unwrap();
+        assert_eq!(parsed.key_max_score(&TermKey::single("peer")), Some(1.5));
+        assert_eq!(parsed.key_max_fresh(&TermKey::single("peer"), 0), Some(1.5));
+        assert_eq!(parsed.key_max_fresh(&TermKey::single("peer"), 1), None);
     }
 
     #[test]
@@ -498,12 +629,94 @@ mod tests {
         for idx in [&a, &b] {
             let delta = score_local_postings(idx, &key, &global, Bm25Params::default(), 100);
             if let Some(best) = delta.best_score() {
-                global.record_key_max(&key, best);
+                global.record_key_max(&key, best, 1);
             }
             all_scores.extend(delta.refs().iter().map(|r| r.score));
         }
         let bound = global.key_max_score(&key).unwrap();
         assert!(all_scores.iter().all(|s| *s <= bound));
         assert!(all_scores.contains(&bound), "the bound is tight");
+    }
+
+    #[test]
+    fn laminar_families_are_recognised() {
+        let a = TermKey::single("a");
+        let b = TermKey::single("b");
+        let c = TermKey::single("c");
+        let ab = TermKey::new(["a", "b"]);
+        let bc = TermKey::new(["b", "c"]);
+        // Disjoint singletons, nesting, and mixtures are laminar.
+        assert!(keys_are_laminar(&[]));
+        assert!(keys_are_laminar(std::slice::from_ref(&a)));
+        assert!(keys_are_laminar(&[a.clone(), b.clone(), c.clone()]));
+        assert!(keys_are_laminar(&[ab.clone(), a.clone(), b]));
+        assert!(keys_are_laminar(&[ab.clone(), c]));
+        // Overlapping without nesting is not.
+        assert!(!keys_are_laminar(&[ab.clone(), bc.clone()]));
+        assert!(!keys_are_laminar(&[ab, a, bc]));
+    }
+
+    /// The property the rank-safe executor's running-θ lower bound stands on:
+    /// over a *laminar* key family the coverage-weighted merge is additive
+    /// over each document's maximal covering keys, so every document's merged
+    /// score — and the running k-th — only grows as lists arrive. The same
+    /// prefix walk over a non-laminar family shows the contrast: a merged
+    /// score can shrink mid-stream, which is why the executor refuses floors
+    /// there.
+    #[test]
+    fn laminar_merges_are_additive_and_monotone_under_list_arrival() {
+        let d1 = DocId::new(0, 1);
+        let d2 = DocId::new(0, 2);
+        let list = |pairs: &[(DocId, f64)]| {
+            TruncatedPostingList::from_refs(
+                pairs.iter().map(|&(doc, score)| ScoredRef { doc, score }),
+                10,
+            )
+        };
+        // Laminar: {a,b} ⊃ {a}, plus disjoint {c}. d1 appears in every list
+        // but its subset-key entry must not dilute the superset's.
+        let retrieved = vec![
+            (TermKey::new(["a", "b"]), list(&[(d1, 3.0), (d2, 2.0)])),
+            (TermKey::single("a"), list(&[(d1, 2.5)])),
+            (TermKey::single("c"), list(&[(d1, 1.0), (d2, 4.0)])),
+        ];
+        let score_of =
+            |merged: &[ScoredDoc], doc: DocId| merged.iter().find(|r| r.doc == doc).unwrap().score;
+        let full = merge_retrieved(&retrieved, 10);
+        // Additivity over maximal covering keys: {a,b} at fraction 1 plus the
+        // disjoint {c} at fraction 1; the nested {a} entry is skipped whole.
+        assert!((score_of(&full, d1) - 4.0).abs() < 1e-12);
+        assert!((score_of(&full, d2) - 6.0).abs() < 1e-12);
+        // Monotonicity: per-document merged scores never shrink as lists
+        // arrive, so every prefix's k-th merged score lower-bounds the final
+        // k-th.
+        for upto in 1..retrieved.len() {
+            let prefix = merge_retrieved(&retrieved[..upto], 10);
+            for r in &prefix {
+                assert!(
+                    score_of(&full, r.doc) + 1e-12 >= r.score,
+                    "a merged score shrank as lists arrived"
+                );
+            }
+            for k in 1..=prefix.len() {
+                assert!(
+                    prefix[k - 1].score <= full[k - 1].score + 1e-12,
+                    "the running k-th merged score exceeded the final k-th"
+                );
+            }
+        }
+        // Non-laminar contrast ({a,b} and {b,c} overlap without nesting):
+        // d1's merged score *shrinks* when the second list arrives late in
+        // the length-sorted order re-spreads the shared term.
+        let ab = (TermKey::new(["a", "b"]), list(&[(d1, 1.0)]));
+        let bc = (TermKey::new(["b", "c"]), list(&[(d1, 10.0)]));
+        let alone = merge_retrieved(std::slice::from_ref(&bc), 10);
+        let both = merge_retrieved(&[ab, bc], 10);
+        assert!((score_of(&alone, d1) - 10.0).abs() < 1e-12);
+        assert!(
+            score_of(&both, d1) < 10.0,
+            "the non-laminar merge diluted d1 ({})",
+            score_of(&both, d1)
+        );
     }
 }

@@ -15,41 +15,81 @@ use alvisp2p_textindex::bm25::ScoredDoc;
 /// subsequent probes as a score floor (threshold-aware probes; the policy
 /// itself lives in [`crate::exec::QueryStream`]).
 ///
-/// With `m` query terms and running k-th merged score `θ`:
+/// The modes form a three-way safety ladder. With `m` query terms and running
+/// k-th merged score `θ`:
 ///
-/// * [`ThresholdMode::Conservative`] (the default) floors at `θ / (2m)`. A
-///   document whose every posting entry scores below that floor aggregates to
-///   strictly less than `θ / 2` across the at most `m` keys that can
-///   contribute to it, so elision can never lift it past the running k-th
-///   score *as of the probe that elided it*. Two gaps keep even this mode
-///   heuristic rather than proven: partial elision (a retrieved document
-///   losing a sub-floor component of its merged score), and the
-///   coverage-weighted merge being non-monotone (`θ` can later drop below
-///   the level an earlier floor assumed; past elision is irreversible).
-///   Exactness is therefore pinned empirically — the deterministic equality
-///   tests assert the returned top-k is *identical* to unthresholded
-///   execution across the tested corpora and budgets — and the ROADMAP
-///   tracks the WAND-style per-term upper bounds a provably rank-safe floor
-///   would need.
+/// * [`ThresholdMode::Off`] never sends a floor (the PR 3 byte baseline).
+/// * [`ThresholdMode::RankSafe`] is the Block-Max-WAND-style operating point:
+///   the floor sent to key *i* is `θ_LB − Σ_{j≠i} max_score(j)` (see
+///   [`rank_safe_floor`]), derived from per-key maximum scores that ride
+///   every publication into [`crate::ranking::GlobalRankingStats`] and from a
+///   *monotone lower bound* on `θ` (per-document first-list scores, immune to
+///   the coverage-weighted merge's non-monotonicity). A document elided under
+///   such a floor provably could not have entered the final top-k, so this
+///   mode returns the exact documents *and ranks* of `Off` at strictly fewer
+///   posting bytes — the proptest-pinned headline invariant. Keys whose
+///   cached maximum is stale (older than the list's current publish version,
+///   possible under lossy publications) fall back to the `Conservative`
+///   floor; [`QueryResponse::rank_safe_fallbacks`] counts those probes.
 /// * [`ThresholdMode::Aggressive`] floors at `θ / m`: the bandwidth-first
 ///   operating point. A document elided everywhere still cannot aggregate to
 ///   `θ`, but merged scores of retrieved documents may lose sub-floor
 ///   components, so boundary ranks are approximate — the same trade
 ///   posting-list truncation itself makes, measured (bytes saved vs. result
 ///   overlap) by the bench arms instead of asserted equal.
-/// * [`ThresholdMode::Off`] never sends a floor (the PR 3 byte baseline).
+///
+/// [`ThresholdMode::Conservative`] (floor `θ / (2m)`; still the default for
+/// compatibility) is a deprecated alias rung: rank-exactness was only ever
+/// pinned empirically, and `RankSafe` now dominates it — provably exact *and*
+/// at least as much elision wherever fresh maxima are available. It remains
+/// as the documented fallback `RankSafe` degrades to per-key under staleness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ThresholdMode {
     /// No score floor is ever sent.
     Off,
     /// Floor at `θ / (2m)`: a fully-elided document cannot reach the running
-    /// k-th score as of the probe that elided it; empirically exact on the
-    /// tested workloads (see the type-level docs for the two caveats).
+    /// k-th score as of the probe that elided it. Deprecated alias rung of
+    /// the ladder — prefer [`ThresholdMode::RankSafe`], which is provably
+    /// rank-exact instead of empirically so; `Conservative` survives as the
+    /// per-key fallback floor under stale maxima (and as the default, for
+    /// compatibility with pre-`RankSafe` callers).
     #[default]
     Conservative,
+    /// Provably rank-safe per-probe floors from published per-key max scores:
+    /// byte-identical top-k documents and ranks to [`ThresholdMode::Off`] at
+    /// strictly fewer posting bytes.
+    RankSafe,
     /// Floor at `θ / m`: maximal safe-membership elision, approximate
     /// boundary ranks.
     Aggressive,
+}
+
+/// The rank-safe floor for one probe: `θ_LB − Σ_{j≠i} cap(j)`, widened down
+/// by one quantization step, clamped to `None` when non-positive.
+///
+/// `theta` must be a *monotone lower bound* on the final k-th merged score
+/// (the running k-th merged score is one over a laminar key family — see
+/// [`crate::ranking::keys_are_laminar`]), `cap_sum` the sum of
+/// per-term score caps over all query terms, and `own_cap` the cap of the
+/// probed key's own cheapest term. A document elided by the returned floor
+/// contributes `< floor` from this key and at most `cap_sum − own_cap` from
+/// every other term combined, hence merges to `< θ_LB ≤ θ_final` — it could
+/// never have displaced a top-k member.
+///
+/// The widening mirrors `prunes_all_below`: encode-side elision compares raw
+/// `f64` scores but the querier ranks *decoded* (quantized) scores, which sit
+/// within one grid step of raw. Subtracting one step of a grid spanning
+/// `[0, max(θ, cap_sum)]` — at least as coarse as any single frame's grid,
+/// since every frame's score range is bounded by one term's cap — keeps the
+/// floor safe against that rounding, and never costs more than one step of
+/// floor height (pinned by the edge-case tests).
+pub fn rank_safe_floor(theta: f64, cap_sum: f64, own_cap: f64) -> Option<f64> {
+    if !(theta.is_finite() && cap_sum.is_finite() && own_cap.is_finite()) {
+        return None;
+    }
+    let margin = crate::codec::quantization_step(0.0, theta.max(cap_sum));
+    let floor = theta - (cap_sum - own_cap) - margin;
+    (floor > 0.0).then_some(floor)
 }
 
 /// One query, fully described.
@@ -205,6 +245,13 @@ pub struct QueryResponse {
     /// holder after the primary proved unresponsive. Always `0` under
     /// [`crate::fault::FaultPlane::NoFaults`].
     pub hedged: usize,
+    /// Under [`ThresholdMode::RankSafe`] only: the number of probes that fell
+    /// back to the `Conservative` floor because some query term had no fresh
+    /// published maximum — either never published, or cached at a version
+    /// older than the key's current publish version (possible under lossy
+    /// publications). Rank-safety is preserved either way; fallbacks only
+    /// cost elision depth. Always `0` in every other mode.
+    pub rank_safe_fallbacks: usize,
     /// How much of the planned document-frequency mass the answer actually
     /// covers, with per-key failure causes — the "gracefully degraded answer"
     /// report. [`Completeness::fraction`] is `1.0` on a fault-free run.
@@ -257,5 +304,70 @@ mod tests {
                 .threshold,
             ThresholdMode::Aggressive
         );
+    }
+
+    /// Single-term query: every term's cap is the probe's own cap, so the
+    /// floor is θ itself — less the one-step quantization widening, and never
+    /// more than θ.
+    #[test]
+    fn single_term_floor_is_theta_within_one_widening_step() {
+        let theta = 7.25;
+        let cap = 9.0;
+        let step = crate::codec::quantization_step(0.0, cap);
+        let floor = rank_safe_floor(theta, cap, cap).expect("positive floor");
+        assert!(
+            floor <= theta,
+            "widening must never raise the floor above θ"
+        );
+        assert!(
+            theta - floor <= step * (1.0 + 1e-12),
+            "single-term floor {floor} sits more than one step {step} below θ {theta}"
+        );
+    }
+
+    /// When every other term's cap already covers θ, the margin is negative
+    /// for this key and the floor clamps to `None`: the probe ships the full
+    /// list rather than a floor that could elide a top-k contender.
+    #[test]
+    fn all_negative_margins_clamp_to_none() {
+        // θ = 3, other caps sum to 10: 3 - 10 < 0.
+        assert_eq!(rank_safe_floor(3.0, 12.0, 2.0), None);
+        // Exactly zero margin also clamps (the floor must be strictly
+        // positive to elide anything soundly).
+        assert_eq!(rank_safe_floor(10.0, 10.0, 0.0), None);
+        // Degenerate inputs never produce a floor.
+        assert_eq!(rank_safe_floor(f64::NAN, 1.0, 1.0), None);
+        assert_eq!(rank_safe_floor(1.0, f64::INFINITY, 1.0), None);
+    }
+
+    /// The quantization widening is exactly one step of the caps-scale grid:
+    /// the ideal floor minus the returned floor equals
+    /// `quantization_step(0, max(θ, Σcaps))`, never more.
+    #[test]
+    fn widening_never_exceeds_one_step() {
+        for &(theta, cap_sum, own_cap) in &[
+            (5.0f64, 6.0, 2.5),
+            (5.0, 4.0, 1.0),
+            (0.75, 0.8, 0.4),
+            (123.0, 400.0, 300.0),
+        ] {
+            let ideal = theta - (cap_sum - own_cap);
+            let step = crate::codec::quantization_step(0.0, theta.max(cap_sum));
+            match rank_safe_floor(theta, cap_sum, own_cap) {
+                Some(floor) => {
+                    assert!(floor < ideal, "floor must widen strictly downward");
+                    assert!(
+                        ideal - floor <= step * (1.0 + 1e-9),
+                        "widening {} exceeds one step {} for θ={theta}",
+                        ideal - floor,
+                        step
+                    );
+                }
+                None => assert!(
+                    ideal <= step,
+                    "clamping is only allowed within one step of zero (ideal {ideal}, step {step})"
+                ),
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@ use alvisp2p_core::codec::{
 use alvisp2p_core::network::AlvisNetwork;
 use alvisp2p_core::posting::{ScoredRef, TruncatedPostingList};
 use alvisp2p_core::request::{QueryRequest, ThresholdMode};
-use alvisp2p_core::strategy::{Hdk, SingleTermFull, Strategy as IndexingStrategy};
+use alvisp2p_core::strategy::{Hdk, Qdi, SingleTermFull, Strategy as IndexingStrategy};
 use alvisp2p_textindex::{
     CorpusConfig, CorpusGenerator, DocId, QueryLogConfig, QueryLogGenerator, SyntheticCorpus,
 };
@@ -298,6 +298,104 @@ fn aggressive_threshold_trades_bounded_overlap_loss_for_bytes() {
         aggressive_bytes < off_bytes,
         "aggressive thresholding saved no bytes ({aggressive_bytes} vs {off_bytes})"
     );
+}
+
+/// The headline `RankSafe` invariant: across random corpora × strategies ×
+/// byte budgets, rank-safe execution returns top-k documents **and ranks**
+/// byte-identical to [`ThresholdMode::Off`] — the merged scores compared as
+/// raw bits, not approximately — while never shipping more posting bytes.
+/// This is the deterministic-equality bar the heuristic `Aggressive` mode can
+/// never meet, and `Conservative`'s soundness argument never covered.
+/// (Deterministic: seeds are fixed.)
+#[test]
+fn rank_safe_matches_off_bit_for_bit_across_the_matrix() {
+    let strategies: Vec<(&str, Arc<dyn IndexingStrategy>)> = vec![
+        ("single-term", Arc::new(SingleTermFull)),
+        ("hdk", Arc::new(Hdk::default())),
+    ];
+    let budgets: [Option<u64>; 3] = [None, Some(1_500), Some(4_000)];
+    let planner = alvisp2p_core::plan::GreedyCost::default();
+    for (docs, seed) in [(160usize, 31u64), (320, 43)] {
+        let corpus = corpus(docs, seed);
+        let queries = query_texts(&corpus, 16, seed ^ 0x5f);
+        for (label, strategy) in &strategies {
+            for budget in budgets {
+                let mut safe = network(&corpus, Arc::clone(strategy), seed);
+                let mut off = network(&corpus, Arc::clone(strategy), seed);
+                for (i, text) in queries.iter().enumerate() {
+                    let mut base = QueryRequest::new(text.clone()).from_peer(i % 8).top_k(10);
+                    if let Some(b) = budget {
+                        base = base.byte_budget(b);
+                    }
+                    let safe_req = base.clone().threshold_mode(ThresholdMode::RankSafe);
+                    let plan_s = safe.plan_with(&planner, &safe_req).unwrap();
+                    let s = safe.run(&plan_s, &safe_req).unwrap();
+                    let off_req = base.threshold_probes(false);
+                    let plan_o = off.plan_with(&planner, &off_req).unwrap();
+                    let o = off.run(&plan_o, &off_req).unwrap();
+                    let s_ranked: Vec<(DocId, u64)> = s
+                        .results
+                        .iter()
+                        .map(|r| (r.doc, r.score.to_bits()))
+                        .collect();
+                    let o_ranked: Vec<(DocId, u64)> = o
+                        .results
+                        .iter()
+                        .map(|r| (r.doc, r.score.to_bits()))
+                        .collect();
+                    assert_eq!(
+                        s_ranked, o_ranked,
+                        "{label} corpus({docs},{seed}) budget {budget:?} query {i} {text:?}: \
+                         rank-safe diverged from off"
+                    );
+                    assert!(
+                        s.bytes <= o.bytes,
+                        "{label} budget {budget:?} query {i}: rank-safe shipped more bytes \
+                         ({} vs {})",
+                        s.bytes,
+                        o.bytes
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same bit-for-bit equality under QDI's adaptive indexing. Each query
+/// runs against fresh identical networks (adaptation from earlier rank-safe
+/// queries could otherwise legitimately drift the two indexes apart, which
+/// would test adaptation rather than the floors).
+#[test]
+fn rank_safe_matches_off_under_qdi_activation() {
+    let corpus = corpus(200, 77);
+    let queries = query_texts(&corpus, 6, 77 ^ 0x5f);
+    let planner = alvisp2p_core::plan::GreedyCost::default();
+    for (i, text) in queries.iter().enumerate() {
+        let mut safe = network(&corpus, Arc::new(Qdi::default()), 77);
+        let mut off = network(&corpus, Arc::new(Qdi::default()), 77);
+        let base = QueryRequest::new(text.clone()).from_peer(i % 8).top_k(10);
+        let safe_req = base.clone().threshold_mode(ThresholdMode::RankSafe);
+        let plan_s = safe.plan_with(&planner, &safe_req).unwrap();
+        let s = safe.run(&plan_s, &safe_req).unwrap();
+        let off_req = base.threshold_probes(false);
+        let plan_o = off.plan_with(&planner, &off_req).unwrap();
+        let o = off.run(&plan_o, &off_req).unwrap();
+        let s_ranked: Vec<(DocId, u64)> = s
+            .results
+            .iter()
+            .map(|r| (r.doc, r.score.to_bits()))
+            .collect();
+        let o_ranked: Vec<(DocId, u64)> = o
+            .results
+            .iter()
+            .map(|r| (r.doc, r.score.to_bits()))
+            .collect();
+        assert_eq!(s_ranked, o_ranked, "qdi query {i} {text:?}");
+        assert!(
+            s.bytes <= o.bytes,
+            "qdi query {i}: rank-safe shipped more bytes"
+        );
+    }
 }
 
 /// Under byte budgets the Reserve guarantee holds in both modes, and whenever

@@ -38,6 +38,16 @@ pub struct QueryLogConfig {
     /// If `true`, the popularity ranking is rotated halfway through the log so that
     /// previously popular queries become rare and vice versa (tests QDI adaptivity).
     pub popularity_drift: bool,
+    /// When `Some(df)`, query terms are drawn only from words appearing in more
+    /// than `df` documents — the globally *frequent* terms in HDK's sense. Such a
+    /// head-term log concentrates the workload on the long posting lists that
+    /// multi-term keys exist to shorten.
+    pub min_term_df: Option<usize>,
+    /// When `Some(w)` (meaningful together with `min_term_df`), the terms of a
+    /// multi-term query must co-occur within `w` token positions in the sampled
+    /// document — the same spread test as the HDK proximity filter, so the
+    /// query's own multi-term key is guaranteed a generating document.
+    pub cooccurrence_window: Option<u32>,
 }
 
 impl Default for QueryLogConfig {
@@ -49,6 +59,8 @@ impl Default for QueryLogConfig {
             min_terms: 2,
             max_terms: 3,
             popularity_drift: false,
+            min_term_df: None,
+            cooccurrence_window: None,
         }
     }
 }
@@ -115,6 +127,22 @@ impl QueryLogGenerator {
         let cfg = &self.config;
         let mut rng = SimRng::new(self.seed).derive(0x9E);
 
+        // Head-term mode: the pool of words frequent enough (document frequency
+        // above `min_term_df`) to qualify as query terms.
+        let frequent: Option<std::collections::HashSet<&str>> = cfg.min_term_df.map(|min_df| {
+            let mut df: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+            for doc in &corpus.docs {
+                let words: std::collections::HashSet<&str> = doc.body.split_whitespace().collect();
+                for w in words {
+                    *df.entry(w).or_insert(0) += 1;
+                }
+            }
+            df.into_iter()
+                .filter(|(w, n)| *n > min_df && w.len() >= 3)
+                .map(|(w, _)| w)
+                .collect()
+        });
+
         // Build the pool of distinct queries by sampling documents and picking a few
         // of their (non-head) terms.
         let mut distinct = Vec::with_capacity(cfg.distinct_queries);
@@ -127,14 +155,44 @@ impl QueryLogGenerator {
                 continue;
             }
             let n_terms = rng.gen_range(cfg.min_terms..=cfg.max_terms);
-            // Prefer rarer (longer-rank) terms: sample positions and keep distinct words.
             let mut picked: Vec<&str> = Vec::new();
-            let mut attempts = 0;
-            while picked.len() < n_terms && attempts < 50 {
-                attempts += 1;
-                let w = words[rng.gen_range(0..words.len())];
-                if !picked.contains(&w) && w.len() >= 3 {
-                    picked.push(w);
+            if let Some(frequent) = &frequent {
+                // Head-term mode: anchor on a frequent word and collect distinct
+                // frequent words within the co-occurrence window after it, so the
+                // picked terms' spread stays within the window.
+                let anchors: Vec<usize> = words
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| frequent.contains(**w))
+                    .map(|(i, _)| i)
+                    .collect();
+                if anchors.len() < n_terms {
+                    continue;
+                }
+                let anchor = anchors[rng.gen_range(0..anchors.len())];
+                picked.push(words[anchor]);
+                let end = match cfg.cooccurrence_window {
+                    Some(w) => words.len().min(anchor + w as usize + 1),
+                    None => words.len(),
+                };
+                for word in &words[anchor + 1..end] {
+                    if picked.len() >= n_terms {
+                        break;
+                    }
+                    if frequent.contains(word) && !picked.contains(word) {
+                        picked.push(word);
+                    }
+                }
+            } else {
+                // Prefer rarer (longer-rank) terms: sample positions and keep
+                // distinct words.
+                let mut attempts = 0;
+                while picked.len() < n_terms && attempts < 50 {
+                    attempts += 1;
+                    let w = words[rng.gen_range(0..words.len())];
+                    if !picked.contains(&w) && w.len() >= 3 {
+                        picked.push(w);
+                    }
                 }
             }
             if picked.len() < cfg.min_terms {
@@ -252,6 +310,70 @@ mod tests {
             checked += 1;
         }
         assert!(checked > 0);
+    }
+
+    #[test]
+    fn head_term_log_draws_frequent_cooccurring_terms() {
+        let c = corpus();
+        // Document frequencies, computed the same way the generator does.
+        let mut df: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for d in &c.docs {
+            let words: std::collections::HashSet<&str> = d.body.split_whitespace().collect();
+            for w in words {
+                *df.entry(w).or_insert(0) += 1;
+            }
+        }
+        let min_df = {
+            // Pick a threshold that leaves a healthy head pool in the tiny corpus.
+            let mut counts: Vec<usize> = df.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            counts[counts.len() / 4]
+        };
+        let window = 20u32;
+        let cfg = QueryLogConfig {
+            num_queries: 200,
+            distinct_queries: 20,
+            min_terms: 2,
+            max_terms: 2,
+            min_term_df: Some(min_df),
+            cooccurrence_window: Some(window),
+            ..Default::default()
+        };
+        let log = QueryLogGenerator::new(cfg, 17).generate(&c);
+        let mut windowed_pairs = 0;
+        for q in &log.distinct {
+            let terms: Vec<&str> = q.split_whitespace().collect();
+            if terms.len() < 2 {
+                continue; // corpus-too-small fallback fills with vocabulary singles
+            }
+            for t in &terms {
+                assert!(
+                    df.get(t).copied().unwrap_or(0) > min_df,
+                    "head-term query '{q}' picked infrequent term '{t}'"
+                );
+            }
+            // Some document must contain both terms within the window.
+            let hit = c.docs.iter().any(|d| {
+                let words: Vec<&str> = d.body.split_whitespace().collect();
+                let pos = |t: &str| -> Vec<u32> {
+                    words
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, w)| **w == t)
+                        .map(|(i, _)| i as u32)
+                        .collect()
+                };
+                let (pa, pb) = (pos(terms[0]), pos(terms[1]));
+                pa.iter()
+                    .any(|a| pb.iter().any(|b| a.abs_diff(*b) <= window))
+            });
+            assert!(hit, "no document holds '{q}' within {window} positions");
+            windowed_pairs += 1;
+        }
+        assert!(
+            windowed_pairs > 0,
+            "head log produced no multi-term queries"
+        );
     }
 
     #[test]

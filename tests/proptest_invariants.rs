@@ -293,6 +293,8 @@ proptest! {
                     served_by: 0,
                     replica_set: Vec::new(),
                     skipped: false,
+                    skipped_blocks: 0,
+                    elided_bytes: 0,
                 })
             },
         )
